@@ -1,0 +1,50 @@
+//! Reimplementations of the systems the CPMA paper evaluates against.
+//!
+//! The paper compares the PMA/CPMA to three families of batch-parallel
+//! pointer-based sets (§6):
+//!
+//! * [`PTree`] — P-trees (the PAM library [70]): uncompressed binary trees
+//!   with join-based parallel bulk operations, 32 bytes per element;
+//! * [`PacTree`] — PaC-trees (the CPAM library [33]): binary trees over
+//!   *blocks* of up to `P = 256` elements, in uncompressed (`U-PaC`) and
+//!   difference-encoded (`C-PaC`) variants;
+//! * [`CTreeSet`] — Aspen-style C-trees [36]: elements hash-sampled into
+//!   chunk heads, each head carrying a compressed chunk of followers.
+//!
+//! These are clean-room Rust reimplementations built for the benchmark
+//! harness: they preserve the baselines' *structural* behaviour (pointer
+//! chasing between nodes/blocks, join-based batch updates, per-block
+//! compression) rather than matching the original C++ line by line.
+//! DESIGN.md §4 records the simplifications.
+
+pub mod ctree;
+pub mod pactree;
+pub mod ptree;
+
+pub use ctree::CTreeSet;
+pub use pactree::{CompressedBlock, PacTree, RawBlock};
+pub use ptree::PTree;
+
+/// Uncompressed PaC-tree (the paper's "U-PaC").
+pub type UPac = PacTree<RawBlock>;
+/// Compressed PaC-tree (the paper's "C-PaC").
+pub type CPac = PacTree<CompressedBlock>;
+
+/// Sort + dedup a batch in place unless the caller promises sorted-unique
+/// input; returns the unique prefix.
+pub(crate) fn ptree_normalize(batch: &mut [u64], sorted: bool) -> &[u64] {
+    use rayon::prelude::*;
+    if sorted {
+        debug_assert!(batch.windows(2).all(|w| w[0] < w[1]));
+        return batch;
+    }
+    batch.par_sort_unstable();
+    let mut w = 0;
+    for r in 0..batch.len() {
+        if w == 0 || batch[r] != batch[w - 1] {
+            batch[w] = batch[r];
+            w += 1;
+        }
+    }
+    &batch[..w]
+}

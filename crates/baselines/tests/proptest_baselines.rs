@@ -1,0 +1,168 @@
+//! Property tests for the baseline structures: the join-based P-tree, the
+//! blocked PaC-tree, and the hash-chunked C-tree must all implement exact
+//! set semantics, and their internal shape constraints must hold under
+//! arbitrary inputs.
+
+use cpma_baselines::{CPac, CTreeSet, PTree, UPac};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn sorted_unique(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// P-tree union is set union with an exact added-count.
+    #[test]
+    fn ptree_union_semantics(a in vec(any::<u64>(), 0..400), b in vec(any::<u64>(), 0..400)) {
+        let a = sorted_unique(a);
+        let b = sorted_unique(b);
+        let mut t = PTree::from_sorted(&a);
+        let added = t.insert_batch_sorted(&b);
+        let union: BTreeSet<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(added, union.len() - a.len());
+        prop_assert_eq!(t.collect(), union.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(t.len(), union.len());
+    }
+
+    /// P-tree difference is set difference with an exact removed-count.
+    #[test]
+    fn ptree_difference_semantics(a in vec(any::<u64>(), 0..400), b in vec(any::<u64>(), 0..400)) {
+        let a = sorted_unique(a);
+        let b = sorted_unique(b);
+        let mut t = PTree::from_sorted(&a);
+        let removed = t.remove_batch_sorted(&b);
+        let diff: Vec<u64> = a.iter().copied().filter(|k| b.binary_search(k).is_err()).collect();
+        prop_assert_eq!(removed, a.len() - diff.len());
+        prop_assert_eq!(t.collect(), diff);
+    }
+
+    /// The treap shape is canonical: building from sorted input equals
+    /// building by repeated unions (same keys ⇒ same structure ⇒ same
+    /// traversal and size accounting).
+    #[test]
+    fn ptree_canonical_shape(keys in vec(any::<u64>(), 1..300)) {
+        let keys = sorted_unique(keys);
+        let built = PTree::from_sorted(&keys);
+        let mut incremental = PTree::new();
+        for chunk in keys.chunks(37) {
+            incremental.insert_batch_sorted(chunk);
+        }
+        prop_assert_eq!(built.collect(), incremental.collect());
+        prop_assert_eq!(built.size_bytes(), incremental.size_bytes());
+    }
+
+    /// PaC-tree blocks never exceed BLOCK_SIZE elements, raw or compressed,
+    /// and both payloads agree with the model.
+    #[test]
+    fn pactree_matches_model_and_bounds(
+        rounds in vec((any::<bool>(), vec(any::<u64>(), 1..300)), 1..6)
+    ) {
+        let mut raw = UPac::new();
+        let mut comp = CPac::new();
+        let mut model = BTreeSet::new();
+        for (ins, keys) in rounds {
+            let b = sorted_unique(keys);
+            if ins {
+                let before = model.len();
+                model.extend(b.iter().copied());
+                let want = model.len() - before;
+                prop_assert_eq!(raw.insert_batch_sorted(&b), want);
+                prop_assert_eq!(comp.insert_batch_sorted(&b), want);
+            } else {
+                let mut want = 0;
+                for k in &b {
+                    if model.remove(k) {
+                        want += 1;
+                    }
+                }
+                prop_assert_eq!(raw.remove_batch_sorted(&b), want);
+                prop_assert_eq!(comp.remove_batch_sorted(&b), want);
+            }
+        }
+        let wantv: Vec<u64> = model.iter().copied().collect();
+        prop_assert_eq!(raw.collect(), wantv.clone());
+        prop_assert_eq!(comp.collect(), wantv);
+    }
+
+    /// C-tree chunk boundaries are value-determined: any insertion order
+    /// yields the identical structure footprint.
+    #[test]
+    fn ctree_order_independent(keys in vec(any::<u64>(), 1..400)) {
+        let keys = sorted_unique(keys);
+        let one_shot = CTreeSet::from_sorted(&keys);
+        let mut incremental = CTreeSet::new();
+        for chunk in keys.chunks(29) {
+            incremental.insert_batch_sorted(chunk);
+        }
+        prop_assert_eq!(one_shot.collect(), incremental.collect());
+        prop_assert_eq!(one_shot.size_bytes(), incremental.size_bytes());
+    }
+
+    /// map_range agrees with filtering for every structure.
+    #[test]
+    fn map_range_agreement(
+        keys in vec(any::<u64>(), 0..400),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let keys = sorted_unique(keys);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let want: Vec<u64> = keys.iter().copied().filter(|&e| e >= lo && e < hi).collect();
+
+        let t = PTree::from_sorted(&keys);
+        let mut got = Vec::new();
+        t.map_range(lo, hi, &mut |k| got.push(k));
+        prop_assert_eq!(&got, &want);
+
+        let t = CPac::from_sorted(&keys);
+        let mut got = Vec::new();
+        t.map_range(lo, hi, &mut |k| got.push(k));
+        prop_assert_eq!(&got, &want);
+
+        let t = CTreeSet::from_sorted(&keys);
+        let mut got = Vec::new();
+        t.map_range(lo, hi, &mut |k| got.push(k));
+        prop_assert_eq!(&got, &want);
+    }
+
+    /// successor on the P-tree matches the model.
+    #[test]
+    fn ptree_successor(keys in vec(any::<u64>(), 0..300), probe in any::<u64>()) {
+        let keys = sorted_unique(keys);
+        let model: BTreeSet<u64> = keys.iter().copied().collect();
+        let t = PTree::from_sorted(&keys);
+        prop_assert_eq!(t.successor(probe), model.range(probe..).next().copied());
+    }
+}
+
+#[test]
+fn compression_ratio_ordering_on_dense_keys() {
+    // Dense keys: compressed structures must be far smaller than raw.
+    let keys: Vec<u64> = (0..200_000u64).collect();
+    let raw = UPac::from_sorted(&keys);
+    let comp = CPac::from_sorted(&keys);
+    let ctree = CTreeSet::from_sorted(&keys);
+    let ptree = PTree::from_sorted(&keys);
+    assert!(comp.size_bytes() < raw.size_bytes() / 3);
+    assert!(ctree.size_bytes() < raw.size_bytes() / 3);
+    assert_eq!(ptree.size_bytes(), keys.len() * 32);
+}
+
+#[test]
+fn empty_batch_operations() {
+    let mut t = PTree::new();
+    assert_eq!(t.insert_batch_sorted(&[]), 0);
+    assert_eq!(t.remove_batch_sorted(&[]), 0);
+    let mut c = CPac::new();
+    assert_eq!(c.insert_batch_sorted(&[]), 0);
+    assert_eq!(c.remove_batch_sorted(&[]), 0);
+    let mut s = CTreeSet::new();
+    assert_eq!(s.insert_batch_sorted(&[]), 0);
+    assert_eq!(s.remove_batch_sorted(&[]), 0);
+}

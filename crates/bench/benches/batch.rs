@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the batch-update algorithm (§4): insert and
+//! delete batches, PMA vs CPMA vs the tree baselines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cpma_baselines::{CPac, PTree};
+use cpma_pma::{Cpma, Pma};
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+const BASE_N: usize = 200_000;
+const BATCH: usize = 10_000;
+
+fn bench_batch_insert(c: &mut Criterion) {
+    let base = dedup_sorted(uniform_keys(BASE_N, 40, 1));
+    let batch = dedup_sorted(uniform_keys(BATCH, 40, 2));
+    let mut g = c.benchmark_group("batch_insert_10k_into_200k");
+    g.bench_function("pma", |b| {
+        b.iter_batched(
+            || Pma::<u64>::from_sorted(&base),
+            |mut p| p.insert_batch_sorted(&batch),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("cpma", |b| {
+        b.iter_batched(
+            || Cpma::from_sorted(&base),
+            |mut p| p.insert_batch_sorted(&batch),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("ptree", |b| {
+        b.iter_batched(
+            || PTree::from_sorted(&base),
+            |mut p| p.insert_batch_sorted(&batch),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("cpac", |b| {
+        b.iter_batched(
+            || CPac::from_sorted(&base),
+            |mut p| p.insert_batch_sorted(&batch),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_batch_remove(c: &mut Criterion) {
+    let base = dedup_sorted(uniform_keys(BASE_N, 40, 3));
+    let victims: Vec<u64> = base.iter().step_by(20).copied().collect();
+    let mut g = c.benchmark_group("batch_remove_10k_of_200k");
+    g.bench_function("pma", |b| {
+        b.iter_batched(
+            || Pma::<u64>::from_sorted(&base),
+            |mut p| p.remove_batch_sorted(&victims),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("cpma", |b| {
+        b.iter_batched(
+            || Cpma::from_sorted(&base),
+            |mut p| p.remove_batch_sorted(&victims),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_insert, bench_batch_remove);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure 10 / Table 15: graph batch-insert throughput vs batch size on
+//! the largest graph — F-Graph vs C-PaC vs Aspen.
+//!
+//! Paper setup: base graph = Friendster (substituted by RMAT at laptop
+//! scale, DESIGN.md §4), update batches sampled from the RMAT distribution
+//! (a=0.5, b=c=0.1, d=0.3) with potential duplicates. Expected shape:
+//! F-Graph ~2–3× the trees across batch sizes.
+
+use cpma_bench::{batch_sizes, sci, time, Args};
+use cpma_fgraph::{AspenGraph, FGraph, PacGraph};
+use cpma_workloads::RmatGenerator;
+
+fn main() {
+    let args = Args::parse();
+    let scale: u32 = args.get_or("scale", 14);
+    let edges_per_vertex: usize = args.get_or("epv", 14);
+    let max_exp: u32 = args.get_or("max-exp", 6);
+    let seed: u64 = args.get_or("seed", 42);
+
+    let v = 1usize << scale;
+    let gen = RmatGenerator::paper_config(scale, seed);
+    let base = gen.undirected_graph(v * edges_per_vertex);
+    let stream_gen = RmatGenerator::paper_config(scale, seed ^ 0x77);
+
+    println!(
+        "# Figure 10 / Table 15 — graph batch-insert throughput (FS substitute: RMAT scale {scale}, {} edges)",
+        base.len()
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "batch", "Aspen", "C-PaC", "F-Graph", "F/Asp", "F/CPaC"
+    );
+    for bs in batch_sizes(max_exp) {
+        let stream = stream_gen.directed_edges(bs * 10);
+        let run_f = {
+            let mut g = FGraph::from_edges(v, &base);
+            let (_, secs) = time(|| {
+                for chunk in stream.chunks(bs) {
+                    let mut b = chunk.to_vec();
+                    g.insert_edges(&mut b, false);
+                }
+            });
+            stream.len() as f64 / secs
+        };
+        let run_p = {
+            let mut g = PacGraph::from_edges(v, &base);
+            let (_, secs) = time(|| {
+                for chunk in stream.chunks(bs) {
+                    let mut b = chunk.to_vec();
+                    g.insert_edges(&mut b, false);
+                }
+            });
+            stream.len() as f64 / secs
+        };
+        let run_a = {
+            let mut g = AspenGraph::from_edges(v, &base);
+            let (_, secs) = time(|| {
+                for chunk in stream.chunks(bs) {
+                    let mut b = chunk.to_vec();
+                    g.insert_edges(&mut b, false);
+                }
+            });
+            stream.len() as f64 / secs
+        };
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>8.2} {:>8.2}",
+            bs,
+            sci(run_a),
+            sci(run_p),
+            sci(run_f),
+            run_f / run_a,
+            run_f / run_p
+        );
+        println!("csv,fig10,{bs},{run_a},{run_p},{run_f}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 11 / Table 13: batch-insert throughput with zipfian batches
+//! (α = 0.99, 34-bit keys, scrambled — the YCSB configuration).
+//!
+//! Expected shape: same ordering as the uniform case (Figure 1), but the
+//! PMA/CPMA gain *more* from skew than the trees — repeated keys share
+//! searches and redistribution ("the PMA/CPMA achieves higher throughput
+//! on zipfian batch inserts compared to uniform random batch inserts").
+
+use cpma_bench::{batch_sizes, insert_throughput, sci, Args};
+use cpma_workloads::{dedup_sorted, uniform_keys, ZipfGenerator};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("n", 1_000_000);
+    let bits: u32 = args.get_or("bits", 40);
+    let max_exp: u32 = args.get_or("max-exp", 6);
+    let seed: u64 = args.get_or("seed", 42);
+
+    // Base is uniform 40-bit (as in the paper); the update stream is zipf.
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let stream = ZipfGenerator::paper_config(seed ^ 0x5a5a).keys(n);
+
+    println!(
+        "# Figure 11 / Table 13 — zipfian batch-insert throughput ({} base elements)",
+        base.len()
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  {:>9} {:>10}",
+        "batch", "P-tree", "U-PaC", "PMA", "C-PaC", "CPMA", "PMA/U-PaC", "CPMA/C-PaC"
+    );
+    for bs in batch_sizes(max_exp) {
+        let ptree = insert_throughput::<cpma_baselines::PTree>(&base, &stream, bs);
+        let upac = insert_throughput::<cpma_baselines::UPac>(&base, &stream, bs);
+        let pma = insert_throughput::<cpma_pma::Pma<u64>>(&base, &stream, bs);
+        let cpac = insert_throughput::<cpma_baselines::CPac>(&base, &stream, bs);
+        let cpma = insert_throughput::<cpma_pma::Cpma>(&base, &stream, bs);
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  {:>9.2} {:>10.2}",
+            bs,
+            sci(ptree),
+            sci(upac),
+            sci(pma),
+            sci(cpac),
+            sci(cpma),
+            pma / upac,
+            cpma / cpac
+        );
+        println!("csv,fig11,{bs},{ptree},{upac},{pma},{cpac},{cpma}");
+    }
+}

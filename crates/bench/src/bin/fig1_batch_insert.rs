@@ -1,0 +1,51 @@
+//! Figure 1 / Table 9: parallel batch-insert throughput vs batch size for
+//! PMA, CPMA, U-PaC, C-PaC, and P-trees on 40-bit uniform keys.
+//!
+//! Paper setup: structures start with 1e8 elements and absorb another 1e8.
+//! Defaults here are laptop-scale; pass `--n 100000000` to match the paper.
+//!
+//! Expected shape (Table 9): the PMA/CPMA dominate at small and medium
+//! batches (shared search + skipped redistributions); the trees close the
+//! gap at the largest batches where bulk rebuilds amortize.
+
+use cpma_bench::{batch_sizes, insert_throughput, sci, Args};
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("n", 1_000_000);
+    let bits: u32 = args.get_or("bits", 40);
+    let max_exp: u32 = args.get_or("max-exp", 6);
+    let seed: u64 = args.get_or("seed", 42);
+
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let stream = uniform_keys(n, bits, seed ^ 0xABCD);
+    println!(
+        "# Figure 1 / Table 9 — batch-insert throughput (inserts/s), {} base elements, {}-bit uniform keys",
+        base.len(),
+        bits
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  {:>9} {:>9}",
+        "batch", "P-tree", "U-PaC", "PMA", "C-PaC", "CPMA", "PMA/U-PaC", "CPMA/C-PaC"
+    );
+    for bs in batch_sizes(max_exp) {
+        let ptree = insert_throughput::<cpma_baselines::PTree>(&base, &stream, bs);
+        let upac = insert_throughput::<cpma_baselines::UPac>(&base, &stream, bs);
+        let pma = insert_throughput::<cpma_pma::Pma<u64>>(&base, &stream, bs);
+        let cpac = insert_throughput::<cpma_baselines::CPac>(&base, &stream, bs);
+        let cpma = insert_throughput::<cpma_pma::Cpma>(&base, &stream, bs);
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  {:>9.2} {:>9.2}",
+            bs,
+            sci(ptree),
+            sci(upac),
+            sci(pma),
+            sci(cpac),
+            sci(cpma),
+            pma / upac,
+            cpma / cpac
+        );
+        println!("csv,fig1,{bs},{ptree},{upac},{pma},{cpac},{cpma}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 2 / Table 10: range-query throughput (elements/s) vs expected
+//! range length for PMA, CPMA, U-PaC, C-PaC, and P-trees.
+//!
+//! Paper setup: 1e8 stored elements, 1e5 parallel queries, expected range
+//! lengths 6…2e6. Defaults are laptop-scale (`--n`, `--queries` to scale).
+//!
+//! Expected shape (Table 10): PMA/CPMA win across the board (contiguous
+//! scans + prefetching); the CPMA overtakes the PMA at the longest ranges
+//! where memory bandwidth, not decode cost, is the limit.
+
+use cpma_bench::{range_query_throughput, sci, Args};
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("n", 1_000_000);
+    let bits: u32 = args.get_or("bits", 40);
+    let queries: usize = args.get_or("queries", 2_000);
+    let seed: u64 = args.get_or("seed", 42);
+
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let stored = base.len() as f64;
+    // Paper's expected range lengths, capped by the store size.
+    let expected: Vec<f64> = [6.0, 5e1, 4e2, 3e3, 2e4, 2e5, 2e6]
+        .into_iter()
+        .filter(|&e| e <= stored)
+        .collect();
+
+    let pma = cpma_pma::Pma::<u64>::from_sorted(&base);
+    let cpma = cpma_pma::Cpma::from_sorted(&base);
+    let ptree = cpma_baselines::PTree::from_sorted(&base);
+    let upac = cpma_baselines::UPac::from_sorted(&base);
+    let cpac = cpma_baselines::CPac::from_sorted(&base);
+
+    println!(
+        "# Figure 2 / Table 10 — range-query throughput (elements/s), {} elements, {queries} queries",
+        base.len()
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  {:>9} {:>10}",
+        "avg len", "P-tree", "U-PaC", "PMA", "C-PaC", "CPMA", "PMA/U-PaC", "CPMA/C-PaC"
+    );
+    for e in expected {
+        // width such that expected hits = e: width = e/n * 2^bits.
+        let width = ((e / stored) * (1u64 << bits) as f64).ceil() as u64;
+        let tp_pt = range_query_throughput(&ptree, queries, width, bits, seed ^ 1);
+        let tp_up = range_query_throughput(&upac, queries, width, bits, seed ^ 1);
+        let tp_pm = range_query_throughput(&pma, queries, width, bits, seed ^ 1);
+        let tp_cp = range_query_throughput(&cpac, queries, width, bits, seed ^ 1);
+        let tp_cm = range_query_throughput(&cpma, queries, width, bits, seed ^ 1);
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  {:>9.2} {:>10.2}",
+            sci(e),
+            sci(tp_pt),
+            sci(tp_up),
+            sci(tp_pm),
+            sci(tp_cp),
+            sci(tp_cm),
+            tp_pm / tp_up,
+            tp_cm / tp_cp
+        );
+        println!("csv,fig2,{e},{tp_pt},{tp_up},{tp_pm},{tp_cp},{tp_cm}");
+    }
+}

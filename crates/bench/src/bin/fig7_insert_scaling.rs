@@ -1,0 +1,65 @@
+//! Figure 7 / Table 11: strong scaling of batch inserts in the PMA and
+//! CPMA.
+//!
+//! Paper setup: start at 1e8 elements, apply 100 batches of 1e6, core
+//! counts 1…64 + hyperthreads. Expected shape: both scale; the CPMA scales
+//! *further* (compression stretches memory bandwidth), overtaking the PMA
+//! once enough cores contend for bandwidth.
+
+use cpma_bench::{core_sweep, max_threads, sci, time, with_threads, Args};
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+fn run<S: cpma_bench::BatchSet + Send>(base: &[u64], stream: &[u64], batch: usize) -> f64 {
+    let mut s = S::build(base);
+    let (_, secs) = time(|| {
+        let mut scratch = Vec::new();
+        for chunk in stream.chunks(batch) {
+            scratch.clear();
+            scratch.extend_from_slice(chunk);
+            scratch.sort_unstable();
+            scratch.dedup();
+            s.insert_sorted(&scratch);
+        }
+    });
+    stream.len() as f64 / secs
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("n", 1_000_000);
+    let batch: usize = args.get_or("batch", (n / 100).max(1));
+    let bits: u32 = args.get_or("bits", 40);
+    let seed: u64 = args.get_or("seed", 42);
+    let max_t = args.get_or("threads", max_threads());
+
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let stream = uniform_keys(n, bits, seed ^ 0xABCD);
+
+    println!(
+        "# Figure 7 / Table 11 — batch-insert strong scaling ({} base, batches of {batch})",
+        base.len()
+    );
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>10}",
+        "cores", "PMA TP", "speedup", "CPMA TP", "speedup"
+    );
+    let mut pma1 = 0.0;
+    let mut cpma1 = 0.0;
+    for t in core_sweep(max_t) {
+        let pma = with_threads(t, || run::<cpma_pma::Pma<u64>>(&base, &stream, batch));
+        let cpma = with_threads(t, || run::<cpma_pma::Cpma>(&base, &stream, batch));
+        if t == 1 {
+            pma1 = pma;
+            cpma1 = cpma;
+        }
+        println!(
+            "{:>7} {:>12} {:>10.1} {:>12} {:>10.1}",
+            t,
+            sci(pma),
+            pma / pma1,
+            sci(cpma),
+            cpma / cpma1
+        );
+        println!("csv,fig7,{t},{pma},{cpma}");
+    }
+}

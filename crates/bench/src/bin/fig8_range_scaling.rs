@@ -1,0 +1,55 @@
+//! Figure 8 / Table 12: strong scaling of range queries in the PMA and
+//! CPMA.
+//!
+//! Paper setup: 1e8 elements, 1e5 parallel queries of ~1.5e6 elements
+//! each. Expected shape: queries scale nearly linearly (read-only, no
+//! coordination); the CPMA scales past the PMA once the PMA saturates
+//! memory bandwidth (the paper reports 41× vs 118× at 64h).
+
+use cpma_bench::{core_sweep, max_threads, range_query_throughput, sci, with_threads, Args};
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("n", 1_000_000);
+    let queries: usize = args.get_or("queries", 1_000);
+    let bits: u32 = args.get_or("bits", 40);
+    let seed: u64 = args.get_or("seed", 42);
+    let max_t = args.get_or("threads", max_threads());
+    // Paper: each query returns ~1.5% of the structure (1.5e6 of 1e8).
+    let frac: f64 = args.get_or("frac", 0.015);
+
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let width = ((1u64 << bits) as f64 * frac) as u64;
+    let pma = cpma_pma::Pma::<u64>::from_sorted(&base);
+    let cpma = cpma_pma::Cpma::from_sorted(&base);
+
+    println!(
+        "# Figure 8 / Table 12 — range-query strong scaling ({} elements, {queries} queries of ~{:.1}% each)",
+        base.len(),
+        frac * 100.0
+    );
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>10}",
+        "cores", "PMA TP", "speedup", "CPMA TP", "speedup"
+    );
+    let mut pma1 = 0.0;
+    let mut cpma1 = 0.0;
+    for t in core_sweep(max_t) {
+        let p = with_threads(t, || range_query_throughput(&pma, queries, width, bits, seed ^ 7));
+        let c = with_threads(t, || range_query_throughput(&cpma, queries, width, bits, seed ^ 7));
+        if t == 1 {
+            pma1 = p;
+            cpma1 = c;
+        }
+        println!(
+            "{:>7} {:>12} {:>10.1} {:>12} {:>10.1}",
+            t,
+            sci(p),
+            p / pma1,
+            sci(c),
+            c / cpma1
+        );
+        println!("csv,fig8,{t},{p},{c}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Table 1: memory traffic during batch inserts (the paper measures
+//! hardware cache misses with `perf stat`; this reproduction counts bytes
+//! moved at the storage layer and reports estimated 64 B line transfers —
+//! same relative ordering, see DESIGN.md §4).
+//!
+//! Paper setup: "added 100 million elements serially in batches of 1
+//! million". Defaults are laptop-scale.
+//!
+//! Expected shape (Table 1): U-PaC > C-PaC > PMA > CPMA; the PMA moves ≥3×
+//! less than the trees, the CPMA less still.
+
+use cpma_bench::{sci, with_threads, Args};
+use cpma_pma::stats;
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+fn measure<S: cpma_bench::BatchSet>(base: &[u64], stream: &[u64], batch: usize) -> stats::Traffic {
+    let mut s = S::build(base);
+    stats::reset();
+    let mut scratch = Vec::new();
+    for chunk in stream.chunks(batch) {
+        scratch.clear();
+        scratch.extend_from_slice(chunk);
+        scratch.sort_unstable();
+        scratch.dedup();
+        s.insert_sorted(&scratch);
+    }
+    stats::snapshot()
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("n", 1_000_000);
+    let batch: usize = args.get_or("batch", (n / 100).max(1));
+    let bits: u32 = args.get_or("bits", 40);
+    let seed: u64 = args.get_or("seed", 42);
+
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let stream = uniform_keys(n, bits, seed ^ 0xABCD);
+
+    println!(
+        "# Table 1 — bytes moved during serial batch inserts ({} base, batches of {batch})",
+        base.len()
+    );
+    println!("# (paper metric: cache misses; ours: bytes at the storage layer — same ordering)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>16}",
+        "struct", "bytes read", "bytes written", "est. 64B lines"
+    );
+    // Serial like the paper's Table 1 measurement.
+    with_threads(1, || {
+        let upac = measure::<cpma_baselines::UPac>(&base, &stream, batch);
+        let cpac = measure::<cpma_baselines::CPac>(&base, &stream, batch);
+        let pma = measure::<cpma_pma::Pma<u64>>(&base, &stream, batch);
+        let cpma = measure::<cpma_pma::Cpma>(&base, &stream, batch);
+        for (name, t) in
+            [("U-PaC", upac), ("C-PaC", cpac), ("PMA", pma), ("CPMA", cpma)]
+        {
+            println!(
+                "{:>8} {:>14} {:>14} {:>16}",
+                name,
+                sci(t.bytes_read as f64),
+                sci(t.bytes_written as f64),
+                sci(t.est_line_transfers() as f64)
+            );
+            println!(
+                "csv,table1,{name},{},{},{}",
+                t.bytes_read,
+                t.bytes_written,
+                t.est_line_transfers()
+            );
+        }
+        if upac.est_line_transfers() == 0 {
+            eprintln!(
+                "warning: traffic counters are zero — build with `--features cpma-pma/stats`"
+            );
+        }
+    });
+}

@@ -1,0 +1,73 @@
+//! Table 3: serial vs parallel batch-insert throughput in the PMA, plus
+//! the speedup decomposition (batch algorithm over point inserts, parallel
+//! over serial).
+//!
+//! Paper setup: PMA starts at 1e8 elements, inserts 1e8 more. Expected
+//! shape: serial batch insert beats serial point inserts once batches are
+//! large (up to ~3×), and parallelism compounds on top as the batch grows.
+
+use cpma_bench::{batch_sizes, max_threads, sci, time, with_threads, Args};
+use cpma_pma::Pma;
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+fn point_insert_throughput(base: &[u64], stream: &[u64]) -> f64 {
+    let mut s = Pma::<u64>::from_sorted(base);
+    let (_, secs) = time(|| {
+        for &k in stream {
+            s.insert(k);
+        }
+    });
+    stream.len() as f64 / secs
+}
+
+fn batch_insert_throughput(base: &[u64], stream: &[u64], batch: usize) -> f64 {
+    let mut s = Pma::<u64>::from_sorted(base);
+    let (_, secs) = time(|| {
+        let mut scratch = Vec::new();
+        for chunk in stream.chunks(batch) {
+            scratch.clear();
+            scratch.extend_from_slice(chunk);
+            scratch.sort_unstable();
+            scratch.dedup();
+            s.insert_batch_sorted(&scratch);
+        }
+    });
+    stream.len() as f64 / secs
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("n", 1_000_000);
+    let bits: u32 = args.get_or("bits", 40);
+    let max_exp: u32 = args.get_or("max-exp", 6);
+    let seed: u64 = args.get_or("seed", 42);
+    let threads = args.get_or("threads", max_threads());
+
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let stream = uniform_keys(n, bits, seed ^ 0xABCD);
+
+    let point_tp = with_threads(1, || point_insert_throughput(&base, &stream));
+    println!(
+        "# Table 3 — PMA batch inserts: serial vs parallel ({} base elements, {threads} threads)",
+        base.len()
+    );
+    println!("# serial point-insert baseline: {} inserts/s", sci(point_tp));
+    println!(
+        "{:>10} {:>12} {:>14} {:>12} {:>14} {:>9}",
+        "batch", "serial TP", "vs ser. point", "parallel TP", "vs ser. batch", "overall"
+    );
+    for bs in batch_sizes(max_exp) {
+        let serial = with_threads(1, || batch_insert_throughput(&base, &stream, bs));
+        let parallel = with_threads(threads, || batch_insert_throughput(&base, &stream, bs));
+        println!(
+            "{:>10} {:>12} {:>14.1} {:>12} {:>14.1} {:>9.1}",
+            bs,
+            sci(serial),
+            serial / point_tp,
+            sci(parallel),
+            parallel / serial,
+            parallel / point_tp
+        );
+        println!("csv,table3,{bs},{serial},{parallel},{point_tp}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Table 4: serial batch-insert throughput, our PMA batch algorithm vs the
+//! prior serial batch-update approach.
+//!
+//! The paper's comparator is the Rewired PMA (RMA, De Leo & Boncz) which we
+//! cannot run (closed test harness, `mmap`-rewiring internals). Per the
+//! substitution policy (DESIGN.md §4) the stand-ins isolate the same
+//! effect Table 4 demonstrates — batching amortizes search and
+//! redistribution over a serial point-insert loop and over a serial
+//! merge-everything rebuild:
+//!
+//! * `point-loop`   — one `insert` per key (what RMA does without batching);
+//! * `merge-rebuild`— two-finger merge into a fresh array per batch (the
+//!   serial-batch strawman the RMA paper improves on);
+//! * `batch (ours)` — §4's algorithm on one thread.
+
+use cpma_bench::{sci, time, with_threads, Args};
+use cpma_pma::Pma;
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+/// Serial merge-rebuild baseline: keeps a single sorted Vec, merging each
+/// batch into a fresh allocation (O(n) per batch).
+struct MergeRebuild {
+    data: Vec<u64>,
+}
+
+impl MergeRebuild {
+    fn insert_batch(&mut self, batch: &[u64]) {
+        let mut out = Vec::with_capacity(self.data.len() + batch.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.data.len() && j < batch.len() {
+            match self.data[i].cmp(&batch[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.data[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(batch[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.data[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.data[i..]);
+        out.extend_from_slice(&batch[j..]);
+        self.data = out;
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("n", 1_000_000);
+    let bits: u32 = args.get_or("bits", 40);
+    let max_exp: u32 = args.get_or("max-exp", 6);
+    let seed: u64 = args.get_or("seed", 42);
+
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let stream = uniform_keys(n, bits, seed ^ 0xABCD);
+
+    println!(
+        "# Table 4 — serial batch-insert throughput ({} base elements); RMA substituted per DESIGN.md",
+        base.len()
+    );
+    println!(
+        "{:>10} {:>12} {:>14} {:>12} {:>12}",
+        "batch", "point-loop", "merge-rebuild", "batch (ours)", "ours/merge"
+    );
+    with_threads(1, || {
+        for exp in 2..=max_exp {
+            let bs = 10usize.pow(exp);
+            let point = {
+                let mut s = Pma::<u64>::from_sorted(&base);
+                let (_, secs) = time(|| {
+                    for &k in &stream {
+                        s.insert(k);
+                    }
+                });
+                stream.len() as f64 / secs
+            };
+            let merge = {
+                let mut s = MergeRebuild { data: base.clone() };
+                let (_, secs) = time(|| {
+                    let mut scratch = Vec::new();
+                    for chunk in stream.chunks(bs) {
+                        scratch.clear();
+                        scratch.extend_from_slice(chunk);
+                        scratch.sort_unstable();
+                        scratch.dedup();
+                        s.insert_batch(&scratch);
+                    }
+                });
+                stream.len() as f64 / secs
+            };
+            let ours = {
+                let mut s = Pma::<u64>::from_sorted(&base);
+                let (_, secs) = time(|| {
+                    let mut scratch = Vec::new();
+                    for chunk in stream.chunks(bs) {
+                        scratch.clear();
+                        scratch.extend_from_slice(chunk);
+                        scratch.sort_unstable();
+                        scratch.dedup();
+                        s.insert_batch_sorted(&scratch);
+                    }
+                });
+                stream.len() as f64 / secs
+            };
+            println!(
+                "{:>10} {:>12} {:>14} {:>12} {:>12.2}",
+                bs,
+                sci(point),
+                sci(merge),
+                sci(ours),
+                ours / merge
+            );
+            println!("csv,table4,{bs},{point},{merge},{ours}");
+        }
+    });
+}

@@ -1,0 +1,50 @@
+//! Table 5: parallel batch inserts AND deletes, uniform and zipfian, for
+//! the PMA and CPMA, with delete/insert ratios.
+//!
+//! Expected shape: deletes outrun inserts (no overflow buffers to
+//! allocate, ~1.5–2× at large batches), and zipfian batches beat uniform
+//! ones at equal size (shared search work — "the batch-parallel PMA is
+//! well-suited for the case of all insertions targeting the same leaf").
+
+use cpma_bench::{batch_sizes, delete_throughput, insert_throughput, sci, Args};
+use cpma_workloads::{dedup_sorted, uniform_keys, ZipfGenerator};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("n", 1_000_000);
+    let bits: u32 = args.get_or("bits", 40);
+    let max_exp: u32 = args.get_or("max-exp", 6);
+    let seed: u64 = args.get_or("seed", 42);
+
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let uniform = uniform_keys(n, bits, seed ^ 0xABCD);
+    let zipf = ZipfGenerator::paper_config(seed ^ 0x2222).keys(n);
+
+    for (dist, stream) in [("uniform", &uniform), ("zipfian", &zipf)] {
+        println!(
+            "# Table 5 ({dist}) — batch updates/s, PMA and CPMA, {} base elements",
+            base.len()
+        );
+        println!(
+            "{:>10} {:>10} {:>10} {:>5} {:>10} {:>10} {:>5}",
+            "batch", "PMA ins", "PMA del", "D/I", "CPMA ins", "CPMA del", "D/I"
+        );
+        for bs in batch_sizes(max_exp) {
+            let pi = insert_throughput::<cpma_pma::Pma<u64>>(&base, stream, bs);
+            let pd = delete_throughput::<cpma_pma::Pma<u64>>(&base, stream, bs);
+            let ci = insert_throughput::<cpma_pma::Cpma>(&base, stream, bs);
+            let cd = delete_throughput::<cpma_pma::Cpma>(&base, stream, bs);
+            println!(
+                "{:>10} {:>10} {:>10} {:>5.1} {:>10} {:>10} {:>5.1}",
+                bs,
+                sci(pi),
+                sci(pd),
+                pd / pi,
+                sci(ci),
+                sci(cd),
+                cd / ci
+            );
+            println!("csv,table5,{dist},{bs},{pi},{pd},{ci},{cd}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 6: bytes per element across structure sizes, with compression
+//! ratios.
+//!
+//! Expected shape: P-trees fixed at 32 B/elt; U-PaC ≈ 8 B/elt; the
+//! uncompressed PMA ≈ 10–12 B/elt (element cells at ~55% density + heads);
+//! C-PaC and CPMA converge to a few bytes/elt, improving with scale as
+//! 40-bit deltas shrink.
+
+use cpma_bench::{Args, BatchSet};
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+fn bytes_per_elem<S: BatchSet>(elems: &[u64]) -> f64 {
+    let s = S::build(elems);
+    s.size_bytes() as f64 / elems.len() as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let max_exp: u32 = args.get_or("max-exp", 6);
+    let bits: u32 = args.get_or("bits", 40);
+    let seed: u64 = args.get_or("seed", 42);
+
+    println!("# Table 6 — bytes per element ({}-bit uniform keys)", bits);
+    println!(
+        "{:>10} {:>8} {:>8} {:>9} {:>8} {:>8} {:>10} {:>9}",
+        "elements", "P-tree", "U-PaC", "PMA", "C-PaC", "CPMA", "CPMA/C-PaC", "CPMA/PMA"
+    );
+    for exp in 5..=max_exp {
+        let n = 10usize.pow(exp);
+        let elems = dedup_sorted(uniform_keys(n, bits, seed + exp as u64));
+        let pt = bytes_per_elem::<cpma_baselines::PTree>(&elems);
+        let up = bytes_per_elem::<cpma_baselines::UPac>(&elems);
+        let pm = bytes_per_elem::<cpma_pma::Pma<u64>>(&elems);
+        let cp = bytes_per_elem::<cpma_baselines::CPac>(&elems);
+        let cm = bytes_per_elem::<cpma_pma::Cpma>(&elems);
+        println!(
+            "{:>10} {:>8.2} {:>8.2} {:>9.2} {:>8.2} {:>8.2} {:>10.2} {:>9.2}",
+            n,
+            pt,
+            up,
+            pm,
+            cp,
+            cm,
+            cm / cp,
+            cm / pm
+        );
+        println!("csv,table6,{n},{pt},{up},{pm},{cp},{cm}");
+    }
+}

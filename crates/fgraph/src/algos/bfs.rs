@@ -1,0 +1,68 @@
+//! Breadth-first search (Ligra-style frontier advancement).
+
+use crate::ligra::{edge_map, VertexSubset};
+use crate::GraphScan;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Parent array of a BFS from `src`; unreached vertices hold `u32::MAX`,
+/// the source holds itself.
+pub fn bfs<G: GraphScan>(g: &G, src: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    parent[src as usize].store(src, Ordering::Relaxed);
+    let mut frontier = VertexSubset::single(n, src);
+    while !frontier.is_empty() {
+        frontier = edge_map(
+            g,
+            &frontier,
+            |s, d| {
+                parent[d as usize]
+                    .compare_exchange(u32::MAX, s, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            },
+            |d| parent[d as usize].load(Ordering::Relaxed) == u32::MAX,
+        );
+    }
+    parent.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::testgraphs::two_components;
+
+    #[test]
+    fn reaches_component_only() {
+        let g = two_components();
+        let p = bfs(&g, 0);
+        assert_eq!(p[0], 0);
+        for v in 1..4 {
+            assert_ne!(p[v], u32::MAX, "vertex {v} unreached");
+        }
+        assert_eq!(p[4], u32::MAX);
+        assert_eq!(p[5], u32::MAX);
+    }
+
+    #[test]
+    fn parents_form_valid_tree() {
+        let g = two_components();
+        let p = bfs(&g, 2);
+        // Walking parents from any reached vertex terminates at the source.
+        for start in 0..4u32 {
+            let mut cur = start;
+            let mut hops = 0;
+            while cur != 2 {
+                cur = p[cur as usize];
+                hops += 1;
+                assert!(hops < 10, "parent chain does not terminate");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_source() {
+        let g = crate::algos::testgraphs::csr_from_pairs(3, &[(0, 1)]);
+        let p = bfs(&g, 2);
+        assert_eq!(p, vec![u32::MAX, u32::MAX, 2]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Connected components — the paper's in-between kernel ("CC ... starts
+//! with large scans in the beginning of the algorithm, but it converges to
+//! smaller scans as fewer vertices remain under consideration").
+//! Ligra-style label propagation: every vertex starts as its own label,
+//! frontiers carry vertices whose labels changed.
+
+use crate::ligra::{edge_map, VertexSubset};
+use crate::GraphScan;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Per-vertex component labels (the minimum vertex id in the component).
+pub fn cc<G: GraphScan>(g: &G) -> Vec<u32> {
+    let n = g.num_vertices();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut frontier = VertexSubset::from_dense(vec![true; n]);
+    while !frontier.is_empty() {
+        frontier = edge_map(
+            g,
+            &frontier,
+            |s, d| {
+                let ls = labels[s as usize].load(Ordering::Relaxed);
+                let mut ld = labels[d as usize].load(Ordering::Relaxed);
+                let mut changed = false;
+                while ls < ld {
+                    match labels[d as usize].compare_exchange_weak(
+                        ld,
+                        ls,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            changed = true;
+                            break;
+                        }
+                        Err(cur) => ld = cur,
+                    }
+                }
+                changed
+            },
+            |_| true,
+        );
+    }
+    labels.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::testgraphs::{csr_from_pairs, two_components};
+
+    #[test]
+    fn two_components_two_labels() {
+        let g = two_components();
+        let l = cc(&g);
+        assert_eq!(l[0], 0);
+        assert!(l[..4].iter().all(|&x| x == 0));
+        assert_eq!(l[4], 4);
+        assert_eq!(l[5], 4);
+    }
+
+    #[test]
+    fn singletons_keep_own_labels() {
+        let g = csr_from_pairs(4, &[]);
+        assert_eq!(cc(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn long_path_converges() {
+        let pairs: Vec<(u32, u32)> = (0..999).map(|v| (v, v + 1)).collect();
+        let g = csr_from_pairs(1000, &pairs);
+        let l = cc(&g);
+        assert!(l.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn ring_converges() {
+        let mut pairs: Vec<(u32, u32)> = (0..99).map(|v| (v, v + 1)).collect();
+        pairs.push((99, 0));
+        let g = csr_from_pairs(100, &pairs);
+        assert!(cc(&g).iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's graph-algorithm suite, container-generic via [`GraphScan`].
+//!
+//! "We evaluate the performance of F-Graph, C-PaC, and Aspen on three
+//! fundamental graph algorithms: PageRank (PR), connected components (CC),
+//! and single-source betweenness centrality (BC). The algorithms are from
+//! the Ligra distribution with minor cosmetic changes." (§6). BFS is
+//! included as the building block of BC and as a fourth kernel.
+//!
+//! The three kernels deliberately span the paper's traversal continuum:
+//! PR is *arbitrary-order* (pure scans — flat layouts win), BC is
+//! *topology-order* (random vertex access), and CC sits in between.
+
+mod bc;
+mod bfs;
+mod cc;
+mod pagerank;
+
+pub use bc::bc;
+pub use bfs::bfs;
+pub use cc::cc;
+pub use pagerank::pagerank;
+
+#[cfg(test)]
+pub(crate) mod testgraphs {
+    use crate::{pack_edge, Csr};
+
+    /// Symmetrize, sort, dedup a pair list and build a CSR.
+    pub fn csr_from_pairs(n: usize, pairs: &[(u32, u32)]) -> Csr {
+        Csr::from_sorted_edges(n, &edges_from_pairs(pairs))
+    }
+
+    /// Symmetrized sorted packed edges from an undirected pair list.
+    pub fn edges_from_pairs(pairs: &[(u32, u32)]) -> Vec<u64> {
+        let mut edges = Vec::new();
+        for &(a, b) in pairs {
+            if a != b {
+                edges.push(pack_edge(a, b));
+                edges.push(pack_edge(b, a));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// A small two-component graph used across algorithm tests:
+    /// component A: 0-1-2-3 path plus chord 1-3; component B: 4-5.
+    pub fn two_components() -> Csr {
+        csr_from_pairs(6, &[(0, 1), (1, 2), (2, 3), (1, 3), (4, 5)])
+    }
+}

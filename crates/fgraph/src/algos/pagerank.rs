@@ -1,0 +1,78 @@
+//! PageRank — the paper's arbitrary-order kernel ("PR access[es] vertices
+//! in any order and can be cast as a straightforward pass through the data
+//! structure"; F-Graph is 1.5× faster than C-PaC on it). Pull-based, a
+//! fixed number of iterations ("the PR implementation runs for a fixed
+//! number (10) of iterations").
+
+use crate::GraphScan;
+use rayon::prelude::*;
+
+/// Damping factor (Brin & Page).
+const DAMPING: f64 = 0.85;
+
+/// `iters` rounds of pull-based PageRank; returns per-vertex scores.
+pub fn pagerank<G: GraphScan>(g: &G, iters: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut contrib = vec![0.0f64; n];
+    for _ in 0..iters {
+        contrib
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(v, c)| {
+                let d = g.degree(v as u32);
+                *c = if d > 0 { rank[v] / d as f64 } else { 0.0 };
+            });
+        let base = (1.0 - DAMPING) / n as f64;
+        // The container supplies the whole-graph pull (flat containers
+        // implement it as one pass over the edge array).
+        let mut acc = vec![0.0f64; n];
+        g.pull_accumulate(&contrib, &mut acc);
+        rank
+            .par_iter_mut()
+            .zip(acc.par_iter())
+            .for_each(|(r, a)| *r = base + DAMPING * a);
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::testgraphs::{csr_from_pairs, two_components};
+
+    #[test]
+    fn ranks_sum_bounded_and_positive() {
+        let g = two_components();
+        let r = pagerank(&g, 10);
+        assert_eq!(r.len(), 6);
+        assert!(r.iter().all(|&x| x > 0.0));
+        // With no dangling mass loss (all vertices have degree ≥ 1 here)
+        // the total mass stays 1.
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn symmetric_graph_symmetric_ranks() {
+        // A 4-cycle: all vertices equivalent.
+        let g = csr_from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = pagerank(&g, 20);
+        for v in 1..4 {
+            assert!((r[v] - r[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_degree_vertex_ranks_higher() {
+        // Star: center 0 must outrank the leaves.
+        let g = csr_from_pairs(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let r = pagerank(&g, 10);
+        for v in 1..5 {
+            assert!(r[0] > r[v]);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Aspen graph baseline: per-vertex C-trees [36].
+//!
+//! Aspen stores "compressed trees (one per vertex)" where each adjacency
+//! set is a C-tree: hash-sampled heads carrying compressed chunks. As with
+//! [`PacGraph`](crate::PacGraph), the vertex level is a flat vector here
+//! (Aspen's is itself a tree, so this favours the baseline; DESIGN.md §4).
+
+use crate::pacgraph::{groups_by_src, SharedVec};
+use crate::{unpack_edge, GraphScan};
+use cpma_baselines::CTreeSet;
+use rayon::prelude::*;
+
+/// Per-vertex Aspen-style C-trees. See module docs.
+pub struct AspenGraph {
+    verts: Vec<CTreeSet>,
+    m: usize,
+}
+
+impl AspenGraph {
+    /// Empty graph over `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self { verts: (0..n).map(|_| CTreeSet::new()).collect(), m: 0 }
+    }
+
+    /// Build from sorted, deduplicated packed edges.
+    pub fn from_edges(n: usize, edges: &[u64]) -> Self {
+        let mut g = Self::new(n);
+        let groups = groups_by_src(edges);
+        let shared = SharedVec(g.verts.as_mut_ptr());
+        groups.par_iter().for_each(|(src, es)| {
+            let dsts: Vec<u64> = es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+            // SAFETY: group sources are unique.
+            unsafe {
+                *shared.get(*src as usize) = CTreeSet::from_sorted(&dsts);
+            }
+        });
+        g.m = edges.len();
+        g
+    }
+
+    /// Insert a batch of directed packed edges; returns edges added.
+    pub fn insert_edges(&mut self, batch: &mut [u64], sorted: bool) -> usize {
+        if !sorted {
+            batch.par_sort_unstable();
+        }
+        let groups = groups_by_src(batch);
+        let shared = SharedVec(self.verts.as_mut_ptr());
+        let added: usize = groups
+            .par_iter()
+            .map(|(src, es)| {
+                let mut dsts: Vec<u64> =
+                    es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+                dsts.dedup();
+                // SAFETY: group sources are unique.
+                unsafe { shared.get(*src as usize).insert_batch_sorted(&dsts) }
+            })
+            .sum();
+        self.m += added;
+        added
+    }
+
+    /// Remove a batch of directed packed edges; returns edges removed.
+    pub fn delete_edges(&mut self, batch: &mut [u64], sorted: bool) -> usize {
+        if !sorted {
+            batch.par_sort_unstable();
+        }
+        let groups = groups_by_src(batch);
+        let shared = SharedVec(self.verts.as_mut_ptr());
+        let removed: usize = groups
+            .par_iter()
+            .map(|(src, es)| {
+                let mut dsts: Vec<u64> =
+                    es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+                dsts.dedup();
+                // SAFETY: group sources are unique.
+                unsafe { shared.get(*src as usize).remove_batch_sorted(&dsts) }
+            })
+            .sum();
+        self.m -= removed;
+        removed
+    }
+
+    /// Edge-existence test.
+    pub fn has_edge(&self, src: u32, dst: u32) -> bool {
+        self.verts[src as usize].has(dst as u64)
+    }
+
+    /// Bytes of backing memory.
+    pub fn size_bytes(&self) -> usize {
+        let trees: usize = self.verts.par_iter().map(|t| t.size_bytes()).sum();
+        trees + self.verts.len() * std::mem::size_of::<CTreeSet>()
+    }
+}
+
+impl GraphScan for AspenGraph {
+    fn num_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    fn degree(&self, v: u32) -> usize {
+        self.verts[v as usize].len()
+    }
+
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32) -> bool) {
+        self.verts[v as usize].for_each(&mut |e| f(e as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack_edge;
+
+    #[test]
+    fn build_insert_delete() {
+        let mut edges = vec![pack_edge(0, 1), pack_edge(1, 0), pack_edge(1, 2), pack_edge(2, 1)];
+        edges.sort_unstable();
+        let mut g = AspenGraph::from_edges(4, &edges);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.has_edge(1, 2));
+        let mut b = vec![pack_edge(3, 0), pack_edge(0, 3)];
+        assert_eq!(g.insert_edges(&mut b, false), 2);
+        assert!(g.has_edge(3, 0));
+        let mut d = vec![pack_edge(1, 2), pack_edge(2, 1)];
+        assert_eq!(g.delete_edges(&mut d, true), 2);
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.num_edges(), 4);
+        let mut nbrs = Vec::new();
+        g.for_each_neighbor(0, &mut |x| {
+            nbrs.push(x);
+            true
+        });
+        assert_eq!(nbrs, vec![1, 3]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Static Compressed Sparse Row graph — the representation the paper uses
+//! to *motivate* F-Graph ("consider the canonical Compressed Sparse Row
+//! (CSR) representation", §6) and this reproduction's correctness oracle
+//! for the graph algorithms.
+
+use crate::{unpack_edge, GraphScan};
+use rayon::prelude::*;
+
+/// Immutable CSR over `u32` vertex ids.
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from sorted, deduplicated packed edges and a vertex count.
+    pub fn from_sorted_edges(n: usize, edges: &[u64]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        let mut offsets = vec![0u64; n + 1];
+        for &e in edges {
+            let (s, _) = unpack_edge(e);
+            assert!((s as usize) < n, "source {s} out of range");
+            offsets[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let targets: Vec<u32> = edges.par_iter().map(|&e| unpack_edge(e).1 as u32).collect();
+        Self { offsets, targets }
+    }
+
+    /// Neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let (a, b) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+        &self.targets[a as usize..b as usize]
+    }
+
+    /// Bytes of backing memory.
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.targets.len() * 4
+    }
+}
+
+impl GraphScan for Csr {
+    fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    #[inline]
+    fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32) -> bool) {
+        for &d in self.neighbors(v) {
+            if !f(d) {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack_edge;
+
+    fn tiny() -> Csr {
+        // 0-1, 0-2, 1-2, 3 isolated (symmetric).
+        let mut edges = vec![
+            pack_edge(0, 1),
+            pack_edge(1, 0),
+            pack_edge(0, 2),
+            pack_edge(2, 0),
+            pack_edge(1, 2),
+            pack_edge(2, 1),
+        ];
+        edges.sort_unstable();
+        Csr::from_sorted_edges(4, &edges)
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = tiny();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn early_exit_neighbor_scan() {
+        let g = tiny();
+        let mut seen = Vec::new();
+        g.for_each_neighbor(2, &mut |d| {
+            seen.push(d);
+            false
+        });
+        assert_eq!(seen, vec![0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_sorted_edges(3, &[]);
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Ligra-style frontier abstraction: `VertexSubset` + `edge_map` [66].
+//!
+//! "All systems run the same algorithms via the Ligra interface, which is
+//! based on the VertexSubset/EdgeMap abstraction" (§6). `edge_map` applies
+//! an update along every edge leaving the frontier, returning the subset of
+//! destinations for which the update succeeded, switching between a sparse
+//! (per-frontier-vertex) and dense (per-destination, early-exit) traversal
+//! by frontier size exactly as Ligra does.
+//!
+//! `update` must be atomic/idempotent (CAS-style) — in sparse mode it runs
+//! concurrently from many sources, and its first success is what inserts a
+//! destination into the output frontier.
+
+use crate::GraphScan;
+use rayon::prelude::*;
+
+/// A subset of vertices, sparse (id list) or dense (flag vector).
+#[derive(Clone, Debug)]
+pub enum VertexSubset {
+    /// Sorted-or-not list of member ids (may be unsorted after edge_map).
+    Sparse { n: usize, verts: Vec<u32> },
+    /// Membership flags with a cached count.
+    Dense { flags: Vec<bool>, count: usize },
+}
+
+impl VertexSubset {
+    /// Empty subset over `0..n`.
+    pub fn empty(n: usize) -> Self {
+        VertexSubset::Sparse { n, verts: Vec::new() }
+    }
+
+    /// Singleton subset.
+    pub fn single(n: usize, v: u32) -> Self {
+        VertexSubset::Sparse { n, verts: vec![v] }
+    }
+
+    /// Subset from an id list.
+    pub fn from_sparse(n: usize, verts: Vec<u32>) -> Self {
+        VertexSubset::Sparse { n, verts }
+    }
+
+    /// Subset from flags.
+    pub fn from_dense(flags: Vec<bool>) -> Self {
+        let count = flags.par_iter().filter(|&&b| b).count();
+        VertexSubset::Dense { flags, count }
+    }
+
+    /// Universe size.
+    pub fn n(&self) -> usize {
+        match self {
+            VertexSubset::Sparse { n, .. } => *n,
+            VertexSubset::Dense { flags, .. } => flags.len(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse { verts, .. } => verts.len(),
+            VertexSubset::Dense { count, .. } => *count,
+        }
+    }
+
+    /// True iff no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Member ids (materializes for dense subsets).
+    pub fn to_sparse(&self) -> Vec<u32> {
+        match self {
+            VertexSubset::Sparse { verts, .. } => verts.clone(),
+            VertexSubset::Dense { flags, .. } => (0..flags.len() as u32)
+                .into_par_iter()
+                .filter(|&v| flags[v as usize])
+                .collect(),
+        }
+    }
+
+    /// Membership flags (materializes for sparse subsets).
+    pub fn to_dense(&self) -> Vec<bool> {
+        match self {
+            VertexSubset::Dense { flags, .. } => flags.clone(),
+            VertexSubset::Sparse { n, verts } => {
+                let mut flags = vec![false; *n];
+                for &v in verts {
+                    flags[v as usize] = true;
+                }
+                flags
+            }
+        }
+    }
+}
+
+/// Frontier-out-degree fraction above which `edge_map` switches to the
+/// dense traversal (Ligra's threshold is m/20).
+const DENSE_FRACTION: usize = 20;
+
+/// Apply `update(src, dst)` over every edge leaving `frontier`, for
+/// destinations passing `cond`; returns the subset of destinations whose
+/// update returned true. See module docs for the atomicity contract.
+pub fn edge_map<G, U, C>(g: &G, frontier: &VertexSubset, update: U, cond: C) -> VertexSubset
+where
+    G: GraphScan,
+    U: Fn(u32, u32) -> bool + Send + Sync,
+    C: Fn(u32) -> bool + Send + Sync,
+{
+    let n = g.num_vertices();
+    let sparse_verts = frontier.to_sparse();
+    let out_degree: usize =
+        sparse_verts.par_iter().map(|&v| g.degree(v)).sum::<usize>() + sparse_verts.len();
+    if out_degree > g.num_edges() / DENSE_FRACTION {
+        // Dense: scan candidates' in-edges (graphs are symmetric), early-
+        // exiting once the destination no longer needs updates.
+        let flags = frontier.to_dense();
+        let out: Vec<bool> = (0..n as u32)
+            .into_par_iter()
+            .map(|dst| {
+                if !cond(dst) {
+                    return false;
+                }
+                let mut hit = false;
+                g.for_each_neighbor(dst, &mut |src| {
+                    if flags[src as usize] && update(src, dst) {
+                        hit = true;
+                    }
+                    // Keep scanning while dst still wants updates.
+                    cond(dst)
+                });
+                hit
+            })
+            .collect();
+        VertexSubset::from_dense(out)
+    } else {
+        // Sparse: fan out from each frontier vertex.
+        let next: Vec<u32> = sparse_verts
+            .par_iter()
+            .flat_map_iter(|&src| {
+                let mut local = Vec::new();
+                g.for_each_neighbor(src, &mut |dst| {
+                    if cond(dst) && update(src, dst) {
+                        local.push(dst);
+                    }
+                    true
+                });
+                local.into_iter()
+            })
+            .collect();
+        VertexSubset::from_sparse(n, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pack_edge, Csr};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn path_graph(n: u32) -> Csr {
+        let mut edges = Vec::new();
+        for v in 0..n - 1 {
+            edges.push(pack_edge(v, v + 1));
+            edges.push(pack_edge(v + 1, v));
+        }
+        edges.sort_unstable();
+        Csr::from_sorted_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn subset_conversions() {
+        let s = VertexSubset::from_sparse(5, vec![1, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_dense(), vec![false, true, false, true, false]);
+        let d = VertexSubset::from_dense(vec![true, false, true]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.to_sparse(), vec![0, 2]);
+        assert!(VertexSubset::empty(4).is_empty());
+        assert_eq!(VertexSubset::single(4, 2).to_sparse(), vec![2]);
+    }
+
+    #[test]
+    fn edge_map_bfs_wavefront() {
+        // One BFS step on a path graph reaches exactly the two neighbours.
+        let g = path_graph(10);
+        let parent: Vec<AtomicU32> = (0..10).map(|_| AtomicU32::new(u32::MAX)).collect();
+        parent[5].store(5, Ordering::Relaxed);
+        let frontier = VertexSubset::single(10, 5);
+        let next = edge_map(
+            &g,
+            &frontier,
+            |src, dst| {
+                parent[dst as usize]
+                    .compare_exchange(u32::MAX, src, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            },
+            |dst| parent[dst as usize].load(Ordering::Relaxed) == u32::MAX,
+        );
+        let mut got = next.to_sparse();
+        got.sort_unstable();
+        assert_eq!(got, vec![4, 6]);
+    }
+
+    #[test]
+    fn edge_map_dense_path_taken_for_full_frontier() {
+        let g = path_graph(50);
+        let all = VertexSubset::from_dense(vec![true; 50]);
+        // Update that always fails: output must be empty either way.
+        let next = edge_map(&g, &all, |_, _| false, |_| true);
+        assert!(next.is_empty());
+    }
+}

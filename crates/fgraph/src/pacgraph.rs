@@ -1,0 +1,199 @@
+//! C-PaC graph baseline: per-vertex compressed PaC-trees.
+//!
+//! The paper's C-PaC comparator stores "compressed trees (one per vertex)"
+//! (§6). We hold the per-vertex edge trees in a flat vector indexed by
+//! vertex id — a simplification of CPAM's vertex-tree that, if anything,
+//! *favours* the baseline (vertex lookup is O(1) here instead of a tree
+//! descent), making F-Graph's measured advantage conservative (DESIGN.md
+//! §4).
+
+use crate::{unpack_edge, GraphScan};
+use cpma_baselines::CPac;
+use rayon::prelude::*;
+
+/// Per-vertex compressed PaC-trees. See module docs.
+pub struct PacGraph {
+    verts: Vec<CPac>,
+    m: usize,
+}
+
+/// Group a sorted packed-edge slice by source vertex.
+pub(crate) fn groups_by_src(edges: &[u64]) -> Vec<(u32, &[u64])> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < edges.len() {
+        let src = unpack_edge(edges[i]).0;
+        let j = if src == u32::MAX {
+            edges.len() // all remaining edges share the maximal source
+        } else {
+            let hi = (src as u64 + 1) << 32;
+            i + edges[i..].partition_point(|&e| e < hi)
+        };
+        out.push((src, &edges[i..j]));
+        i = j;
+    }
+    out
+}
+
+/// Shared-disjoint access to a vector: each parallel task must touch a
+/// distinct index (the groups have unique source vertices).
+pub(crate) struct SharedVec<T>(pub(crate) *mut T);
+unsafe impl<T> Send for SharedVec<T> {}
+unsafe impl<T> Sync for SharedVec<T> {}
+
+impl<T> SharedVec<T> {
+    /// # Safety
+    /// No two concurrent calls may use the same index.
+    #[inline]
+    pub(crate) unsafe fn get(&self, i: usize) -> &mut T {
+        &mut *self.0.add(i)
+    }
+}
+
+impl PacGraph {
+    /// Empty graph over `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self { verts: (0..n).map(|_| CPac::new()).collect(), m: 0 }
+    }
+
+    /// Build from sorted, deduplicated packed edges.
+    pub fn from_edges(n: usize, edges: &[u64]) -> Self {
+        let mut g = Self::new(n);
+        let groups = groups_by_src(edges);
+        let shared = SharedVec(g.verts.as_mut_ptr());
+        groups.par_iter().for_each(|(src, es)| {
+            let dsts: Vec<u64> = es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+            // SAFETY: group sources are unique.
+            unsafe { shared.get(*src as usize).insert_batch_sorted(&dsts) };
+        });
+        g.m = edges.len();
+        g
+    }
+
+    /// Insert a batch of directed packed edges; returns edges added.
+    pub fn insert_edges(&mut self, batch: &mut [u64], sorted: bool) -> usize {
+        if !sorted {
+            batch.par_sort_unstable();
+        }
+        let groups = groups_by_src(batch);
+        let shared = SharedVec(self.verts.as_mut_ptr());
+        let added: usize = groups
+            .par_iter()
+            .map(|(src, es)| {
+                let mut dsts: Vec<u64> =
+                    es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+                dsts.dedup();
+                // SAFETY: group sources are unique.
+                unsafe { shared.get(*src as usize).insert_batch_sorted(&dsts) }
+            })
+            .sum();
+        self.m += added;
+        added
+    }
+
+    /// Remove a batch of directed packed edges; returns edges removed.
+    pub fn delete_edges(&mut self, batch: &mut [u64], sorted: bool) -> usize {
+        if !sorted {
+            batch.par_sort_unstable();
+        }
+        let groups = groups_by_src(batch);
+        let shared = SharedVec(self.verts.as_mut_ptr());
+        let removed: usize = groups
+            .par_iter()
+            .map(|(src, es)| {
+                let mut dsts: Vec<u64> =
+                    es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+                dsts.dedup();
+                // SAFETY: group sources are unique.
+                unsafe { shared.get(*src as usize).remove_batch_sorted(&dsts) }
+            })
+            .sum();
+        self.m -= removed;
+        removed
+    }
+
+    /// Edge-existence test.
+    pub fn has_edge(&self, src: u32, dst: u32) -> bool {
+        self.verts[src as usize].has(dst as u64)
+    }
+
+    /// Bytes of backing memory (per-vertex trees + the vertex vector).
+    pub fn size_bytes(&self) -> usize {
+        let trees: usize = self.verts.par_iter().map(|t| t.size_bytes()).sum();
+        trees + self.verts.len() * std::mem::size_of::<CPac>()
+    }
+}
+
+impl GraphScan for PacGraph {
+    fn num_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    fn degree(&self, v: u32) -> usize {
+        self.verts[v as usize].len()
+    }
+
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32) -> bool) {
+        self.verts[v as usize].for_each(&mut |e| f(e as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack_edge;
+
+    #[test]
+    fn groups_partition_edges() {
+        let edges = vec![
+            pack_edge(1, 2),
+            pack_edge(1, 5),
+            pack_edge(3, 0),
+            pack_edge(7, 7),
+        ];
+        let groups = groups_by_src(&edges);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, 1);
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1], (3, &edges[2..3]));
+        assert_eq!(groups[2], (7, &edges[3..4]));
+    }
+
+    #[test]
+    fn build_and_scan() {
+        let mut edges = vec![
+            pack_edge(0, 1),
+            pack_edge(1, 0),
+            pack_edge(0, 2),
+            pack_edge(2, 0),
+        ];
+        edges.sort_unstable();
+        let g = PacGraph::from_edges(3, &edges);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+        let mut nbrs = Vec::new();
+        g.for_each_neighbor(0, &mut |d| {
+            nbrs.push(d);
+            true
+        });
+        assert_eq!(nbrs, vec![1, 2]);
+    }
+
+    #[test]
+    fn insert_and_delete_batches() {
+        let mut g = PacGraph::new(10);
+        let mut batch = vec![pack_edge(0, 1), pack_edge(1, 0), pack_edge(0, 1)];
+        assert_eq!(g.insert_edges(&mut batch, false), 2);
+        assert_eq!(g.num_edges(), 2);
+        let mut del = vec![pack_edge(0, 1)];
+        assert_eq!(g.delete_edges(&mut del, true), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+}

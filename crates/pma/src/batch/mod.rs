@@ -1,0 +1,516 @@
+//! The work-efficient parallel batch-update algorithm (§4 of the paper).
+//!
+//! `insert_batch` / `remove_batch` follow the paper's three regimes:
+//!
+//! * **tiny batches** fall back to point updates (the paper uses point
+//!   inserts "for small batches when the batch update algorithm does not
+//!   provide practical benefits", Table 3);
+//! * **huge batches** (`k ≥ n/10`) rebuild the whole structure with a
+//!   linear two-finger merge ("the optimal algorithm is to rebuild the
+//!   entire data structure", §4);
+//! * everything in between runs the three-phase algorithm:
+//!   batch-merge (route + parallel leaf merges), counting, redistribute —
+//!   `O(k(log n + log²n / B))` amortized work, `O(log²n)` span (Theorem 5).
+
+mod count;
+mod redistribute;
+mod route;
+
+pub(crate) use count::{count_phase, BoundKind};
+pub(crate) use redistribute::redistribute_ranges;
+
+use crate::leaf::{set_difference_into, set_union_into, SharedLeaves};
+use crate::{LeafStorage, PmaCore, PmaKey};
+use rayon::prelude::*;
+
+/// Batches smaller than this use point updates (paper: "e.g., k < 100").
+const POINT_UPDATE_CUTOFF: usize = 128;
+
+/// Batches at least `len / FULL_REBUILD_DIVISOR` trigger a full two-finger
+/// merge rebuild (paper: "e.g., k ≥ n/10").
+const FULL_REBUILD_DIVISOR: usize = 10;
+
+/// Assignment counts at or below this merge serially: fork overhead must
+/// be amortized across the available workers, so the grain shrinks as the
+/// pool grows (on the paper's 64-core machine parallel batch updates pay
+/// off from ~1e3 elements; on a dual-core laptop only from ~1e5).
+fn serial_merge_cutoff() -> usize {
+    (8192 / rayon::current_num_threads().max(1)).max(256)
+}
+
+impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
+    /// Insert a batch of keys; sorts and deduplicates in place unless
+    /// `sorted` promises the batch is already sorted and unique. Returns the
+    /// number of keys that were not already present (the artifact's
+    /// `insert_batch`).
+    pub fn insert_batch(&mut self, batch: &mut [K], sorted: bool) -> usize {
+        if sorted {
+            debug_assert!(batch.windows(2).all(|w| w[0] < w[1]));
+            return self.insert_batch_sorted(batch);
+        }
+        batch.par_sort_unstable();
+        // Slice-level dedup: move uniques to the front.
+        let unique = partition_dedup_len(batch);
+        let (uniq, _) = batch.split_at(unique);
+        self.insert_batch_sorted(uniq)
+    }
+
+    /// Remove a batch of keys; see [`Self::insert_batch`] for `sorted`.
+    /// Returns the number of keys actually removed (the artifact's
+    /// `remove_batch`).
+    pub fn remove_batch(&mut self, batch: &mut [K], sorted: bool) -> usize {
+        if sorted {
+            debug_assert!(batch.windows(2).all(|w| w[0] < w[1]));
+            return self.remove_batch_sorted(batch);
+        }
+        batch.par_sort_unstable();
+        let unique = partition_dedup_len(batch);
+        let (uniq, _) = batch.split_at(unique);
+        self.remove_batch_sorted(uniq)
+    }
+
+    /// Batch insert of a sorted, deduplicated slice.
+    pub fn insert_batch_sorted(&mut self, batch: &[K]) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        // Empty structure: bulk load at the target density.
+        if self.len == 0 {
+            let cap = self.capacity_for_target(batch);
+            self.rebuild_into(batch, cap);
+            return batch.len();
+        }
+        // Tiny batch: point updates win.
+        if batch.len() < POINT_UPDATE_CUTOFF {
+            return batch.iter().filter(|&&k| self.insert(k)).count();
+        }
+        // Huge batch: parallel linear two-finger merge + rebuild.
+        if batch.len() >= self.len / FULL_REBUILD_DIVISOR {
+            let current = self.collect_all_par();
+            let (merged, added) = par_set_union(&current, batch);
+            let cap = self.capacity_for_target(&merged);
+            self.rebuild_into(&merged, cap);
+            return added;
+        }
+
+        // Phase 1: batch merge (route, then parallel disjoint leaf merges).
+        // Small assignment sets run serially: fork-join overhead would
+        // otherwise dominate (work-efficiency, §4).
+        let assignments = route::route_batch(self, batch);
+        let shared = self.storage.shared();
+        let (added, units_delta) = if assignments.len() <= serial_merge_cutoff() {
+            let mut scratch = Vec::new();
+            let mut acc = (0usize, 0isize);
+            for a in &assignments {
+                // SAFETY: single-threaded here.
+                let out = unsafe {
+                    shared.merge_into_leaf(a.leaf, &batch[a.start..a.end], &mut scratch)
+                };
+                acc.0 += out.delta_count;
+                acc.1 += out.delta_units;
+            }
+            acc
+        } else {
+            assignments
+                .par_iter()
+                .map_init(Vec::new, |scratch, a| {
+                    // SAFETY: route_batch assigns each leaf at most once.
+                    let out = unsafe {
+                        shared.merge_into_leaf(a.leaf, &batch[a.start..a.end], scratch)
+                    };
+                    (out.delta_count, out.delta_units)
+                })
+                .reduce(|| (0usize, 0isize), |x, y| (x.0 + y.0, x.1 + y.1))
+        };
+        self.len += added;
+        self.units = self.units.checked_add_signed(units_delta).unwrap();
+        if added == 0 {
+            return 0; // nothing changed; no bound can be newly violated
+        }
+
+        // Phase 2: counting.
+        let touched: Vec<usize> = assignments.iter().map(|a| a.leaf).collect();
+        let outcome = count_phase(self, &touched, BoundKind::Upper);
+
+        // Phase 3: redistribute (or grow on root violation).
+        if outcome.resize_root {
+            let elems = self.collect_all_par();
+            self.grow_and_rebuild(&elems);
+        } else {
+            redistribute_ranges(self, &outcome.ranges);
+        }
+        self.debug_check_no_overflow();
+        added
+    }
+
+    /// Batch remove of a sorted, deduplicated slice.
+    pub fn remove_batch_sorted(&mut self, batch: &[K]) -> usize {
+        if batch.is_empty() || self.len == 0 {
+            return 0;
+        }
+        if batch.len() < POINT_UPDATE_CUTOFF {
+            return batch.iter().filter(|&&k| self.remove(k)).count();
+        }
+        if batch.len() >= self.len / FULL_REBUILD_DIVISOR {
+            let current = self.collect_all_par();
+            let (remaining, removed) = par_set_difference(&current, batch);
+            if removed == 0 {
+                return 0;
+            }
+            let cap = self.capacity_for_target(&remaining);
+            self.rebuild_into(&remaining, cap);
+            return removed;
+        }
+
+        let assignments = route::route_batch(self, batch);
+        let shared = self.storage.shared();
+        let (removed, units_delta) = if assignments.len() <= serial_merge_cutoff() {
+            let mut scratch = Vec::new();
+            let mut acc = (0usize, 0isize);
+            for a in &assignments {
+                // SAFETY: single-threaded here.
+                let out = unsafe {
+                    shared.remove_from_leaf(a.leaf, &batch[a.start..a.end], &mut scratch)
+                };
+                acc.0 += out.delta_count;
+                acc.1 += out.delta_units;
+            }
+            acc
+        } else {
+            assignments
+                .par_iter()
+                .map_init(Vec::new, |scratch, a| {
+                    // SAFETY: route_batch assigns each leaf at most once.
+                    let out = unsafe {
+                        shared.remove_from_leaf(a.leaf, &batch[a.start..a.end], scratch)
+                    };
+                    (out.delta_count, out.delta_units)
+                })
+                .reduce(|| (0usize, 0isize), |x, y| (x.0 + y.0, x.1 + y.1))
+        };
+        self.len -= removed;
+        self.units = self.units.checked_add_signed(units_delta).unwrap();
+        if removed == 0 {
+            return 0;
+        }
+
+        let touched: Vec<usize> = assignments.iter().map(|a| a.leaf).collect();
+        let outcome = count_phase(self, &touched, BoundKind::Lower);
+        if outcome.resize_root {
+            let elems = self.collect_all_par();
+            if elems.is_empty() {
+                let floor = self.cfg.min_leaves * L::MIN_LEAF_UNITS;
+                self.rebuild_into(&elems, floor);
+            } else if self.storage.num_leaves() > self.cfg.min_leaves {
+                self.shrink_and_rebuild(&elems);
+            } else {
+                // At the floor: just re-spread evenly.
+                let root = self.tree().root();
+                redistribute_ranges(self, &[root]);
+            }
+        } else {
+            redistribute_ranges(self, &outcome.ranges);
+        }
+        self.debug_check_no_overflow();
+        removed
+    }
+
+    #[inline]
+    fn debug_check_no_overflow(&self) {
+        #[cfg(debug_assertions)]
+        {
+            for l in 0..self.storage.num_leaves() {
+                debug_assert!(
+                    !self.storage.is_overflowed(l),
+                    "leaf {l} left overflowed after batch op"
+                );
+            }
+        }
+    }
+}
+
+/// Parallel sorted set union: split both inputs at quantile pivots of `a`,
+/// union the pieces concurrently, then concatenate. Returns the union and
+/// the number of `b` elements not present in `a` (the parallel "linear
+/// two-finger merge" of the paper's huge-batch regime).
+pub(crate) fn par_set_union<K: PmaKey>(a: &[K], b: &[K]) -> (Vec<K>, usize) {
+    const SERIAL_LIMIT: usize = 1 << 15;
+    if a.len() + b.len() <= SERIAL_LIMIT {
+        let mut out = Vec::new();
+        let added = set_union_into(a, b, &mut out);
+        return (out, added);
+    }
+    let pieces = rayon::current_num_threads().max(2) * 4;
+    let cuts: Vec<(usize, usize)> = (0..=pieces)
+        .map(|p| {
+            if p == 0 {
+                (0, 0)
+            } else if p == pieces {
+                (a.len(), b.len())
+            } else {
+                let ai = p * a.len() / pieces;
+                // b elements equal to the pivot go right, where a[ai] lives.
+                let bi = b.partition_point(|&e| e < a[ai]);
+                (ai, bi)
+            }
+        })
+        .collect();
+    let parts: Vec<(Vec<K>, usize)> = (0..pieces)
+        .into_par_iter()
+        .map(|p| {
+            let (a0, b0) = cuts[p];
+            let (a1, b1) = cuts[p + 1];
+            let mut out = Vec::new();
+            let added = set_union_into(&a[a0..a1], &b[b0..b1], &mut out);
+            (out, added)
+        })
+        .collect();
+    let total: usize = parts.iter().map(|(v, _)| v.len()).sum();
+    let added: usize = parts.iter().map(|(_, c)| c).sum();
+    let mut out = Vec::with_capacity(total);
+    for (v, _) in parts {
+        out.extend_from_slice(&v);
+    }
+    (out, added)
+}
+
+/// Parallel sorted set difference `a \ b`; returns the survivors and the
+/// number removed.
+pub(crate) fn par_set_difference<K: PmaKey>(a: &[K], b: &[K]) -> (Vec<K>, usize) {
+    const SERIAL_LIMIT: usize = 1 << 15;
+    if a.len() + b.len() <= SERIAL_LIMIT {
+        let mut out = Vec::new();
+        let removed = set_difference_into(a, b, &mut out);
+        return (out, removed);
+    }
+    let pieces = rayon::current_num_threads().max(2) * 4;
+    let cuts: Vec<(usize, usize)> = (0..=pieces)
+        .map(|p| {
+            if p == 0 {
+                (0, 0)
+            } else if p == pieces {
+                (a.len(), b.len())
+            } else {
+                let ai = p * a.len() / pieces;
+                let bi = b.partition_point(|&e| e < a[ai]);
+                (ai, bi)
+            }
+        })
+        .collect();
+    let parts: Vec<(Vec<K>, usize)> = (0..pieces)
+        .into_par_iter()
+        .map(|p| {
+            let (a0, b0) = cuts[p];
+            let (a1, b1) = cuts[p + 1];
+            let mut out = Vec::new();
+            let removed = set_difference_into(&a[a0..a1], &b[b0..b1], &mut out);
+            (out, removed)
+        })
+        .collect();
+    let total: usize = parts.iter().map(|(v, _)| v.len()).sum();
+    let removed: usize = parts.iter().map(|(_, c)| c).sum();
+    let mut out = Vec::with_capacity(total);
+    for (v, _) in parts {
+        out.extend_from_slice(&v);
+    }
+    (out, removed)
+}
+
+/// Stable-order slice dedup: moves the unique prefix of a sorted slice to
+/// the front and returns its length (like the unstable
+/// `slice::partition_dedup`).
+fn partition_dedup_len<K: PartialEq + Copy>(s: &mut [K]) -> usize {
+    if s.is_empty() {
+        return 0;
+    }
+    let mut w = 1;
+    for r in 1..s.len() {
+        if s[r] != s[w - 1] {
+            s[w] = s[r];
+            w += 1;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cpma, Pma};
+    use std::collections::BTreeSet;
+
+    fn lcg_keys(n: usize, seed: u64, bits: u32) -> Vec<u64> {
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x >> (64 - bits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_dedup_works() {
+        let mut v = [1u64, 1, 2, 3, 3, 3, 4];
+        let n = partition_dedup_len(&mut v);
+        assert_eq!(&v[..n], &[1, 2, 3, 4]);
+        let mut e: [u64; 0] = [];
+        assert_eq!(partition_dedup_len(&mut e), 0);
+        let mut one = [5u64];
+        assert_eq!(partition_dedup_len(&mut one), 1);
+    }
+
+    #[test]
+    fn batch_insert_into_empty_builds() {
+        let mut p = Pma::<u64>::new();
+        let mut batch: Vec<u64> = vec![5, 3, 9, 3, 1];
+        assert_eq!(p.insert_batch(&mut batch, false), 4);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![1, 3, 5, 9]);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn batch_equals_point_inserts_pma() {
+        let keys = lcg_keys(20_000, 42, 30);
+        let mut batched = Pma::<u64>::new();
+        let mut pointed = Pma::<u64>::new();
+        let mut model = BTreeSet::new();
+        for chunk in keys.chunks(1500) {
+            let mut b = chunk.to_vec();
+            let added = batched.insert_batch(&mut b, false);
+            let mut point_added = 0;
+            for &k in chunk {
+                if pointed.insert(k) {
+                    point_added += 1;
+                }
+                model.insert(k);
+            }
+            assert_eq!(added, point_added);
+            batched.check_invariants();
+        }
+        assert_eq!(batched.len(), model.len());
+        assert!(batched.iter().eq(model.iter().copied()));
+        assert!(pointed.iter().eq(model.iter().copied()));
+    }
+
+    #[test]
+    fn batch_equals_point_inserts_cpma() {
+        let keys = lcg_keys(20_000, 7, 34);
+        let mut c = Cpma::new();
+        let mut model = BTreeSet::new();
+        for chunk in keys.chunks(2500) {
+            let mut b = chunk.to_vec();
+            c.insert_batch(&mut b, false);
+            model.extend(chunk.iter().copied());
+            c.check_invariants();
+        }
+        assert_eq!(c.len(), model.len());
+        assert!(c.iter().eq(model.iter().copied()));
+    }
+
+    #[test]
+    fn batch_sizes_spanning_all_regimes() {
+        // Point-update, three-phase, and full-rebuild paths.
+        for &batch_size in &[10usize, 100, 1000, 30_000] {
+            let mut c = Cpma::new();
+            let mut model = BTreeSet::new();
+            let keys = lcg_keys(60_000, batch_size as u64, 32);
+            for chunk in keys.chunks(batch_size) {
+                let mut b = chunk.to_vec();
+                c.insert_batch(&mut b, false);
+                model.extend(chunk.iter().copied());
+            }
+            assert_eq!(c.len(), model.len(), "batch_size={batch_size}");
+            assert!(c.iter().eq(model.iter().copied()));
+            c.check_invariants();
+        }
+    }
+
+    #[test]
+    fn batch_remove_matches_model() {
+        let keys = lcg_keys(30_000, 99, 26);
+        let mut c = Cpma::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        let mut insert = keys.clone();
+        c.insert_batch(&mut insert, false);
+        model.extend(keys.iter().copied());
+        c.check_invariants();
+        // Remove in batches: half present keys, half misses.
+        for chunk in keys.chunks(3000).step_by(2) {
+            let mut b: Vec<u64> = chunk.iter().map(|&k| k ^ 1).chain(chunk.iter().copied()).collect();
+            let removed = c.remove_batch(&mut b, false);
+            let mut expect = 0;
+            let mut seen = BTreeSet::new();
+            for k in chunk.iter().map(|&k| k ^ 1).chain(chunk.iter().copied()) {
+                if seen.insert(k) && model.remove(&k) {
+                    expect += 1;
+                }
+            }
+            assert_eq!(removed, expect);
+            c.check_invariants();
+        }
+        assert!(c.iter().eq(model.iter().copied()));
+    }
+
+    #[test]
+    fn batch_remove_everything() {
+        let mut p = Pma::<u64>::new();
+        let mut keys: Vec<u64> = (0..10_000).map(|i| i * 3).collect();
+        p.insert_batch(&mut keys.clone(), true);
+        let removed = p.remove_batch(&mut keys, true);
+        assert_eq!(removed, 10_000);
+        assert!(p.is_empty());
+        p.check_invariants();
+        // Still usable afterwards.
+        let mut again = vec![1u64, 2, 3];
+        p.insert_batch(&mut again, true);
+        assert_eq!(p.len(), 3);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn batch_with_all_duplicates_of_existing() {
+        let mut c = Cpma::new();
+        let mut keys: Vec<u64> = (0..5000).collect();
+        c.insert_batch(&mut keys, true);
+        let mut again = keys.clone();
+        assert_eq!(c.insert_batch(&mut again, true), 0);
+        assert_eq!(c.len(), 5000);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn skewed_batch_single_leaf_target() {
+        // All batch elements land in one leaf: the worst case the paper
+        // calls out ("the batch-parallel PMA is well-suited for the case of
+        // all insertions targeting the same leaf").
+        let spread: Vec<u64> = (0..10_000u64).map(|i| i << 20).collect();
+        let mut c = Cpma::from_sorted(&spread);
+        let mut tight: Vec<u64> = (0..5_000u64).map(|i| (5_000u64 << 20) + i + 1).collect();
+        let added = c.insert_batch(&mut tight, true);
+        assert_eq!(added, 5_000);
+        assert_eq!(c.len(), 15_000);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn interleaved_batch_insert_remove() {
+        let mut p = Pma::<u64>::new();
+        let mut model = BTreeSet::new();
+        for round in 0..10u64 {
+            let ins = lcg_keys(4000, round * 2 + 1, 24);
+            let del = lcg_keys(3000, round * 2 + 2, 24);
+            let mut b = ins.clone();
+            p.insert_batch(&mut b, false);
+            model.extend(ins.iter().copied());
+            let mut d = del.clone();
+            p.remove_batch(&mut d, false);
+            for k in del {
+                model.remove(&k);
+            }
+            assert_eq!(p.len(), model.len(), "round {round}");
+            p.check_invariants();
+        }
+        assert!(p.iter().eq(model.iter().copied()));
+    }
+}

@@ -1,0 +1,168 @@
+//! Phase 3 of the batch update: parallel redistribution.
+//!
+//! "The PMA redistributes regions by performing two copies of the relevant
+//! data. The first copy packs the regions to redistribute from the PMA into
+//! a buffer, and the second copy equalizes the densities in the regions to
+//! redistribute by spreading the elements evenly from the buffer into the
+//! target leaves." (§4, Lemma 4).
+//!
+//! Execution is strictly phased to keep the shared-leaf accesses disjoint:
+//!
+//! 1. **Collect** (parallel over ranges, read-only): pack each range's
+//!    elements (including overflow buffers) and snapshot the *predecessor
+//!    element* before the range — the stable quantity empty-prefix leaves
+//!    inherit their head from (element order never changes during
+//!    redistribution, so this snapshot cannot be invalidated by a
+//!    concurrently-rewritten neighbouring range).
+//! 2. **Write** (parallel over ranges, parallel over leaves within a
+//!    range): plan the split and overwrite every leaf; clears overflows.
+//! 3. **Repair** (serial, cheap): refresh inherited heads of empty-leaf
+//!    runs that follow each range (their stale inherits could otherwise
+//!    break the head array's monotonicity).
+
+use crate::leaf::SharedLeaves;
+use crate::tree::Node;
+use crate::{LeafStorage, PmaCore, PmaKey};
+use rayon::prelude::*;
+
+struct RangeJob<K> {
+    node: Node,
+    elems: Vec<K>,
+    /// Largest element stored before `node.start`, or `K::MIN`.
+    prev_elem: K,
+}
+
+/// Redistribute the given disjoint nodes (sorted by start).
+pub(crate) fn redistribute_ranges<K: PmaKey, L: LeafStorage<K>>(
+    core: &mut PmaCore<K, L>,
+    ranges: &[Node],
+) {
+    if ranges.is_empty() {
+        return;
+    }
+    debug_assert!(ranges.windows(2).all(|w| w[0].end <= w[1].start));
+    let leaf_units = core.storage().leaf_units();
+    let total_leaves: usize = ranges.iter().map(|n| n.len()).sum();
+    // Small redistributions run serially — fork overhead exceeds the copies.
+    let serial = total_leaves <= (8192 / rayon::current_num_threads().max(1)).max(128);
+
+    // Phase 1: collect (read-only).
+    let collect_one = |node: Node| {
+        let storage = core.storage();
+        let mut elems = Vec::new();
+        for l in node.start..node.end {
+            if storage.is_overflowed(l) || storage.count(l) > 0 {
+                storage.collect_leaf(l, &mut elems);
+            }
+        }
+        let prev_elem = (0..node.start)
+            .rev()
+            .find(|&l| storage.count(l) > 0)
+            .and_then(|l| storage.leaf_max(l))
+            .unwrap_or(K::MIN);
+        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]));
+        RangeJob { node, elems, prev_elem }
+    };
+    let jobs: Vec<RangeJob<K>> = if serial {
+        ranges.iter().map(|&n| collect_one(n)).collect()
+    } else {
+        ranges.par_iter().map(|&n| collect_one(n)).collect()
+    };
+
+    // Phase 2: write (disjoint leaves).
+    let shared = core.storage_mut().shared();
+    let write_leaf_j = |job: &RangeJob<K>, offsets: &[usize], j: usize| -> isize {
+        let leaf = job.node.start + j;
+        let slice = &job.elems[offsets[j]..offsets[j + 1]];
+        let inherited =
+            if offsets[j] > 0 { job.elems[offsets[j] - 1] } else { job.prev_elem };
+        // SAFETY: ranges are disjoint and each call owns a distinct leaf of
+        // its range.
+        unsafe {
+            let old = shared.units_used(leaf) as isize;
+            shared.write_leaf(leaf, slice, inherited) as isize - old
+        }
+    };
+    let units_delta: isize = if serial {
+        let mut acc = 0isize;
+        for job in &jobs {
+            let k = job.node.len();
+            let offsets = L::plan_split(&job.elems, k, leaf_units);
+            for j in 0..k {
+                acc += write_leaf_j(job, &offsets, j);
+            }
+        }
+        acc
+    } else {
+        jobs.par_iter()
+            .map(|job| {
+                let k = job.node.len();
+                let offsets = L::plan_split(&job.elems, k, leaf_units);
+                (0..k)
+                    .into_par_iter()
+                    .map(|j| write_leaf_j(job, &offsets, j))
+                    .sum::<isize>()
+            })
+            .sum()
+    };
+    core.add_units_delta(units_delta);
+
+    // Phase 3: repair inherited heads after each range.
+    for node in ranges {
+        core.fix_inherited_heads_after(node.end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leaf::SharedLeaves;
+    use crate::tree::ImplicitTree;
+    use crate::{Cpma, Pma};
+
+    #[test]
+    fn redistribute_whole_tree_evens_out() {
+        // Sparse base keys so that leaf 0's key range can absorb a large
+        // overflow without breaking global order.
+        let elems: Vec<u64> = (0..4000u64).map(|e| e << 20).collect();
+        let mut p = Pma::from_sorted(&elems);
+        let extra: Vec<u64> = (1..2001u64).collect(); // all below (1 << 20)
+        let mut scratch = Vec::new();
+        let shared = p.storage_mut().shared();
+        unsafe {
+            shared.merge_into_leaf(0, &extra, &mut scratch);
+        }
+        p.add_units_delta(extra.len() as isize);
+        p.add_len_delta(extra.len() as isize);
+        let root = ImplicitTree::new(p.storage().num_leaves()).root();
+        redistribute_ranges(&mut p, &[root]);
+        // Everything is back in order and dense bounds hold.
+        let got: Vec<u64> = p.iter().collect();
+        let mut want = elems;
+        want.extend(extra);
+        want.sort_unstable();
+        assert_eq!(got, want);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn redistribute_subrange_only_touches_subrange() {
+        let elems: Vec<u64> = (0..40_000).map(|e| e * 2).collect();
+        let mut c = Cpma::from_sorted(&elems);
+        let tree = ImplicitTree::new(c.storage().num_leaves());
+        // Pick the left child of the root.
+        let (left, _right) = tree.root().children();
+        let before: Vec<u64> = c.iter().collect();
+        redistribute_ranges(&mut c, &[left]);
+        let after: Vec<u64> = c.iter().collect();
+        assert_eq!(before, after, "redistribution must preserve contents");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn empty_ranges_list_is_noop() {
+        let mut p = Pma::from_sorted(&(0..100u64).collect::<Vec<_>>());
+        redistribute_ranges(&mut p, &[]);
+        p.check_invariants();
+    }
+}

@@ -1,0 +1,246 @@
+//! Delta encoding with byte codes (the CPMA's compression scheme, §5).
+//!
+//! "Delta encoding stores differences (deltas) between sequential elements
+//! rather than the full element. ... These deltas can then be stored in byte
+//! codes, which store an integer as a series of bytes. Each byte uses one
+//! bit as a continue bit." We use the standard unsigned LEB128 layout:
+//! little-endian 7-bit groups, continue bit = MSB set on every byte except
+//! the last. A `u64` delta takes 1–10 bytes; because the CPMA stores a set,
+//! deltas are always ≥ 1 within a leaf (the head is stored raw, not here).
+
+/// Maximum encoded size of one `u64` byte code.
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// Encoded length of `v` in bytes (≥ 1; `0` also takes one byte).
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    // ⌈bits/7⌉ with bits = 64 - leading_zeros, minimum 1.
+    let bits = 64 - (v | 1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Append the byte code of `v` to `out`; returns bytes written.
+#[inline]
+pub fn encode_varint(mut v: u64, out: &mut Vec<u8>) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        n += 1;
+        if v == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Write the byte code of `v` into `buf`, returning bytes written.
+/// `buf` must have at least [`MAX_VARINT_BYTES`] of room.
+#[inline]
+pub fn write_varint(mut v: u64, buf: &mut [u8]) -> usize {
+    let mut i = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[i] = byte;
+            return i + 1;
+        }
+        buf[i] = byte | 0x80;
+        i += 1;
+    }
+}
+
+/// Decode one byte code from `buf`, returning `(value, bytes_consumed)`.
+/// `buf` must start at a code boundary and contain the complete code.
+#[inline]
+pub fn decode_varint(buf: &[u8]) -> (u64, usize) {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    let mut i = 0;
+    loop {
+        let byte = buf[i];
+        v |= ((byte & 0x7f) as u64) << shift;
+        i += 1;
+        if byte & 0x80 == 0 {
+            return (v, i);
+        }
+        shift += 7;
+        debug_assert!(shift < 70, "malformed varint");
+    }
+}
+
+/// Total encoded size of a sorted strictly-increasing run stored as
+/// `head (raw, `head_bytes`) + delta byte codes`.
+#[inline]
+pub fn encoded_run_len(elems: &[u64], head_bytes: usize) -> usize {
+    if elems.is_empty() {
+        return 0;
+    }
+    let mut total = head_bytes;
+    for w in elems.windows(2) {
+        debug_assert!(w[1] > w[0], "run must be strictly increasing");
+        total += varint_len(w[1] - w[0]);
+    }
+    total
+}
+
+/// Encode a strictly-increasing run into `out` as raw little-endian head
+/// followed by delta byte codes. Returns bytes written. `out` must be large
+/// enough (see [`encoded_run_len`]).
+pub fn encode_run(elems: &[u64], out: &mut [u8]) -> usize {
+    if elems.is_empty() {
+        return 0;
+    }
+    out[..8].copy_from_slice(&elems[0].to_le_bytes());
+    let mut pos = 8;
+    let mut prev = elems[0];
+    for &e in &elems[1..] {
+        debug_assert!(e > prev);
+        pos += write_varint(e - prev, &mut out[pos..]);
+        prev = e;
+    }
+    pos
+}
+
+/// Decode a run of `count` elements from `buf` (raw head + deltas),
+/// appending to `out`. Returns bytes consumed.
+pub fn decode_run(buf: &[u8], count: usize, out: &mut Vec<u64>) -> usize {
+    if count == 0 {
+        return 0;
+    }
+    let head = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    out.push(head);
+    let mut pos = 8;
+    let mut prev = head;
+    for _ in 1..count {
+        let (delta, used) = decode_varint(&buf[pos..]);
+        pos += used;
+        prev += delta;
+        out.push(prev);
+    }
+    pos
+}
+
+/// Iterate a run without materializing it: calls `f(element)`; if `f`
+/// returns `false`, stops early. Returns `false` iff stopped early.
+#[inline]
+pub fn for_each_in_run(buf: &[u8], count: usize, mut f: impl FnMut(u64) -> bool) -> bool {
+    if count == 0 {
+        return true;
+    }
+    let mut cur = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    if !f(cur) {
+        return false;
+    }
+    let mut pos = 8;
+    for _ in 1..count {
+        let (delta, used) = decode_varint(&buf[pos..]);
+        pos += used;
+        cur += delta;
+        if !f(cur) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_lengths() {
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(1), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(16_383), 2);
+        assert_eq!(varint_len(16_384), 3);
+        assert_eq!(varint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        let mut cases = vec![0u64, 1, 127, 128, 255, 300, 16_383, 16_384, u32::MAX as u64];
+        for shift in 0..9 {
+            cases.push(1u64 << (7 * shift));
+            cases.push((1u64 << (7 * shift)) - 1);
+        }
+        cases.push(u64::MAX);
+        for v in cases {
+            let mut out = Vec::new();
+            let n = encode_varint(v, &mut out);
+            assert_eq!(n, out.len());
+            assert_eq!(n, varint_len(v), "len mismatch for {v}");
+            let (back, used) = decode_varint(&out);
+            assert_eq!(back, v);
+            assert_eq!(used, n);
+        }
+    }
+
+    #[test]
+    fn write_and_encode_agree() {
+        let mut buf = [0u8; MAX_VARINT_BYTES];
+        for v in [0u64, 5, 200, 99999, u64::MAX] {
+            let n = write_varint(v, &mut buf);
+            let mut vec = Vec::new();
+            encode_varint(v, &mut vec);
+            assert_eq!(&buf[..n], &vec[..]);
+        }
+    }
+
+    #[test]
+    fn run_roundtrip() {
+        let elems = vec![10u64, 11, 200, 100_000, 1 << 40, u64::MAX];
+        let len = encoded_run_len(&elems, 8);
+        let mut buf = vec![0u8; len];
+        let written = encode_run(&elems, &mut buf);
+        assert_eq!(written, len);
+        let mut out = Vec::new();
+        let consumed = decode_run(&buf, elems.len(), &mut out);
+        assert_eq!(consumed, len);
+        assert_eq!(out, elems);
+    }
+
+    #[test]
+    fn empty_and_singleton_runs() {
+        let mut buf = vec![0u8; 16];
+        assert_eq!(encode_run(&[], &mut buf), 0);
+        assert_eq!(encoded_run_len(&[], 8), 0);
+        let one = [42u64];
+        assert_eq!(encoded_run_len(&one, 8), 8);
+        assert_eq!(encode_run(&one, &mut buf), 8);
+        let mut out = Vec::new();
+        decode_run(&buf, 1, &mut out);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn for_each_early_exit() {
+        let elems = vec![1u64, 2, 3, 4, 5];
+        let mut buf = vec![0u8; encoded_run_len(&elems, 8)];
+        encode_run(&elems, &mut buf);
+        let mut seen = Vec::new();
+        let finished = for_each_in_run(&buf, 5, |e| {
+            seen.push(e);
+            e < 3
+        });
+        assert!(!finished);
+        assert_eq!(seen, vec![1, 2, 3]);
+        let mut all = Vec::new();
+        assert!(for_each_in_run(&buf, 5, |e| {
+            all.push(e);
+            true
+        }));
+        assert_eq!(all, elems);
+    }
+
+    #[test]
+    fn dense_runs_compress_well() {
+        // Consecutive integers: 8-byte head + 1 byte per extra element.
+        let elems: Vec<u64> = (1000..2000).collect();
+        assert_eq!(encoded_run_len(&elems, 8), 8 + 999);
+    }
+}

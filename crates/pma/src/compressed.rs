@@ -1,0 +1,559 @@
+//! Compressed leaf storage: raw head + delta byte codes (§5 of the paper).
+//!
+//! "A CPMA leaf stores its head, or its first element, uncompressed, and
+//! stores subsequent elements compressed with delta encoding and byte codes.
+//! ... The density bounds in a CPMA count byte density rather than element
+//! density." Units here are **bytes**. The implicit tree, the batch
+//! algorithm, and search on leaf heads are untouched — that is the paper's
+//! central structural claim, and it is what lets this type plug into the
+//! same `PmaCore` as the uncompressed storage.
+
+use crate::codec::{
+    decode_run, encode_run, encoded_run_len, for_each_in_run, varint_len,
+};
+use crate::leaf::{set_difference_into, set_union_into, MergeOutcome, SharedLeaves};
+use crate::{stats, LeafStorage};
+use std::marker::PhantomData;
+
+/// Delta-compressed leaves over `u64` keys. See module docs.
+pub struct CompressedLeaves {
+    /// `num_leaves * leaf_units` bytes; leaf `i` owns
+    /// `[i * leaf_units, (i+1) * leaf_units)`, valid prefix = `used[i]`.
+    bytes: Vec<u8>,
+    /// Occupied bytes per leaf (may exceed capacity while overflowed).
+    used: Vec<u32>,
+    /// Elements per leaf.
+    counts: Vec<u32>,
+    /// Leaf heads, duplicated out of the leaves for cache-friendly search
+    /// (inherited values for empty leaves); non-decreasing.
+    heads: Vec<u64>,
+    /// Out-of-place buffers for overflowed leaves (batch merge only).
+    overflow: Vec<Option<Box<[u64]>>>,
+    leaf_units: usize,
+}
+
+impl CompressedLeaves {
+    #[inline]
+    fn leaf_bytes(&self, leaf: usize) -> &[u8] {
+        debug_assert!(self.overflow[leaf].is_none(), "query on overflowed leaf");
+        let start = leaf * self.leaf_units;
+        &self.bytes[start..start + self.used[leaf] as usize]
+    }
+}
+
+impl LeafStorage<u64> for CompressedLeaves {
+    type Shared<'a>
+        = CompressedShared<'a>
+    where
+        Self: 'a;
+
+    // ≥ 256 bytes: the redistribution fit argument needs
+    // 0.1 · capacity ≥ 18 (head swap 8 B + dropped boundary delta 10 B);
+    // 256 gives a comfortable margin (see leaf.rs docs and DESIGN.md).
+    const MIN_LEAF_UNITS: usize = 256;
+    const LEAF_ALIGN: usize = 64;
+    const HEAD_UNITS: usize = 8;
+    const LEAF_SCALE: usize = 8;
+
+    fn with_geometry(num_leaves: usize, leaf_units: usize) -> Self {
+        assert!(num_leaves >= 1);
+        assert!(leaf_units >= Self::MIN_LEAF_UNITS);
+        Self {
+            bytes: vec![0u8; num_leaves * leaf_units],
+            used: vec![0; num_leaves],
+            counts: vec![0; num_leaves],
+            heads: vec![0; num_leaves],
+            overflow: (0..num_leaves).map(|_| None).collect(),
+            leaf_units,
+        }
+    }
+
+    #[inline]
+    fn num_leaves(&self) -> usize {
+        self.counts.len()
+    }
+
+    #[inline]
+    fn leaf_units(&self) -> usize {
+        self.leaf_units
+    }
+
+    #[inline]
+    fn units_used(&self, leaf: usize) -> usize {
+        self.used[leaf] as usize
+    }
+
+    #[inline]
+    fn count(&self, leaf: usize) -> usize {
+        self.counts[leaf] as usize
+    }
+
+    #[inline]
+    fn head(&self, leaf: usize) -> u64 {
+        self.heads[leaf]
+    }
+
+    #[inline]
+    fn is_overflowed(&self, leaf: usize) -> bool {
+        self.overflow[leaf].is_some()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.bytes.len()
+            + self.used.len() * 4
+            + self.counts.len() * 4
+            + self.heads.len() * 8
+            + self.overflow.len() * std::mem::size_of::<Option<Box<[u64]>>>()
+    }
+
+    fn leaf_successor(&self, leaf: usize, key: u64) -> Option<u64> {
+        let buf = self.leaf_bytes(leaf);
+        stats::record_read(buf.len());
+        let mut found = None;
+        for_each_in_run(buf, self.counts[leaf] as usize, |e| {
+            if e >= key {
+                found = Some(e);
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    fn leaf_contains(&self, leaf: usize, key: u64) -> bool {
+        self.leaf_successor(leaf, key) == Some(key)
+    }
+
+    fn leaf_max(&self, leaf: usize) -> Option<u64> {
+        // Overflow-aware: the redistribute phase reads neighbours that may
+        // still be spilled.
+        if let Some(buf) = self.overflow[leaf].as_deref() {
+            return buf.last().copied();
+        }
+        let cnt = self.counts[leaf] as usize;
+        if cnt == 0 {
+            return None;
+        }
+        let mut last = 0;
+        for_each_in_run(self.leaf_bytes(leaf), cnt, |e| {
+            last = e;
+            true
+        });
+        Some(last)
+    }
+
+    fn for_each_in_leaf(&self, leaf: usize, f: &mut dyn FnMut(u64) -> bool) -> bool {
+        let buf = self.leaf_bytes(leaf);
+        stats::record_read(buf.len());
+        for_each_in_run(buf, self.counts[leaf] as usize, f)
+    }
+
+    fn collect_leaf(&self, leaf: usize, out: &mut Vec<u64>) {
+        if let Some(buf) = self.overflow[leaf].as_deref() {
+            out.extend_from_slice(buf);
+            return;
+        }
+        decode_run(self.leaf_bytes(leaf), self.counts[leaf] as usize, out);
+    }
+
+    fn leaf_sum(&self, leaf: usize) -> u64 {
+        let buf = self.leaf_bytes(leaf);
+        stats::record_read(buf.len());
+        let mut sum = 0u64;
+        for_each_in_run(buf, self.counts[leaf] as usize, |e| {
+            sum = sum.wrapping_add(e);
+            true
+        });
+        sum
+    }
+
+    #[inline]
+    fn units_for(elems: &[u64]) -> usize {
+        encoded_run_len(elems, 8)
+    }
+
+    fn plan_split(elems: &[u64], k: usize, leaf_units: usize) -> Vec<usize> {
+        let n = elems.len();
+        let mut offsets = vec![0usize; k + 1];
+        offsets[k] = n;
+        if n == 0 || k == 1 {
+            return offsets;
+        }
+        // prefix[i] = stream cost of deltas up to element i (head cost
+        // excluded): prefix[0] = prefix[1] = 0, prefix[i+1] = prefix[i] +
+        // varint_len(e[i] − e[i−1]). Computed with a two-pass parallel scan
+        // for large runs (whole-array rebuilds are O(n)-dominated by this).
+        let mut prefix = vec![0u64; n + 1];
+        const SCAN_CHUNK: usize = 1 << 15;
+        if n <= SCAN_CHUNK {
+            for i in 1..n {
+                prefix[i + 1] = prefix[i] + varint_len(elems[i] - elems[i - 1]) as u64;
+            }
+        } else {
+            use rayon::prelude::*;
+            // Pass 1: local costs + per-chunk sums. prefix[i+1] holds the
+            // cost of element i, chunk-local-accumulated.
+            let nchunks = n.div_ceil(SCAN_CHUNK);
+            let mut chunk_sums = vec![0u64; nchunks + 1];
+            let sums: Vec<u64> = prefix[1..=n]
+                .par_chunks_mut(SCAN_CHUNK)
+                .enumerate()
+                .map(|(c, chunk)| {
+                    let base = c * SCAN_CHUNK;
+                    let mut acc = 0u64;
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let i = base + j; // element index whose cost this is
+                        if i > 0 {
+                            acc += varint_len(elems[i] - elems[i - 1]) as u64;
+                        }
+                        *slot = acc;
+                    }
+                    acc
+                })
+                .collect();
+            for (c, s) in sums.into_iter().enumerate() {
+                chunk_sums[c + 1] = chunk_sums[c] + s;
+            }
+            // Pass 2: add chunk offsets.
+            prefix[1..=n]
+                .par_chunks_mut(SCAN_CHUNK)
+                .enumerate()
+                .for_each(|(c, chunk)| {
+                    let off = chunk_sums[c];
+                    if off != 0 {
+                        for slot in chunk.iter_mut() {
+                            *slot += off;
+                        }
+                    }
+                });
+        }
+        let total = prefix[n];
+        // Exact encoded size of slice [a, b): 0 if empty, else raw head +
+        // interior deltas.
+        let bytes_of = |a: usize, b: usize| -> usize {
+            if a == b {
+                0
+            } else {
+                8 + (prefix[b] - prefix[a + 1]) as usize
+            }
+        };
+        for j in 1..k {
+            // prefix[i] is the stream cost of the first i elements, so the
+            // partition point is directly the boundary element index.
+            let ideal = total * j as u64 / k as u64;
+            let o = prefix.partition_point(|&p| p < ideal).min(n);
+            offsets[j] = o.max(offsets[j - 1]);
+        }
+        // Left-to-right fix-up: shrink any oversized slice by pulling its
+        // right boundary left (pushing elements to the next leaf).
+        for j in 0..k - 1 {
+            let a = offsets[j];
+            while bytes_of(a, offsets[j + 1]) > leaf_units {
+                offsets[j + 1] -= 1;
+            }
+            if offsets[j + 1] < a {
+                offsets[j + 1] = a;
+            }
+        }
+        debug_assert!(
+            bytes_of(offsets[k - 1], n) <= leaf_units,
+            "last leaf overflows: caller violated the density contract"
+        );
+        offsets
+    }
+
+    fn shared(&mut self) -> CompressedShared<'_> {
+        CompressedShared {
+            bytes: self.bytes.as_mut_ptr(),
+            used: self.used.as_mut_ptr(),
+            counts: self.counts.as_mut_ptr(),
+            heads: self.heads.as_mut_ptr(),
+            overflow: self.overflow.as_mut_ptr(),
+            leaf_units: self.leaf_units,
+            num_leaves: self.counts.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Shared-disjoint accessor for [`CompressedLeaves`]; see
+/// [`SharedLeaves`] for the safety contract.
+pub struct CompressedShared<'a> {
+    bytes: *mut u8,
+    used: *mut u32,
+    counts: *mut u32,
+    heads: *mut u64,
+    overflow: *mut Option<Box<[u64]>>,
+    leaf_units: usize,
+    num_leaves: usize,
+    _marker: PhantomData<&'a mut CompressedLeaves>,
+}
+
+impl Clone for CompressedShared<'_> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl Copy for CompressedShared<'_> {}
+
+// SAFETY: used only under the SharedLeaves contract (disjoint leaves);
+// buffers outlive 'a.
+unsafe impl Send for CompressedShared<'_> {}
+unsafe impl Sync for CompressedShared<'_> {}
+
+impl CompressedShared<'_> {
+    #[inline]
+    unsafe fn leaf_buf(&self, leaf: usize, len: usize) -> &mut [u8] {
+        debug_assert!(leaf < self.num_leaves && len <= self.leaf_units);
+        std::slice::from_raw_parts_mut(self.bytes.add(leaf * self.leaf_units), len)
+    }
+
+    #[inline]
+    unsafe fn current(&self, leaf: usize, out: &mut Vec<u64>) -> usize {
+        let cnt = *self.counts.add(leaf) as usize;
+        let units = *self.used.add(leaf) as usize;
+        out.clear();
+        if let Some(buf) = (*self.overflow.add(leaf)).as_deref() {
+            out.extend_from_slice(buf);
+        } else if cnt > 0 {
+            let start = leaf * self.leaf_units;
+            decode_run(
+                std::slice::from_raw_parts(self.bytes.add(start), units),
+                cnt,
+                out,
+            );
+        }
+        units
+    }
+
+    #[inline]
+    unsafe fn store(&self, leaf: usize, elems: &[u64], inherited_head: u64) -> (usize, bool) {
+        let units = encoded_run_len(elems, 8);
+        stats::record_write(units);
+        if units <= self.leaf_units {
+            if !elems.is_empty() {
+                encode_run(elems, self.leaf_buf(leaf, units));
+            }
+            *self.overflow.add(leaf) = None;
+            *self.counts.add(leaf) = elems.len() as u32;
+            *self.used.add(leaf) = units as u32;
+            *self.heads.add(leaf) = if elems.is_empty() { inherited_head } else { elems[0] };
+            (units, false)
+        } else {
+            *self.overflow.add(leaf) = Some(elems.to_vec().into_boxed_slice());
+            *self.counts.add(leaf) = elems.len() as u32;
+            *self.used.add(leaf) = units as u32;
+            *self.heads.add(leaf) = elems[0];
+            (units, true)
+        }
+    }
+}
+
+impl SharedLeaves<u64> for CompressedShared<'_> {
+    unsafe fn merge_into_leaf(
+        &self,
+        leaf: usize,
+        add: &[u64],
+        scratch: &mut Vec<u64>,
+    ) -> MergeOutcome {
+        let mut cur = Vec::new();
+        let old_units = self.current(leaf, &mut cur);
+        stats::record_read(old_units);
+        let added = set_union_into(&cur, add, scratch);
+        let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+        MergeOutcome {
+            delta_count: added,
+            delta_units: new_units as isize - old_units as isize,
+            overflowed,
+        }
+    }
+
+    unsafe fn remove_from_leaf(
+        &self,
+        leaf: usize,
+        rem: &[u64],
+        scratch: &mut Vec<u64>,
+    ) -> MergeOutcome {
+        let mut cur = Vec::new();
+        let old_units = self.current(leaf, &mut cur);
+        stats::record_read(old_units);
+        let removed = set_difference_into(&cur, rem, scratch);
+        if removed == 0 {
+            return MergeOutcome::default();
+        }
+        let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+        debug_assert!(!overflowed);
+        MergeOutcome {
+            delta_count: removed,
+            delta_units: new_units as isize - old_units as isize,
+            overflowed: false,
+        }
+    }
+
+    unsafe fn write_leaf(&self, leaf: usize, elems: &[u64], inherited_head: u64) -> usize {
+        let (units, overflowed) = self.store(leaf, elems, inherited_head);
+        debug_assert!(!overflowed, "write_leaf must fit");
+        units
+    }
+
+    unsafe fn collect_leaf(&self, leaf: usize, out: &mut Vec<u64>) {
+        let units = self.current_units(leaf);
+        stats::record_read(units);
+        let mut tmp = Vec::new();
+        self.current(leaf, &mut tmp);
+        out.extend_from_slice(&tmp);
+    }
+
+    unsafe fn units_used(&self, leaf: usize) -> usize {
+        *self.used.add(leaf) as usize
+    }
+
+    unsafe fn count(&self, leaf: usize) -> usize {
+        *self.counts.add(leaf) as usize
+    }
+
+    unsafe fn set_inherited_head(&self, leaf: usize, head: u64) {
+        debug_assert_eq!(*self.counts.add(leaf), 0);
+        *self.heads.add(leaf) = head;
+    }
+}
+
+impl CompressedShared<'_> {
+    #[inline]
+    unsafe fn current_units(&self, leaf: usize) -> usize {
+        *self.used.add(leaf) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(leaves: usize) -> CompressedLeaves {
+        CompressedLeaves::with_geometry(leaves, 256)
+    }
+
+    #[test]
+    fn merge_roundtrip() {
+        let mut s = store(2);
+        let mut scratch = Vec::new();
+        let elems = vec![100u64, 105, 1000, 1 << 40];
+        let out = unsafe { s.shared().merge_into_leaf(0, &elems, &mut scratch) };
+        assert_eq!(out.delta_count, 4);
+        assert!(!out.overflowed);
+        assert_eq!(s.count(0), 4);
+        assert_eq!(s.head(0), 100);
+        assert_eq!(s.units_used(0), encoded_run_len(&elems, 8));
+        let mut v = Vec::new();
+        s.collect_leaf(0, &mut v);
+        assert_eq!(v, elems);
+        assert!(s.leaf_contains(0, 1000));
+        assert!(!s.leaf_contains(0, 101));
+        assert_eq!(s.leaf_successor(0, 106), Some(1000));
+        assert_eq!(s.leaf_max(0), Some(1 << 40));
+        assert_eq!(s.leaf_sum(0), 100 + 105 + 1000 + (1u64 << 40));
+    }
+
+    #[test]
+    fn incremental_merges_accumulate() {
+        let mut s = store(1);
+        let mut scratch = Vec::new();
+        unsafe {
+            let sh = s.shared();
+            sh.merge_into_leaf(0, &[10, 30], &mut scratch);
+            let out = sh.merge_into_leaf(0, &[10, 20, 40], &mut scratch);
+            assert_eq!(out.delta_count, 2);
+        }
+        let mut v = Vec::new();
+        s.collect_leaf(0, &mut v);
+        assert_eq!(v, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn overflow_on_oversized_merge() {
+        let mut s = store(1);
+        let mut scratch = Vec::new();
+        // 300 consecutive values: 8 + 299 bytes > 256.
+        let big: Vec<u64> = (0..300).collect();
+        let out = unsafe { s.shared().merge_into_leaf(0, &big, &mut scratch) };
+        assert!(out.overflowed);
+        assert!(s.is_overflowed(0));
+        assert_eq!(s.units_used(0), 8 + 299);
+        let mut v = Vec::new();
+        unsafe { s.shared().collect_leaf(0, &mut v) };
+        assert_eq!(v, big);
+    }
+
+    #[test]
+    fn remove_and_empty_keeps_head() {
+        let mut s = store(1);
+        let mut scratch = Vec::new();
+        unsafe {
+            let sh = s.shared();
+            sh.merge_into_leaf(0, &[3, 9], &mut scratch);
+            sh.remove_from_leaf(0, &[3, 9], &mut scratch);
+        }
+        assert_eq!(s.count(0), 0);
+        assert_eq!(s.units_used(0), 0);
+        assert_eq!(s.head(0), 3);
+    }
+
+    #[test]
+    fn plan_split_balances_bytes() {
+        // Mixed deltas: a dense region then a sparse one.
+        let mut elems: Vec<u64> = (0..500u64).collect();
+        elems.extend((0..100u64).map(|i| 1_000_000 + i * 1_000_000_000));
+        let k = 8;
+        let plan = CompressedLeaves::plan_split(&elems, k, 256);
+        assert_eq!(plan[0], 0);
+        assert_eq!(plan[k], elems.len());
+        assert!(plan.windows(2).all(|w| w[0] <= w[1]));
+        for j in 0..k {
+            let slice = &elems[plan[j]..plan[j + 1]];
+            assert!(encoded_run_len(slice, 8) <= 256, "leaf {j} overflows");
+        }
+    }
+
+    #[test]
+    fn plan_split_handles_fewer_elements_than_leaves() {
+        let elems = vec![5u64, 10];
+        let plan = CompressedLeaves::plan_split(&elems, 4, 256);
+        assert_eq!(plan[0], 0);
+        assert_eq!(plan[4], 2);
+        for j in 0..4 {
+            let slice = &elems[plan[j]..plan[j + 1]];
+            assert!(encoded_run_len(slice, 8) <= 256);
+        }
+    }
+
+    #[test]
+    fn write_leaf_empty_sets_inherited_head() {
+        let mut s = store(2);
+        unsafe {
+            s.shared().write_leaf(1, &[], 77);
+        }
+        assert_eq!(s.head(1), 77);
+        assert_eq!(s.count(1), 0);
+        assert_eq!(s.units_used(1), 0);
+    }
+
+    #[test]
+    fn parallel_disjoint_merges() {
+        use rayon::prelude::*;
+        let mut s = CompressedLeaves::with_geometry(32, 256);
+        let sh = s.shared();
+        (0..32usize).into_par_iter().for_each(|leaf| {
+            let base = leaf as u64 * 1000;
+            let mut scratch = Vec::new();
+            // SAFETY: each task owns a distinct leaf.
+            unsafe {
+                sh.merge_into_leaf(leaf, &[base, base + 7], &mut scratch);
+            }
+        });
+        for leaf in 0..32 {
+            assert_eq!(s.count(leaf), 2);
+            assert_eq!(s.head(leaf), leaf as u64 * 1000);
+        }
+    }
+}

@@ -1,0 +1,1095 @@
+//! `PmaCore`: the engine shared by the PMA and the CPMA.
+//!
+//! Implements the paper's four public operations — `insert`, `delete`,
+//! `search`, `range_map` (§3) — plus the artifact API (`has`, `sum`, `map`,
+//! `min`/`max`, size accounting) against any [`LeafStorage`]. The parallel
+//! batch operations live in the `batch` module and are methods on this type.
+//!
+//! # Head-array invariant
+//!
+//! Search routes through a separate array of leaf heads (the layout of the
+//! search-optimized PMA [78] the paper builds on). The invariant maintained
+//! everywhere is:
+//!
+//! 1. the head array is **non-decreasing**;
+//! 2. a non-empty leaf's head equals its minimum element;
+//! 3. an empty leaf's head is an *inherited* value within
+//!    `[previous head, next non-empty head]`.
+//!
+//! Any inherited value in that interval keeps routing correct: a query
+//! binary-searches for the rightmost head ≤ key and then walks left over
+//! empty leaves. Inserts never decrease a non-empty leaf's head via routing
+//! (elements below the global minimum route to the first non-empty leaf),
+//! and deletes that empty a leaf keep its old head — both preserve (1)-(3)
+//! without cross-leaf coordination, which is what makes the batch phases
+//! race-free.
+
+use crate::density::DensityBounds;
+use crate::leaf::SharedLeaves;
+use crate::tree::{ImplicitTree, Node};
+use crate::{stats, CompressedLeaves, LeafStorage, PmaKey, UncompressedLeaves};
+use rayon::prelude::*;
+use std::marker::PhantomData;
+
+/// Tuning knobs. Defaults follow the paper (§6 and Appendix B/C).
+#[derive(Clone, Copy, Debug)]
+pub struct PmaConfig {
+    /// Density thresholds per tree level.
+    pub bounds: DensityBounds,
+    /// Capacity multiplier on growth, divisor on shrink. The paper uses
+    /// 1.2× and studies 1.1×–2.0× in Appendix C.
+    pub growing_factor: f64,
+    /// Capacity floor in *leaves* (the structure never shrinks below this
+    /// many leaves).
+    pub min_leaves: usize,
+}
+
+impl Default for PmaConfig {
+    fn default() -> Self {
+        Self { bounds: DensityBounds::default(), growing_factor: 1.2, min_leaves: 4 }
+    }
+}
+
+impl PmaConfig {
+    /// Validate parameters; called by constructors.
+    pub fn validate(&self) {
+        self.bounds.validate();
+        assert!(self.growing_factor > 1.0, "growing factor must exceed 1");
+        assert!(self.min_leaves >= 1);
+    }
+}
+
+/// The uncompressed batch-parallel PMA (cells of raw keys).
+pub type Pma<K = u64> = PmaCore<K, UncompressedLeaves<K>>;
+
+/// The batch-parallel Compressed PMA (delta + byte codes; §5).
+pub type Cpma = PmaCore<u64, CompressedLeaves>;
+
+/// Engine over generic leaf storage. See module docs.
+pub struct PmaCore<K: PmaKey, L: LeafStorage<K>> {
+    pub(crate) storage: L,
+    pub(crate) cfg: PmaConfig,
+    /// Number of stored elements.
+    pub(crate) len: usize,
+    /// Total occupied units across leaves.
+    pub(crate) units: usize,
+    pub(crate) _marker: PhantomData<K>,
+}
+
+impl<K: PmaKey, L: LeafStorage<K>> Default for PmaCore<K, L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
+    /// Empty structure with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(PmaConfig::default())
+    }
+
+    /// Empty structure with explicit configuration.
+    pub fn with_config(cfg: PmaConfig) -> Self {
+        cfg.validate();
+        let leaf_units = Self::leaf_units_for_cap(cfg.min_leaves * L::MIN_LEAF_UNITS);
+        Self {
+            storage: L::with_geometry(cfg.min_leaves, leaf_units),
+            cfg,
+            len: 0,
+            units: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Build from a sorted, deduplicated slice (the artifact's
+    /// `CPMA(start, end)` constructor). Leaves are filled at the rebuild
+    /// target density, elements spread evenly.
+    pub fn from_sorted(elems: &[K]) -> Self {
+        Self::from_sorted_with(elems, PmaConfig::default())
+    }
+
+    /// [`Self::from_sorted`] with explicit configuration.
+    pub fn from_sorted_with(elems: &[K], cfg: PmaConfig) -> Self {
+        cfg.validate();
+        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]), "input must be sorted unique");
+        let mut this = Self::with_config(cfg);
+        if !elems.is_empty() {
+            let cap = this.capacity_for_target(elems);
+            this.rebuild_into(elems, cap);
+        }
+        this
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry
+    // ------------------------------------------------------------------
+
+    /// Leaf capacity (units) for a structure of `cap_units` total capacity:
+    /// `LEAF_SCALE · ⌈log₂ cap⌉`, aligned and clamped (Θ(log N) leaves, §3).
+    pub(crate) fn leaf_units_for_cap(cap_units: usize) -> usize {
+        let lg = (usize::BITS - cap_units.max(2).leading_zeros()) as usize;
+        let raw = (lg * L::LEAF_SCALE).max(L::MIN_LEAF_UNITS);
+        raw.div_ceil(L::LEAF_ALIGN) * L::LEAF_ALIGN
+    }
+
+    /// Total unit capacity.
+    #[inline]
+    pub fn capacity_units(&self) -> usize {
+        self.storage.num_leaves() * self.storage.leaf_units()
+    }
+
+    /// The implicit tree over the current leaves.
+    #[inline]
+    pub(crate) fn tree(&self) -> ImplicitTree {
+        ImplicitTree::new(self.storage.num_leaves())
+    }
+
+    /// Units capacity needed to host `elems` at the rebuild target density.
+    pub(crate) fn capacity_for_target(&self, elems: &[K]) -> usize {
+        let stream = L::units_for(elems);
+        let target = self.cfg.bounds.rebuild_target;
+        let mut cap = ((stream as f64) / target).ceil() as usize;
+        // One refinement round: heads overhead depends on the leaf count.
+        let leaf = Self::leaf_units_for_cap(cap.max(1));
+        let k = cap.div_ceil(leaf).max(self.cfg.min_leaves);
+        let est = stream + k.saturating_sub(1) * L::HEAD_UNITS;
+        cap = ((est as f64) / target).ceil() as usize;
+        cap.max(self.cfg.min_leaves * L::MIN_LEAF_UNITS)
+    }
+
+    /// Replace storage with a fresh layout of at least `cap_units` capacity
+    /// holding exactly `elems` (sorted unique), spread evenly.
+    pub(crate) fn rebuild_into(&mut self, elems: &[K], cap_units: usize) {
+        let leaf_units = Self::leaf_units_for_cap(cap_units);
+        let k = cap_units.div_ceil(leaf_units).max(self.cfg.min_leaves);
+        let mut storage = L::with_geometry(k, leaf_units);
+        let offsets = L::plan_split(elems, k, leaf_units);
+        let shared = storage.shared();
+        let units: usize = (0..k)
+            .into_par_iter()
+            .map(|j| {
+                let slice = &elems[offsets[j]..offsets[j + 1]];
+                let inherited =
+                    if offsets[j] > 0 { elems[offsets[j] - 1] } else { K::MIN };
+                // SAFETY: each iteration owns a distinct leaf.
+                unsafe { shared.write_leaf(j, slice, inherited) }
+            })
+            .sum();
+        self.storage = storage;
+        self.units = units;
+        self.len = elems.len();
+    }
+
+    /// Grow capacity by the growing factor (repeatedly if needed) and
+    /// re-spread `elems`.
+    pub(crate) fn grow_and_rebuild(&mut self, elems: &[K]) {
+        let stream = L::units_for(elems);
+        let f = self.cfg.growing_factor;
+        let mut cap = ((self.capacity_units() as f64) * f).ceil() as usize;
+        loop {
+            let leaf = Self::leaf_units_for_cap(cap);
+            let k = cap.div_ceil(leaf).max(self.cfg.min_leaves);
+            let est = stream + k.saturating_sub(1) * L::HEAD_UNITS;
+            if (est as f64) <= self.cfg.bounds.upper_root * (k * leaf) as f64 {
+                break;
+            }
+            cap = ((cap as f64) * f).ceil() as usize;
+        }
+        self.rebuild_into(elems, cap);
+    }
+
+    /// Shrink capacity by the growing factor while the root is under its
+    /// lower bound, then re-spread `elems`.
+    pub(crate) fn shrink_and_rebuild(&mut self, elems: &[K]) {
+        let stream = L::units_for(elems);
+        let f = self.cfg.growing_factor;
+        let floor = self.cfg.min_leaves * L::MIN_LEAF_UNITS;
+        let mut cap = self.capacity_units();
+        loop {
+            let next = (((cap as f64) / f).ceil() as usize).max(floor);
+            if next == cap || (stream as f64) >= self.cfg.bounds.lower_root * next as f64 {
+                cap = next;
+                break;
+            }
+            cap = next;
+        }
+        self.rebuild_into(elems, cap);
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// First leaf with a nonzero count, if any.
+    pub(crate) fn first_nonempty_leaf(&self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        (0..self.storage.num_leaves()).find(|&l| self.storage.count(l) > 0)
+    }
+
+    /// The leaf where `key` lives / would be inserted. `None` iff empty.
+    ///
+    /// Binary search for the rightmost head ≤ key, walk left over empty
+    /// leaves; keys below the global minimum route to the first non-empty
+    /// leaf (see module docs).
+    pub(crate) fn dest_leaf(&self, key: K) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.storage.num_leaves();
+        // partition point: first index with head > key.
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.storage.head(mid) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        stats::record_read(((usize::BITS - n.leading_zeros()) as usize) * K::BYTES);
+        if lo == 0 {
+            return self.first_nonempty_leaf();
+        }
+        let mut leaf = lo - 1;
+        while self.storage.count(leaf) == 0 {
+            if leaf == 0 {
+                return self.first_nonempty_leaf();
+            }
+            leaf -= 1;
+        }
+        Some(leaf)
+    }
+
+    /// Next non-empty leaf strictly after `leaf`, if any.
+    pub(crate) fn next_nonempty_leaf(&self, leaf: usize) -> Option<usize> {
+        ((leaf + 1)..self.storage.num_leaves()).find(|&l| self.storage.count(l) > 0)
+    }
+
+    /// Membership test (the artifact's `has`).
+    pub fn has(&self, key: K) -> bool {
+        match self.dest_leaf(key) {
+            Some(leaf) => self.storage.leaf_contains(leaf, key),
+            None => false,
+        }
+    }
+
+    /// Smallest stored element ≥ `key` (the paper's `search`).
+    pub fn successor(&self, key: K) -> Option<K> {
+        let leaf = self.dest_leaf(key)?;
+        if let Some(s) = self.storage.leaf_successor(leaf, key) {
+            return Some(s);
+        }
+        let next = self.next_nonempty_leaf(leaf)?;
+        Some(self.storage.head(next))
+    }
+
+    // ------------------------------------------------------------------
+    // Point updates (§3: search, place, count, redistribute)
+    // ------------------------------------------------------------------
+
+    /// Insert one key; returns false if it was already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        let dest = self.dest_leaf(key);
+        let leaf = dest.unwrap_or(0);
+        let mut scratch = Vec::new();
+        let shared = self.storage.shared();
+        // SAFETY: single-threaded exclusive access.
+        let out = unsafe { shared.merge_into_leaf(leaf, &[key], &mut scratch) };
+        if out.delta_count == 0 {
+            return false;
+        }
+        self.len += 1;
+        self.units = self.units.checked_add_signed(out.delta_units).unwrap();
+        if dest.is_none() {
+            // First element of an empty structure: leaf 0's head may have
+            // jumped; refresh the inherited heads of the empty run after it.
+            self.fix_inherited_heads_after(1);
+        }
+        self.rebalance_after_insert(leaf);
+        true
+    }
+
+    /// Remove one key; returns false if it was absent.
+    pub fn remove(&mut self, key: K) -> bool {
+        let Some(leaf) = self.dest_leaf(key) else { return false };
+        let mut scratch = Vec::new();
+        let shared = self.storage.shared();
+        // SAFETY: single-threaded exclusive access.
+        let out = unsafe { shared.remove_from_leaf(leaf, &[key], &mut scratch) };
+        if out.delta_count == 0 {
+            return false;
+        }
+        self.len -= 1;
+        self.units = self.units.checked_add_signed(out.delta_units).unwrap();
+        self.rebalance_after_remove(leaf);
+        true
+    }
+
+    /// Units occupied within `node`'s leaf range.
+    pub(crate) fn node_units(&self, node: Node) -> usize {
+        (node.start..node.end).map(|l| self.storage.units_used(l)).sum()
+    }
+
+    /// Walk up from a leaf that may violate its **upper** bound; grow or
+    /// redistribute as needed (§3 steps 3–4).
+    fn rebalance_after_insert(&mut self, leaf: usize) {
+        let tree = self.tree();
+        let max_depth = tree.max_depth();
+        let path = tree.path_to_leaf(leaf);
+        let leaf_node = *path.last().unwrap();
+        let cap = self.storage.leaf_units();
+        let leaf_used = self.storage.units_used(leaf);
+        let violates_leaf = leaf_used
+            > self.cfg.bounds.max_units(cap, leaf_node.depth, max_depth)
+            || self.storage.is_overflowed(leaf);
+        if !violates_leaf {
+            return;
+        }
+        // Find the lowest ancestor that respects its bound and redistribute
+        // it; if even the root violates, grow.
+        for node in path.iter().rev().skip(1) {
+            let used = self.node_units(*node);
+            let bound = self.cfg.bounds.max_units(cap * node.len(), node.depth, max_depth);
+            if used <= bound {
+                self.redistribute(*node);
+                return;
+            }
+        }
+        let elems = self.collect_all();
+        self.grow_and_rebuild(&elems);
+    }
+
+    /// Walk up from a leaf that may violate its **lower** bound; shrink or
+    /// redistribute as needed. Skipped while at the capacity floor.
+    fn rebalance_after_remove(&mut self, leaf: usize) {
+        let tree = self.tree();
+        let max_depth = tree.max_depth();
+        let path = tree.path_to_leaf(leaf);
+        let leaf_node = *path.last().unwrap();
+        let cap = self.storage.leaf_units();
+        let violates_leaf = self.storage.units_used(leaf)
+            < self.cfg.bounds.min_units(cap, leaf_node.depth, max_depth);
+        if !violates_leaf {
+            return;
+        }
+        for node in path.iter().rev().skip(1) {
+            let used = self.node_units(*node);
+            let bound = self.cfg.bounds.min_units(cap * node.len(), node.depth, max_depth);
+            if used >= bound {
+                self.redistribute(*node);
+                return;
+            }
+        }
+        // Root under its lower bound: shrink unless already at the floor.
+        if self.storage.num_leaves() > self.cfg.min_leaves {
+            let elems = self.collect_all();
+            self.shrink_and_rebuild(&elems);
+        } else if self.len > 0 {
+            self.redistribute(self.tree().root());
+        }
+    }
+
+    /// Evenly re-spread the elements of `node` across its leaves
+    /// (the redistribute step of §3; serial version for point updates).
+    pub(crate) fn redistribute(&mut self, node: Node) {
+        let mut elems = Vec::new();
+        for l in node.start..node.end {
+            if self.storage.is_overflowed(l) || self.storage.count(l) > 0 {
+                let shared = self.storage.shared();
+                // SAFETY: exclusive access.
+                unsafe { shared.collect_leaf(l, &mut elems) };
+            }
+        }
+        let prev_head =
+            if node.start == 0 { K::MIN } else { self.storage.head(node.start - 1) };
+        let k = node.len();
+        let leaf_units = self.storage.leaf_units();
+        let offsets = L::plan_split(&elems, k, leaf_units);
+        let shared = self.storage.shared();
+        let mut units_delta: isize = 0;
+        for j in 0..k {
+            let leaf = node.start + j;
+            let slice = &elems[offsets[j]..offsets[j + 1]];
+            let inherited =
+                if offsets[j] > 0 { elems[offsets[j] - 1] } else { prev_head };
+            // SAFETY: exclusive access.
+            unsafe {
+                let old = shared.units_used(leaf);
+                let new = shared.write_leaf(leaf, slice, inherited);
+                units_delta += new as isize - old as isize;
+            }
+        }
+        self.units = self.units.checked_add_signed(units_delta).unwrap();
+        self.fix_inherited_heads_after(node.end);
+    }
+
+    /// Repair inherited heads of the empty-leaf run starting at `from`
+    /// (they may be stale after elements moved right within the preceding
+    /// region). Stops at the first non-empty leaf.
+    pub(crate) fn fix_inherited_heads_after(&mut self, from: usize) {
+        if from == 0 {
+            return;
+        }
+        let n = self.storage.num_leaves();
+        let prev = self.storage.head(from - 1);
+        let shared = self.storage.shared();
+        for l in from..n {
+            // SAFETY: exclusive access. Every leaf in the run receives the
+            // same inherited value (it equals its predecessor's head by
+            // construction).
+            unsafe {
+                if shared.count(l) > 0 {
+                    break;
+                }
+                shared.set_inherited_head(l, prev);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scans, maps, aggregates
+    // ------------------------------------------------------------------
+
+    /// Number of stored elements (the artifact's `size()`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of backing memory (the artifact's `get_size()`).
+    pub fn size_bytes(&self) -> usize {
+        self.storage.size_bytes() + std::mem::size_of::<Self>()
+    }
+
+    /// Smallest stored element.
+    pub fn min(&self) -> Option<K> {
+        let leaf = self.first_nonempty_leaf()?;
+        Some(self.storage.head(leaf))
+    }
+
+    /// Largest stored element.
+    pub fn max(&self) -> Option<K> {
+        if self.len == 0 {
+            return None;
+        }
+        let leaf = (0..self.storage.num_leaves())
+            .rev()
+            .find(|&l| self.storage.count(l) > 0)?;
+        self.storage.leaf_max(leaf)
+    }
+
+    /// Apply `f` to every element in order (the artifact's `map`).
+    pub fn map(&self, mut f: impl FnMut(K)) {
+        for leaf in 0..self.storage.num_leaves() {
+            if self.storage.count(leaf) > 0 {
+                self.storage.for_each_in_leaf(leaf, &mut |e| {
+                    f(e);
+                    true
+                });
+            }
+        }
+    }
+
+    /// Apply `f` to every element, leaves in parallel (the artifact's
+    /// `parallel_map`).
+    pub fn par_map(&self, f: impl Fn(K) + Send + Sync) {
+        (0..self.storage.num_leaves()).into_par_iter().for_each(|leaf| {
+            if self.storage.count(leaf) > 0 {
+                self.storage.for_each_in_leaf(leaf, &mut |e| {
+                    f(e);
+                    true
+                });
+            }
+        });
+    }
+
+    /// Apply `f` to every element in `[start, end)` in order (the paper's
+    /// `range_map`).
+    pub fn map_range(&self, start: K, end: K, mut f: impl FnMut(K)) {
+        if start >= end {
+            return;
+        }
+        let Some(first) = self.dest_leaf(start) else { return };
+        let n = self.storage.num_leaves();
+        for leaf in first..n {
+            if self.storage.count(leaf) == 0 {
+                continue;
+            }
+            if self.storage.head(leaf) >= end {
+                break;
+            }
+            let done = !self.storage.for_each_in_leaf(leaf, &mut |e| {
+                if e >= end {
+                    return false;
+                }
+                if e >= start {
+                    f(e);
+                }
+                true
+            });
+            if done {
+                break;
+            }
+        }
+    }
+
+    /// Apply `f` to at most `length` elements with keys ≥ `start`, in
+    /// order; returns how many were visited (the artifact's
+    /// `map_range_length`).
+    pub fn map_range_length(&self, start: K, length: usize, mut f: impl FnMut(K)) -> usize {
+        if length == 0 {
+            return 0;
+        }
+        let Some(first) = self.dest_leaf(start) else { return 0 };
+        let mut visited = 0usize;
+        let n = self.storage.num_leaves();
+        for leaf in first..n {
+            if self.storage.count(leaf) == 0 {
+                continue;
+            }
+            let done = !self.storage.for_each_in_leaf(leaf, &mut |e| {
+                if e >= start {
+                    f(e);
+                    visited += 1;
+                }
+                visited < length
+            });
+            if done {
+                break;
+            }
+        }
+        visited
+    }
+
+    /// Sum of elements in `[start, end)`, with a whole-leaf fast path for
+    /// interior leaves.
+    pub fn range_sum(&self, start: K, end: K) -> u64 {
+        if start >= end {
+            return 0;
+        }
+        let Some(first) = self.dest_leaf(start) else { return 0 };
+        let n = self.storage.num_leaves();
+        let mut sum = 0u64;
+        for leaf in first..n {
+            if self.storage.count(leaf) == 0 {
+                continue;
+            }
+            if self.storage.head(leaf) >= end {
+                break;
+            }
+            // Whole leaf inside the range? (Next leaf non-empty with head ≤
+            // end ⇒ this leaf's max < end.)
+            let whole = self.storage.head(leaf) >= start
+                && leaf + 1 < n
+                && self.storage.count(leaf + 1) > 0
+                && self.storage.head(leaf + 1) <= end;
+            if whole {
+                sum = sum.wrapping_add(self.storage.leaf_sum(leaf));
+                continue;
+            }
+            let done = !self.storage.for_each_in_leaf(leaf, &mut |e| {
+                if e >= end {
+                    return false;
+                }
+                if e >= start {
+                    sum = sum.wrapping_add(e.to_u64());
+                }
+                true
+            });
+            if done {
+                break;
+            }
+        }
+        sum
+    }
+
+    /// Sum of all elements, computed leaf-parallel (the artifact's `sum`).
+    pub fn sum(&self) -> u64 {
+        (0..self.storage.num_leaves())
+            .into_par_iter()
+            .map(|leaf| if self.storage.count(leaf) > 0 { self.storage.leaf_sum(leaf) } else { 0 })
+            .reduce(|| 0u64, u64::wrapping_add)
+    }
+
+    /// All elements, sorted (used by rebuilds and tests).
+    pub(crate) fn collect_all(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.len);
+        for leaf in 0..self.storage.num_leaves() {
+            if self.storage.is_overflowed(leaf) || self.storage.count(leaf) > 0 {
+                self.storage.collect_leaf(leaf, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Parallel [`Self::collect_all`]: the "pack" copy of the full-rebuild
+    /// path ("the first copy packs the regions ... into a buffer", §4),
+    /// parallelized over leaf chunks with precomputed offsets.
+    pub(crate) fn collect_all_par(&self) -> Vec<K> {
+        let nl = self.storage.num_leaves();
+        let total: usize = (0..nl).map(|l| self.storage.count(l)).sum();
+        if total < (1 << 15) {
+            return self.collect_all();
+        }
+        const LEAVES_PER_CHUNK: usize = 64;
+        let nchunks = nl.div_ceil(LEAVES_PER_CHUNK);
+        let mut chunk_offsets = vec![0usize; nchunks + 1];
+        for c in 0..nchunks {
+            let lo = c * LEAVES_PER_CHUNK;
+            let hi = (lo + LEAVES_PER_CHUNK).min(nl);
+            chunk_offsets[c + 1] =
+                chunk_offsets[c] + (lo..hi).map(|l| self.storage.count(l)).sum::<usize>();
+        }
+        let mut out = vec![K::MIN; total];
+        // Disjoint-slice writes per chunk.
+        struct OutPtr<K>(*mut K);
+        unsafe impl<K> Send for OutPtr<K> {}
+        unsafe impl<K> Sync for OutPtr<K> {}
+        impl<K> OutPtr<K> {
+            /// # Safety: ranges must be disjoint across concurrent callers.
+            unsafe fn slice(&self, at: usize, len: usize) -> &mut [K] {
+                std::slice::from_raw_parts_mut(self.0.add(at), len)
+            }
+        }
+        let ptr = OutPtr(out.as_mut_ptr());
+        (0..nchunks).into_par_iter().for_each(|c| {
+            let lo = c * LEAVES_PER_CHUNK;
+            let hi = (lo + LEAVES_PER_CHUNK).min(nl);
+            let len = chunk_offsets[c + 1] - chunk_offsets[c];
+            let mut buf = Vec::with_capacity(len);
+            for l in lo..hi {
+                if self.storage.is_overflowed(l) || self.storage.count(l) > 0 {
+                    self.storage.collect_leaf(l, &mut buf);
+                }
+            }
+            debug_assert_eq!(buf.len(), len);
+            // SAFETY: chunk output ranges are disjoint by construction.
+            unsafe { ptr.slice(chunk_offsets[c], len) }.copy_from_slice(&buf);
+        });
+        out
+    }
+
+    /// Iterate all elements in order.
+    pub fn iter(&self) -> Iter<'_, K, L> {
+        Iter { core: self, leaf: 0, buf: Vec::new(), pos: 0 }
+    }
+
+    /// Iterate, in order, the elements ≥ `start`.
+    pub fn iter_from(&self, start: K) -> Iter<'_, K, L> {
+        let Some(leaf) = self.dest_leaf(start) else {
+            return Iter {
+                core: self,
+                leaf: self.storage.num_leaves(),
+                buf: Vec::new(),
+                pos: 0,
+            };
+        };
+        let mut buf = Vec::new();
+        self.storage.collect_leaf(leaf, &mut buf);
+        let pos = buf.partition_point(|&e| e < start);
+        Iter { core: self, leaf: leaf + 1, buf, pos }
+    }
+
+    /// Direct read access to the leaf storage (used by the graph layer for
+    /// zero-copy scans).
+    pub fn storage(&self) -> &L {
+        &self.storage
+    }
+
+    /// Mutable storage access for the batch phases and white-box tests.
+    pub(crate) fn storage_mut(&mut self) -> &mut L {
+        &mut self.storage
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PmaConfig {
+        &self.cfg
+    }
+
+    /// Adjust the unit counter (batch phases account deltas in bulk).
+    pub(crate) fn add_units_delta(&mut self, delta: isize) {
+        self.units = self.units.checked_add_signed(delta).unwrap();
+    }
+
+    /// Adjust the element counter (white-box tests only).
+    #[cfg(test)]
+    pub(crate) fn add_len_delta(&mut self, delta: isize) {
+        self.len = self.len.checked_add_signed(delta).unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests / debugging)
+    // ------------------------------------------------------------------
+
+    /// Verify every structural invariant; panics with a description on
+    /// violation. O(n) — for tests.
+    pub fn check_invariants(&self) {
+        let n = self.storage.num_leaves();
+        let cap = self.storage.leaf_units();
+        let tree = self.tree();
+        let max_depth = tree.max_depth();
+        // Heads non-decreasing; non-empty heads are minima; no overflows.
+        let mut prev_head: Option<K> = None;
+        let mut prev_elem: Option<K> = None;
+        let mut total_len = 0usize;
+        let mut total_units = 0usize;
+        for leaf in 0..n {
+            assert!(!self.storage.is_overflowed(leaf), "leaf {leaf} overflowed outside batch");
+            let h = self.storage.head(leaf);
+            if let Some(p) = prev_head {
+                assert!(p <= h, "heads decrease at leaf {leaf}");
+            }
+            prev_head = Some(h);
+            let cnt = self.storage.count(leaf);
+            total_len += cnt;
+            total_units += self.storage.units_used(leaf);
+            if cnt > 0 {
+                let mut first = None;
+                let mut local_prev: Option<K> = None;
+                let mut seen = 0usize;
+                self.storage.for_each_in_leaf(leaf, &mut |e| {
+                    if first.is_none() {
+                        first = Some(e);
+                    }
+                    if let Some(p) = local_prev {
+                        assert!(p < e, "leaf {leaf} not strictly increasing");
+                    }
+                    if let Some(p) = prev_elem {
+                        assert!(p < e, "global order broken at leaf {leaf}");
+                    }
+                    local_prev = Some(e);
+                    prev_elem = Some(e);
+                    seen += 1;
+                    true
+                });
+                assert_eq!(seen, cnt, "leaf {leaf} count mismatch");
+                assert_eq!(first, Some(h), "leaf {leaf} head is not its minimum");
+            } else {
+                assert_eq!(self.storage.units_used(leaf), 0, "empty leaf {leaf} has units");
+            }
+        }
+        assert_eq!(total_len, self.len, "len out of sync");
+        assert_eq!(total_units, self.units, "units out of sync");
+        // Density bounds are enforced along update paths, not globally (a
+        // leaf sitting at 0.85 never triggers a walk), so the checkable
+        // invariant is physical: every leaf fits its capacity.
+        for leaf in 0..n {
+            assert!(
+                self.storage.units_used(leaf) <= cap,
+                "leaf {leaf} exceeds physical capacity"
+            );
+        }
+        let _ = (tree, max_depth);
+    }
+}
+
+/// In-order iterator over a PMA; decodes one leaf at a time.
+pub struct Iter<'a, K: PmaKey, L: LeafStorage<K>> {
+    core: &'a PmaCore<K, L>,
+    leaf: usize,
+    buf: Vec<K>,
+    pos: usize,
+}
+
+impl<K: PmaKey, L: LeafStorage<K>> Iterator for Iter<'_, K, L> {
+    type Item = K;
+
+    fn next(&mut self) -> Option<K> {
+        while self.pos >= self.buf.len() {
+            if self.leaf >= self.core.storage.num_leaves() {
+                return None;
+            }
+            self.buf.clear();
+            self.pos = 0;
+            if self.core.storage.count(self.leaf) > 0 {
+                self.core.storage.collect_leaf(self.leaf, &mut self.buf);
+            }
+            self.leaf += 1;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Some(v)
+    }
+}
+
+impl<'a, K: PmaKey, L: LeafStorage<K>> IntoIterator for &'a PmaCore<K, L> {
+    type Item = K;
+    type IntoIter = Iter<'a, K, L>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn empty_structure() {
+        let p = Pma::<u64>::new();
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert!(!p.has(5));
+        assert_eq!(p.successor(0), None);
+        assert_eq!(p.min(), None);
+        assert_eq!(p.max(), None);
+        assert_eq!(p.sum(), 0);
+        assert_eq!(p.iter().count(), 0);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn point_inserts_uncompressed() {
+        let mut p = Pma::<u64>::new();
+        for k in [5u64, 1, 9, 3, 7, 1, 5] {
+            p.insert(k);
+        }
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![1, 3, 5, 7, 9]);
+        assert!(p.has(7));
+        assert!(!p.has(2));
+        assert_eq!(p.successor(4), Some(5));
+        assert_eq!(p.successor(9), Some(9));
+        assert_eq!(p.successor(10), None);
+        assert_eq!(p.min(), Some(1));
+        assert_eq!(p.max(), Some(9));
+        assert_eq!(p.sum(), 25);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn point_inserts_compressed() {
+        let mut c = Cpma::new();
+        for k in [500u64, 100, 900, 300, 700] {
+            assert!(c.insert(k));
+        }
+        assert!(!c.insert(300));
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![100, 300, 500, 700, 900]);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn many_point_inserts_trigger_growth() {
+        let mut p = Pma::<u64>::new();
+        let mut model = BTreeSet::new();
+        let mut x = 12345u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x >> 20;
+            p.insert(k);
+            model.insert(k);
+        }
+        assert_eq!(p.len(), model.len());
+        assert!(p.iter().eq(model.iter().copied()));
+        p.check_invariants();
+    }
+
+    #[test]
+    fn many_point_inserts_compressed_match_model() {
+        let mut c = Cpma::new();
+        let mut model = BTreeSet::new();
+        let mut x = 999u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let k = x >> 24;
+            c.insert(k);
+            model.insert(k);
+        }
+        assert_eq!(c.len(), model.len());
+        assert!(c.iter().eq(model.iter().copied()));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn removals_match_model() {
+        let mut p = Pma::<u64>::new();
+        let mut model = BTreeSet::new();
+        let mut x = 7u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (x >> 40) & 0xfff;
+            if x & 4 == 0 {
+                assert_eq!(p.insert(k), model.insert(k), "insert {k}");
+            } else {
+                assert_eq!(p.remove(k), model.remove(&k), "remove {k}");
+            }
+        }
+        assert_eq!(p.len(), model.len());
+        assert!(p.iter().eq(model.iter().copied()));
+        p.check_invariants();
+    }
+
+    #[test]
+    fn removals_compressed_match_model() {
+        let mut c = Cpma::new();
+        let mut model = BTreeSet::new();
+        let mut x = 31u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (x >> 40) & 0x3ff;
+            if x & 4 == 0 {
+                assert_eq!(c.insert(k), model.insert(k));
+            } else {
+                assert_eq!(c.remove(k), model.remove(&k));
+            }
+        }
+        assert!(c.iter().eq(model.iter().copied()));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn remove_down_to_empty() {
+        let mut p = Pma::<u64>::new();
+        for k in 0..200u64 {
+            p.insert(k * 3);
+        }
+        for k in 0..200u64 {
+            assert!(p.remove(k * 3));
+        }
+        assert!(p.is_empty());
+        assert!(!p.remove(0));
+        p.check_invariants();
+        // Structure remains usable.
+        p.insert(42);
+        assert!(p.has(42));
+        p.check_invariants();
+    }
+
+    #[test]
+    fn from_sorted_builds_even_layout() {
+        let elems: Vec<u64> = (0..10_000).map(|i| i * 7).collect();
+        let p = Pma::from_sorted(&elems);
+        assert_eq!(p.len(), elems.len());
+        assert!(p.iter().eq(elems.iter().copied()));
+        p.check_invariants();
+        let c = Cpma::from_sorted(&elems);
+        assert_eq!(c.len(), elems.len());
+        assert!(c.iter().eq(elems.iter().copied()));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn map_range_respects_bounds() {
+        let elems: Vec<u64> = (0..1000).map(|i| i * 10).collect();
+        let c = Cpma::from_sorted(&elems);
+        let mut seen = Vec::new();
+        c.map_range(95, 250, |e| seen.push(e));
+        assert_eq!(seen, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240]);
+        // Empty and inverted ranges.
+        let mut none = Vec::new();
+        c.map_range(300, 300, |e| none.push(e));
+        c.map_range(400, 300, |e| none.push(e));
+        assert!(none.is_empty());
+        // Range past the end.
+        let mut tail = Vec::new();
+        c.map_range(9_990, u64::MAX, |e| tail.push(e));
+        assert_eq!(tail, vec![9_990]);
+    }
+
+    #[test]
+    fn map_range_length_counts() {
+        let elems: Vec<u64> = (0..500).collect();
+        let p = Pma::from_sorted(&elems);
+        let mut seen = Vec::new();
+        let n = p.map_range_length(100, 5, |e| seen.push(e));
+        assert_eq!(n, 5);
+        assert_eq!(seen, vec![100, 101, 102, 103, 104]);
+        let n = p.map_range_length(498, 10, |_| {});
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn range_sum_matches_naive() {
+        let elems: Vec<u64> = (0..5000).map(|i| i * 3 + 1).collect();
+        let c = Cpma::from_sorted(&elems);
+        for (a, b) in [(0u64, 100u64), (50, 5000), (1, 2), (14_000, 15_000), (0, u64::MAX)] {
+            let naive: u64 = elems.iter().filter(|&&e| e >= a && e < b).sum();
+            assert_eq!(c.range_sum(a, b), naive, "range [{a},{b})");
+        }
+        assert_eq!(c.sum(), elems.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn par_map_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let elems: Vec<u64> = (0..2000).collect();
+        let p = Pma::from_sorted(&elems);
+        let acc = AtomicU64::new(0);
+        p.par_map(|e| {
+            acc.fetch_add(e, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), elems.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn compressed_uses_less_space_than_uncompressed() {
+        // 40-bit-style keys at realistic density.
+        let mut x = 77u64;
+        let mut elems: Vec<u64> = (0..50_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x >> 24
+            })
+            .collect();
+        elems.sort_unstable();
+        elems.dedup();
+        let p = Pma::from_sorted(&elems);
+        let c = Cpma::from_sorted(&elems);
+        assert!(
+            (c.size_bytes() as f64) < 0.7 * p.size_bytes() as f64,
+            "CPMA {} vs PMA {}",
+            c.size_bytes(),
+            p.size_bytes()
+        );
+    }
+
+    #[test]
+    fn boundary_keys() {
+        let mut c = Cpma::new();
+        assert!(c.insert(0));
+        assert!(c.insert(u64::MAX));
+        assert!(c.insert(u64::MAX - 1));
+        assert!(c.has(0));
+        assert!(c.has(u64::MAX));
+        assert_eq!(c.successor(u64::MAX), Some(u64::MAX));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![0, u64::MAX - 1, u64::MAX]);
+        c.check_invariants();
+        assert!(c.remove(u64::MAX));
+        assert_eq!(c.max(), Some(u64::MAX - 1));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn u32_keys_supported() {
+        let mut p = Pma::<u32>::new();
+        for k in (0..1000u32).rev() {
+            p.insert(k);
+        }
+        assert_eq!(p.len(), 1000);
+        assert!(p.iter().eq(0..1000u32));
+        p.check_invariants();
+    }
+
+    #[test]
+    fn custom_growing_factor() {
+        for f in [1.1f64, 1.5, 2.0] {
+            let cfg = PmaConfig { growing_factor: f, ..Default::default() };
+            let mut p = Pma::<u64>::with_config(cfg);
+            for k in 0..2000u64 {
+                p.insert(k);
+            }
+            assert_eq!(p.len(), 2000);
+            p.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Batch-parallel Packed Memory Array (PMA) and Compressed PMA (CPMA).
+//!
+//! This crate is the paper's primary contribution: a dynamic, ordered,
+//! batch-parallel set stored in one contiguous array without pointers.
+//!
+//! * [`Pma`] — the uncompressed PMA: packed-left leaves of raw keys.
+//! * [`Cpma`] — the compressed PMA: each leaf stores its first key (*head*)
+//!   raw and the remaining keys as delta-encoded byte codes; density bounds
+//!   are enforced on **bytes** instead of cells (§5 of the paper).
+//!
+//! Both share one engine, [`core::PmaCore`], which implements search, point
+//! updates, the three-phase parallel batch-update algorithm of §4
+//! (batch-merge → counting → redistribute), range maps, and resizing with a
+//! configurable growing factor (Appendix C).
+
+pub mod codec;
+pub mod core;
+pub mod density;
+pub mod stats;
+pub mod tree;
+
+mod batch;
+mod compressed;
+mod leaf;
+mod uncompressed;
+
+pub use crate::compressed::CompressedLeaves;
+pub use crate::core::{Cpma, Pma, PmaConfig, PmaCore};
+pub use crate::density::DensityBounds;
+pub use crate::leaf::{LeafStorage, MergeOutcome};
+pub use crate::uncompressed::UncompressedLeaves;
+
+/// Integer key types storable in a PMA.
+///
+/// The paper's artifact is a 64-bit key store; we additionally allow `u32`
+/// for the uncompressed PMA. The CPMA's delta coder is defined on `u64`.
+pub trait PmaKey:
+    Copy + Ord + Eq + Send + Sync + std::fmt::Debug + std::fmt::Display + 'static
+{
+    /// Width of the raw (uncompressed) encoding in bytes.
+    const BYTES: usize;
+    /// Smallest key value.
+    const MIN: Self;
+    /// Largest key value.
+    const MAX: Self;
+    /// Widen to u64 (used by sum / compression).
+    fn to_u64(self) -> u64;
+    /// Narrow from u64; values out of range must not occur by construction.
+    fn from_u64(v: u64) -> Self;
+}
+
+impl PmaKey for u64 {
+    const BYTES: usize = 8;
+    const MIN: Self = 0;
+    const MAX: Self = u64::MAX;
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+
+impl PmaKey for u32 {
+    const BYTES: usize = 4;
+    const MIN: Self = 0;
+    const MAX: Self = u32::MAX;
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        debug_assert!(v <= u32::MAX as u64);
+        v as u32
+    }
+}

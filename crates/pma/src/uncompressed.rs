@@ -1,0 +1,452 @@
+//! Uncompressed leaf storage: packed-left leaves of raw keys.
+//!
+//! The classic PMA stores elements in cells with embedded gaps; following
+//! the paper (and [81]) we pack each leaf's elements to the left and keep a
+//! per-leaf count, which "does not affect the PMA's asymptotic bounds
+//! because the bounds only depend on the density of the elements in the PMA
+//! leaves" (§5). A separate head array accelerates search, as in the
+//! search-optimized PMA the paper builds on [78]. Units are **cells**.
+
+use crate::leaf::{set_difference_into, set_union_into, MergeOutcome, SharedLeaves};
+use crate::{stats, LeafStorage, PmaKey};
+use std::marker::PhantomData;
+
+/// Packed-left uncompressed leaves. See module docs.
+pub struct UncompressedLeaves<K: PmaKey> {
+    /// `num_leaves * leaf_units` cells; leaf `i` owns
+    /// `[i * leaf_units, (i+1) * leaf_units)`, valid prefix = `counts[i]`.
+    cells: Vec<K>,
+    /// Elements per leaf.
+    counts: Vec<u32>,
+    /// Leaf heads (inherited values for empty leaves); non-decreasing.
+    heads: Vec<K>,
+    /// Out-of-place buffers for overflowed leaves (batch merge only).
+    overflow: Vec<Option<Box<[K]>>>,
+    leaf_units: usize,
+}
+
+impl<K: PmaKey> UncompressedLeaves<K> {
+    #[inline]
+    fn leaf_slice(&self, leaf: usize) -> &[K] {
+        debug_assert!(self.overflow[leaf].is_none(), "query on overflowed leaf");
+        let start = leaf * self.leaf_units;
+        &self.cells[start..start + self.counts[leaf] as usize]
+    }
+}
+
+impl<K: PmaKey> LeafStorage<K> for UncompressedLeaves<K> {
+    type Shared<'a>
+        = UncompressedShared<'a, K>
+    where
+        Self: 'a;
+
+    // 16 cells minimum so leaves stay Θ(log n)-sized rather than degenerate.
+    const MIN_LEAF_UNITS: usize = 16;
+    const LEAF_ALIGN: usize = 8;
+    const HEAD_UNITS: usize = 0;
+    const LEAF_SCALE: usize = 2;
+
+    fn with_geometry(num_leaves: usize, leaf_units: usize) -> Self {
+        assert!(num_leaves >= 1);
+        assert!(leaf_units >= Self::MIN_LEAF_UNITS);
+        Self {
+            cells: vec![K::MIN; num_leaves * leaf_units],
+            counts: vec![0; num_leaves],
+            heads: vec![K::MIN; num_leaves],
+            overflow: (0..num_leaves).map(|_| None).collect(),
+            leaf_units,
+        }
+    }
+
+    #[inline]
+    fn num_leaves(&self) -> usize {
+        self.counts.len()
+    }
+
+    #[inline]
+    fn leaf_units(&self) -> usize {
+        self.leaf_units
+    }
+
+    #[inline]
+    fn units_used(&self, leaf: usize) -> usize {
+        self.counts[leaf] as usize
+    }
+
+    #[inline]
+    fn count(&self, leaf: usize) -> usize {
+        self.counts[leaf] as usize
+    }
+
+    #[inline]
+    fn head(&self, leaf: usize) -> K {
+        self.heads[leaf]
+    }
+
+    #[inline]
+    fn is_overflowed(&self, leaf: usize) -> bool {
+        self.overflow[leaf].is_some()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.cells.len() * K::BYTES
+            + self.counts.len() * 4
+            + self.heads.len() * K::BYTES
+            + self.overflow.len() * std::mem::size_of::<Option<Box<[K]>>>()
+    }
+
+    fn leaf_successor(&self, leaf: usize, key: K) -> Option<K> {
+        let slice = self.leaf_slice(leaf);
+        stats::record_read(slice.len() * K::BYTES);
+        let idx = slice.partition_point(|&e| e < key);
+        slice.get(idx).copied()
+    }
+
+    fn leaf_contains(&self, leaf: usize, key: K) -> bool {
+        let slice = self.leaf_slice(leaf);
+        stats::record_read(slice.len() * K::BYTES);
+        slice.binary_search(&key).is_ok()
+    }
+
+    fn leaf_max(&self, leaf: usize) -> Option<K> {
+        // Overflow-aware: the redistribute phase reads neighbours that may
+        // still be spilled.
+        if let Some(buf) = self.overflow[leaf].as_deref() {
+            return buf.last().copied();
+        }
+        self.leaf_slice(leaf).last().copied()
+    }
+
+    fn for_each_in_leaf(&self, leaf: usize, f: &mut dyn FnMut(K) -> bool) -> bool {
+        let slice = self.leaf_slice(leaf);
+        stats::record_read(slice.len() * K::BYTES);
+        for &e in slice {
+            if !f(e) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn collect_leaf(&self, leaf: usize, out: &mut Vec<K>) {
+        if let Some(buf) = self.overflow[leaf].as_deref() {
+            out.extend_from_slice(buf);
+            return;
+        }
+        out.extend_from_slice(self.leaf_slice(leaf));
+    }
+
+    fn leaf_sum(&self, leaf: usize) -> u64 {
+        let slice = self.leaf_slice(leaf);
+        stats::record_read(slice.len() * K::BYTES);
+        slice.iter().fold(0u64, |acc, &e| acc.wrapping_add(e.to_u64()))
+    }
+
+    #[inline]
+    fn units_for(elems: &[K]) -> usize {
+        elems.len()
+    }
+
+    fn plan_split(elems: &[K], k: usize, leaf_units: usize) -> Vec<usize> {
+        // Even count split: slice sizes differ by at most one.
+        let n = elems.len();
+        let offsets: Vec<usize> = (0..=k).map(|j| j * n / k).collect();
+        debug_assert!(
+            offsets.windows(2).all(|w| w[1] - w[0] <= leaf_units),
+            "split does not fit: {n} elements into {k} leaves of {leaf_units}"
+        );
+        offsets
+    }
+
+    fn shared(&mut self) -> UncompressedShared<'_, K> {
+        UncompressedShared {
+            cells: self.cells.as_mut_ptr(),
+            counts: self.counts.as_mut_ptr(),
+            heads: self.heads.as_mut_ptr(),
+            overflow: self.overflow.as_mut_ptr(),
+            leaf_units: self.leaf_units,
+            num_leaves: self.counts.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Shared-disjoint accessor for [`UncompressedLeaves`]. All raw pointers are
+/// derived from one `&mut` borrow; methods only touch the addressed leaf's
+/// cells/count/head/overflow slot, so concurrent calls on distinct leaves
+/// never alias.
+pub struct UncompressedShared<'a, K: PmaKey> {
+    cells: *mut K,
+    counts: *mut u32,
+    heads: *mut K,
+    overflow: *mut Option<Box<[K]>>,
+    leaf_units: usize,
+    num_leaves: usize,
+    _marker: PhantomData<&'a mut UncompressedLeaves<K>>,
+}
+
+impl<K: PmaKey> Clone for UncompressedShared<'_, K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K: PmaKey> Copy for UncompressedShared<'_, K> {}
+
+// SAFETY: the accessor is only used under the SharedLeaves contract (no two
+// concurrent calls target the same leaf), which makes all pointer accesses
+// disjoint; the underlying buffers outlive 'a.
+unsafe impl<K: PmaKey> Send for UncompressedShared<'_, K> {}
+unsafe impl<K: PmaKey> Sync for UncompressedShared<'_, K> {}
+
+impl<K: PmaKey> UncompressedShared<'_, K> {
+    #[inline]
+    unsafe fn leaf_cells(&self, leaf: usize, len: usize) -> &mut [K] {
+        debug_assert!(leaf < self.num_leaves && len <= self.leaf_units);
+        std::slice::from_raw_parts_mut(self.cells.add(leaf * self.leaf_units), len)
+    }
+
+    #[inline]
+    unsafe fn current(&self, leaf: usize, scratch_src: &mut Vec<K>) -> usize {
+        // Load the leaf's current elements (possibly from overflow) into
+        // scratch_src; returns the old unit count.
+        let cnt = *self.counts.add(leaf) as usize;
+        scratch_src.clear();
+        if let Some(buf) = (*self.overflow.add(leaf)).as_deref() {
+            scratch_src.extend_from_slice(buf);
+        } else {
+            scratch_src.extend_from_slice(self.leaf_cells(leaf, cnt));
+        }
+        cnt
+    }
+
+    /// Store `elems` into the leaf, spilling to overflow when oversized.
+    #[inline]
+    unsafe fn store(&self, leaf: usize, elems: &[K], inherited_head: K) -> (usize, bool) {
+        let n = elems.len();
+        stats::record_write(n * K::BYTES);
+        if n <= self.leaf_units {
+            self.leaf_cells(leaf, n).copy_from_slice(elems);
+            *self.overflow.add(leaf) = None;
+            *self.counts.add(leaf) = n as u32;
+            *self.heads.add(leaf) = if n > 0 { elems[0] } else { inherited_head };
+            (n, false)
+        } else {
+            *self.overflow.add(leaf) = Some(elems.to_vec().into_boxed_slice());
+            *self.counts.add(leaf) = n as u32;
+            *self.heads.add(leaf) = elems[0];
+            (n, true)
+        }
+    }
+}
+
+impl<K: PmaKey> SharedLeaves<K> for UncompressedShared<'_, K> {
+    unsafe fn merge_into_leaf(
+        &self,
+        leaf: usize,
+        add: &[K],
+        scratch: &mut Vec<K>,
+    ) -> MergeOutcome {
+        let mut cur = Vec::new();
+        let old_units = self.current(leaf, &mut cur);
+        stats::record_read(old_units * K::BYTES);
+        let added = set_union_into(&cur, add, scratch);
+        let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+        MergeOutcome {
+            delta_count: added,
+            delta_units: new_units as isize - old_units as isize,
+            overflowed,
+        }
+    }
+
+    unsafe fn remove_from_leaf(
+        &self,
+        leaf: usize,
+        rem: &[K],
+        scratch: &mut Vec<K>,
+    ) -> MergeOutcome {
+        let mut cur = Vec::new();
+        let old_units = self.current(leaf, &mut cur);
+        stats::record_read(old_units * K::BYTES);
+        let removed = set_difference_into(&cur, rem, scratch);
+        if removed == 0 {
+            return MergeOutcome::default();
+        }
+        // An emptied leaf keeps its old head as the inherited value.
+        let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+        debug_assert!(!overflowed);
+        MergeOutcome {
+            delta_count: removed,
+            delta_units: new_units as isize - old_units as isize,
+            overflowed: false,
+        }
+    }
+
+    unsafe fn write_leaf(&self, leaf: usize, elems: &[K], inherited_head: K) -> usize {
+        debug_assert!(elems.len() <= self.leaf_units, "write_leaf must fit");
+        let (units, _) = self.store(leaf, elems, inherited_head);
+        units
+    }
+
+    unsafe fn collect_leaf(&self, leaf: usize, out: &mut Vec<K>) {
+        let cnt = *self.counts.add(leaf) as usize;
+        stats::record_read(cnt * K::BYTES);
+        if let Some(buf) = (*self.overflow.add(leaf)).as_deref() {
+            out.extend_from_slice(buf);
+        } else {
+            out.extend_from_slice(self.leaf_cells(leaf, cnt));
+        }
+    }
+
+    unsafe fn units_used(&self, leaf: usize) -> usize {
+        *self.counts.add(leaf) as usize
+    }
+
+    unsafe fn count(&self, leaf: usize) -> usize {
+        *self.counts.add(leaf) as usize
+    }
+
+    unsafe fn set_inherited_head(&self, leaf: usize, head: K) {
+        debug_assert_eq!(*self.counts.add(leaf), 0);
+        *self.heads.add(leaf) = head;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store3() -> UncompressedLeaves<u64> {
+        UncompressedLeaves::with_geometry(3, 16)
+    }
+
+    #[test]
+    fn fresh_storage_is_empty() {
+        let s = store3();
+        assert_eq!(s.num_leaves(), 3);
+        assert_eq!(s.leaf_units(), 16);
+        for l in 0..3 {
+            assert_eq!(s.count(l), 0);
+            assert_eq!(s.units_used(l), 0);
+            assert!(!s.is_overflowed(l));
+            assert_eq!(s.head(l), 0);
+        }
+    }
+
+    #[test]
+    fn merge_and_query() {
+        let mut s = store3();
+        let sh = s.shared();
+        let mut scratch = Vec::new();
+        let out = unsafe { sh.merge_into_leaf(1, &[10, 20, 30], &mut scratch) };
+        assert_eq!(out.delta_count, 3);
+        assert_eq!(out.delta_units, 3);
+        assert!(!out.overflowed);
+        assert_eq!(s.count(1), 3);
+        assert_eq!(s.head(1), 10);
+        assert!(s.leaf_contains(1, 20));
+        assert!(!s.leaf_contains(1, 25));
+        assert_eq!(s.leaf_successor(1, 15), Some(20));
+        assert_eq!(s.leaf_successor(1, 31), None);
+        assert_eq!(s.leaf_max(1), Some(30));
+        assert_eq!(s.leaf_sum(1), 60);
+    }
+
+    #[test]
+    fn merge_dedups_against_existing() {
+        let mut s = store3();
+        let mut scratch = Vec::new();
+        unsafe {
+            let sh = s.shared();
+            sh.merge_into_leaf(0, &[5, 10], &mut scratch);
+            let out = sh.merge_into_leaf(0, &[5, 7, 10, 12], &mut scratch);
+            assert_eq!(out.delta_count, 2);
+        }
+        let mut v = Vec::new();
+        s.collect_leaf(0, &mut v);
+        assert_eq!(v, vec![5, 7, 10, 12]);
+    }
+
+    #[test]
+    fn overflow_spills_and_reports() {
+        let mut s = UncompressedLeaves::<u64>::with_geometry(2, 16);
+        let mut scratch = Vec::new();
+        let big: Vec<u64> = (0..20).collect();
+        let out = unsafe { s.shared().merge_into_leaf(0, &big, &mut scratch) };
+        assert!(out.overflowed);
+        assert_eq!(out.delta_count, 20);
+        assert!(s.is_overflowed(0));
+        assert_eq!(s.units_used(0), 20); // exceeds capacity => density > 1
+        let mut v = Vec::new();
+        unsafe { s.shared().collect_leaf(0, &mut v) };
+        assert_eq!(v, big);
+        // write_leaf clears the overflow.
+        unsafe { s.shared().write_leaf(0, &[1, 2, 3], 0) };
+        assert!(!s.is_overflowed(0));
+        assert_eq!(s.count(0), 3);
+    }
+
+    #[test]
+    fn remove_keeps_old_head_when_emptied() {
+        let mut s = store3();
+        let mut scratch = Vec::new();
+        unsafe {
+            let sh = s.shared();
+            sh.merge_into_leaf(2, &[7, 9], &mut scratch);
+            let out = sh.remove_from_leaf(2, &[7, 9], &mut scratch);
+            assert_eq!(out.delta_count, 2);
+        }
+        assert_eq!(s.count(2), 0);
+        assert_eq!(s.head(2), 7, "emptied leaf keeps old head");
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut s = store3();
+        let mut scratch = Vec::new();
+        unsafe {
+            let sh = s.shared();
+            sh.merge_into_leaf(0, &[1, 2], &mut scratch);
+            let out = sh.remove_from_leaf(0, &[3, 4], &mut scratch);
+            assert_eq!(out, MergeOutcome::default());
+        }
+        assert_eq!(s.count(0), 2);
+    }
+
+    #[test]
+    fn plan_split_even() {
+        let elems: Vec<u64> = (0..10).collect();
+        let plan = UncompressedLeaves::plan_split(&elems, 4, 16);
+        assert_eq!(plan, vec![0, 2, 5, 7, 10]);
+        let plan = UncompressedLeaves::<u64>::plan_split(&[], 3, 16);
+        assert_eq!(plan, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn write_leaf_empty_sets_inherited_head() {
+        let mut s = store3();
+        unsafe {
+            s.shared().write_leaf(1, &[], 42);
+        }
+        assert_eq!(s.head(1), 42);
+        assert_eq!(s.count(1), 0);
+    }
+
+    #[test]
+    fn parallel_disjoint_merges() {
+        use rayon::prelude::*;
+        let mut s = UncompressedLeaves::<u64>::with_geometry(64, 16);
+        let sh = s.shared();
+        (0..64usize).into_par_iter().for_each(|leaf| {
+            let base = leaf as u64 * 100;
+            let mut scratch = Vec::new();
+            // SAFETY: each task owns a distinct leaf.
+            unsafe {
+                sh.merge_into_leaf(leaf, &[base, base + 1, base + 2], &mut scratch);
+            }
+        });
+        for leaf in 0..64 {
+            assert_eq!(s.count(leaf), 3);
+            assert_eq!(s.head(leaf), leaf as u64 * 100);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Crate-level property tests for the PMA/CPMA: structural invariants and
+//! behavioural equivalences under adversarial inputs that unit tests don't
+//! reach (dense runs, huge gaps, boundary keys, pathological batch mixes).
+
+use cpma_pma::{Cpma, DensityBounds, Pma, PmaConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn sorted_unique(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Key generators spanning the distributions that stress different parts
+/// of the structure: dense runs (tiny deltas), sparse (huge deltas), and
+/// clustered (a few hot leaves).
+fn key_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        // dense run with a random base
+        (any::<u32>(), 1usize..600).prop_map(|(base, n)| {
+            (0..n as u64).map(|i| base as u64 + i).collect()
+        }),
+        // uniform sparse
+        vec(any::<u64>(), 0..600),
+        // clustered around a handful of centers
+        (vec(any::<u32>(), 1..5), 1usize..400).prop_map(|(centers, n)| {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let c = centers[i % centers.len()] as u64;
+                out.push((c << 16) + (i as u64 % 1000));
+            }
+            out
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// from_sorted round-trips any distribution, both storages.
+    #[test]
+    fn build_roundtrip(keys in key_strategy()) {
+        let elems = sorted_unique(keys);
+        let p = Pma::<u64>::from_sorted(&elems);
+        prop_assert!(p.iter().eq(elems.iter().copied()));
+        p.check_invariants();
+        let c = Cpma::from_sorted(&elems);
+        prop_assert!(c.iter().eq(elems.iter().copied()));
+        c.check_invariants();
+    }
+
+    /// Alternating insert/delete batches keep both structures equal to the
+    /// model and internally consistent.
+    #[test]
+    fn mixed_batches_match_model(
+        rounds in vec((any::<bool>(), key_strategy()), 1..6)
+    ) {
+        let mut p = Pma::<u64>::new();
+        let mut c = Cpma::new();
+        let mut model = BTreeSet::new();
+        for (is_insert, keys) in rounds {
+            let b = sorted_unique(keys);
+            if is_insert {
+                let before = model.len();
+                model.extend(b.iter().copied());
+                let want = model.len() - before;
+                prop_assert_eq!(p.insert_batch_sorted(&b), want);
+                prop_assert_eq!(c.insert_batch_sorted(&b), want);
+            } else {
+                let mut want = 0;
+                for k in &b {
+                    if model.remove(k) {
+                        want += 1;
+                    }
+                }
+                prop_assert_eq!(p.remove_batch_sorted(&b), want);
+                prop_assert_eq!(c.remove_batch_sorted(&b), want);
+            }
+            p.check_invariants();
+            c.check_invariants();
+        }
+        prop_assert!(p.iter().eq(model.iter().copied()));
+        prop_assert!(c.iter().eq(model.iter().copied()));
+    }
+
+    /// iter_from agrees with filtering the full iteration.
+    #[test]
+    fn iter_from_matches_filter(keys in key_strategy(), start in any::<u64>()) {
+        let elems = sorted_unique(keys);
+        let c = Cpma::from_sorted(&elems);
+        let want: Vec<u64> = elems.iter().copied().filter(|&e| e >= start).collect();
+        let got: Vec<u64> = c.iter_from(start).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// map_range_length visits exactly min(length, #elements ≥ start)
+    /// elements, in order.
+    #[test]
+    fn map_range_length_counts(keys in key_strategy(), start in any::<u64>(), len in 0usize..50) {
+        let elems = sorted_unique(keys);
+        let p = Pma::<u64>::from_sorted(&elems);
+        let mut got = Vec::new();
+        let visited = p.map_range_length(start, len, |e| got.push(e));
+        let want: Vec<u64> =
+            elems.iter().copied().filter(|&e| e >= start).take(len).collect();
+        prop_assert_eq!(visited, want.len());
+        prop_assert_eq!(got, want);
+    }
+
+    /// min/max/len/sum agree with the model after batch churn.
+    #[test]
+    fn aggregates_match(keys in key_strategy(), dels in key_strategy()) {
+        let elems = sorted_unique(keys);
+        let dels = sorted_unique(dels);
+        let mut c = Cpma::from_sorted(&elems);
+        c.remove_batch_sorted(&dels);
+        let model: BTreeSet<u64> = elems
+            .iter()
+            .copied()
+            .filter(|k| dels.binary_search(k).is_err())
+            .collect();
+        prop_assert_eq!(c.len(), model.len());
+        prop_assert_eq!(c.min(), model.iter().next().copied());
+        prop_assert_eq!(c.max(), model.iter().next_back().copied());
+        let want = model.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(c.sum(), want);
+    }
+
+    /// Every growing factor in the paper's Appendix C sweep keeps the
+    /// structure correct.
+    #[test]
+    fn growing_factors_correct(
+        factor_tenths in 11u32..=20,
+        keys in vec(any::<u64>(), 1..800),
+    ) {
+        let cfg = PmaConfig {
+            growing_factor: factor_tenths as f64 / 10.0,
+            ..Default::default()
+        };
+        let mut c = Cpma::with_config(cfg);
+        let mut model = BTreeSet::new();
+        for chunk in keys.chunks(97) {
+            let b = sorted_unique(chunk.to_vec());
+            c.insert_batch_sorted(&b);
+            model.extend(b);
+        }
+        prop_assert!(c.iter().eq(model.iter().copied()));
+        c.check_invariants();
+    }
+
+    /// Custom density bounds within the legal envelope keep behaviour.
+    #[test]
+    fn custom_density_bounds_correct(
+        upper_leaf in 0.80f64..0.95,
+        lower_root in 0.20f64..0.35,
+        keys in vec(any::<u64>(), 1..600),
+    ) {
+        let bounds = DensityBounds {
+            upper_leaf,
+            upper_root: 0.7,
+            lower_leaf: 0.05,
+            lower_root,
+            rebuild_target: 0.5,
+        };
+        let cfg = PmaConfig { bounds, ..Default::default() };
+        let mut p = Pma::<u64>::with_config(cfg);
+        let b = sorted_unique(keys);
+        p.insert_batch_sorted(&b);
+        prop_assert!(p.iter().eq(b.iter().copied()));
+        p.check_invariants();
+    }
+}
+
+#[test]
+fn point_ops_at_extremes() {
+    let mut c = Cpma::new();
+    assert!(c.insert(u64::MAX));
+    assert!(c.insert(0));
+    assert!(c.insert(u64::MAX - 1));
+    assert!(!c.insert(u64::MAX));
+    assert_eq!(c.iter().collect::<Vec<_>>(), vec![0, u64::MAX - 1, u64::MAX]);
+    assert!(c.remove(0));
+    assert_eq!(c.min(), Some(u64::MAX - 1));
+    c.check_invariants();
+}
+
+#[test]
+fn batch_larger_than_structure() {
+    // k >> n exercises the full-rebuild regime from a tiny base.
+    let mut c = Cpma::from_sorted(&[5, 10]);
+    let batch: Vec<u64> = (0..50_000u64).map(|i| i * 2 + 1).collect();
+    // 5 is already present, so one batch key is a duplicate.
+    assert_eq!(c.insert_batch_sorted(&batch), 49_999);
+    assert_eq!(c.len(), 50_001);
+    c.check_invariants();
+}
+
+#[test]
+fn repeated_identical_batches_are_idempotent() {
+    let batch: Vec<u64> = (0..10_000u64).map(|i| i * 7).collect();
+    let mut p = Pma::<u64>::new();
+    assert_eq!(p.insert_batch_sorted(&batch), 10_000);
+    for _ in 0..5 {
+        assert_eq!(p.insert_batch_sorted(&batch), 0);
+        p.check_invariants();
+    }
+    assert_eq!(p.len(), 10_000);
+}
+
+#[test]
+fn alternating_grow_shrink_cycles() {
+    // Pump the structure up and down across several resize boundaries.
+    let mut c = Cpma::new();
+    for round in 0..6u64 {
+        let keys: Vec<u64> = (0..20_000u64).map(|i| i * 31 + round).collect();
+        let b: Vec<u64> = {
+            let mut v = keys.clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        c.insert_batch_sorted(&b);
+        c.check_invariants();
+        c.remove_batch_sorted(&b);
+        c.check_invariants();
+    }
+    assert!(c.is_empty());
+}

@@ -1,0 +1,160 @@
+//! Uniform key workloads and batch helpers.
+//!
+//! The paper's main microbenchmark draws 40-bit uniform random numbers: wide
+//! enough that duplicates are rare at 2×10⁸ elements, narrow enough that the
+//! CPMA's delta compression has something to compress (§6, "Experimental
+//! setup").
+
+use crate::rng::SplitMix64;
+use rayon::prelude::*;
+
+/// Generate `n` uniform keys of the given bit width (the paper uses 40).
+/// Duplicates may occur, exactly as in the paper's workload.
+pub fn uniform_keys(n: usize, bits: u32, seed: u64) -> Vec<u64> {
+    // Generated in parallel chunks, but the output depends only on the seed:
+    // each chunk uses a stream derived from (seed, chunk index).
+    const CHUNK: usize = 1 << 16;
+    let chunks = n.div_ceil(CHUNK.max(1)).max(1);
+    let mut out = vec![0u64; n];
+    out.par_chunks_mut(CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let mut rng = SplitMix64::new(seed ^ (ci as u64).wrapping_mul(0xA24BAED4963EE407));
+            for v in chunk.iter_mut() {
+                *v = rng.next_bits(bits);
+            }
+        });
+    debug_assert!(chunks >= 1);
+    out
+}
+
+/// Generate `n` uniform keys in `[lo, hi)`.
+pub fn uniform_keys_in(n: usize, lo: u64, hi: u64, seed: u64) -> Vec<u64> {
+    assert!(hi > lo, "empty range");
+    let width = hi - lo;
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| lo + rng.next_below(width)).collect()
+}
+
+/// Generate `n` *distinct* uniform keys of the given bit width. Keeps drawing
+/// until enough unique values exist, so `n` must be comfortably below
+/// `2^bits`.
+pub fn unique_uniform_keys(n: usize, bits: u32, seed: u64) -> Vec<u64> {
+    assert!(
+        bits >= 63 || (n as u128) <= (1u128 << bits) / 2,
+        "cannot draw {n} unique values from a {bits}-bit space"
+    );
+    let mut keys = uniform_keys(n + n / 8 + 16, bits, seed);
+    keys.sort_unstable();
+    keys.dedup();
+    let mut rng = SplitMix64::new(seed ^ 0xDEAD_BEEF);
+    while keys.len() < n {
+        let mut extra: Vec<u64> = (0..(n - keys.len()) * 2 + 16)
+            .map(|_| rng.next_bits(bits))
+            .collect();
+        extra.sort_unstable();
+        keys.extend(extra);
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    keys.truncate(n);
+    // Return in shuffled (insertion) order, not sorted order.
+    shuffle(&mut keys, seed ^ 0xC0FFEE);
+    keys
+}
+
+/// Fisher–Yates shuffle driven by a seed.
+pub fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Sort and deduplicate a batch in place (what `insert_batch(sorted=false)`
+/// does internally); returned for convenience.
+pub fn dedup_sorted(mut batch: Vec<u64>) -> Vec<u64> {
+    batch.par_sort_unstable();
+    batch.dedup();
+    batch
+}
+
+/// Split a key stream into consecutive batches of `batch_size` (the last
+/// batch may be short). Used by every throughput experiment: "inserting 100
+/// million elements in batches into a data structure that starts with 100
+/// million elements".
+pub fn batches_of(keys: &[u64], batch_size: usize) -> impl Iterator<Item = &[u64]> {
+    assert!(batch_size > 0);
+    keys.chunks(batch_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_respect_bit_width() {
+        let keys = uniform_keys(10_000, 40, 1);
+        assert_eq!(keys.len(), 10_000);
+        assert!(keys.iter().all(|&k| k < 1u64 << 40));
+        // 40-bit space: duplicates in 10k draws are vanishingly unlikely but
+        // allowed; just check the values are spread out.
+        let lo = keys.iter().filter(|&&k| k < 1u64 << 39).count();
+        assert!(lo > 4000 && lo < 6000, "not uniform: {lo}");
+    }
+
+    #[test]
+    fn uniform_keys_deterministic() {
+        assert_eq!(uniform_keys(5000, 40, 7), uniform_keys(5000, 40, 7));
+        assert_ne!(uniform_keys(5000, 40, 7), uniform_keys(5000, 40, 8));
+    }
+
+    #[test]
+    fn uniform_keys_in_range() {
+        let keys = uniform_keys_in(1000, 100, 200, 3);
+        assert!(keys.iter().all(|&k| (100..200).contains(&k)));
+    }
+
+    #[test]
+    fn unique_keys_are_unique() {
+        let keys = unique_uniform_keys(5000, 20, 11);
+        assert_eq!(keys.len(), 5000);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5000);
+    }
+
+    #[test]
+    fn dedup_sorted_sorts_and_dedups() {
+        let out = dedup_sorted(vec![5, 1, 5, 3, 1, 2]);
+        assert_eq!(out, vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn batches_cover_everything() {
+        let keys: Vec<u64> = (0..107).collect();
+        let collected: Vec<u64> = batches_of(&keys, 10).flatten().copied().collect();
+        assert_eq!(collected, keys);
+        assert_eq!(batches_of(&keys, 10).count(), 11);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        shuffle(&mut v, 99);
+        assert_ne!(v, (0..1000).collect::<Vec<u64>>());
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_inputs_ok() {
+        assert!(uniform_keys(0, 40, 1).is_empty());
+        assert!(dedup_sorted(vec![]).is_empty());
+        let empty: Vec<u64> = vec![];
+        assert_eq!(batches_of(&empty, 4).count(), 0);
+    }
+}

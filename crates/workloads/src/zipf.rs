@@ -1,0 +1,185 @@
+//! Zipfian key generator (YCSB-style).
+//!
+//! The paper's skewed microbenchmark "generates 34-bit numbers with skew
+//! parameter α = 0.99 (parameter taken from the YCSB)". We implement the
+//! classic Gray et al. "Quickly generating billion-record synthetic
+//! databases" algorithm, the same one YCSB uses, with the standard
+//! large-`n` approximation of the zeta normalizer (the exact sum over 2³⁴
+//! terms would dominate workload generation).
+//!
+//! Like YCSB's `ScrambledZipfianGenerator`, ranks are scrambled through a
+//! 64-bit mixer so the hot items are spread across the key space rather than
+//! clustered at small keys — without scrambling, a sorted-set benchmark
+//! would see all the skew land in a single PMA leaf and measure nothing but
+//! that leaf.
+
+use crate::rng::{mix64, SplitMix64};
+
+/// Zipfian generator over `[0, n)` with skew `theta` (α in the paper).
+#[derive(Clone, Debug)]
+pub struct ZipfGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+    rng: SplitMix64,
+    scramble: bool,
+}
+
+/// Number of leading terms of the zeta sum computed exactly; the tail is
+/// approximated by the integral ∫ x^-θ dx, which for θ < 1 is accurate to
+/// well under 0.1% at this cutoff.
+const EXACT_TERMS: u64 = 1 << 20;
+
+fn zeta_approx(n: u64, theta: f64) -> f64 {
+    let exact = n.min(EXACT_TERMS);
+    let mut sum = 0.0;
+    for i in 1..=exact {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    if n > exact {
+        // ∫_{exact}^{n} x^-θ dx  = (n^{1-θ} − exact^{1-θ}) / (1−θ)
+        let one_minus = 1.0 - theta;
+        sum += ((n as f64).powf(one_minus) - (exact as f64).powf(one_minus)) / one_minus;
+    }
+    sum
+}
+
+impl ZipfGenerator {
+    /// Zipfian over `[0, n)` with the given skew; `scramble` spreads ranks
+    /// over the space (YCSB scrambled-zipfian behaviour).
+    pub fn new(n: u64, theta: f64, seed: u64, scramble: bool) -> Self {
+        assert!(n >= 2, "zipf needs at least 2 items");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = zeta_approx(n, theta);
+        let zeta2theta = zeta_approx(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta =
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Self { n, theta, alpha, zetan, eta, zeta2theta, rng: SplitMix64::new(seed), scramble }
+    }
+
+    /// The paper's configuration: 34-bit key space, α = 0.99, scrambled.
+    pub fn paper_config(seed: u64) -> Self {
+        Self::new(1u64 << 34, 0.99, seed, true)
+    }
+
+    /// Draw the next zipfian rank (0 = hottest) before scrambling.
+    #[inline]
+    pub fn next_rank(&mut self) -> u64 {
+        let u = self.rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Draw the next key in `[0, n)`.
+    #[inline]
+    pub fn next_key(&mut self) -> u64 {
+        let rank = self.next_rank();
+        if self.scramble {
+            // Offset before mixing: mix64 is a bijection with mix64(0) = 0,
+            // which would leave the hottest rank unscrambled.
+            mix64(rank.wrapping_add(0x9E3779B97F4A7C15)) % self.n
+        } else {
+            rank
+        }
+    }
+
+    /// Generate a vector of `count` keys.
+    pub fn keys(&mut self, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.next_key()).collect()
+    }
+
+    /// Item-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Accessor used by tests to validate the normalizer.
+    pub fn zeta2theta(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeta_exact_matches_small_n() {
+        // For n below the cutoff the approximation is the exact sum.
+        let z = zeta_approx(100, 0.99);
+        let exact: f64 = (1..=100u64).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        assert!((z - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeta_tail_approx_is_close() {
+        // Compare the integral tail against the exact sum at a size we can
+        // still afford: n = 2^22 with cutoff 2^20.
+        let n = 1u64 << 22;
+        let theta = 0.99;
+        let approx = zeta_approx(n, theta);
+        let exact: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        assert!(
+            (approx - exact).abs() / exact < 1e-3,
+            "approx {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn ranks_in_range_and_skewed() {
+        let mut z = ZipfGenerator::new(1 << 20, 0.99, 42, false);
+        let mut rank0 = 0usize;
+        let n = 200_000;
+        for _ in 0..n {
+            let r = z.next_rank();
+            assert!(r < 1 << 20);
+            if r == 0 {
+                rank0 += 1;
+            }
+        }
+        // With θ=0.99 and n=2^20, P(rank 0) ≈ 1/ζ ≈ 5.8%. Accept a broad band.
+        let frac = rank0 as f64 / n as f64;
+        assert!(frac > 0.02 && frac < 0.15, "rank-0 fraction {frac}");
+    }
+
+    #[test]
+    fn scrambled_keys_stay_in_range() {
+        let mut z = ZipfGenerator::paper_config(7);
+        for _ in 0..10_000 {
+            assert!(z.next_key() < 1u64 << 34);
+        }
+    }
+
+    #[test]
+    fn scrambling_spreads_hot_keys() {
+        let mut z = ZipfGenerator::new(1 << 30, 0.99, 21, true);
+        let keys = z.keys(50_000);
+        // The hottest key must not be tiny (scrambled), and duplicates must
+        // exist (skew).
+        let mut counts = std::collections::HashMap::new();
+        for &k in &keys {
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        let (&hot, &hits) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert!(hits > 1000, "no skew: hottest only {hits}");
+        assert!(hot > 1 << 20, "hot key not scrambled: {hot}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ZipfGenerator::paper_config(3).keys(1000);
+        let b = ZipfGenerator::paper_config(3).keys(1000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,99 @@
+//! Side-by-side analytics workload across the paper's set implementations:
+//! the same ingest-and-scan loop on the CPMA, the uncompressed PMA,
+//! P-trees, and compressed PaC-trees, reporting throughput and footprint.
+//!
+//! A miniature of the paper's headline claim: the CPMA matches tree space,
+//! beats trees on scans *and* batch ingest.
+//!
+//! Run with: `cargo run --release --example analytics`
+
+use cpma::baselines::{CPac, PTree};
+use cpma::pma::{Cpma, Pma};
+use cpma::workloads::{uniform_keys, ZipfGenerator};
+use std::time::Instant;
+
+trait Store {
+    fn name(&self) -> &'static str;
+    fn ingest(&mut self, batch: &[u64]) -> usize;
+    fn scan_sum(&self, lo: u64, hi: u64) -> u64;
+    fn bytes(&self) -> usize;
+}
+
+macro_rules! impl_store {
+    ($ty:ty, $name:literal, $ins:ident, $sum:ident, $size:ident) => {
+        impl Store for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn ingest(&mut self, batch: &[u64]) -> usize {
+                let mut b = batch.to_vec();
+                b.sort_unstable();
+                b.dedup();
+                self.$ins(&b)
+            }
+            fn scan_sum(&self, lo: u64, hi: u64) -> u64 {
+                self.$sum(lo, hi)
+            }
+            fn bytes(&self) -> usize {
+                self.$size()
+            }
+        }
+    };
+}
+
+impl_store!(Cpma, "CPMA", insert_batch_sorted, range_sum, size_bytes);
+impl_store!(Pma<u64>, "PMA", insert_batch_sorted, range_sum, size_bytes);
+impl_store!(PTree, "P-tree", insert_batch_sorted, range_sum, size_bytes);
+impl_store!(CPac, "C-PaC", insert_batch_sorted, range_sum, size_bytes);
+
+fn drive(store: &mut dyn Store, batches: &[Vec<u64>], windows: &[(u64, u64)]) {
+    let t = Instant::now();
+    let mut added = 0;
+    for b in batches {
+        added += store.ingest(b);
+    }
+    let ingest = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut checksum = 0u64;
+    for &(lo, hi) in windows {
+        checksum = checksum.wrapping_add(store.scan_sum(lo, hi));
+    }
+    let scan = t.elapsed().as_secs_f64();
+
+    println!(
+        "{:>7}: ingest {:>9.0} keys/s | {} window scans in {:>6.1} ms | {:>6.2} B/key | checksum {:#x}",
+        store.name(),
+        added as f64 / ingest,
+        windows.len(),
+        scan * 1e3,
+        store.bytes() as f64 / added.max(1) as f64,
+        checksum
+    );
+}
+
+fn main() {
+    // A mixed feed: mostly uniform keys with a zipfian hot set.
+    let total = 1_000_000usize;
+    let mut zipf = ZipfGenerator::paper_config(99);
+    let batches: Vec<Vec<u64>> = (0..50)
+        .map(|i| {
+            let mut b = uniform_keys(total / 100, 40, 1000 + i);
+            b.extend(zipf.keys(total / 100));
+            b
+        })
+        .collect();
+    // 200 fixed analytics windows of ~0.5% of the key space each.
+    let windows: Vec<(u64, u64)> = (0..200u64)
+        .map(|i| {
+            let lo = (i * 5 + 1) << 31;
+            (lo, lo + (1u64 << 33))
+        })
+        .collect();
+
+    println!("ingesting {} batches of {} keys, then scanning...", batches.len(), total / 50);
+    drive(&mut Cpma::new(), &batches, &windows);
+    drive(&mut Pma::<u64>::new(), &batches, &windows);
+    drive(&mut PTree::new(), &batches, &windows);
+    drive(&mut CPac::new(), &batches, &windows);
+}

@@ -1,0 +1,67 @@
+//! A batch-ingesting ordered key store — the workload class the paper's
+//! introduction motivates ("applications with a large number of requests
+//! in a short time, such as stream processing").
+//!
+//! Simulates an event-ID store: timestamps arrive in bursts (batches),
+//! recent windows are range-scanned for analytics, and old events are
+//! batch-expired. Contrasts the CPMA against the uncompressed PMA on
+//! footprint.
+//!
+//! Run with: `cargo run --release --example key_store`
+
+use cpma::pma::{Cpma, Pma};
+use cpma::workloads::SplitMix64;
+use std::time::Instant;
+
+/// Compose an event key: seconds in the high bits, a sequence number in
+/// the low bits — keys arrive roughly ordered, the CPMA's best case.
+fn event_key(second: u64, seq: u64) -> u64 {
+    (second << 20) | (seq & 0xFFFFF)
+}
+
+fn main() {
+    let mut store = Cpma::new();
+    let mut shadow = Pma::<u64>::new(); // uncompressed comparison
+    let mut rng = SplitMix64::new(2024);
+
+    let start = Instant::now();
+    let mut total_ingested = 0usize;
+    for second in 0..300u64 {
+        // A burst of 10k events this second, slightly out of order.
+        let mut burst: Vec<u64> =
+            (0..10_000).map(|_| event_key(second, rng.next_below(1 << 20))).collect();
+        total_ingested += store.insert_batch(&mut burst.clone(), false);
+        shadow.insert_batch(&mut burst, false);
+
+        // Every 50 seconds: range analytics over the trailing 10-second
+        // window, then expire everything older than 100 seconds.
+        if second % 50 == 49 {
+            let win_lo = event_key(second.saturating_sub(10), 0);
+            let win_hi = event_key(second + 1, 0);
+            let mut window_count = 0u64;
+            store.map_range(win_lo, win_hi, |_| window_count += 1);
+            let window_sum = store.range_sum(win_lo, win_hi);
+            println!(
+                "t={second:>3}s  window events: {window_count:>6}  checksum: {window_sum:#018x}"
+            );
+
+            if second > 100 {
+                let expire_before = event_key(second - 100, 0);
+                let mut victims = Vec::new();
+                store.map_range(0, expire_before, |k| victims.push(k));
+                let dropped = store.remove_batch(&mut victims.clone(), true);
+                shadow.remove_batch(&mut victims, true);
+                println!("        expired {dropped} events below t={}s", second - 100);
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!("\ningested {total_ingested} events in {elapsed:.2}s ({:.0} events/s)", total_ingested as f64 / elapsed);
+    println!(
+        "footprint: CPMA {:.2} B/event vs uncompressed PMA {:.2} B/event ({:.1}x smaller)",
+        store.size_bytes() as f64 / store.len() as f64,
+        shadow.size_bytes() as f64 / shadow.len() as f64,
+        shadow.size_bytes() as f64 / store.size_bytes() as f64
+    );
+    assert_eq!(store.len(), shadow.len(), "stores must agree");
+}

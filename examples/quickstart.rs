@@ -1,0 +1,56 @@
+//! Quickstart: the CPMA as a drop-in dynamic ordered set.
+//!
+//! Mirrors the paper artifact's API walk-through (`size`, `insert`,
+//! `insert_batch`, `has`, `map_range`, `sum`, iteration).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cpma::pma::Cpma;
+
+fn main() {
+    // Build empty, insert points.
+    let mut set = Cpma::new();
+    for k in [42u64, 7, 999, 7] {
+        set.insert(k); // duplicate 7 is ignored: it's a set
+    }
+    assert_eq!(set.len(), 3);
+    println!("after point inserts: len = {}", set.len());
+
+    // Batch insert (unsorted input is fine; returns how many were new).
+    let mut batch: Vec<u64> = (0..100_000u64).map(|i| i * 3 + 1).collect();
+    let added = set.insert_batch(&mut batch, false);
+    println!("batch insert added {added} keys; len = {}", set.len());
+
+    // Point queries.
+    assert!(set.has(42));
+    assert!(set.has(4));
+    assert_eq!(set.successor(5), Some(7));
+
+    // Ordered scans: range map, bounded map, sums.
+    let mut first_five = Vec::new();
+    set.map_range_length(0, 5, |k| first_five.push(k));
+    println!("first five keys: {first_five:?}");
+    let in_range = {
+        let mut c = 0u64;
+        set.map_range(1_000, 2_000, |_| c += 1);
+        c
+    };
+    println!("keys in [1000, 2000): {in_range}");
+    println!("sum of all keys: {}", set.sum());
+
+    // Batch delete.
+    let mut evens: Vec<u64> = (0..100_000u64).map(|i| i * 6 + 4).collect();
+    let removed = set.remove_batch(&mut evens, false);
+    println!("batch delete removed {removed} keys; len = {}", set.len());
+
+    // Memory accounting (the artifact's get_size()).
+    println!(
+        "memory: {} bytes total, {:.2} bytes/element",
+        set.size_bytes(),
+        set.size_bytes() as f64 / set.len() as f64
+    );
+
+    // Iterate in order (first 3).
+    let head: Vec<u64> = set.iter().take(3).collect();
+    println!("smallest three: {head:?}");
+}

@@ -1,0 +1,30 @@
+//! # cpma — batch-parallel (Compressed) Packed Memory Arrays in Rust
+//!
+//! Umbrella crate for the reproduction of *CPMA: An Efficient Batch-Parallel
+//! Compressed Set Without Pointers* (Wheatman, Burns, Buluç, Xu — PPoPP
+//! 2024). Re-exports the workspace crates under one roof:
+//!
+//! * [`pma`] — the paper's contribution: [`pma::Pma`] (uncompressed) and
+//!   [`pma::Cpma`] (delta + byte-code compressed), both with the
+//!   work-efficient parallel batch-update algorithm of §4;
+//! * [`baselines`] — reimplementations of the systems the paper compares
+//!   against: P-trees (PAM), PaC-trees (U-PaC / C-PaC), Aspen-style C-trees;
+//! * [`fgraph`] — F-Graph (dynamic graphs on a single CPMA), the baseline
+//!   graph containers, a CSR reference, and a Ligra-style algorithm layer;
+//! * [`workloads`] — deterministic generators for every input distribution
+//!   in the paper's evaluation.
+//!
+//! ```
+//! use cpma::pma::Cpma;
+//!
+//! let mut set = Cpma::new();
+//! set.insert_batch(&mut [5, 1, 3, 1], false);
+//! assert_eq!(set.len(), 3);
+//! assert!(set.has(3));
+//! assert_eq!(set.sum(), 9);
+//! ```
+
+pub use cpma_baselines as baselines;
+pub use cpma_fgraph as fgraph;
+pub use cpma_pma as pma;
+pub use cpma_workloads as workloads;

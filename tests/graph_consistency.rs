@@ -1,0 +1,147 @@
+//! Graph-layer integration tests: every dynamic container (F-Graph, C-PaC
+//! graph, Aspen graph) must present exactly the same graph as the static
+//! CSR reference, and the Ligra-layer algorithms must produce identical
+//! results on all of them.
+
+use cpma::fgraph::algos::{bc, bfs, cc, pagerank};
+use cpma::fgraph::{pack_edge, AspenGraph, Csr, FGraph, GraphScan, PacGraph};
+use cpma::workloads::{erdos_renyi_edges, RmatGenerator};
+
+fn neighbors_of(g: &impl GraphScan, v: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    g.for_each_neighbor(v, &mut |d| {
+        out.push(d);
+        true
+    });
+    out
+}
+
+fn assert_same_graph(a: &impl GraphScan, b: &impl GraphScan, name: &str) {
+    assert_eq!(a.num_vertices(), b.num_vertices(), "{name}: vertex count");
+    assert_eq!(a.num_edges(), b.num_edges(), "{name}: edge count");
+    for v in 0..a.num_vertices() as u32 {
+        assert_eq!(a.degree(v), b.degree(v), "{name}: degree({v})");
+        assert_eq!(neighbors_of(a, v), neighbors_of(b, v), "{name}: N({v})");
+    }
+}
+
+#[test]
+fn containers_present_identical_topology() {
+    let edges = RmatGenerator::paper_config(10, 5).undirected_graph(4_000);
+    let n = 1 << 10;
+    let csr = Csr::from_sorted_edges(n, &edges);
+    let fg = FGraph::from_edges(n, &edges);
+    let pac = PacGraph::from_edges(n, &edges);
+    let asp = AspenGraph::from_edges(n, &edges);
+    assert_same_graph(&csr, &fg.snapshot(), "F-Graph");
+    assert_same_graph(&csr, &pac, "PacGraph");
+    assert_same_graph(&csr, &asp, "AspenGraph");
+}
+
+#[test]
+fn algorithms_agree_across_containers_rmat() {
+    let edges = RmatGenerator::paper_config(10, 11).undirected_graph(6_000);
+    let n = 1 << 10;
+    let csr = Csr::from_sorted_edges(n, &edges);
+    let fg = FGraph::from_edges(n, &edges);
+    let pac = PacGraph::from_edges(n, &edges);
+    let asp = AspenGraph::from_edges(n, &edges);
+    let snap = fg.snapshot();
+
+    // PageRank: exact same arithmetic on every container.
+    let pr_ref = pagerank(&csr, 10);
+    for (name, pr) in
+        [("F", pagerank(&snap, 10)), ("C-PaC", pagerank(&pac, 10)), ("Aspen", pagerank(&asp, 10))]
+    {
+        for (i, (a, b)) in pr_ref.iter().zip(&pr).enumerate() {
+            assert!((a - b).abs() < 1e-10, "{name}: PR[{i}] {a} vs {b}");
+        }
+    }
+
+    // Connected components: identical labels.
+    let cc_ref = cc(&csr);
+    assert_eq!(cc(&snap), cc_ref, "F-Graph CC");
+    assert_eq!(cc(&pac), cc_ref, "PacGraph CC");
+    assert_eq!(cc(&asp), cc_ref, "AspenGraph CC");
+
+    // BC: identical dependency scores.
+    let bc_ref = bc(&csr, 3);
+    for (name, d) in [("F", bc(&snap, 3)), ("C-PaC", bc(&pac, 3)), ("Aspen", bc(&asp, 3))] {
+        for (i, (a, b)) in bc_ref.iter().zip(&d).enumerate() {
+            assert!((a - b).abs() < 1e-9, "{name}: BC[{i}] {a} vs {b}");
+        }
+    }
+
+    // BFS: same reachability and levels (parents may differ).
+    let ref_parents = bfs(&csr, 3);
+    let f_parents = bfs(&snap, 3);
+    for v in 0..n {
+        assert_eq!(
+            ref_parents[v] == u32::MAX,
+            f_parents[v] == u32::MAX,
+            "BFS reachability differs at {v}"
+        );
+    }
+}
+
+#[test]
+fn algorithms_agree_on_er_graph() {
+    let n = 800u32;
+    let edges = erdos_renyi_edges(n, 8.0 / n as f64, 9);
+    let csr = Csr::from_sorted_edges(n as usize, &edges);
+    let fg = FGraph::from_edges(n as usize, &edges);
+    let snap = fg.snapshot();
+    assert_eq!(cc(&snap), cc(&csr));
+    let pr_a = pagerank(&csr, 5);
+    let pr_b = pagerank(&snap, 5);
+    for (a, b) in pr_a.iter().zip(&pr_b) {
+        assert!((a - b).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn incremental_updates_converge_to_static_build() {
+    // Insert a graph in many small batches; the result must equal the
+    // one-shot build, on every container.
+    let edges = RmatGenerator::paper_config(9, 21).undirected_graph(3_000);
+    let n = 1 << 9;
+    let mut fg = FGraph::new(n);
+    let mut pac = PacGraph::new(n);
+    let mut asp = AspenGraph::new(n);
+    for chunk in edges.chunks(137) {
+        let mut b = chunk.to_vec();
+        fg.insert_edges(&mut b.clone(), true);
+        pac.insert_edges(&mut b.clone(), true);
+        asp.insert_edges(&mut b, true);
+    }
+    let csr = Csr::from_sorted_edges(n, &edges);
+    assert_same_graph(&csr, &fg.snapshot(), "incremental F-Graph");
+    assert_same_graph(&csr, &pac, "incremental PacGraph");
+    assert_same_graph(&csr, &asp, "incremental AspenGraph");
+}
+
+#[test]
+fn deletions_propagate_to_algorithms() {
+    // Remove a bridge edge and watch components split identically.
+    let mut pairs = Vec::new();
+    for v in 0..10u32 {
+        if v != 4 {
+            pairs.push((v, v + 1));
+        }
+    }
+    pairs.push((4, 5)); // the bridge
+    let mut edges: Vec<u64> = Vec::new();
+    for (a, b) in pairs {
+        edges.push(pack_edge(a, b));
+        edges.push(pack_edge(b, a));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let mut fg = FGraph::from_edges(11, &edges);
+    assert_eq!(cc(&fg.snapshot()).iter().filter(|&&l| l == 0).count(), 11);
+    let mut del = vec![pack_edge(4, 5), pack_edge(5, 4)];
+    assert_eq!(fg.delete_edges(&mut del, true), 2);
+    let labels = cc(&fg.snapshot());
+    assert!(labels[..5].iter().all(|&l| l == 0));
+    assert!(labels[5..].iter().all(|&l| l == 5));
+}

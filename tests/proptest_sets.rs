@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) for the core invariants the paper's
+//! data structures must uphold under arbitrary inputs.
+
+use cpma::baselines::{CPac, PTree};
+use cpma::pma::{codec, Cpma, Pma};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn sorted_unique(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte codes round-trip any strictly increasing run.
+    #[test]
+    fn codec_roundtrip(raw in vec(any::<u64>(), 0..300)) {
+        let elems = sorted_unique(raw);
+        let len = codec::encoded_run_len(&elems, 8);
+        let mut buf = vec![0u8; len];
+        let written = codec::encode_run(&elems, &mut buf);
+        prop_assert_eq!(written, len);
+        let mut out = Vec::new();
+        codec::decode_run(&buf, elems.len(), &mut out);
+        prop_assert_eq!(out, elems);
+    }
+
+    /// Varints round-trip any u64.
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = [0u8; codec::MAX_VARINT_BYTES];
+        let n = codec::write_varint(v, &mut buf);
+        prop_assert_eq!(n, codec::varint_len(v));
+        let (back, used) = codec::decode_varint(&buf);
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, n);
+    }
+
+    /// Batch insert ≡ point inserts, for the PMA.
+    #[test]
+    fn pma_batch_equals_points(
+        base in vec(any::<u64>(), 0..500),
+        batch in vec(any::<u64>(), 0..800),
+    ) {
+        let base = sorted_unique(base);
+        let mut batched = Pma::<u64>::from_sorted(&base);
+        let mut pointed = Pma::<u64>::from_sorted(&base);
+        let b = sorted_unique(batch);
+        let added = batched.insert_batch_sorted(&b);
+        let mut point_added = 0;
+        for &k in &b {
+            if pointed.insert(k) {
+                point_added += 1;
+            }
+        }
+        prop_assert_eq!(added, point_added);
+        prop_assert!(batched.iter().eq(pointed.iter()));
+        batched.check_invariants();
+        pointed.check_invariants();
+    }
+
+    /// The CPMA stores exactly the same set as the PMA under the same
+    /// operations (compression must be invisible).
+    #[test]
+    fn cpma_equals_pma(
+        ops in vec((any::<bool>(), vec(any::<u64>(), 1..400)), 1..8)
+    ) {
+        let mut pma = Pma::<u64>::new();
+        let mut cpma = Cpma::new();
+        for (is_insert, keys) in ops {
+            let b = sorted_unique(keys);
+            if is_insert {
+                prop_assert_eq!(pma.insert_batch_sorted(&b), cpma.insert_batch_sorted(&b));
+            } else {
+                prop_assert_eq!(pma.remove_batch_sorted(&b), cpma.remove_batch_sorted(&b));
+            }
+        }
+        prop_assert!(pma.iter().eq(cpma.iter()));
+        pma.check_invariants();
+        cpma.check_invariants();
+    }
+
+    /// delete ∘ insert ≡ identity on the CPMA.
+    #[test]
+    fn cpma_insert_then_delete_is_identity(
+        base in vec(any::<u64>(), 0..600),
+        extra in vec(any::<u64>(), 1..600),
+    ) {
+        let base = sorted_unique(base);
+        let extra: Vec<u64> = sorted_unique(extra)
+            .into_iter()
+            .filter(|k| base.binary_search(k).is_err())
+            .collect();
+        let mut c = Cpma::from_sorted(&base);
+        let before: Vec<u64> = c.iter().collect();
+        let added = c.insert_batch_sorted(&extra);
+        prop_assert_eq!(added, extra.len());
+        let removed = c.remove_batch_sorted(&extra);
+        prop_assert_eq!(removed, extra.len());
+        prop_assert_eq!(c.iter().collect::<Vec<_>>(), before);
+        c.check_invariants();
+    }
+
+    /// Range queries agree with the model on arbitrary bounds.
+    #[test]
+    fn range_ops_match_model(
+        elems in vec(any::<u64>(), 0..800),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let elems = sorted_unique(elems);
+        let c = Cpma::from_sorted(&elems);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let want: Vec<u64> = elems.iter().copied().filter(|&e| e >= lo && e < hi).collect();
+        let mut got = Vec::new();
+        c.map_range(lo, hi, |e| got.push(e));
+        prop_assert_eq!(&got, &want);
+        let want_sum = want.iter().fold(0u64, |x, &y| x.wrapping_add(y));
+        prop_assert_eq!(c.range_sum(lo, hi), want_sum);
+    }
+
+    /// successor() is the BTreeSet range lower bound.
+    #[test]
+    fn successor_matches_model(elems in vec(any::<u64>(), 0..400), probe in any::<u64>()) {
+        let elems = sorted_unique(elems);
+        let model: BTreeSet<u64> = elems.iter().copied().collect();
+        let p = Pma::<u64>::from_sorted(&elems);
+        let want = model.range(probe..).next().copied();
+        prop_assert_eq!(p.successor(probe), want);
+    }
+
+    /// Tree baselines implement the same set as the PMA (union semantics).
+    #[test]
+    fn baselines_match_pma(
+        base in vec(any::<u64>(), 0..400),
+        batch in vec(any::<u64>(), 0..400),
+        dels in vec(any::<u64>(), 0..200),
+    ) {
+        let base = sorted_unique(base);
+        let batch = sorted_unique(batch);
+        let dels = sorted_unique(dels);
+        let mut pma = Pma::<u64>::from_sorted(&base);
+        let mut pt = PTree::from_sorted(&base);
+        let mut cp = CPac::from_sorted(&base);
+        prop_assert_eq!(pma.insert_batch_sorted(&batch), pt.insert_batch_sorted(&batch));
+        prop_assert_eq!(cp.insert_batch_sorted(&batch), pt.len() - base.len().min(pt.len()));
+        prop_assert_eq!(pma.remove_batch_sorted(&dels), pt.remove_batch_sorted(&dels));
+        cp.remove_batch_sorted(&dels);
+        let reference: Vec<u64> = pma.iter().collect();
+        prop_assert_eq!(pt.collect(), reference.clone());
+        prop_assert_eq!(cp.collect(), reference);
+    }
+
+    /// Structural invariants hold after arbitrary mixed point operations.
+    #[test]
+    fn pma_invariants_under_point_ops(ops in vec((any::<bool>(), any::<u32>()), 0..600)) {
+        let mut p = Pma::<u64>::new();
+        let mut c = Cpma::new();
+        for (ins, k) in ops {
+            let k = k as u64;
+            if ins {
+                p.insert(k);
+                c.insert(k);
+            } else {
+                p.remove(k);
+                c.remove(k);
+            }
+        }
+        p.check_invariants();
+        c.check_invariants();
+        prop_assert!(p.iter().eq(c.iter()));
+    }
+}

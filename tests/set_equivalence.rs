@@ -1,0 +1,222 @@
+//! Cross-crate integration test: every set implementation in the
+//! evaluation (PMA, CPMA, P-tree, U-PaC, C-PaC, C-tree) must behave as the
+//! same abstract ordered set under a long randomized mixed workload of
+//! batch inserts, batch deletes, and range scans, with `BTreeSet` as the
+//! oracle.
+
+use cpma::baselines::{CPac, CTreeSet, PTree, UPac};
+use cpma::pma::{Cpma, Pma};
+use cpma::workloads::SplitMix64;
+use std::collections::BTreeSet;
+
+/// The operations every structure must expose for this test.
+trait SetUnderTest {
+    fn name() -> &'static str;
+    fn new_empty() -> Self;
+    fn ins(&mut self, batch: &[u64]) -> usize;
+    fn del(&mut self, batch: &[u64]) -> usize;
+    fn contains(&self, k: u64) -> bool;
+    fn items(&self) -> Vec<u64>;
+    fn count(&self) -> usize;
+}
+
+macro_rules! set_under_test {
+    ($ty:ty, $name:literal, $collect:ident) => {
+        impl SetUnderTest for $ty {
+            fn name() -> &'static str {
+                $name
+            }
+            fn new_empty() -> Self {
+                <$ty>::new()
+            }
+            fn ins(&mut self, batch: &[u64]) -> usize {
+                self.insert_batch_sorted(batch)
+            }
+            fn del(&mut self, batch: &[u64]) -> usize {
+                self.remove_batch_sorted(batch)
+            }
+            fn contains(&self, k: u64) -> bool {
+                self.has(k)
+            }
+            fn items(&self) -> Vec<u64> {
+                self.$collect()
+            }
+            fn count(&self) -> usize {
+                self.len()
+            }
+        }
+    };
+}
+
+impl SetUnderTest for Pma<u64> {
+    fn name() -> &'static str {
+        "PMA"
+    }
+    fn new_empty() -> Self {
+        Pma::new()
+    }
+    fn ins(&mut self, batch: &[u64]) -> usize {
+        self.insert_batch_sorted(batch)
+    }
+    fn del(&mut self, batch: &[u64]) -> usize {
+        self.remove_batch_sorted(batch)
+    }
+    fn contains(&self, k: u64) -> bool {
+        self.has(k)
+    }
+    fn items(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+    fn count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl SetUnderTest for Cpma {
+    fn name() -> &'static str {
+        "CPMA"
+    }
+    fn new_empty() -> Self {
+        Cpma::new()
+    }
+    fn ins(&mut self, batch: &[u64]) -> usize {
+        self.insert_batch_sorted(batch)
+    }
+    fn del(&mut self, batch: &[u64]) -> usize {
+        self.remove_batch_sorted(batch)
+    }
+    fn contains(&self, k: u64) -> bool {
+        self.has(k)
+    }
+    fn items(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+    fn count(&self) -> usize {
+        self.len()
+    }
+}
+
+set_under_test!(PTree, "P-tree", collect);
+set_under_test!(UPac, "U-PaC", collect);
+set_under_test!(CPac, "C-PaC", collect);
+set_under_test!(CTreeSet, "C-tree", collect);
+
+fn batch(rng: &mut SplitMix64, max_len: usize, bits: u32) -> Vec<u64> {
+    let len = rng.next_below(max_len as u64) as usize + 1;
+    let mut b: Vec<u64> = (0..len).map(|_| rng.next_bits(bits)).collect();
+    b.sort_unstable();
+    b.dedup();
+    b
+}
+
+fn exercise<S: SetUnderTest>(seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let mut s = S::new_empty();
+    let mut model: BTreeSet<u64> = BTreeSet::new();
+    for round in 0..60 {
+        let op = rng.next_below(10);
+        if op < 6 {
+            // Batch insert (sizes span the point / three-phase / rebuild
+            // regimes relative to the structure size).
+            let b = batch(&mut rng, 3000, 24);
+            let before = model.len();
+            model.extend(b.iter().copied());
+            let added = s.ins(&b);
+            assert_eq!(added, model.len() - before, "{} round {round} insert", S::name());
+        } else {
+            let b = batch(&mut rng, 2000, 24);
+            let mut expect = 0;
+            for k in &b {
+                if model.remove(k) {
+                    expect += 1;
+                }
+            }
+            let removed = s.del(&b);
+            assert_eq!(removed, expect, "{} round {round} delete", S::name());
+        }
+        assert_eq!(s.count(), model.len(), "{} round {round} len", S::name());
+        // Spot membership checks.
+        for _ in 0..20 {
+            let k = rng.next_bits(24);
+            assert_eq!(s.contains(k), model.contains(&k), "{} has({k})", S::name());
+        }
+    }
+    let got = s.items();
+    let want: Vec<u64> = model.iter().copied().collect();
+    assert_eq!(got, want, "{} final contents", S::name());
+}
+
+#[test]
+fn pma_matches_model() {
+    exercise::<Pma<u64>>(101);
+}
+
+#[test]
+fn cpma_matches_model() {
+    exercise::<Cpma>(202);
+}
+
+#[test]
+fn ptree_matches_model() {
+    exercise::<PTree>(303);
+}
+
+#[test]
+fn upac_matches_model() {
+    exercise::<UPac>(404);
+}
+
+#[test]
+fn cpac_matches_model() {
+    exercise::<CPac>(505);
+}
+
+#[test]
+fn ctree_matches_model() {
+    exercise::<CTreeSet>(606);
+}
+
+#[test]
+fn all_structures_agree_with_each_other() {
+    // One shared workload, six structures, identical final contents.
+    let mut rng = SplitMix64::new(777);
+    let batches: Vec<Vec<u64>> = (0..20).map(|_| batch(&mut rng, 5000, 30)).collect();
+    let dels: Vec<Vec<u64>> = (0..10).map(|_| batch(&mut rng, 3000, 30)).collect();
+
+    let mut pma = Pma::<u64>::new();
+    let mut cpma = Cpma::new();
+    let mut pt = PTree::new();
+    let mut up = UPac::new();
+    let mut cp = CPac::new();
+    let mut ct = CTreeSet::new();
+    for b in &batches {
+        pma.insert_batch_sorted(b);
+        cpma.insert_batch_sorted(b);
+        pt.insert_batch_sorted(b);
+        up.insert_batch_sorted(b);
+        cp.insert_batch_sorted(b);
+        ct.insert_batch_sorted(b);
+    }
+    for d in &dels {
+        pma.remove_batch_sorted(d);
+        cpma.remove_batch_sorted(d);
+        pt.remove_batch_sorted(d);
+        up.remove_batch_sorted(d);
+        cp.remove_batch_sorted(d);
+        ct.remove_batch_sorted(d);
+    }
+    let reference: Vec<u64> = pma.iter().collect();
+    assert_eq!(cpma.iter().collect::<Vec<_>>(), reference);
+    assert_eq!(pt.collect(), reference);
+    assert_eq!(up.collect(), reference);
+    assert_eq!(cp.collect(), reference);
+    assert_eq!(ct.collect(), reference);
+    // Sums agree too (exercises each structure's scan path).
+    let want: u64 = reference.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+    assert_eq!(pma.sum(), want);
+    assert_eq!(cpma.sum(), want);
+    assert_eq!(pt.sum(), want);
+    assert_eq!(up.sum(), want);
+    assert_eq!(cp.sum(), want);
+    assert_eq!(ct.sum(), want);
+}
