@@ -1,0 +1,216 @@
+//! Generic conformance suite: the executable contract of the trait
+//! hierarchy.
+//!
+//! Every set implementation in the workspace runs
+//! [`assert_ordered_set_contract`] from its own test suite (and the
+//! umbrella crate runs it for all seven implementations side by side). It
+//! drives a randomized mixed workload against a [`BTreeSet`] oracle and
+//! checks every trait method, including the `RangeBounds` forms on all five
+//! range shapes and the `K::MAX`-inclusive edge that half-open `(start,
+//! end)` pairs could never express.
+
+use crate::testkit::Rng;
+use crate::{normalize_batch, BatchSet, ParallelChunks, RangeSet};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Assert the full `OrderedSet`/`BatchSet`/`RangeSet`/`ParallelChunks`
+/// contract for `S`.
+///
+/// Panics with a structure-named message on the first violation. `seed`
+/// varies the workload; any seed must pass.
+pub fn assert_ordered_set_contract<S>(seed: u64)
+where
+    S: BatchSet<u64> + RangeSet<u64> + ParallelChunks<u64>,
+{
+    let name = S::NAME;
+    let mut rng = Rng::new(seed ^ 0xC0F0_12AE_5EED_0001);
+
+    // --- empty-set behaviour -------------------------------------------
+    let empty = S::new_set();
+    assert_eq!(empty.len(), 0, "{name}: empty len");
+    assert!(empty.is_empty(), "{name}: empty is_empty");
+    assert!(!empty.contains(0), "{name}: empty contains(0)");
+    assert!(!empty.contains(u64::MAX), "{name}: empty contains(MAX)");
+    assert_eq!(empty.min(), None, "{name}: empty min");
+    assert_eq!(empty.max(), None, "{name}: empty max");
+    assert_eq!(empty.successor(0), None, "{name}: empty successor");
+    assert_eq!(empty.range_sum(..), 0, "{name}: empty range_sum");
+    assert_eq!(empty.range_iter(..).count(), 0, "{name}: empty range_iter");
+    assert_eq!(S::build_sorted(&[]).len(), 0, "{name}: build_sorted([])");
+
+    // --- build_sorted round-trips, including boundary keys -------------
+    let elems: Vec<u64> = vec![0, 1, 5, 1 << 40, u64::MAX - 1, u64::MAX];
+    let s = S::build_sorted(&elems);
+    assert_eq!(s.len(), elems.len(), "{name}: build_sorted len");
+    assert_eq!(s.to_vec(), elems, "{name}: build_sorted contents");
+    assert_eq!(s.min(), Some(0), "{name}: min with 0 stored");
+    assert_eq!(s.max(), Some(u64::MAX), "{name}: max with MAX stored");
+    assert_eq!(
+        s.successor(u64::MAX),
+        Some(u64::MAX),
+        "{name}: successor(MAX)"
+    );
+    assert_eq!(
+        s.range_sum(0..=u64::MAX),
+        s.range_sum(..),
+        "{name}: full-range sum forms"
+    );
+    assert!(s.size_bytes() > 0, "{name}: size_bytes");
+
+    // --- randomized mixed workload vs the oracle -----------------------
+    let mut s = S::new_set();
+    let mut model: BTreeSet<u64> = BTreeSet::new();
+    let bits = 20; // dense enough for collisions, wide enough for growth
+    for round in 0..40 {
+        let batch = rng.sorted_batch(800, bits);
+        if rng.chance(3, 5) {
+            let added = s.insert_batch_sorted(&batch);
+            let want = batch.iter().filter(|&&k| model.insert(k)).count();
+            assert_eq!(added, want, "{name} round {round}: insert count");
+        } else {
+            let removed = s.remove_batch_sorted(&batch);
+            let want = batch.iter().filter(|&&k| model.remove(&k)).count();
+            assert_eq!(removed, want, "{name} round {round}: remove count");
+        }
+        assert_eq!(s.len(), model.len(), "{name} round {round}: len");
+        assert_eq!(
+            s.is_empty(),
+            model.is_empty(),
+            "{name} round {round}: is_empty"
+        );
+        assert_eq!(
+            s.min(),
+            model.iter().next().copied(),
+            "{name} round {round}: min"
+        );
+        assert_eq!(
+            s.max(),
+            model.iter().next_back().copied(),
+            "{name} round {round}: max"
+        );
+
+        for _ in 0..25 {
+            let k = rng.bits(bits);
+            assert_eq!(
+                s.contains(k),
+                model.contains(&k),
+                "{name} round {round}: contains({k})"
+            );
+            assert_eq!(
+                s.successor(k),
+                model.range(k..).next().copied(),
+                "{name} round {round}: successor({k})"
+            );
+        }
+
+        // Range queries on random windows, all five range shapes.
+        let a = rng.bits(bits);
+        let b = rng.bits(bits);
+        let (lo, hi) = (a.min(b), a.max(b));
+        check_range(&s, &model, lo..hi, name, round);
+        check_range(&s, &model, lo..=hi, name, round);
+        check_range(&s, &model, lo.., name, round);
+        check_range(&s, &model, ..hi, name, round);
+        check_range(&s, &model, .., name, round);
+    }
+    let want: Vec<u64> = model.iter().copied().collect();
+    assert_eq!(s.to_vec(), want, "{name}: final contents");
+    assert!(s.iter_all().eq(want.iter().copied()), "{name}: iter_all");
+
+    // par_chunks: chunks must each be ascending, mutually disjoint, and
+    // together cover exactly the set's contents — the contract parallel
+    // whole-set consumers (F-Graph's pull kernel) rely on for their
+    // non-atomic interior-run writes.
+    let chunks: Mutex<Vec<Vec<u64>>> = Mutex::new(Vec::new());
+    s.par_chunks(&|chunk| chunks.lock().unwrap().push(chunk.to_vec()));
+    let mut chunks = chunks.into_inner().unwrap();
+    for (i, c) in chunks.iter().enumerate() {
+        assert!(!c.is_empty(), "{name}: par_chunks yielded an empty chunk");
+        assert!(
+            c.windows(2).all(|w| w[0] < w[1]),
+            "{name}: par_chunks chunk {i} not strictly ascending"
+        );
+    }
+    chunks.sort_by_key(|c| c[0]);
+    for w in chunks.windows(2) {
+        assert!(
+            w[0].last().unwrap() < w[1].first().unwrap(),
+            "{name}: par_chunks chunks overlap"
+        );
+    }
+    let flat: Vec<u64> = chunks.into_iter().flatten().collect();
+    assert_eq!(flat, want, "{name}: par_chunks does not cover the set");
+
+    // scan_from: suffix agreement and early exit.
+    let probe = rng.bits(bits);
+    let mut got = Vec::new();
+    s.scan_from(probe, &mut |k| {
+        got.push(k);
+        got.len() < 10
+    });
+    let want_suffix: Vec<u64> = model.range(probe..).take(10).copied().collect();
+    assert_eq!(
+        got, want_suffix,
+        "{name}: scan_from({probe}) early-exit prefix"
+    );
+
+    // --- unsorted wrappers route through normalize_batch ---------------
+    let mut messy: Vec<u64> = (0..100).map(|_| rng.bits(12)).collect();
+    let mut expected = messy.clone();
+    let expected = normalize_batch(&mut expected);
+    let mut a = S::new_set();
+    let mut b = S::new_set();
+    assert_eq!(
+        a.insert_batch(&mut messy, false),
+        b.insert_batch_sorted(expected),
+        "{name}: unsorted insert wrapper count"
+    );
+    assert_eq!(
+        a.to_vec(),
+        b.to_vec(),
+        "{name}: unsorted insert wrapper contents"
+    );
+    let mut kill: Vec<u64> = expected.iter().rev().copied().collect();
+    assert_eq!(
+        a.remove_batch(&mut kill, false),
+        expected.len(),
+        "{name}: unsorted remove wrapper count"
+    );
+    assert!(a.is_empty(), "{name}: unsorted remove wrapper emptied");
+}
+
+fn check_range<S: RangeSet<u64>>(
+    s: &S,
+    model: &BTreeSet<u64>,
+    range: impl std::ops::RangeBounds<u64> + Clone,
+    name: &str,
+    round: usize,
+) {
+    let want: Vec<u64> = model
+        .range((range.start_bound(), range.end_bound()))
+        .copied()
+        .collect();
+    let mut got = Vec::new();
+    s.for_range(range.clone(), |k| got.push(k));
+    assert_eq!(got, want, "{name} round {round}: for_range");
+    let got_iter: Vec<u64> = s.range_iter(range.clone()).collect();
+    assert_eq!(got_iter, want, "{name} round {round}: range_iter");
+    let want_sum = want.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+    assert_eq!(
+        s.range_sum(range),
+        want_sum,
+        "{name} round {round}: range_sum"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btreeset_passes_its_own_contract() {
+        // The oracle must pass the suite it anchors (self-consistency).
+        assert_ordered_set_contract::<BTreeSet<u64>>(0xB7EE);
+    }
+}

@@ -1,0 +1,418 @@
+//! # cpma-api — the canonical ordered-set interface of this workspace.
+//!
+//! The paper's entire evaluation (§6) runs six set structures — PMA, CPMA,
+//! P-tree, U-PaC, C-PaC, C-tree — through *identical* workloads. This crate
+//! is the Rust expression of that idea: one trait hierarchy that every
+//! structure (plus [`std::collections::BTreeSet`], the test oracle)
+//! implements, so benchmarks, equivalence tests, and downstream systems are
+//! written once against traits instead of six times against concrete types.
+//!
+//! ## The hierarchy
+//!
+//! * [`OrderedSet<K>`] — point queries over an ordered set of integer keys:
+//!   [`contains`](OrderedSet::contains), [`len`](OrderedSet::len),
+//!   [`min`](OrderedSet::min) / [`max`](OrderedSet::max),
+//!   [`successor`](OrderedSet::successor), and
+//!   [`size_bytes`](OrderedSet::size_bytes) (the paper's space metric).
+//! * [`BatchSet<K>`] — construction and the paper's batch updates:
+//!   [`build_sorted`](BatchSet::build_sorted),
+//!   [`insert_batch_sorted`](BatchSet::insert_batch_sorted),
+//!   [`remove_batch_sorted`](BatchSet::remove_batch_sorted), plus unsorted
+//!   convenience wrappers that route through [`normalize_batch`].
+//! * [`RangeSet<K>`] — ordered iteration and range queries with std-idiom
+//!   [`std::ops::RangeBounds`] arguments:
+//!   [`for_range`](RangeSet::for_range) (`set.for_range(a..=b, f)`),
+//!   [`range_sum`](RangeSet::range_sum) (`set.range_sum(a..b)`), and
+//!   [`range_iter`](RangeSet::range_iter). Implementors provide one
+//!   primitive — [`scan_from`](RangeSet::scan_from) — and may override the
+//!   derived methods with fast paths.
+//!
+//! Keys implement [`SetKey`] (`u64` and `u32` here; the paper's artifact is
+//! a 64-bit key store).
+//!
+//! ## Conformance
+//!
+//! [`conformance::assert_ordered_set_contract`] is a generic, randomized
+//! contract test exercised by every implementation in the workspace — the
+//! executable definition of "behaves as the same abstract set". The
+//! [`testkit`] module holds the tiny deterministic RNG it (and the
+//! workspace's property tests) are built on.
+
+use std::ops::{Bound, RangeBounds};
+
+pub mod conformance;
+pub mod testkit;
+
+mod btree;
+
+/// Integer key types storable in the workspace's ordered sets.
+///
+/// The compressed structures (CPMA, C-PaC, C-tree) delta-encode keys via
+/// `u64`, which is why widening/narrowing is part of the contract.
+pub trait SetKey:
+    Copy + Ord + Eq + Send + Sync + std::fmt::Debug + std::fmt::Display + 'static
+{
+    /// Smallest key value.
+    const MIN: Self;
+    /// Largest key value.
+    const MAX: Self;
+    /// Widen to u64 (used by sums and compression).
+    fn to_u64(self) -> u64;
+    /// Narrow from u64; values out of range must not occur by construction.
+    fn from_u64(v: u64) -> Self;
+}
+
+impl SetKey for u64 {
+    const MIN: Self = 0;
+    const MAX: Self = u64::MAX;
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+
+impl SetKey for u32 {
+    const MIN: Self = 0;
+    const MAX: Self = u32::MAX;
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        debug_assert!(v <= u32::MAX as u64);
+        v as u32
+    }
+}
+
+/// An ordered set of integer keys: point queries and size accounting.
+///
+/// This is the read-only core every structure shares. `NAME` is the label
+/// used in the paper's tables ("PMA", "C-PaC", ...).
+pub trait OrderedSet<K: SetKey> {
+    /// Structure name as it appears in the paper's tables.
+    const NAME: &'static str;
+
+    /// Membership test (the artifact's `has`).
+    fn contains(&self, key: K) -> bool;
+
+    /// Number of stored elements.
+    fn len(&self) -> usize;
+
+    /// True iff no elements are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest stored element.
+    fn min(&self) -> Option<K>;
+
+    /// Largest stored element.
+    fn max(&self) -> Option<K>;
+
+    /// Smallest stored element ≥ `key` (the paper's `search`).
+    fn successor(&self, key: K) -> Option<K>;
+
+    /// Bytes of backing memory (the paper's space metric, `get_size()`).
+    fn size_bytes(&self) -> usize;
+}
+
+/// Batch-parallel construction and updates (the paper's §4 interface).
+///
+/// `*_sorted` methods require strictly increasing input — the normal form
+/// produced by [`normalize_batch`]. The unsorted wrappers accept anything.
+pub trait BatchSet<K: SetKey>: OrderedSet<K> + Sized {
+    /// Empty structure with default configuration.
+    fn new_set() -> Self;
+
+    /// Build from a strictly increasing slice (the artifact's bulk
+    /// constructor).
+    fn build_sorted(elems: &[K]) -> Self;
+
+    /// Insert a strictly increasing batch; returns how many keys were
+    /// actually new (set semantics).
+    fn insert_batch_sorted(&mut self, batch: &[K]) -> usize;
+
+    /// Remove a strictly increasing batch; returns how many keys were
+    /// actually present.
+    fn remove_batch_sorted(&mut self, batch: &[K]) -> usize;
+
+    /// Insert an arbitrary batch: sorts + dedups in place, then delegates
+    /// to [`insert_batch_sorted`](Self::insert_batch_sorted).
+    fn insert_batch(&mut self, batch: &mut [K], sorted: bool) -> usize {
+        if sorted {
+            debug_assert!(batch.windows(2).all(|w| w[0] < w[1]));
+            self.insert_batch_sorted(batch)
+        } else {
+            let b = normalize_batch(batch);
+            self.insert_batch_sorted(b)
+        }
+    }
+
+    /// Remove an arbitrary batch: sorts + dedups in place, then delegates
+    /// to [`remove_batch_sorted`](Self::remove_batch_sorted).
+    fn remove_batch(&mut self, batch: &mut [K], sorted: bool) -> usize {
+        if sorted {
+            debug_assert!(batch.windows(2).all(|w| w[0] < w[1]));
+            self.remove_batch_sorted(batch)
+        } else {
+            let b = normalize_batch(batch);
+            self.remove_batch_sorted(b)
+        }
+    }
+}
+
+/// Ordered scans and range queries with [`RangeBounds`] arguments.
+///
+/// Implementors provide [`scan_from`](Self::scan_from); everything else has
+/// a default derived from it. Structures with cheaper whole-range paths
+/// (the PMA's whole-leaf `range_sum` fast path, say) override the derived
+/// methods.
+pub trait RangeSet<K: SetKey>: OrderedSet<K> {
+    /// Visit stored elements ≥ `start` in ascending order until `f`
+    /// returns `false`.
+    fn scan_from(&self, start: K, f: &mut dyn FnMut(K) -> bool);
+
+    /// Apply `f` to every element in `range`, in ascending order.
+    ///
+    /// Accepts any std range expression: `a..b`, `a..=b`, `a..`, `..b`, `..`.
+    fn for_range<R: RangeBounds<K>>(&self, range: R, mut f: impl FnMut(K)) {
+        let Some((lo, hi)) = range_to_inclusive(&range) else {
+            return;
+        };
+        self.scan_from(lo, &mut |k| {
+            if k > hi {
+                false
+            } else {
+                f(k);
+                true
+            }
+        });
+    }
+
+    /// Wrapping sum of the elements in `range` (the paper's range-query
+    /// kernel), widened to `u64`.
+    fn range_sum<R: RangeBounds<K>>(&self, range: R) -> u64 {
+        let mut sum = 0u64;
+        self.for_range(range, |k| sum = sum.wrapping_add(k.to_u64()));
+        sum
+    }
+
+    /// Iterator over the elements in `range`, ascending.
+    ///
+    /// The default buffers the range; structures with native lazy iterators
+    /// may still prefer this for short ranges (one allocation, no per-item
+    /// indirection).
+    fn range_iter<R: RangeBounds<K>>(&self, range: R) -> RangeIter<K> {
+        let mut buf = Vec::new();
+        self.for_range(range, |k| buf.push(k));
+        RangeIter {
+            inner: buf.into_iter(),
+        }
+    }
+
+    /// Iterator over all elements, ascending.
+    fn iter_all(&self) -> RangeIter<K> {
+        self.range_iter(..)
+    }
+
+    /// All elements, ascending, as a `Vec` (the baselines' `collect`).
+    fn to_vec(&self) -> Vec<K> {
+        let mut buf = Vec::with_capacity(self.len());
+        self.for_range(.., |k| buf.push(k));
+        buf
+    }
+}
+
+/// Structures that can expose their contents as disjoint ascending chunks,
+/// visited possibly in parallel (the CPMA hands out its leaves; flat
+/// containers hand out slices). Used by scan-heavy consumers like
+/// F-Graph's PageRank pull to parallelize a whole-structure pass without
+/// knowing the layout.
+pub trait ParallelChunks<K: SetKey>: RangeSet<K> {
+    /// Call `f` on disjoint, ascending, contiguous chunks that together
+    /// cover the whole set. Chunks may be visited concurrently; each
+    /// individual chunk is in ascending order, and chunk `i`'s elements all
+    /// precede chunk `i + 1`'s.
+    fn par_chunks(&self, f: &(dyn Fn(&[K]) + Sync)) {
+        // Fallback: one chunk holding everything, visited serially.
+        f(&self.to_vec());
+    }
+}
+
+/// Buffered ascending iterator returned by [`RangeSet::range_iter`].
+pub struct RangeIter<K> {
+    inner: std::vec::IntoIter<K>,
+}
+
+impl<K: SetKey> Iterator for RangeIter<K> {
+    type Item = K;
+
+    fn next(&mut self) -> Option<K> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<K: SetKey> ExactSizeIterator for RangeIter<K> {}
+
+/// Convert any `RangeBounds<K>` into an inclusive `[lo, hi]` pair over the
+/// key domain, or `None` if the range is empty.
+pub fn range_to_inclusive<K: SetKey, R: RangeBounds<K>>(range: &R) -> Option<(K, K)> {
+    let lo = match range.start_bound() {
+        Bound::Included(&s) => s,
+        Bound::Excluded(&s) => {
+            if s == K::MAX {
+                return None;
+            }
+            K::from_u64(s.to_u64() + 1)
+        }
+        Bound::Unbounded => K::MIN,
+    };
+    let hi = match range.end_bound() {
+        Bound::Included(&e) => e,
+        Bound::Excluded(&e) => {
+            if e == K::MIN {
+                return None;
+            }
+            K::from_u64(e.to_u64() - 1)
+        }
+        Bound::Unbounded => K::MAX,
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((lo, hi))
+}
+
+/// Sort + dedup a batch in place and return the strictly-increasing prefix
+/// — the normal form every `*_batch_sorted` method requires.
+///
+/// This is the one batch-normalization routine in the workspace (the
+/// paper's structures all consume "sorted, deduplicated batches"; keeping a
+/// single implementation keeps their preprocessing identical and therefore
+/// comparable). The sort is rayon's parallel sort, so batch preprocessing
+/// scales with whatever parallel backend the workspace is built against.
+pub fn normalize_batch<K: SetKey>(batch: &mut [K]) -> &[K] {
+    use rayon::slice::ParallelSliceMut;
+    batch.par_sort_unstable();
+    let mut w = 0;
+    for r in 0..batch.len() {
+        if w == 0 || batch[r] != batch[w - 1] {
+            batch[w] = batch[r];
+            w += 1;
+        }
+    }
+    &batch[..w]
+}
+
+/// Evaluate a [`RangeBounds`] `range_sum` through an exclusive-end kernel
+/// (`sum_excl(lo, hi_excl)` summing keys in `[lo, hi_excl)`), folding in
+/// `K::MAX` separately — the one value a half-open kernel can never cover.
+///
+/// Shared by every implementation that overrides
+/// [`RangeSet::range_sum`] with a structure-specific fast path; the
+/// boundary handling lives here exactly once.
+pub fn range_sum_via_exclusive<K: SetKey, R: RangeBounds<K>>(
+    range: &R,
+    contains_max: impl FnOnce() -> bool,
+    sum_excl: impl FnOnce(K, K) -> u64,
+) -> u64 {
+    let Some((lo, hi)) = range_to_inclusive(range) else {
+        return 0;
+    };
+    if hi == K::MAX {
+        let mut sum = sum_excl(lo, K::MAX);
+        if contains_max() {
+            sum = sum.wrapping_add(K::MAX.to_u64());
+        }
+        sum
+    } else {
+        sum_excl(lo, K::from_u64(hi.to_u64() + 1))
+    }
+}
+
+/// An invalid structure configuration (builder validation failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending parameter, e.g. `"growing_factor"`.
+    pub field: &'static str,
+    /// Human-readable constraint violation.
+    pub reason: String,
+}
+
+impl ConfigError {
+    pub fn new(field: &'static str, reason: impl Into<String>) -> Self {
+        Self {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid config: {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_batch_sorts_and_dedups() {
+        let mut b = [5u64, 1, 3, 1, 5, 2];
+        assert_eq!(normalize_batch(&mut b), &[1, 2, 3, 5]);
+        let mut empty: [u64; 0] = [];
+        assert_eq!(normalize_batch(&mut empty), &[] as &[u64]);
+        let mut same = [7u64, 7, 7];
+        assert_eq!(normalize_batch(&mut same), &[7]);
+    }
+
+    #[test]
+    fn range_to_inclusive_cases() {
+        assert_eq!(range_to_inclusive::<u64, _>(&(1..5)), Some((1, 4)));
+        assert_eq!(range_to_inclusive::<u64, _>(&(1..=5)), Some((1, 5)));
+        assert_eq!(range_to_inclusive::<u64, _>(&(1..)), Some((1, u64::MAX)));
+        assert_eq!(range_to_inclusive::<u64, _>(&(..5)), Some((0, 4)));
+        assert_eq!(range_to_inclusive::<u64, _>(&(..)), Some((0, u64::MAX)));
+        assert_eq!(range_to_inclusive::<u64, _>(&(5..5)), None);
+        #[allow(clippy::reversed_empty_ranges)] // the empty-range behaviour is the point
+        let reversed = 5..4;
+        assert_eq!(range_to_inclusive::<u64, _>(&reversed), None);
+        assert_eq!(range_to_inclusive::<u64, _>(&(0..0)), None);
+        // The full-domain inclusive range is representable (half-open pairs
+        // could never include K::MAX — the reason this API exists).
+        assert_eq!(
+            range_to_inclusive::<u64, _>(&(0..=u64::MAX)),
+            Some((0, u64::MAX))
+        );
+        assert_eq!(
+            range_to_inclusive::<u64, _>(&(Bound::Excluded(3u64), Bound::Included(7u64))),
+            Some((4, 7))
+        );
+        assert_eq!(
+            range_to_inclusive::<u64, _>(&(Bound::Excluded(u64::MAX), Bound::Unbounded)),
+            None
+        );
+    }
+
+    #[test]
+    fn config_error_display() {
+        let e = ConfigError::new("growing_factor", "must exceed 1");
+        assert_eq!(
+            e.to_string(),
+            "invalid config: growing_factor: must exceed 1"
+        );
+    }
+}

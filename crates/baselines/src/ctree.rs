@@ -43,7 +43,10 @@ impl Chunk {
         let len = codec::encoded_run_len(elems, 8);
         let mut bytes = vec![0u8; len];
         codec::encode_run(elems, &mut bytes);
-        Chunk { count: elems.len() as u32, bytes: bytes.into_boxed_slice() }
+        Chunk {
+            count: elems.len() as u32,
+            bytes: bytes.into_boxed_slice(),
+        }
     }
 
     fn decode(&self, out: &mut Vec<u64>) {
@@ -85,8 +88,11 @@ impl CTreeSet {
             }
         }
         let prefix_end = bounds.first().copied().unwrap_or(elems.len());
-        let prefix =
-            if prefix_end > 0 { Some(Chunk::encode(&elems[..prefix_end])) } else { None };
+        let prefix = if prefix_end > 0 {
+            Some(Chunk::encode(&elems[..prefix_end]))
+        } else {
+            None
+        };
         let heads: BTreeMap<u64, Chunk> = bounds
             .par_iter()
             .enumerate()
@@ -97,7 +103,11 @@ impl CTreeSet {
             .collect::<Vec<_>>()
             .into_iter()
             .collect();
-        Self { prefix, heads, len: elems.len() }
+        Self {
+            prefix,
+            heads,
+            len: elems.len(),
+        }
     }
 
     /// Number of stored keys.
@@ -113,7 +123,11 @@ impl CTreeSet {
     /// Heap bytes: chunk payloads plus per-entry tree overhead (three words
     /// per head entry, modelling Aspen's tree nodes).
     pub fn size_bytes(&self) -> usize {
-        let chunks = self.heads.values().map(|c| c.bytes.len() + 16).sum::<usize>();
+        let chunks = self
+            .heads
+            .values()
+            .map(|c| c.bytes.len() + 16)
+            .sum::<usize>();
         let prefix = self.prefix.as_ref().map_or(0, |c| c.bytes.len() + 16);
         chunks + prefix + self.heads.len() * 24
     }
@@ -156,10 +170,7 @@ impl CTreeSet {
                 Some((&h, _)) => {
                     let next = self
                         .heads
-                        .range((
-                            std::ops::Bound::Excluded(h),
-                            std::ops::Bound::Unbounded,
-                        ))
+                        .range((std::ops::Bound::Excluded(h), std::ops::Bound::Unbounded))
                         .next()
                         .map(|(&nh, _)| nh);
                     let run_end = match next {
@@ -253,7 +264,11 @@ impl CTreeSet {
             return;
         }
         let mut start = 0;
-        let mut cur_head: Option<u64> = if is_head(merged[0]) { Some(merged[0]) } else { None };
+        let mut cur_head: Option<u64> = if is_head(merged[0]) {
+            Some(merged[0])
+        } else {
+            None
+        };
         for (idx, &e) in merged.iter().enumerate().skip(1) {
             if is_head(e) {
                 let slice = &merged[start..idx];
@@ -274,6 +289,47 @@ impl CTreeSet {
             }
             None => self.prefix = Some(Chunk::encode(slice)),
         }
+    }
+
+    /// Smallest stored key.
+    pub fn min(&self) -> Option<u64> {
+        let mut out = None;
+        self.for_each(&mut |e| {
+            out = Some(e);
+            false
+        });
+        out
+    }
+
+    /// Largest stored key.
+    pub fn max(&self) -> Option<u64> {
+        let last = self.heads.values().next_back().or(self.prefix.as_ref())?;
+        let mut out = None;
+        last.for_each(&mut |e| {
+            out = Some(e);
+            true
+        });
+        out
+    }
+
+    /// Visit keys ≥ `start` in order until `f` returns false; returns
+    /// false iff stopped early (the `RangeSet::scan_from` primitive).
+    pub fn for_each_from(&self, start: u64, f: &mut dyn FnMut(u64) -> bool) -> bool {
+        // The chunk containing `start` may begin before it.
+        if let Some(p) = &self.prefix {
+            if !p.for_each(&mut |e| if e < start { true } else { f(e) }) {
+                return false;
+            }
+        }
+        for (_, c) in self.heads.range(..=start).next_back().into_iter().chain(
+            self.heads
+                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Unbounded)),
+        ) {
+            if !c.for_each(&mut |e| if e < start { true } else { f(e) }) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Apply `f` to all keys in order.
@@ -324,8 +380,7 @@ impl CTreeSet {
 
     /// Parallel sum of all keys.
     pub fn sum(&self) -> u64 {
-        let chunks: Vec<&Chunk> =
-            self.prefix.iter().chain(self.heads.values()).collect();
+        let chunks: Vec<&Chunk> = self.prefix.iter().chain(self.heads.values()).collect();
         chunks
             .par_iter()
             .map(|c| {
@@ -361,7 +416,9 @@ mod tests {
         let mut x = seed;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x >> (64 - bits)
             })
             .collect()

@@ -16,10 +16,18 @@
 //! chasing between nodes/blocks, join-based batch updates, per-block
 //! compression) rather than matching the original C++ line by line.
 //! DESIGN.md §4 records the simplifications.
+//!
+//! Every baseline implements the canonical `cpma_api` hierarchy
+//! (`OrderedSet`/`BatchSet`/`RangeSet`; see this crate's `api` module), so
+//! the sweep binaries and equivalence tests drive them exactly like the
+//! PMA/CPMA. Batch preprocessing is the shared `cpma_api::normalize_batch`
+//! — identical normal form across structures keeps the comparison honest.
 
 pub mod ctree;
 pub mod pactree;
 pub mod ptree;
+
+mod api;
 
 pub use ctree::CTreeSet;
 pub use pactree::{CompressedBlock, PacTree, RawBlock};
@@ -29,22 +37,3 @@ pub use ptree::PTree;
 pub type UPac = PacTree<RawBlock>;
 /// Compressed PaC-tree (the paper's "C-PaC").
 pub type CPac = PacTree<CompressedBlock>;
-
-/// Sort + dedup a batch in place unless the caller promises sorted-unique
-/// input; returns the unique prefix.
-pub(crate) fn ptree_normalize(batch: &mut [u64], sorted: bool) -> &[u64] {
-    use rayon::prelude::*;
-    if sorted {
-        debug_assert!(batch.windows(2).all(|w| w[0] < w[1]));
-        return batch;
-    }
-    batch.par_sort_unstable();
-    let mut w = 0;
-    for r in 0..batch.len() {
-        if w == 0 || batch[r] != batch[w - 1] {
-            batch[w] = batch[r];
-            w += 1;
-        }
-    }
-    &batch[..w]
-}

@@ -30,6 +30,9 @@ const BALANCE_FACTOR: usize = 4;
 
 /// Storage for one block's elements.
 pub trait BlockPayload: Send + Sync + Sized {
+    /// Name of the variant this payload yields, as the paper's tables
+    /// spell it ("U-PaC" / "C-PaC"); surfaces as `OrderedSet::NAME`.
+    const NAME: &'static str;
     /// Encode a sorted, deduplicated, non-empty run.
     fn encode(elems: &[u64]) -> Self;
     /// Append all elements, in order, to `out`.
@@ -71,6 +74,7 @@ pub trait BlockPayload: Send + Sync + Sized {
 pub struct RawBlock(Box<[u64]>);
 
 impl BlockPayload for RawBlock {
+    const NAME: &'static str = "U-PaC";
     fn encode(elems: &[u64]) -> Self {
         debug_assert!(!elems.is_empty());
         stats::record_write(elems.len() * 8);
@@ -111,13 +115,17 @@ pub struct CompressedBlock {
 }
 
 impl BlockPayload for CompressedBlock {
+    const NAME: &'static str = "C-PaC";
     fn encode(elems: &[u64]) -> Self {
         debug_assert!(!elems.is_empty());
         let len = codec::encoded_run_len(elems, 8);
         let mut bytes = vec![0u8; len];
         codec::encode_run(elems, &mut bytes);
         stats::record_write(len);
-        CompressedBlock { count: elems.len() as u32, bytes: bytes.into_boxed_slice() }
+        CompressedBlock {
+            count: elems.len() as u32,
+            bytes: bytes.into_boxed_slice(),
+        }
     }
     fn decode(&self, out: &mut Vec<u64>) {
         stats::record_read(self.bytes.len());
@@ -140,7 +148,12 @@ impl BlockPayload for CompressedBlock {
 
 enum Tree<P> {
     Leaf(P),
-    Node { split: u64, size: usize, left: Box<Tree<P>>, right: Box<Tree<P>> },
+    Node {
+        split: u64,
+        size: usize,
+        left: Box<Tree<P>>,
+        right: Box<Tree<P>>,
+    },
 }
 
 impl<P: BlockPayload> Tree<P> {
@@ -186,7 +199,12 @@ fn build<P: BlockPayload>(elems: &[u64]) -> Option<Box<Tree<P>>> {
         } else {
             (rec::<P>(ls, lb), rec::<P>(rs, blocks - lb))
         };
-        Box::new(Tree::Node { split: rs[0], size: elems.len(), left: l, right: r })
+        Box::new(Tree::Node {
+            split: rs[0],
+            size: elems.len(),
+            left: l,
+            right: r,
+        })
     }
     Some(rec::<P>(elems, nblocks))
 }
@@ -248,7 +266,9 @@ fn bulk_insert<P: BlockPayload>(t: Box<Tree<P>>, batch: &[u64]) -> (Box<Tree<P>>
                 (build::<P>(&merged).unwrap(), added)
             }
         }
-        Tree::Node { split, left, right, .. } => {
+        Tree::Node {
+            split, left, right, ..
+        } => {
             stats::record_read(NODE_BYTES);
             let at = batch.partition_point(|&e| e < split);
             let (lb, rb) = batch.split_at(at);
@@ -258,7 +278,12 @@ fn bulk_insert<P: BlockPayload>(t: Box<Tree<P>>, batch: &[u64]) -> (Box<Tree<P>>
                 (bulk_insert(left, lb), bulk_insert(right, rb))
             };
             let size = l.size() + r.size();
-            let node = Box::new(Tree::Node { split, size, left: l, right: r });
+            let node = Box::new(Tree::Node {
+                split,
+                size,
+                left: l,
+                right: r,
+            });
             (rebalance(node), a1 + a2)
         }
     }
@@ -266,10 +291,7 @@ fn bulk_insert<P: BlockPayload>(t: Box<Tree<P>>, batch: &[u64]) -> (Box<Tree<P>>
 
 /// Remove `batch` keys from subtree `t`; returns the new subtree (possibly
 /// `None`) and #removed.
-fn bulk_remove<P: BlockPayload>(
-    t: Box<Tree<P>>,
-    batch: &[u64],
-) -> (Option<Box<Tree<P>>>, usize) {
+fn bulk_remove<P: BlockPayload>(t: Box<Tree<P>>, batch: &[u64]) -> (Option<Box<Tree<P>>>, usize) {
     if batch.is_empty() {
         return (Some(t), 0);
     }
@@ -300,7 +322,9 @@ fn bulk_remove<P: BlockPayload>(
                 (Some(Box::new(Tree::Leaf(P::encode(&out)))), removed)
             }
         }
-        Tree::Node { split, left, right, .. } => {
+        Tree::Node {
+            split, left, right, ..
+        } => {
             stats::record_read(NODE_BYTES);
             let at = batch.partition_point(|&e| e < split);
             let (lb, rb) = batch.split_at(at);
@@ -314,7 +338,12 @@ fn bulk_remove<P: BlockPayload>(
                 (Some(x), None) | (None, Some(x)) => Some(x),
                 (Some(l), Some(r)) => {
                     let size = l.size() + r.size();
-                    Some(rebalance(Box::new(Tree::Node { split, size, left: l, right: r })))
+                    Some(rebalance(Box::new(Tree::Node {
+                        split,
+                        size,
+                        left: l,
+                        right: r,
+                    })))
                 }
             };
             (node, r1 + r2)
@@ -324,7 +353,13 @@ fn bulk_remove<P: BlockPayload>(
 
 /// Scapegoat-style rebuild when the two sides drift far out of balance.
 fn rebalance<P: BlockPayload>(t: Box<Tree<P>>) -> Box<Tree<P>> {
-    if let Tree::Node { ref left, ref right, size, .. } = *t {
+    if let Tree::Node {
+        ref left,
+        ref right,
+        size,
+        ..
+    } = *t
+    {
         let (ls, rs) = (left.size(), right.size());
         if ls > BALANCE_FACTOR * rs + BLOCK_SIZE || rs > BALANCE_FACTOR * ls + BLOCK_SIZE {
             let mut elems = Vec::with_capacity(size);
@@ -344,7 +379,9 @@ impl<P: BlockPayload> PacTree<P> {
     /// Build from a sorted, deduplicated slice.
     pub fn from_sorted(elems: &[u64]) -> Self {
         debug_assert!(elems.windows(2).all(|w| w[0] < w[1]));
-        Self { root: build::<P>(elems) }
+        Self {
+            root: build::<P>(elems),
+        }
     }
 
     /// Number of stored keys.
@@ -377,7 +414,9 @@ impl<P: BlockPayload> PacTree<P> {
         loop {
             match cur {
                 Tree::Leaf(p) => return p.contains(key),
-                Tree::Node { split, left, right, .. } => {
+                Tree::Node {
+                    split, left, right, ..
+                } => {
                     stats::record_read(NODE_BYTES);
                     cur = if key < *split { left } else { right };
                 }
@@ -385,13 +424,8 @@ impl<P: BlockPayload> PacTree<P> {
         }
     }
 
-    /// Parallel batch insert; sorts/dedups unless `sorted`. Returns #added.
-    pub fn insert_batch(&mut self, batch: &mut [u64], sorted: bool) -> usize {
-        let uniq = crate::ptree_normalize(batch, sorted);
-        self.insert_batch_sorted(uniq)
-    }
-
-    /// Batch insert of a sorted, deduplicated slice.
+    /// Batch insert of a sorted, deduplicated slice. Unsorted input goes
+    /// through `cpma_api::BatchSet::insert_batch`.
     pub fn insert_batch_sorted(&mut self, batch: &[u64]) -> usize {
         if batch.is_empty() {
             return 0;
@@ -409,12 +443,6 @@ impl<P: BlockPayload> PacTree<P> {
         }
     }
 
-    /// Parallel batch remove; returns #removed.
-    pub fn remove_batch(&mut self, batch: &mut [u64], sorted: bool) -> usize {
-        let uniq = crate::ptree_normalize(batch, sorted);
-        self.remove_batch_sorted(uniq)
-    }
-
     /// Batch remove of a sorted, deduplicated slice.
     pub fn remove_batch_sorted(&mut self, batch: &[u64]) -> usize {
         match self.root.take() {
@@ -429,12 +457,7 @@ impl<P: BlockPayload> PacTree<P> {
 
     /// Apply `f` to all keys in `[start, end)` in order.
     pub fn map_range(&self, start: u64, end: u64, f: &mut impl FnMut(u64)) {
-        fn walk<P: BlockPayload>(
-            t: &Tree<P>,
-            start: u64,
-            end: u64,
-            f: &mut impl FnMut(u64),
-        ) {
+        fn walk<P: BlockPayload>(t: &Tree<P>, start: u64, end: u64, f: &mut impl FnMut(u64)) {
             match t {
                 Tree::Leaf(p) => {
                     p.for_each(&mut |e| {
@@ -447,7 +470,9 @@ impl<P: BlockPayload> PacTree<P> {
                         true
                     });
                 }
-                Tree::Node { split, left, right, .. } => {
+                Tree::Node {
+                    split, left, right, ..
+                } => {
                     stats::record_read(NODE_BYTES);
                     if start < *split {
                         walk(left, start, end, f);
@@ -465,8 +490,9 @@ impl<P: BlockPayload> PacTree<P> {
         }
     }
 
-    /// Sum of keys in `[start, end)`.
-    pub fn range_sum(&self, start: u64, end: u64) -> u64 {
+    /// Sum of keys in `[start, end)` (the public API is
+    /// `RangeSet::range_sum`).
+    pub(crate) fn range_sum_excl(&self, start: u64, end: u64) -> u64 {
         let mut s = 0u64;
         self.map_range(start, end, &mut |k| s = s.wrapping_add(k));
         s
@@ -477,7 +503,9 @@ impl<P: BlockPayload> PacTree<P> {
         fn walk<P: BlockPayload>(t: &Tree<P>) -> u64 {
             match t {
                 Tree::Leaf(p) => p.sum(),
-                Tree::Node { left, right, size, .. } => {
+                Tree::Node {
+                    left, right, size, ..
+                } => {
                     if *size > PAR_CUTOFF {
                         let (l, r) = rayon::join(|| walk(left), || walk(right));
                         l.wrapping_add(r)
@@ -497,6 +525,58 @@ impl<P: BlockPayload> PacTree<P> {
             collect_into(t, &mut out);
         }
         out
+    }
+
+    /// Smallest stored key.
+    pub fn min(&self) -> Option<u64> {
+        let mut cur = self.root.as_ref()?.as_ref();
+        loop {
+            match cur {
+                Tree::Leaf(p) => return Some(p.head()),
+                Tree::Node { left, .. } => cur = left,
+            }
+        }
+    }
+
+    /// Largest stored key.
+    pub fn max(&self) -> Option<u64> {
+        let mut cur = self.root.as_ref()?.as_ref();
+        loop {
+            match cur {
+                Tree::Leaf(p) => {
+                    let mut last = None;
+                    p.for_each(&mut |e| {
+                        last = Some(e);
+                        true
+                    });
+                    return last;
+                }
+                Tree::Node { right, .. } => cur = right,
+            }
+        }
+    }
+
+    /// Visit keys ≥ `start` in order until `f` returns false; returns
+    /// false iff stopped early (the `RangeSet::scan_from` primitive).
+    pub fn for_each_from(&self, start: u64, f: &mut dyn FnMut(u64) -> bool) -> bool {
+        fn walk<P: BlockPayload>(t: &Tree<P>, start: u64, f: &mut dyn FnMut(u64) -> bool) -> bool {
+            match t {
+                Tree::Leaf(p) => p.for_each(&mut |e| if e < start { true } else { f(e) }),
+                Tree::Node {
+                    split, left, right, ..
+                } => {
+                    stats::record_read(NODE_BYTES);
+                    if start < *split && !walk(left, start, f) {
+                        return false;
+                    }
+                    walk(right, start, f)
+                }
+            }
+        }
+        match &self.root {
+            Some(t) => walk(t, start, f),
+            None => true,
+        }
     }
 
     /// In-order traversal with early exit; returns false iff stopped early.
@@ -520,13 +600,16 @@ impl<P: BlockPayload> PacTree<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpma_api::BatchSet;
     use std::collections::BTreeSet;
 
     fn lcg(n: usize, seed: u64, bits: u32) -> Vec<u64> {
         let mut x = seed;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x >> (64 - bits)
             })
             .collect()
@@ -564,7 +647,12 @@ mod tests {
             model.extend(keys.iter().copied());
             assert_eq!(added, model.len() - before, "round {round}");
             // Remove a slice of what we inserted plus some misses.
-            let dels: Vec<u64> = keys.iter().step_by(3).map(|&k| k ^ 1).chain(keys.iter().step_by(2).copied()).collect();
+            let dels: Vec<u64> = keys
+                .iter()
+                .step_by(3)
+                .map(|&k| k ^ 1)
+                .chain(keys.iter().step_by(2).copied())
+                .collect();
             let mut d = dels.clone();
             let removed = t.remove_batch(&mut d, false);
             let mut expect = 0;
@@ -611,8 +699,8 @@ mod tests {
         t.map_range(10, 21, &mut |e| seen.push(e));
         assert_eq!(seen, vec![10, 12, 14, 16, 18, 20]);
         assert_eq!(t.sum(), elems.iter().sum::<u64>());
-        assert_eq!(t.range_sum(0, u64::MAX), t.sum());
-        assert_eq!(t.range_sum(100, 100), 0);
+        assert_eq!(t.range_sum_excl(0, u64::MAX), t.sum());
+        assert_eq!(t.range_sum_excl(100, 100), 0);
     }
 
     #[test]
@@ -620,7 +708,12 @@ mod tests {
         let elems: Vec<u64> = (0..100_000u64).collect();
         let raw = PacTree::<RawBlock>::from_sorted(&elems);
         let comp = PacTree::<CompressedBlock>::from_sorted(&elems);
-        assert!(comp.size_bytes() * 3 < raw.size_bytes(), "{} vs {}", comp.size_bytes(), raw.size_bytes());
+        assert!(
+            comp.size_bytes() * 3 < raw.size_bytes(),
+            "{} vs {}",
+            comp.size_bytes(),
+            raw.size_bytes()
+        );
     }
 
     #[test]

@@ -11,8 +11,6 @@
 //! As in the paper's accounting, a P-tree node costs a fixed 32 bytes per
 //! element: key (8) + subtree size (8) + two child pointers (16).
 
-
-
 /// Subtrees smaller than this update serially (fork overhead dominates).
 const PAR_CUTOFF: usize = 1 << 9;
 
@@ -91,17 +89,19 @@ fn union(a: Link, b: Link) -> (Link, u64) {
         (Some(x), Some(y)) => {
             // Root = higher priority, split the other by its key; recurse
             // on the two sides in parallel (join-based union, [21]).
-            let (mut root, other) =
-                if prio(x.key) >= prio(y.key) { (x, y) } else { (y, x) };
+            let (mut root, other) = if prio(x.key) >= prio(y.key) {
+                (x, y)
+            } else {
+                (y, x)
+            };
             let (ol, dup, or) = split(Some(other), root.key);
             let (rl, rr) = (root.left.take(), root.right.take());
-            let ((l, d1), (r, d2)) = if size(&rl) + size(&ol) + size(&rr) + size(&or)
-                > PAR_CUTOFF as u64
-            {
-                rayon::join(|| union(rl, ol), || union(rr, or))
-            } else {
-                (union(rl, ol), union(rr, or))
-            };
+            let ((l, d1), (r, d2)) =
+                if size(&rl) + size(&ol) + size(&rr) + size(&or) > PAR_CUTOFF as u64 {
+                    rayon::join(|| union(rl, ol), || union(rr, or))
+                } else {
+                    (union(rl, ol), union(rr, or))
+                };
             root.left = l;
             root.right = r;
             (Some(fix(root)), d1 + d2 + dup as u64)
@@ -117,12 +117,11 @@ fn difference(a: Link, b: Link) -> (Link, u64) {
         (Some(mut x), b) => {
             let (bl, found, br) = split(b, x.key);
             let (xl, xr) = (x.left.take(), x.right.take());
-            let ((l, r1), (r, r2)) =
-                if size(&xl) + size(&xr) > PAR_CUTOFF as u64 {
-                    rayon::join(|| difference(xl, bl), || difference(xr, br))
-                } else {
-                    (difference(xl, bl), difference(xr, br))
-                };
+            let ((l, r1), (r, r2)) = if size(&xl) + size(&xr) > PAR_CUTOFF as u64 {
+                rayon::join(|| difference(xl, bl), || difference(xr, br))
+            } else {
+                (difference(xl, bl), difference(xr, br))
+            };
             if found {
                 (join2(l, r), r1 + r2 + 1)
             } else {
@@ -155,7 +154,12 @@ fn build_sorted(elems: &[u64]) -> Link {
     } else {
         (build_sorted(ls), build_sorted(rs))
     };
-    Some(fix(Box::new(Node { key: elems[best], size: 0, left, right })))
+    Some(fix(Box::new(Node {
+        key: elems[best],
+        size: 0,
+        left,
+        right,
+    })))
 }
 
 /// Batch-parallel uncompressed binary search tree (PAM-style). See module
@@ -174,7 +178,9 @@ impl PTree {
     /// Build from a sorted, deduplicated slice.
     pub fn from_sorted(elems: &[u64]) -> Self {
         debug_assert!(elems.windows(2).all(|w| w[0] < w[1]));
-        Self { root: build_sorted(elems) }
+        Self {
+            root: build_sorted(elems),
+        }
     }
 
     /// Number of stored keys.
@@ -220,12 +226,59 @@ impl PTree {
         best
     }
 
+    /// Smallest stored key.
+    pub fn min(&self) -> Option<u64> {
+        let mut cur = self.root.as_ref()?;
+        loop {
+            match &cur.left {
+                Some(l) => cur = l,
+                None => return Some(cur.key),
+            }
+        }
+    }
+
+    /// Largest stored key.
+    pub fn max(&self) -> Option<u64> {
+        let mut cur = self.root.as_ref()?;
+        loop {
+            match &cur.right {
+                Some(r) => cur = r,
+                None => return Some(cur.key),
+            }
+        }
+    }
+
+    /// Visit keys ≥ `start` in order until `f` returns false; returns
+    /// false iff stopped early (the `RangeSet::scan_from` primitive).
+    pub fn for_each_from(&self, start: u64, f: &mut dyn FnMut(u64) -> bool) -> bool {
+        fn walk(t: &Link, start: u64, f: &mut dyn FnMut(u64) -> bool) -> bool {
+            match t {
+                None => true,
+                Some(n) => {
+                    if n.key > start && !walk(&n.left, start, f) {
+                        return false;
+                    }
+                    if n.key >= start && !f(n.key) {
+                        return false;
+                    }
+                    walk(&n.right, start, f)
+                }
+            }
+        }
+        walk(&self.root, start, f)
+    }
+
     /// Insert one key; false if already present.
     pub fn insert(&mut self, key: u64) -> bool {
         if self.has(key) {
             return false;
         }
-        let single = Some(Box::new(Node { key, size: 1, left: None, right: None }));
+        let single = Some(Box::new(Node {
+            key,
+            size: 1,
+            left: None,
+            right: None,
+        }));
         let (root, dups) = union(self.root.take(), single);
         debug_assert_eq!(dups, 0);
         self.root = root;
@@ -239,14 +292,9 @@ impl PTree {
         found
     }
 
-    /// Parallel batch insert (PAM-style: build a tree from the batch, then
-    /// join-based union). Sorts/dedups unless `sorted`. Returns #added.
-    pub fn insert_batch(&mut self, batch: &mut [u64], sorted: bool) -> usize {
-        let uniq = normalize(batch, sorted);
-        self.insert_batch_sorted(uniq)
-    }
-
-    /// Batch insert of a sorted, deduplicated slice.
+    /// Batch insert of a sorted, deduplicated slice (PAM-style: build a
+    /// tree from the batch, then join-based union). Unsorted input goes
+    /// through `cpma_api::BatchSet::insert_batch`.
     pub fn insert_batch_sorted(&mut self, batch: &[u64]) -> usize {
         if batch.is_empty() {
             return 0;
@@ -255,12 +303,6 @@ impl PTree {
         let (root, dups) = union(self.root.take(), b);
         self.root = root;
         batch.len() - dups as usize
-    }
-
-    /// Parallel batch remove; returns #removed.
-    pub fn remove_batch(&mut self, batch: &mut [u64], sorted: bool) -> usize {
-        let uniq = normalize(batch, sorted);
-        self.remove_batch_sorted(uniq)
     }
 
     /// Batch remove of a sorted, deduplicated slice.
@@ -295,8 +337,9 @@ impl PTree {
         }
     }
 
-    /// Sum of keys in `[start, end)`.
-    pub fn range_sum(&self, start: u64, end: u64) -> u64 {
+    /// Sum of keys in `[start, end)` (the public API is
+    /// `RangeSet::range_sum`).
+    pub(crate) fn range_sum_excl(&self, start: u64, end: u64) -> u64 {
         let mut s = 0u64;
         self.map_range(start, end, &mut |k| s = s.wrapping_add(k));
         s
@@ -312,7 +355,9 @@ impl PTree {
                         let (l, r) = rayon::join(|| walk(&n.left), || walk(&n.right));
                         l.wrapping_add(r).wrapping_add(n.key)
                     } else {
-                        walk(&n.left).wrapping_add(walk(&n.right)).wrapping_add(n.key)
+                        walk(&n.left)
+                            .wrapping_add(walk(&n.right))
+                            .wrapping_add(n.key)
                     }
                 }
             }
@@ -353,11 +398,10 @@ impl Drop for PTree {
     }
 }
 
-use crate::ptree_normalize as normalize;
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpma_api::BatchSet;
     use std::collections::BTreeSet;
 
     #[test]
@@ -440,7 +484,7 @@ mod tests {
         let mut seen = Vec::new();
         t.map_range(10, 40, &mut |k| seen.push(k));
         assert_eq!(seen, vec![12, 15, 18, 21, 24, 27, 30, 33, 36, 39]);
-        assert_eq!(t.range_sum(0, u64::MAX), elems.iter().sum::<u64>());
+        assert_eq!(t.range_sum_excl(0, u64::MAX), elems.iter().sum::<u64>());
         assert_eq!(t.sum(), elems.iter().sum::<u64>());
         assert_eq!(t.successor(100), Some(102));
     }

@@ -2,78 +2,89 @@
 //! blocked PaC-tree, and the hash-chunked C-tree must all implement exact
 //! set semantics, and their internal shape constraints must hold under
 //! arbitrary inputs.
+//!
+//! Written against the in-repo randomized-test kit
+//! ([`cpma_api::testkit::Rng`]) — seeded and fully deterministic, no
+//! external property-testing dependency (the build environment is offline).
 
+use cpma_api::testkit::{sorted_unique, Rng};
+use cpma_api::RangeSet;
 use cpma_baselines::{CPac, CTreeSet, PTree, UPac};
-use proptest::collection::vec;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn sorted_unique(mut v: Vec<u64>) -> Vec<u64> {
-    v.sort_unstable();
-    v.dedup();
-    v
-}
+const CASES: u64 = 48;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// P-tree union is set union with an exact added-count.
-    #[test]
-    fn ptree_union_semantics(a in vec(any::<u64>(), 0..400), b in vec(any::<u64>(), 0..400)) {
-        let a = sorted_unique(a);
-        let b = sorted_unique(b);
+/// P-tree union is set union with an exact added-count.
+#[test]
+fn ptree_union_semantics() {
+    let mut rng = Rng::new(0x9731);
+    for _ in 0..CASES {
+        let a = sorted_unique(rng.raw_keys(400));
+        let b = sorted_unique(rng.raw_keys(400));
         let mut t = PTree::from_sorted(&a);
         let added = t.insert_batch_sorted(&b);
         let union: BTreeSet<u64> = a.iter().chain(b.iter()).copied().collect();
-        prop_assert_eq!(added, union.len() - a.len());
-        prop_assert_eq!(t.collect(), union.iter().copied().collect::<Vec<_>>());
-        prop_assert_eq!(t.len(), union.len());
+        assert_eq!(added, union.len() - a.len());
+        assert_eq!(t.collect(), union.iter().copied().collect::<Vec<_>>());
+        assert_eq!(t.len(), union.len());
     }
+}
 
-    /// P-tree difference is set difference with an exact removed-count.
-    #[test]
-    fn ptree_difference_semantics(a in vec(any::<u64>(), 0..400), b in vec(any::<u64>(), 0..400)) {
-        let a = sorted_unique(a);
-        let b = sorted_unique(b);
+/// P-tree difference is set difference with an exact removed-count.
+#[test]
+fn ptree_difference_semantics() {
+    let mut rng = Rng::new(0x9732);
+    for _ in 0..CASES {
+        let a = sorted_unique(rng.raw_keys(400));
+        let b = sorted_unique(rng.raw_keys(400));
         let mut t = PTree::from_sorted(&a);
         let removed = t.remove_batch_sorted(&b);
-        let diff: Vec<u64> = a.iter().copied().filter(|k| b.binary_search(k).is_err()).collect();
-        prop_assert_eq!(removed, a.len() - diff.len());
-        prop_assert_eq!(t.collect(), diff);
+        let diff: Vec<u64> = a
+            .iter()
+            .copied()
+            .filter(|k| b.binary_search(k).is_err())
+            .collect();
+        assert_eq!(removed, a.len() - diff.len());
+        assert_eq!(t.collect(), diff);
     }
+}
 
-    /// The treap shape is canonical: building from sorted input equals
-    /// building by repeated unions (same keys ⇒ same structure ⇒ same
-    /// traversal and size accounting).
-    #[test]
-    fn ptree_canonical_shape(keys in vec(any::<u64>(), 1..300)) {
-        let keys = sorted_unique(keys);
+/// The treap shape is canonical: building from sorted input equals
+/// building by repeated unions (same keys ⇒ same structure ⇒ same
+/// traversal and size accounting).
+#[test]
+fn ptree_canonical_shape() {
+    let mut rng = Rng::new(0x9734);
+    for _ in 0..CASES {
+        let keys = sorted_unique(rng.raw_keys(300));
         let built = PTree::from_sorted(&keys);
         let mut incremental = PTree::new();
         for chunk in keys.chunks(37) {
             incremental.insert_batch_sorted(chunk);
         }
-        prop_assert_eq!(built.collect(), incremental.collect());
-        prop_assert_eq!(built.size_bytes(), incremental.size_bytes());
+        assert_eq!(built.collect(), incremental.collect());
+        assert_eq!(built.size_bytes(), incremental.size_bytes());
     }
+}
 
-    /// PaC-tree blocks never exceed BLOCK_SIZE elements, raw or compressed,
-    /// and both payloads agree with the model.
-    #[test]
-    fn pactree_matches_model_and_bounds(
-        rounds in vec((any::<bool>(), vec(any::<u64>(), 1..300)), 1..6)
-    ) {
+/// PaC-tree blocks never exceed BLOCK_SIZE elements, raw or compressed,
+/// and both payloads agree with the model.
+#[test]
+fn pactree_matches_model_and_bounds() {
+    let mut rng = Rng::new(0x9AC1);
+    for _ in 0..CASES {
         let mut raw = UPac::new();
         let mut comp = CPac::new();
         let mut model = BTreeSet::new();
-        for (ins, keys) in rounds {
-            let b = sorted_unique(keys);
-            if ins {
+        let rounds = rng.below(5) + 1;
+        for _ in 0..rounds {
+            let b = sorted_unique(rng.raw_keys(300).into_iter().chain([0]).collect());
+            if rng.chance(1, 2) {
                 let before = model.len();
                 model.extend(b.iter().copied());
                 let want = model.len() - before;
-                prop_assert_eq!(raw.insert_batch_sorted(&b), want);
-                prop_assert_eq!(comp.insert_batch_sorted(&b), want);
+                assert_eq!(raw.insert_batch_sorted(&b), want);
+                assert_eq!(comp.insert_batch_sorted(&b), want);
             } else {
                 let mut want = 0;
                 for k in &b {
@@ -81,63 +92,91 @@ proptest! {
                         want += 1;
                     }
                 }
-                prop_assert_eq!(raw.remove_batch_sorted(&b), want);
-                prop_assert_eq!(comp.remove_batch_sorted(&b), want);
+                assert_eq!(raw.remove_batch_sorted(&b), want);
+                assert_eq!(comp.remove_batch_sorted(&b), want);
             }
         }
         let wantv: Vec<u64> = model.iter().copied().collect();
-        prop_assert_eq!(raw.collect(), wantv.clone());
-        prop_assert_eq!(comp.collect(), wantv);
+        assert_eq!(raw.collect(), wantv);
+        assert_eq!(comp.collect(), wantv);
     }
+}
 
-    /// C-tree chunk boundaries are value-determined: any insertion order
-    /// yields the identical structure footprint.
-    #[test]
-    fn ctree_order_independent(keys in vec(any::<u64>(), 1..400)) {
-        let keys = sorted_unique(keys);
+/// C-tree chunk boundaries are value-determined: any insertion order
+/// yields the identical structure footprint.
+#[test]
+fn ctree_order_independent() {
+    let mut rng = Rng::new(0xC731);
+    for _ in 0..CASES {
+        let keys = sorted_unique(rng.raw_keys(400).into_iter().chain([7]).collect());
         let one_shot = CTreeSet::from_sorted(&keys);
         let mut incremental = CTreeSet::new();
         for chunk in keys.chunks(29) {
             incremental.insert_batch_sorted(chunk);
         }
-        prop_assert_eq!(one_shot.collect(), incremental.collect());
-        prop_assert_eq!(one_shot.size_bytes(), incremental.size_bytes());
+        assert_eq!(one_shot.collect(), incremental.collect());
+        assert_eq!(one_shot.size_bytes(), incremental.size_bytes());
     }
+}
 
-    /// map_range agrees with filtering for every structure.
-    #[test]
-    fn map_range_agreement(
-        keys in vec(any::<u64>(), 0..400),
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
-        let keys = sorted_unique(keys);
+/// for_range agrees with filtering for every structure, on the trait API.
+#[test]
+fn for_range_agreement() {
+    let mut rng = Rng::new(0xFA9E);
+    for _ in 0..CASES {
+        let keys = sorted_unique(rng.raw_keys(400));
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let (lo, hi) = (a.min(b), a.max(b));
-        let want: Vec<u64> = keys.iter().copied().filter(|&e| e >= lo && e < hi).collect();
+        let want: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|&e| e >= lo && e < hi)
+            .collect();
 
         let t = PTree::from_sorted(&keys);
         let mut got = Vec::new();
-        t.map_range(lo, hi, &mut |k| got.push(k));
-        prop_assert_eq!(&got, &want);
+        t.for_range(lo..hi, |k| got.push(k));
+        assert_eq!(got, want);
 
         let t = CPac::from_sorted(&keys);
         let mut got = Vec::new();
-        t.map_range(lo, hi, &mut |k| got.push(k));
-        prop_assert_eq!(&got, &want);
+        t.for_range(lo..hi, |k| got.push(k));
+        assert_eq!(got, want);
 
         let t = CTreeSet::from_sorted(&keys);
         let mut got = Vec::new();
-        t.map_range(lo, hi, &mut |k| got.push(k));
-        prop_assert_eq!(&got, &want);
+        t.for_range(lo..hi, |k| got.push(k));
+        assert_eq!(got, want);
     }
+}
 
-    /// successor on the P-tree matches the model.
-    #[test]
-    fn ptree_successor(keys in vec(any::<u64>(), 0..300), probe in any::<u64>()) {
-        let keys = sorted_unique(keys);
+/// successor on every baseline matches the model, via the trait.
+#[test]
+fn successor_matches_model() {
+    use cpma_api::OrderedSet;
+    let mut rng = Rng::new(0x50CC);
+    for _ in 0..CASES {
+        let keys = sorted_unique(rng.raw_keys(300));
         let model: BTreeSet<u64> = keys.iter().copied().collect();
-        let t = PTree::from_sorted(&keys);
-        prop_assert_eq!(t.successor(probe), model.range(probe..).next().copied());
+        let pt = PTree::from_sorted(&keys);
+        let cp = CPac::from_sorted(&keys);
+        let ct = CTreeSet::from_sorted(&keys);
+        for _ in 0..20 {
+            let probe = rng.next_u64();
+            let want = model.range(probe..).next().copied();
+            assert_eq!(pt.successor(probe), want, "P-tree successor({probe})");
+            assert_eq!(
+                OrderedSet::successor(&cp, probe),
+                want,
+                "C-PaC successor({probe})"
+            );
+            assert_eq!(
+                OrderedSet::successor(&ct, probe),
+                want,
+                "C-tree successor({probe})"
+            );
+        }
     }
 }
 

@@ -1,69 +1,50 @@
-//! Criterion benchmarks for the batch-update algorithm (§4): insert and
-//! delete batches, PMA vs CPMA vs the tree baselines.
+//! Benchmarks for the batch-update algorithm (§4): insert and delete
+//! batches, PMA vs CPMA vs the tree baselines, all through the canonical
+//! `BatchSet` trait. Runs on the in-repo `ubench` harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cpma_baselines::{CPac, PTree};
+use cpma_bench::ubench::{black_box, Bencher};
+use cpma_bench::BatchSet;
 use cpma_pma::{Cpma, Pma};
 use cpma_workloads::{dedup_sorted, uniform_keys};
 
 const BASE_N: usize = 200_000;
 const BATCH: usize = 10_000;
 
-fn bench_batch_insert(c: &mut Criterion) {
+/// Time only the batch op: the structure rebuild runs outside the clock
+/// (criterion's `iter_batched` discipline).
+fn bench_insert<S: BatchSet<u64>>(b: &Bencher, name: &str, base: &[u64], batch: &[u64]) {
+    b.bench_batched(
+        name,
+        || S::build_sorted(base),
+        |mut s| {
+            black_box(s.insert_batch_sorted(batch));
+        },
+    );
+}
+
+fn bench_remove<S: BatchSet<u64>>(b: &Bencher, name: &str, base: &[u64], victims: &[u64]) {
+    b.bench_batched(
+        name,
+        || S::build_sorted(base),
+        |mut s| {
+            black_box(s.remove_batch_sorted(victims));
+        },
+    );
+}
+
+fn main() {
+    let b = Bencher::new();
+
     let base = dedup_sorted(uniform_keys(BASE_N, 40, 1));
     let batch = dedup_sorted(uniform_keys(BATCH, 40, 2));
-    let mut g = c.benchmark_group("batch_insert_10k_into_200k");
-    g.bench_function("pma", |b| {
-        b.iter_batched(
-            || Pma::<u64>::from_sorted(&base),
-            |mut p| p.insert_batch_sorted(&batch),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("cpma", |b| {
-        b.iter_batched(
-            || Cpma::from_sorted(&base),
-            |mut p| p.insert_batch_sorted(&batch),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("ptree", |b| {
-        b.iter_batched(
-            || PTree::from_sorted(&base),
-            |mut p| p.insert_batch_sorted(&batch),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("cpac", |b| {
-        b.iter_batched(
-            || CPac::from_sorted(&base),
-            |mut p| p.insert_batch_sorted(&batch),
-            BatchSize::LargeInput,
-        )
-    });
-    g.finish();
-}
+    bench_insert::<Pma<u64>>(&b, "batch_insert_10k_into_200k/pma", &base, &batch);
+    bench_insert::<Cpma>(&b, "batch_insert_10k_into_200k/cpma", &base, &batch);
+    bench_insert::<PTree>(&b, "batch_insert_10k_into_200k/ptree", &base, &batch);
+    bench_insert::<CPac>(&b, "batch_insert_10k_into_200k/cpac", &base, &batch);
 
-fn bench_batch_remove(c: &mut Criterion) {
     let base = dedup_sorted(uniform_keys(BASE_N, 40, 3));
     let victims: Vec<u64> = base.iter().step_by(20).copied().collect();
-    let mut g = c.benchmark_group("batch_remove_10k_of_200k");
-    g.bench_function("pma", |b| {
-        b.iter_batched(
-            || Pma::<u64>::from_sorted(&base),
-            |mut p| p.remove_batch_sorted(&victims),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("cpma", |b| {
-        b.iter_batched(
-            || Cpma::from_sorted(&base),
-            |mut p| p.remove_batch_sorted(&victims),
-            BatchSize::LargeInput,
-        )
-    });
-    g.finish();
+    bench_remove::<Pma<u64>>(&b, "batch_remove_10k_of_200k/pma", &base, &victims);
+    bench_remove::<Cpma>(&b, "batch_remove_10k_of_200k/cpma", &base, &victims);
 }
-
-criterion_group!(benches, bench_batch_insert, bench_batch_remove);
-criterion_main!(benches);

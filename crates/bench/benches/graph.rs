@@ -1,35 +1,38 @@
-//! Criterion benchmarks for the graph layer: snapshot (offset rebuild)
-//! cost, the three paper kernels on F-Graph, and edge-batch ingestion.
+//! Benchmarks for the graph layer: snapshot (offset rebuild) cost, the
+//! three paper kernels on F-Graph, and edge-batch ingestion. Runs on the
+//! in-repo `ubench` harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cpma_bench::ubench::{black_box, Bencher};
 use cpma_fgraph::algos::{bc, cc, pagerank};
 use cpma_fgraph::FGraph;
 use cpma_workloads::RmatGenerator;
 
-fn setup() -> (usize, Vec<u64>) {
+fn main() {
+    let b = Bencher::new();
     let scale = 12u32;
     let v = 1usize << scale;
     let edges = RmatGenerator::paper_config(scale, 7).undirected_graph(v * 10);
-    (v, edges)
-}
 
-fn bench_graph(c: &mut Criterion) {
-    let (v, edges) = setup();
     let g = FGraph::from_edges(v, &edges);
-    c.bench_function("graph/snapshot_rebuild", |b| b.iter(|| g.snapshot().aux_bytes()));
-    c.bench_function("graph/pagerank10", |b| b.iter(|| pagerank(&g.snapshot(), 10)));
-    c.bench_function("graph/cc", |b| b.iter(|| cc(&g.snapshot())));
-    c.bench_function("graph/bc", |b| b.iter(|| bc(&g.snapshot(), 0)));
+    b.bench("graph/snapshot_rebuild", || {
+        black_box(g.snapshot().aux_bytes());
+    });
+    b.bench("graph/pagerank10", || {
+        black_box(pagerank(&g.snapshot(), 10));
+    });
+    b.bench("graph/cc", || {
+        black_box(cc(&g.snapshot()));
+    });
+    b.bench("graph/bc", || {
+        black_box(bc(&g.snapshot(), 0));
+    });
 
     let stream = RmatGenerator::paper_config(12, 99).directed_edges(10_000);
-    c.bench_function("graph/insert_10k_edges", |b| {
-        b.iter_batched(
-            || (FGraph::from_edges(v, &edges), stream.clone()),
-            |(mut g, mut s)| g.insert_edges(&mut s, false),
-            BatchSize::LargeInput,
-        )
-    });
+    b.bench_batched(
+        "graph/insert_10k_edges",
+        || (FGraph::from_edges(v, &edges), stream.clone()),
+        |(mut g, mut s)| {
+            black_box(g.insert_edges(&mut s, false));
+        },
+    );
 }
-
-criterion_group!(benches, bench_graph);
-criterion_main!(benches);

@@ -27,7 +27,10 @@ fn main() {
     );
     for f10 in [11u32, 12, 14, 15, 17, 20] {
         let factor = f10 as f64 / 10.0;
-        let cfg = PmaConfig { growing_factor: factor, ..Default::default() };
+        let cfg = PmaConfig {
+            growing_factor: factor,
+            ..Default::default()
+        };
         let mut c = Cpma::with_config(cfg);
         let mut sizes = Vec::new();
         let mut scan_ns = Vec::new();

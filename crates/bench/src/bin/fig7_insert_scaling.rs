@@ -6,19 +6,20 @@
 //! *further* (compression stretches memory bandwidth), overtaking the PMA
 //! once enough cores contend for bandwidth.
 
-use cpma_bench::{core_sweep, max_threads, sci, time, with_threads, Args};
+use cpma_bench::{
+    core_sweep, max_threads, normalize_batch, sci, time, with_threads, Args, BatchSet,
+};
 use cpma_workloads::{dedup_sorted, uniform_keys};
 
-fn run<S: cpma_bench::BatchSet + Send>(base: &[u64], stream: &[u64], batch: usize) -> f64 {
-    let mut s = S::build(base);
+fn run<S: BatchSet<u64> + Send>(base: &[u64], stream: &[u64], batch: usize) -> f64 {
+    let mut s = S::build_sorted(base);
     let (_, secs) = time(|| {
         let mut scratch = Vec::new();
         for chunk in stream.chunks(batch) {
             scratch.clear();
             scratch.extend_from_slice(chunk);
-            scratch.sort_unstable();
-            scratch.dedup();
-            s.insert_sorted(&scratch);
+            let b = normalize_batch(&mut scratch);
+            s.insert_batch_sorted(b);
         }
     });
     stream.len() as f64 / secs

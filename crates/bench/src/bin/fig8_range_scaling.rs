@@ -36,8 +36,12 @@ fn main() {
     let mut pma1 = 0.0;
     let mut cpma1 = 0.0;
     for t in core_sweep(max_t) {
-        let p = with_threads(t, || range_query_throughput(&pma, queries, width, bits, seed ^ 7));
-        let c = with_threads(t, || range_query_throughput(&cpma, queries, width, bits, seed ^ 7));
+        let p = with_threads(t, || {
+            range_query_throughput(&pma, queries, width, bits, seed ^ 7)
+        });
+        let c = with_threads(t, || {
+            range_query_throughput(&cpma, queries, width, bits, seed ^ 7)
+        });
         if t == 1 {
             pma1 = p;
             cpma1 = c;

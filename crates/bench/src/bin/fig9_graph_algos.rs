@@ -28,16 +28,21 @@ fn datasets(scale: u32, seed: u64) -> Vec<Dataset> {
     let v = 1usize << scale;
     let mk = |name, mult: usize, s: u64| {
         let g = RmatGenerator::paper_config(scale, seed ^ s);
-        Dataset { name, n: v, edges: g.undirected_graph(v * mult) }
+        Dataset {
+            name,
+            n: v,
+            edges: g.undirected_graph(v * mult),
+        }
     };
-    let mut sets = vec![
-        mk("LJ*", 9, 1),
-        mk("CO*", 37, 2),
-    ];
+    let mut sets = vec![mk("LJ*", 9, 1), mk("CO*", 37, 2)];
     // The paper's synthetic ER graph: n·p chosen to give ~100 edges/vertex
     // in the paper; scaled to ~20 here.
     let p = 20.0 / v as f64;
-    sets.push(Dataset { name: "ER", n: v, edges: erdos_renyi_edges(v as u32, p, seed ^ 3) });
+    sets.push(Dataset {
+        name: "ER",
+        n: v,
+        edges: erdos_renyi_edges(v as u32, p, seed ^ 3),
+    });
     sets.push(mk("TW*", 19, 4));
     sets.push(mk("FS*", 14, 5));
     sets
@@ -62,7 +67,9 @@ fn main() {
     let bc_src: u32 = args.get_or("bc-src", 0);
     let space_only = args.flag("space");
 
-    println!("# Figure 9 / Table 14 — graph algorithms; Table 7 — memory (RMAT* = SNAP substitute)");
+    println!(
+        "# Figure 9 / Table 14 — graph algorithms; Table 7 — memory (RMAT* = SNAP substitute)"
+    );
     println!(
         "{:>5} {:>9} {:>10} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7}",
         "graph", "V", "E", "PR:Asp", "PR:CPaC", "PR:F", "CC:Asp", "CC:CPaC", "CC:F", "BC:Asp", "BC:CPaC", "BC:F", "MB:Asp", "MB:CPaC", "MB:F"

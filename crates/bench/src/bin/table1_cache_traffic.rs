@@ -9,20 +9,19 @@
 //! Expected shape (Table 1): U-PaC > C-PaC > PMA > CPMA; the PMA moves ≥3×
 //! less than the trees, the CPMA less still.
 
-use cpma_bench::{sci, with_threads, Args};
+use cpma_bench::{normalize_batch, sci, with_threads, Args, BatchSet};
 use cpma_pma::stats;
 use cpma_workloads::{dedup_sorted, uniform_keys};
 
-fn measure<S: cpma_bench::BatchSet>(base: &[u64], stream: &[u64], batch: usize) -> stats::Traffic {
-    let mut s = S::build(base);
+fn measure<S: BatchSet<u64>>(base: &[u64], stream: &[u64], batch: usize) -> stats::Traffic {
+    let mut s = S::build_sorted(base);
     stats::reset();
     let mut scratch = Vec::new();
     for chunk in stream.chunks(batch) {
         scratch.clear();
         scratch.extend_from_slice(chunk);
-        scratch.sort_unstable();
-        scratch.dedup();
-        s.insert_sorted(&scratch);
+        let b = normalize_batch(&mut scratch);
+        s.insert_batch_sorted(b);
     }
     stats::snapshot()
 }
@@ -52,9 +51,12 @@ fn main() {
         let cpac = measure::<cpma_baselines::CPac>(&base, &stream, batch);
         let pma = measure::<cpma_pma::Pma<u64>>(&base, &stream, batch);
         let cpma = measure::<cpma_pma::Cpma>(&base, &stream, batch);
-        for (name, t) in
-            [("U-PaC", upac), ("C-PaC", cpac), ("PMA", pma), ("CPMA", cpma)]
-        {
+        for (name, t) in [
+            ("U-PaC", upac),
+            ("C-PaC", cpac),
+            ("PMA", pma),
+            ("CPMA", cpma),
+        ] {
             println!(
                 "{:>8} {:>14} {:>14} {:>16}",
                 name,

@@ -51,7 +51,10 @@ fn main() {
         "# Table 3 — PMA batch inserts: serial vs parallel ({} base elements, {threads} threads)",
         base.len()
     );
-    println!("# serial point-insert baseline: {} inserts/s", sci(point_tp));
+    println!(
+        "# serial point-insert baseline: {} inserts/s",
+        sci(point_tp)
+    );
     println!(
         "{:>10} {:>12} {:>14} {:>12} {:>14} {:>9}",
         "batch", "serial TP", "vs ser. point", "parallel TP", "vs ser. batch", "overall"

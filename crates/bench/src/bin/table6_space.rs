@@ -9,8 +9,8 @@
 use cpma_bench::{Args, BatchSet};
 use cpma_workloads::{dedup_sorted, uniform_keys};
 
-fn bytes_per_elem<S: BatchSet>(elems: &[u64]) -> f64 {
-    let s = S::build(elems);
+fn bytes_per_elem<S: BatchSet<u64>>(elems: &[u64]) -> f64 {
+    let s = S::build_sorted(elems);
     s.size_bytes() as f64 / elems.len() as f64
 }
 

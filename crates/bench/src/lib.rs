@@ -6,6 +6,11 @@
 //! control, and structure-agnostic drivers for the batch-insert and
 //! range-query sweeps.
 //!
+//! The drivers are generic over the canonical [`cpma_api`] trait hierarchy
+//! (re-exported here for the binaries): any [`BatchSet`] +
+//! [`RangeSet`] — the six paper structures, `BTreeSet`, or anything new —
+//! slots into every sweep unchanged.
+//!
 //! Conventions:
 //! * defaults are laptop-scale; `--n` / `--queries` / `--threads` scale up
 //!   to the paper's sizes (the paper starts structures at 1e8 elements);
@@ -13,6 +18,10 @@
 //!   prefixed with `csv,` for scripting.
 
 use std::time::Instant;
+
+pub use cpma_api::{normalize_batch, BatchSet, OrderedSet, RangeSet};
+
+pub mod ubench;
 
 /// Minimal `--key value` CLI parser (no external deps by design).
 pub struct Args {
@@ -40,12 +49,18 @@ impl Args {
 
     /// String value for `key`, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Parsed value for `key`, or `default`.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Flag presence.
@@ -64,6 +79,19 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// Run `f` inside a fresh rayon pool with `threads` workers (strong-scaling
 /// sweeps build one pool per configuration, like the paper's `PARLAY_NUM_THREADS`).
 pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    // Thread sweeps must not present sequential numbers as scaling results:
+    // say so once when built against the in-repo shim (whose parallel
+    // iterators run serially; only fork-join `rayon::join` paths fan out).
+    static SHIM_NOTE: std::sync::Once = std::sync::Once::new();
+    if rayon::SHIM_SEQUENTIAL_ITERATORS {
+        SHIM_NOTE.call_once(|| {
+            eprintln!(
+                "note: built against the in-repo rayon shim — parallel iterators run \
+                 sequentially, so --threads only affects fork-join (rayon::join) paths \
+                 (the tree baselines), not the PMA/CPMA iterator-parallel phases"
+            );
+        });
+    }
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
@@ -73,7 +101,9 @@ pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T 
 
 /// Available parallelism.
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Powers of two up to `max`, always including `max` (the paper's core
@@ -104,149 +134,18 @@ pub fn batch_sizes(max_exp: u32) -> Vec<usize> {
     (1..=max_exp).map(|e| 10usize.pow(e)).collect()
 }
 
-/// A uniform driver: structures that support sorted batch insert/remove.
-/// Implemented for every set in the evaluation so the sweep binaries can
-/// iterate over them uniformly.
-pub trait BatchSet {
-    /// Structure name as it appears in the paper's tables.
-    const NAME: &'static str;
-    /// Build from a sorted deduplicated slice.
-    fn build(elems: &[u64]) -> Self;
-    /// Insert a sorted deduplicated batch; returns #added.
-    fn insert_sorted(&mut self, batch: &[u64]) -> usize;
-    /// Remove a sorted deduplicated batch; returns #removed.
-    fn remove_sorted(&mut self, batch: &[u64]) -> usize;
-    /// Sum of elements in `[start, end)` (the range-query kernel).
-    fn range_sum(&self, start: u64, end: u64) -> u64;
-    /// Bytes of memory used.
-    fn size_bytes(&self) -> usize;
-    /// Number of elements.
-    fn len(&self) -> usize;
-}
-
-impl BatchSet for cpma_pma::Pma<u64> {
-    const NAME: &'static str = "PMA";
-    fn build(elems: &[u64]) -> Self {
-        cpma_pma::Pma::from_sorted(elems)
-    }
-    fn insert_sorted(&mut self, batch: &[u64]) -> usize {
-        self.insert_batch_sorted(batch)
-    }
-    fn remove_sorted(&mut self, batch: &[u64]) -> usize {
-        self.remove_batch_sorted(batch)
-    }
-    fn range_sum(&self, start: u64, end: u64) -> u64 {
-        cpma_pma::Pma::range_sum(self, start, end)
-    }
-    fn size_bytes(&self) -> usize {
-        cpma_pma::Pma::size_bytes(self)
-    }
-    fn len(&self) -> usize {
-        cpma_pma::Pma::len(self)
-    }
-}
-
-impl BatchSet for cpma_pma::Cpma {
-    const NAME: &'static str = "CPMA";
-    fn build(elems: &[u64]) -> Self {
-        cpma_pma::Cpma::from_sorted(elems)
-    }
-    fn insert_sorted(&mut self, batch: &[u64]) -> usize {
-        self.insert_batch_sorted(batch)
-    }
-    fn remove_sorted(&mut self, batch: &[u64]) -> usize {
-        self.remove_batch_sorted(batch)
-    }
-    fn range_sum(&self, start: u64, end: u64) -> u64 {
-        cpma_pma::Cpma::range_sum(self, start, end)
-    }
-    fn size_bytes(&self) -> usize {
-        cpma_pma::Cpma::size_bytes(self)
-    }
-    fn len(&self) -> usize {
-        cpma_pma::Cpma::len(self)
-    }
-}
-
-impl BatchSet for cpma_baselines::PTree {
-    const NAME: &'static str = "P-tree";
-    fn build(elems: &[u64]) -> Self {
-        cpma_baselines::PTree::from_sorted(elems)
-    }
-    fn insert_sorted(&mut self, batch: &[u64]) -> usize {
-        self.insert_batch_sorted(batch)
-    }
-    fn remove_sorted(&mut self, batch: &[u64]) -> usize {
-        self.remove_batch_sorted(batch)
-    }
-    fn range_sum(&self, start: u64, end: u64) -> u64 {
-        cpma_baselines::PTree::range_sum(self, start, end)
-    }
-    fn size_bytes(&self) -> usize {
-        cpma_baselines::PTree::size_bytes(self)
-    }
-    fn len(&self) -> usize {
-        cpma_baselines::PTree::len(self)
-    }
-}
-
-impl BatchSet for cpma_baselines::UPac {
-    const NAME: &'static str = "U-PaC";
-    fn build(elems: &[u64]) -> Self {
-        cpma_baselines::UPac::from_sorted(elems)
-    }
-    fn insert_sorted(&mut self, batch: &[u64]) -> usize {
-        self.insert_batch_sorted(batch)
-    }
-    fn remove_sorted(&mut self, batch: &[u64]) -> usize {
-        self.remove_batch_sorted(batch)
-    }
-    fn range_sum(&self, start: u64, end: u64) -> u64 {
-        cpma_baselines::UPac::range_sum(self, start, end)
-    }
-    fn size_bytes(&self) -> usize {
-        cpma_baselines::UPac::size_bytes(self)
-    }
-    fn len(&self) -> usize {
-        cpma_baselines::UPac::len(self)
-    }
-}
-
-impl BatchSet for cpma_baselines::CPac {
-    const NAME: &'static str = "C-PaC";
-    fn build(elems: &[u64]) -> Self {
-        cpma_baselines::CPac::from_sorted(elems)
-    }
-    fn insert_sorted(&mut self, batch: &[u64]) -> usize {
-        self.insert_batch_sorted(batch)
-    }
-    fn remove_sorted(&mut self, batch: &[u64]) -> usize {
-        self.remove_batch_sorted(batch)
-    }
-    fn range_sum(&self, start: u64, end: u64) -> u64 {
-        cpma_baselines::CPac::range_sum(self, start, end)
-    }
-    fn size_bytes(&self) -> usize {
-        cpma_baselines::CPac::size_bytes(self)
-    }
-    fn len(&self) -> usize {
-        cpma_baselines::CPac::len(self)
-    }
-}
-
 /// Measure batch-insert throughput for one structure: build it from `base`,
 /// then insert `stream` in `batch_size` chunks; returns inserts/second over
 /// the whole stream (paper Figures 1/11).
-pub fn insert_throughput<S: BatchSet>(base: &[u64], stream: &[u64], batch_size: usize) -> f64 {
-    let mut s = S::build(base);
+pub fn insert_throughput<S: BatchSet<u64>>(base: &[u64], stream: &[u64], batch_size: usize) -> f64 {
+    let mut s = S::build_sorted(base);
     let (_, secs) = time(|| {
         let mut scratch = Vec::new();
         for chunk in stream.chunks(batch_size) {
             scratch.clear();
             scratch.extend_from_slice(chunk);
-            scratch.sort_unstable();
-            scratch.dedup();
-            s.insert_sorted(&scratch);
+            let b = normalize_batch(&mut scratch);
+            s.insert_batch_sorted(b);
         }
     });
     stream.len() as f64 / secs
@@ -254,19 +153,17 @@ pub fn insert_throughput<S: BatchSet>(base: &[u64], stream: &[u64], batch_size: 
 
 /// Measure batch-delete throughput (paper Table 5): build from
 /// `base ∪ stream`, then delete `stream` in chunks.
-pub fn delete_throughput<S: BatchSet>(base: &[u64], stream: &[u64], batch_size: usize) -> f64 {
+pub fn delete_throughput<S: BatchSet<u64>>(base: &[u64], stream: &[u64], batch_size: usize) -> f64 {
     let mut all: Vec<u64> = base.iter().chain(stream.iter()).copied().collect();
-    all.sort_unstable();
-    all.dedup();
-    let mut s = S::build(&all);
+    let all = normalize_batch(&mut all);
+    let mut s = S::build_sorted(all);
     let (_, secs) = time(|| {
         let mut scratch = Vec::new();
         for chunk in stream.chunks(batch_size) {
             scratch.clear();
             scratch.extend_from_slice(chunk);
-            scratch.sort_unstable();
-            scratch.dedup();
-            s.remove_sorted(&scratch);
+            let b = normalize_batch(&mut scratch);
+            s.remove_batch_sorted(b);
         }
     });
     stream.len() as f64 / secs
@@ -275,7 +172,7 @@ pub fn delete_throughput<S: BatchSet>(base: &[u64], stream: &[u64], batch_size: 
 /// Range-query throughput: `queries` random ranges of width `width`
 /// (keyspace 2^`bits`), processed in parallel; returns elements/second
 /// (paper Figure 2). The structure is pre-built by the caller.
-pub fn range_query_throughput<S: BatchSet + Sync>(
+pub fn range_query_throughput<S: RangeSet<u64> + Sync>(
     s: &S,
     queries: usize,
     width: u64,
@@ -286,15 +183,16 @@ pub fn range_query_throughput<S: BatchSet + Sync>(
     let space = 1u64 << bits;
     let starts: Vec<u64> = {
         let mut rng = cpma_workloads::SplitMix64::new(seed);
-        (0..queries).map(|_| rng.next_below(space.saturating_sub(width).max(1))).collect()
+        (0..queries)
+            .map(|_| rng.next_below(space.saturating_sub(width).max(1)))
+            .collect()
     };
     // Elements visited ≈ len * width / space per query.
-    let expected_total =
-        (s.len() as f64) * (width as f64) / (space as f64) * queries as f64;
+    let expected_total = (s.len() as f64) * (width as f64) / (space as f64) * queries as f64;
     let (_, secs) = time(|| {
         starts
             .par_iter()
-            .map(|&a| s.range_sum(a, a.saturating_add(width)))
+            .map(|&a| s.range_sum(a..a.saturating_add(width)))
             .reduce(|| 0u64, u64::wrapping_add)
     });
     expected_total / secs
@@ -322,7 +220,9 @@ mod tests {
     #[test]
     fn args_parse_pairs_and_flags() {
         // Args::parse reads process args; test the accessors via a built value.
-        let a = Args { pairs: vec![("n".into(), "100".into()), ("space".into(), "true".into())] };
+        let a = Args {
+            pairs: vec![("n".into(), "100".into()), ("space".into(), "true".into())],
+        };
         assert_eq!(a.get_or("n", 5usize), 100);
         assert_eq!(a.get_or("missing", 5usize), 5);
         assert!(a.flag("space"));
@@ -333,8 +233,7 @@ mod tests {
     fn drivers_smoke_test() {
         let base: Vec<u64> = (0..10_000u64).map(|i| i * 17 % (1 << 20)).collect();
         let mut base = base;
-        base.sort_unstable();
-        base.dedup();
+        let base = normalize_batch(&mut base).to_vec();
         let stream: Vec<u64> = (0..5_000u64).map(|i| i * 13 + 7).collect();
         let tp = insert_throughput::<cpma_pma::Cpma>(&base, &stream, 500);
         assert!(tp > 0.0);
@@ -342,6 +241,11 @@ mod tests {
         assert!(tp > 0.0);
         let s = cpma_pma::Cpma::from_sorted(&base);
         let tp = range_query_throughput(&s, 50, 1 << 10, 20, 1);
+        assert!(tp > 0.0);
+        // Every structure in the evaluation fits the same driver.
+        let tp = insert_throughput::<cpma_baselines::CTreeSet>(&base, &stream, 500);
+        assert!(tp > 0.0);
+        let tp = insert_throughput::<std::collections::BTreeSet<u64>>(&base, &stream, 500);
         assert!(tp > 0.0);
     }
 }

@@ -1,0 +1,154 @@
+//! Minimal micro-benchmark harness (the offline stand-in for criterion).
+//!
+//! Each measurement warms up, then runs timed batches until a time budget
+//! is spent, and reports the per-iteration median over batches. Output is
+//! one line per benchmark plus a `csv,bench,...` line for scripting, the
+//! same convention as the harness binaries.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value (criterion's
+/// `black_box`; the std one is stabilized but this keeps call sites
+/// dependency-shaped).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark group with a shared time budget per measurement.
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(200),
+            budget: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Bencher {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the per-benchmark measuring budget.
+    pub fn budget(mut self, d: Duration) -> Self {
+        self.budget = d;
+        self
+    }
+
+    /// Measure `f` and print `name: <median>/iter`; returns the median
+    /// seconds per iteration.
+    pub fn bench(&self, name: &str, mut f: impl FnMut()) -> f64 {
+        // Warmup: learn an iteration count that makes ~10ms batches.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            f();
+            iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / iters.max(1) as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<40} {:>12}/iter  ({} batches of {batch})",
+            fmt_secs(median),
+            samples.len()
+        );
+        println!("csv,bench,{name},{median:e}");
+        median
+    }
+
+    /// criterion's `iter_batched`: run `setup` outside the clock, time only
+    /// `routine`. For measurements whose input is consumed or mutated (a
+    /// batch insert into a freshly built structure, say) — `bench` would
+    /// charge the rebuild to the measurement.
+    pub fn bench_batched<T>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T),
+    ) -> f64 {
+        // Warmup (untimed): learn roughly how long one routine run takes.
+        let mut probe_secs = f64::MAX;
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            routine(input);
+            probe_secs = probe_secs.min(t.elapsed().as_secs_f64());
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.budget || samples.is_empty() {
+            let input = setup();
+            let t = Instant::now();
+            routine(input);
+            samples.push(t.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<40} {:>12}/iter  ({} timed runs, setup excluded)",
+            fmt_secs(median),
+            samples.len()
+        );
+        println!("csv,bench,{name},{median:e}");
+        median
+    }
+}
+
+/// Human-readable seconds.
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let b = Bencher::new().budget(Duration::from_millis(30));
+        let mut acc = 0u64;
+        let median = b.bench("test/noop_add", || {
+            acc = black_box(acc.wrapping_add(1));
+        });
+        assert!(median > 0.0 && median < 0.1);
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert!(fmt_secs(5e-9).contains("ns"));
+        assert!(fmt_secs(5e-5).contains("µs"));
+        assert!(fmt_secs(5e-2).contains("ms"));
+        assert!(fmt_secs(5.0).contains(" s"));
+    }
+}

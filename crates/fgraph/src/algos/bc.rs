@@ -72,8 +72,7 @@ pub fn bc<G: GraphScan>(g: &G, src: u32) -> Vec<f64> {
                 let mut acc = 0.0;
                 g.for_each_neighbor(v, &mut |w| {
                     if level[w as usize] == d as u32 + 1 && sigma[w as usize] > 0.0 {
-                        acc += sigma[v as usize] / sigma[w as usize]
-                            * (1.0 + delta[w as usize]);
+                        acc += sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
                     }
                     true
                 });

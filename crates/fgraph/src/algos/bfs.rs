@@ -36,8 +36,8 @@ mod tests {
         let g = two_components();
         let p = bfs(&g, 0);
         assert_eq!(p[0], 0);
-        for v in 1..4 {
-            assert_ne!(p[v], u32::MAX, "vertex {v} unreached");
+        for (v, &parent) in p.iter().enumerate().take(4).skip(1) {
+            assert_ne!(parent, u32::MAX, "vertex {v} unreached");
         }
         assert_eq!(p[4], u32::MAX);
         assert_eq!(p[5], u32::MAX);

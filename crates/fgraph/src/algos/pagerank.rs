@@ -19,20 +19,16 @@ pub fn pagerank<G: GraphScan>(g: &G, iters: usize) -> Vec<f64> {
     let mut rank = vec![1.0 / n as f64; n];
     let mut contrib = vec![0.0f64; n];
     for _ in 0..iters {
-        contrib
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(v, c)| {
-                let d = g.degree(v as u32);
-                *c = if d > 0 { rank[v] / d as f64 } else { 0.0 };
-            });
+        contrib.par_iter_mut().enumerate().for_each(|(v, c)| {
+            let d = g.degree(v as u32);
+            *c = if d > 0 { rank[v] / d as f64 } else { 0.0 };
+        });
         let base = (1.0 - DAMPING) / n as f64;
         // The container supplies the whole-graph pull (flat containers
         // implement it as one pass over the edge array).
         let mut acc = vec![0.0f64; n];
         g.pull_accumulate(&contrib, &mut acc);
-        rank
-            .par_iter_mut()
+        rank.par_iter_mut()
             .zip(acc.par_iter())
             .for_each(|(r, a)| *r = base + DAMPING * a);
     }

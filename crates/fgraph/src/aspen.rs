@@ -19,7 +19,10 @@ pub struct AspenGraph {
 impl AspenGraph {
     /// Empty graph over `0..n`.
     pub fn new(n: usize) -> Self {
-        Self { verts: (0..n).map(|_| CTreeSet::new()).collect(), m: 0 }
+        Self {
+            verts: (0..n).map(|_| CTreeSet::new()).collect(),
+            m: 0,
+        }
     }
 
     /// Build from sorted, deduplicated packed edges.
@@ -48,8 +51,7 @@ impl AspenGraph {
         let added: usize = groups
             .par_iter()
             .map(|(src, es)| {
-                let mut dsts: Vec<u64> =
-                    es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+                let mut dsts: Vec<u64> = es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
                 dsts.dedup();
                 // SAFETY: group sources are unique.
                 unsafe { shared.get(*src as usize).insert_batch_sorted(&dsts) }
@@ -69,8 +71,7 @@ impl AspenGraph {
         let removed: usize = groups
             .par_iter()
             .map(|(src, es)| {
-                let mut dsts: Vec<u64> =
-                    es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+                let mut dsts: Vec<u64> = es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
                 dsts.dedup();
                 // SAFETY: group sources are unique.
                 unsafe { shared.get(*src as usize).remove_batch_sorted(&dsts) }
@@ -117,7 +118,12 @@ mod tests {
 
     #[test]
     fn build_insert_delete() {
-        let mut edges = vec![pack_edge(0, 1), pack_edge(1, 0), pack_edge(1, 2), pack_edge(2, 1)];
+        let mut edges = vec![
+            pack_edge(0, 1),
+            pack_edge(1, 0),
+            pack_edge(1, 2),
+            pack_edge(2, 1),
+        ];
         edges.sort_unstable();
         let mut g = AspenGraph::from_edges(4, &edges);
         assert_eq!(g.num_edges(), 4);

@@ -26,7 +26,7 @@ impl Csr {
         for v in 0..n {
             offsets[v + 1] += offsets[v];
         }
-        let targets: Vec<u32> = edges.par_iter().map(|&e| unpack_edge(e).1 as u32).collect();
+        let targets: Vec<u32> = edges.par_iter().map(|&e| unpack_edge(e).1).collect();
         Self { offsets, targets }
     }
 

@@ -1,4 +1,5 @@
-//! F-Graph: a dynamic-graph container backed by **one** CPMA (§6).
+//! F-Graph: a dynamic-graph container backed by **one** ordered edge set
+//! (§6; the paper's instance stores packed edges in a CPMA).
 //!
 //! "F-Graph is built on a single batch-parallel CPMA with delta compression
 //! and byte codes. It differs from traditional graph representations
@@ -8,36 +9,57 @@
 //! source vertex in all edges except for the edges in the uncompressed PMA
 //! leaf heads and the first edge of each vertex."
 //!
+//! The container itself ([`SetGraph`]) is generic over any
+//! [`cpma_api::RangeSet`]/[`cpma_api::BatchSet`] backend (the [`EdgeSet`]
+//! bound): [`FGraph`] is the paper's CPMA instantiation, while
+//! `SetGraph<Pma>`, `SetGraph<BTreeSet<u64>>`, or any future backend drop
+//! in unchanged — the same role the container abstraction plays in the
+//! paper's own evaluation harness.
+//!
 //! Algorithms other than pure edge scans need per-vertex offsets; F-Graph
 //! "must incur a fixed cost to reconstruct the vertex array of offsets" —
 //! [`FGraph::snapshot`] is that reconstruction, and [`FGraphSnapshot`]
-//! serves `degree` / neighbor scans directly out of the CPMA's leaves.
+//! serves `degree` / neighbor scans straight off the backend's ordered
+//! scans.
 
 use crate::{pack_edge, unpack_edge, GraphScan};
-use cpma_pma::{Cpma, LeafStorage};
-use rayon::prelude::*;
+use cpma_api::{BatchSet, ParallelChunks, RangeSet};
+use cpma_pma::Cpma;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Dynamic unweighted graph on a single CPMA. See module docs.
-pub struct FGraph {
-    edges: Cpma,
+/// What F-Graph needs from its edge container: batch updates, ordered
+/// scans, and chunked parallel traversal. Blanket-implemented for every
+/// conforming set.
+pub trait EdgeSet: BatchSet<u64> + RangeSet<u64> + ParallelChunks<u64> + Send + Sync {}
+
+impl<T: BatchSet<u64> + RangeSet<u64> + ParallelChunks<u64> + Send + Sync> EdgeSet for T {}
+
+/// Dynamic unweighted graph on a single ordered edge set. See module docs.
+pub struct SetGraph<S: EdgeSet> {
+    edges: S,
     n: usize,
 }
 
-impl FGraph {
+/// The paper's F-Graph: a [`SetGraph`] on the CPMA.
+pub type FGraph = SetGraph<Cpma>;
+
+impl<S: EdgeSet> SetGraph<S> {
     /// Empty graph over vertex ids `0..n`.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize + 1);
-        Self { edges: Cpma::new(), n }
+        Self {
+            edges: S::new_set(),
+            n,
+        }
     }
 
     /// Build from sorted, deduplicated packed edges.
     pub fn from_edges(n: usize, edges: &[u64]) -> Self {
-        let mut g = Self::new(n);
-        if !edges.is_empty() {
-            g.edges.insert_batch_sorted(edges);
+        assert!(n <= u32::MAX as usize + 1);
+        Self {
+            edges: S::build_sorted(edges),
+            n,
         }
-        g
     }
 
     /// Number of vertices.
@@ -63,7 +85,7 @@ impl FGraph {
 
     /// Edge-existence test.
     pub fn has_edge(&self, src: u32, dst: u32) -> bool {
-        self.edges.has(pack_edge(src, dst))
+        self.edges.contains(pack_edge(src, dst))
     }
 
     /// Bytes of backing memory.
@@ -71,8 +93,8 @@ impl FGraph {
         self.edges.size_bytes()
     }
 
-    /// The underlying CPMA (read-only).
-    pub fn cpma(&self) -> &Cpma {
+    /// The underlying edge set (read-only).
+    pub fn backend(&self) -> &S {
         &self.edges
     }
 
@@ -80,60 +102,58 @@ impl FGraph {
     /// the fixed per-algorithm cost the paper measures (≈10% of BC's
     /// runtime); PR-style full scans could skip it, but we build it for
     /// every algorithm exactly as the paper's experiments do.
-    pub fn snapshot(&self) -> FGraphSnapshot<'_> {
-        let storage = self.edges.storage();
-        let nl = storage.num_leaves();
-        // Global rank of each leaf's first element.
-        let mut leaf_prefix = vec![0u64; nl + 1];
-        for l in 0..nl {
-            leaf_prefix[l + 1] = leaf_prefix[l] + storage.count(l) as u64;
-        }
-        let m = leaf_prefix[nl];
-        // offsets[v] = rank of the first edge with source ≥ v.
-        let offsets: Vec<AtomicU64> = (0..self.n + 1).map(|_| AtomicU64::new(u64::MAX)).collect();
-        (0..nl).into_par_iter().for_each(|l| {
-            let mut rank = leaf_prefix[l];
-            let mut prev_src = u32::MAX;
-            storage.for_each_in_leaf(l, &mut |e| {
-                let (s, _) = unpack_edge(e);
-                if rank == leaf_prefix[l] || s != prev_src {
-                    offsets[s as usize].fetch_min(rank, Ordering::Relaxed);
+    pub fn snapshot(&self) -> SetGraphSnapshot<'_, S> {
+        // Count edges per source over the backend's parallel chunks (one
+        // atomic add per source-run per chunk — sources are contiguous in
+        // the packed order), then prefix-sum into rank-of-first-edge.
+        let counts: Vec<AtomicU64> = (0..self.n + 1).map(|_| AtomicU64::new(0)).collect();
+        self.edges.par_chunks(&|chunk| {
+            let mut i = 0;
+            while i < chunk.len() {
+                let (s, _) = unpack_edge(chunk[i]);
+                let mut j = i + 1;
+                while j < chunk.len() && unpack_edge(chunk[j]).0 == s {
+                    j += 1;
                 }
-                prev_src = s;
-                rank += 1;
-                true
-            });
-        });
-        let mut offsets: Vec<u64> =
-            offsets.into_iter().map(|a| a.into_inner()).collect();
-        offsets[self.n] = m;
-        for v in (0..self.n).rev() {
-            if offsets[v] == u64::MAX {
-                offsets[v] = offsets[v + 1];
+                counts[s as usize + 1].fetch_add((j - i) as u64, Ordering::Relaxed);
+                i = j;
             }
+        });
+        let mut offsets: Vec<u64> = counts.into_iter().map(|a| a.into_inner()).collect();
+        for v in 0..self.n {
+            offsets[v + 1] += offsets[v];
         }
-        FGraphSnapshot { g: self, leaf_prefix, offsets }
+        SetGraphSnapshot { g: self, offsets }
     }
 }
 
-/// Read handle over an [`FGraph`] with materialized vertex offsets;
-/// neighbor scans decode directly from the CPMA's compressed leaves.
-pub struct FGraphSnapshot<'a> {
-    g: &'a FGraph,
-    /// Rank of each leaf's first element (length `num_leaves + 1`).
-    leaf_prefix: Vec<u64>,
+impl FGraph {
+    /// The underlying CPMA (read-only); alias of [`SetGraph::backend`] for
+    /// the paper's default instantiation.
+    pub fn cpma(&self) -> &Cpma {
+        &self.edges
+    }
+}
+
+/// Read handle over a [`SetGraph`] with materialized vertex offsets;
+/// neighbor scans decode directly from the backend's ordered leaves.
+pub struct SetGraphSnapshot<'a, S: EdgeSet> {
+    g: &'a SetGraph<S>,
     /// Rank of each vertex's first edge (length `n + 1`).
     offsets: Vec<u64>,
 }
 
-impl FGraphSnapshot<'_> {
+/// Snapshot of the paper's F-Graph (CPMA backend).
+pub type FGraphSnapshot<'a> = SetGraphSnapshot<'a, Cpma>;
+
+impl<S: EdgeSet> SetGraphSnapshot<'_, S> {
     /// Bytes used by the snapshot's auxiliary arrays.
     pub fn aux_bytes(&self) -> usize {
-        (self.leaf_prefix.len() + self.offsets.len()) * 8
+        self.offsets.len() * 8
     }
 }
 
-impl GraphScan for FGraphSnapshot<'_> {
+impl<S: EdgeSet> GraphScan for SetGraphSnapshot<'_, S> {
     fn num_vertices(&self) -> usize {
         self.g.n
     }
@@ -147,43 +167,43 @@ impl GraphScan for FGraphSnapshot<'_> {
         (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
     }
 
-    /// Flat-scan pull: one pass over the packed edge array. Each leaf is
-    /// processed independently; a source whose run is interior to a leaf is
-    /// written plainly (no other leaf can touch it), while runs that may
-    /// continue across a leaf boundary accumulate atomically.
+    /// Flat-scan pull: one pass over the packed edge array, visited as the
+    /// backend's parallel chunks. A source whose run is interior to a chunk
+    /// is written with plain stores (no other chunk can touch it), while
+    /// runs that may continue across a chunk boundary accumulate
+    /// atomically.
     fn pull_accumulate(&self, weights: &[f64], out: &mut [f64]) {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        let storage = self.g.edges.storage();
-        let nl = storage.num_leaves();
         let acc: Vec<AtomicU64> = (0..out.len()).map(|_| AtomicU64::new(0)).collect();
         let add = |src: u32, v: f64| {
             let cell = &acc[src as usize];
             let mut cur = cell.load(Ordering::Relaxed);
             loop {
                 let next = (f64::from_bits(cur) + v).to_bits();
-                match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-                {
+                match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                     Ok(_) => return,
                     Err(c) => cur = c,
                 }
             }
         };
-        (0..nl).into_par_iter().for_each(|l| {
+        self.g.edges.par_chunks(&|chunk| {
             let mut cur_src: Option<u32> = None;
             let mut run = 0.0f64;
             let mut first_run = true;
-            storage.for_each_in_leaf(l, &mut |e| {
+            for &e in chunk {
                 let (s, d) = unpack_edge(e);
                 match cur_src {
                     Some(cs) if cs == s => run += weights[d as usize],
                     Some(cs) => {
                         if first_run {
-                            add(cs, run); // may continue from the previous leaf
+                            add(cs, run); // may continue from the previous chunk
                             first_run = false;
                         } else {
-                            // Interior run: only this leaf holds cs's edges.
-                            acc[cs as usize]
-                                .store((f64::from_bits(acc[cs as usize].load(Ordering::Relaxed)) + run).to_bits(), Ordering::Relaxed);
+                            // Interior run: only this chunk holds cs's edges.
+                            acc[cs as usize].store(
+                                (f64::from_bits(acc[cs as usize].load(Ordering::Relaxed)) + run)
+                                    .to_bits(),
+                                Ordering::Relaxed,
+                            );
                         }
                         cur_src = Some(s);
                         run = weights[d as usize];
@@ -193,10 +213,9 @@ impl GraphScan for FGraphSnapshot<'_> {
                         run = weights[d as usize];
                     }
                 }
-                true
-            });
+            }
             if let Some(cs) = cur_src {
-                add(cs, run); // may continue into the next leaf
+                add(cs, run); // may continue into the next chunk
             }
         });
         for (o, a) in out.iter_mut().zip(&acc) {
@@ -205,39 +224,16 @@ impl GraphScan for FGraphSnapshot<'_> {
     }
 
     fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32) -> bool) {
-        let start = self.offsets[v as usize];
-        let end = self.offsets[v as usize + 1];
-        if start == end {
+        if self.degree(v) == 0 {
             return;
         }
-        let storage = self.g.edges.storage();
-        // Leaf containing rank `start`: rightmost leaf whose first rank ≤ it.
-        let mut leaf = self.leaf_prefix.partition_point(|&p| p <= start) - 1;
-        let mut skip = start - self.leaf_prefix[leaf];
-        let mut remaining = end - start;
-        while remaining > 0 {
-            let mut stop = false;
-            storage.for_each_in_leaf(leaf, &mut |e| {
-                if skip > 0 {
-                    skip -= 1;
-                    return true;
-                }
-                if remaining == 0 {
-                    return false;
-                }
-                remaining -= 1;
-                if !f(unpack_edge(e).1) {
-                    stop = true;
-                    remaining = 0;
-                    return false;
-                }
-                true
-            });
-            if stop || remaining == 0 {
-                return;
+        self.g.edges.scan_from(pack_edge(v, 0), &mut |e| {
+            let (s, d) = unpack_edge(e);
+            if s != v {
+                return false;
             }
-            leaf += 1;
-        }
+            f(d)
+        });
     }
 }
 
@@ -351,6 +347,39 @@ mod tests {
         for v in 0..3 {
             assert_eq!(s.degree(v), 0);
             s.for_each_neighbor(v, &mut |_| panic!("no neighbors"));
+        }
+    }
+
+    #[test]
+    fn alternate_backends_present_the_same_graph() {
+        use std::collections::BTreeSet;
+        let edges = sym_edges(&[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+        let cpma_g: FGraph = FGraph::from_edges(6, &edges);
+        let pma_g: SetGraph<cpma_pma::Pma<u64>> = SetGraph::from_edges(6, &edges);
+        let btree_g: SetGraph<BTreeSet<u64>> = SetGraph::from_edges(6, &edges);
+        let (a, b, c) = (cpma_g.snapshot(), pma_g.snapshot(), btree_g.snapshot());
+        for v in 0..6u32 {
+            assert_eq!(a.degree(v), b.degree(v));
+            assert_eq!(a.degree(v), c.degree(v));
+            let collect = |s: &dyn GraphScan| {
+                let mut out = Vec::new();
+                s.for_each_neighbor(v, &mut |d| {
+                    out.push(d);
+                    true
+                });
+                out
+            };
+            assert_eq!(collect(&a), collect(&b));
+            assert_eq!(collect(&a), collect(&c));
+        }
+        // The flat pull kernel agrees across backends too.
+        let w: Vec<f64> = (0..6).map(|i| i as f64 + 0.5).collect();
+        let mut oa = vec![0.0; 6];
+        let mut ob = vec![0.0; 6];
+        a.pull_accumulate(&w, &mut oa);
+        c.pull_accumulate(&w, &mut ob);
+        for (x, y) in oa.iter().zip(&ob) {
+            assert!((x - y).abs() < 1e-12);
         }
     }
 }

@@ -24,7 +24,7 @@ pub mod pacgraph;
 
 pub use aspen::AspenGraph;
 pub use csr::Csr;
-pub use fgraph::{FGraph, FGraphSnapshot};
+pub use fgraph::{EdgeSet, FGraph, FGraphSnapshot, SetGraph, SetGraphSnapshot};
 pub use ligra::{edge_map, VertexSubset};
 pub use pacgraph::PacGraph;
 

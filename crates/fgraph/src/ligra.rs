@@ -26,7 +26,10 @@ pub enum VertexSubset {
 impl VertexSubset {
     /// Empty subset over `0..n`.
     pub fn empty(n: usize) -> Self {
-        VertexSubset::Sparse { n, verts: Vec::new() }
+        VertexSubset::Sparse {
+            n,
+            verts: Vec::new(),
+        }
     }
 
     /// Singleton subset.

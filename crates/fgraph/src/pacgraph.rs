@@ -45,6 +45,7 @@ impl<T> SharedVec<T> {
     /// # Safety
     /// No two concurrent calls may use the same index.
     #[inline]
+    #[allow(clippy::mut_from_ref)] // disjoint-index contract: see struct docs
     pub(crate) unsafe fn get(&self, i: usize) -> &mut T {
         &mut *self.0.add(i)
     }
@@ -53,7 +54,10 @@ impl<T> SharedVec<T> {
 impl PacGraph {
     /// Empty graph over `0..n`.
     pub fn new(n: usize) -> Self {
-        Self { verts: (0..n).map(|_| CPac::new()).collect(), m: 0 }
+        Self {
+            verts: (0..n).map(|_| CPac::new()).collect(),
+            m: 0,
+        }
     }
 
     /// Build from sorted, deduplicated packed edges.
@@ -80,8 +84,7 @@ impl PacGraph {
         let added: usize = groups
             .par_iter()
             .map(|(src, es)| {
-                let mut dsts: Vec<u64> =
-                    es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+                let mut dsts: Vec<u64> = es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
                 dsts.dedup();
                 // SAFETY: group sources are unique.
                 unsafe { shared.get(*src as usize).insert_batch_sorted(&dsts) }
@@ -101,8 +104,7 @@ impl PacGraph {
         let removed: usize = groups
             .par_iter()
             .map(|(src, es)| {
-                let mut dsts: Vec<u64> =
-                    es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
+                let mut dsts: Vec<u64> = es.iter().map(|&e| unpack_edge(e).1 as u64).collect();
                 dsts.dedup();
                 // SAFETY: group sources are unique.
                 unsafe { shared.get(*src as usize).remove_batch_sorted(&dsts) }

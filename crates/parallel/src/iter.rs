@@ -1,0 +1,191 @@
+//! The shim's "parallel" iterator: a thin wrapper over a std iterator
+//! exposing rayon's adaptor and terminal names with rayon's signatures.
+//! Execution is sequential (see the crate docs for the rationale).
+
+/// Wrapper giving a std iterator rayon's parallel-iterator vocabulary.
+pub struct Par<I>(pub(crate) I);
+
+/// `Par` is itself iterable, so it can be fed back into `zip`, `extend`,
+/// and plain `for` loops (rayon's parallel iterators compose the same way).
+/// The inherent rayon-shaped adaptors above take precedence over
+/// `Iterator`'s homonyms during method resolution.
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+/// Anything rayon would accept as `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `c.par_iter()` for any collection whose shared reference iterates.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn par_iter(&'data self) -> Par<Self::Iter>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `c.par_iter_mut()` for any collection whose unique reference iterates.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    type Item = <&'data mut C as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    // ---- adaptors (lazy, same shapes as rayon) ----
+
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> Par<std::iter::Filter<I, P>> {
+        Par(self.0.filter(p))
+    }
+
+    pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::Iter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// rayon's `flat_map_iter`: the inner iterator is a plain serial one.
+    pub fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        Par(self.0.flat_map(f))
+    }
+
+    /// No-op here; rayon uses it to bound splitting granularity.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// rayon's `map_init`: per-split scratch state. Sequential execution is
+    /// one split, so the initializer runs once.
+    pub fn map_init<T, R, INIT, F>(self, init: INIT, mut f: F) -> Par<impl Iterator<Item = R>>
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item) -> R,
+    {
+        let mut init = init;
+        let mut state = init();
+        Par(self.0.map(move |x| f(&mut state, x)))
+    }
+
+    pub fn cloned<'a, T>(self) -> Par<std::iter::Cloned<I>>
+    where
+        T: Clone + 'a,
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.cloned())
+    }
+
+    pub fn copied<'a, T>(self) -> Par<std::iter::Copied<I>>
+    where
+        T: Copy + 'a,
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.copied())
+    }
+
+    // ---- terminals ----
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn any<P: FnMut(I::Item) -> bool>(mut self, p: P) -> bool {
+        self.0.any(p)
+    }
+
+    pub fn all<P: FnMut(I::Item) -> bool>(mut self, p: P) -> bool {
+        self.0.all(p)
+    }
+
+    /// rayon's two-argument reduce: fold from an identity element.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}

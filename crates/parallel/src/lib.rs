@@ -1,0 +1,231 @@
+//! First-party parallelism shim with rayon's API surface.
+//!
+//! The build environment for this reproduction is offline, so the real
+//! `rayon` crate cannot be fetched. This crate is a drop-in stand-in for
+//! the subset of rayon's API the workspace uses, with these semantics:
+//!
+//! * [`join`] runs its two closures with real fork-join parallelism: the
+//!   second closure is spawned onto a scoped OS thread whenever the number
+//!   of shim-spawned threads is below [`current_num_threads`], and inline
+//!   otherwise. Recursive joins (the tree baselines' bulk builds) therefore
+//!   fan out to roughly one thread per core and no further.
+//! * The parallel-iterator adaptors ([`iter::Par`]) execute **sequentially**.
+//!   They preserve rayon's types and semantics (`reduce` with an identity,
+//!   `flat_map_iter`, indexed `enumerate`, ...), so swapping the real rayon
+//!   back in is a one-line change in the workspace manifest — no call site
+//!   changes.
+//! * [`ThreadPoolBuilder::build`] + [`ThreadPool::install`] bound the
+//!   thread budget [`join`] sees, which is what the benchmark harness's
+//!   strong-scaling sweeps rely on (`--threads 1` must mean serial).
+//!
+//! Every operation is semantically identical to rayon's (set aside
+//! scheduling), so correctness-critical code — the PMA's shared-disjoint
+//! batch phases most of all — exercises the same contracts either way.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// True for this shim: parallel-iterator adaptors execute sequentially
+/// (only [`join`] fans out). Consumers that present thread-scaling numbers
+/// check this to label their output honestly; the real rayon does not
+/// export it, so remove the references when swapping rayon back in.
+pub const SHIM_SEQUENTIAL_ITERATORS: bool = true;
+
+pub mod iter;
+pub mod prelude;
+pub mod slice;
+
+/// Threads the shim has live in [`join`] spawns.
+static ACTIVE_SPAWNS: AtomicUsize = AtomicUsize::new(0);
+
+/// Non-zero while inside [`ThreadPool::install`]: caps the thread budget.
+static LIMIT_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The thread budget: the installed pool's size if inside
+/// [`ThreadPool::install`], otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match LIMIT_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+///
+/// Spawns `oper_b` on a scoped thread while the live-spawn count is under
+/// the budget; otherwise runs both inline. Panics propagate like rayon's.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    // Reserve-then-check keeps the budget exact under concurrent joins (a
+    // plain load would let two threads both see room for one spawn); the
+    // guard releases the reservation even if a closure panics.
+    struct Reservation;
+    impl Drop for Reservation {
+        fn drop(&mut self) {
+            ACTIVE_SPAWNS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let spawns_after = ACTIVE_SPAWNS.fetch_add(1, Ordering::Relaxed) + 1;
+    // `+ 1` accounts for the calling thread itself.
+    if spawns_after < current_num_threads() {
+        let _reservation = Reservation; // released on return or unwind
+        std::thread::scope(|s| {
+            let hb = s.spawn(oper_b);
+            let ra = oper_a();
+            let rb = match hb.join() {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        })
+    } else {
+        // Over budget: release the reservation before running inline.
+        drop(Reservation);
+        (oper_a(), oper_b())
+    }
+}
+
+/// Builder for a [`ThreadPool`] (thread-budget handle in this shim).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Budget for [`join`] inside [`ThreadPool::install`]; 0 = all cores.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Error type kept for API compatibility; construction cannot fail here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A thread budget. `install` caps what [`current_num_threads`] reports
+/// (and therefore how far [`join`] fans out) for the closure's duration.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with the budget capped at this pool's size. The cap is a
+    /// process-global (restored on return **or unwind**); concurrent
+    /// `install`s from different threads are not supported — the benchmark
+    /// harness installs pools strictly sequentially.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                LIMIT_OVERRIDE.store(self.0, Ordering::SeqCst);
+            }
+        }
+        let _restore = Restore(LIMIT_OVERRIDE.swap(self.threads, Ordering::SeqCst));
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn join_nested() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo < 1000 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 100_000), (0u64..100_000).sum());
+    }
+
+    #[test]
+    fn install_caps_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 1));
+    }
+
+    #[test]
+    fn par_iter_combinators() {
+        let v = vec![1u64, 2, 3, 4, 5];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let total: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 15);
+        let r = (0..10u64).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(r, 45);
+        assert_eq!(v.par_iter().filter(|&&x| x % 2 == 1).count(), 3);
+        let flat: Vec<u64> = v.par_iter().flat_map_iter(|&x| vec![x, x]).collect();
+        assert_eq!(flat.len(), 10);
+        assert_eq!(
+            v.par_iter()
+                .enumerate()
+                .map(|(i, &x)| i as u64 + x)
+                .sum::<u64>(),
+            25
+        );
+    }
+
+    #[test]
+    fn par_sort_and_chunks() {
+        let mut v = vec![5u64, 3, 1, 4, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        let mut w = [1u64; 10];
+        w.par_chunks_mut(3)
+            .for_each(|c| c.iter_mut().for_each(|x| *x += 1));
+        assert!(w.iter().all(|&x| x == 2));
+        let mut m = vec![0u64, 1, 2];
+        m.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(m, vec![0, 10, 20]);
+    }
+}

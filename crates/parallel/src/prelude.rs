@@ -1,0 +1,6 @@
+//! Mirror of `rayon::prelude`: glob-import to get the traits in scope.
+
+pub use crate::iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par,
+};
+pub use crate::slice::{ParallelSlice, ParallelSliceMut};

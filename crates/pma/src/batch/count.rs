@@ -121,9 +121,15 @@ pub(crate) fn count_phase<K: PmaKey, L: LeafStorage<K>>(
         // (grain scales inversely with the pool size).
         let grain = (4096 / rayon::current_num_threads().max(1)).max(64);
         let counted: Vec<(Node, usize)> = if nodes.len() <= grain {
-            nodes.iter().map(|&n| (n, units_of(core, &cache, n))).collect()
+            nodes
+                .iter()
+                .map(|&n| (n, units_of(core, &cache, n)))
+                .collect()
         } else {
-            nodes.par_iter().map(|&n| (n, units_of(core, &cache, n))).collect()
+            nodes
+                .par_iter()
+                .map(|&n| (n, units_of(core, &cache, n)))
+                .collect()
         };
         for (n, used) in counted {
             cache.insert((n.start, n.end), used);
@@ -146,7 +152,10 @@ pub(crate) fn count_phase<K: PmaKey, L: LeafStorage<K>>(
     }
 
     if resize_root {
-        return CountOutcome { ranges: Vec::new(), resize_root: true };
+        return CountOutcome {
+            ranges: Vec::new(),
+            resize_root: true,
+        };
     }
 
     // Keep only maximal candidates (the family is laminar: candidates are
@@ -161,7 +170,10 @@ pub(crate) fn count_phase<K: PmaKey, L: LeafStorage<K>>(
             ranges.push(n);
         }
     }
-    CountOutcome { ranges, resize_root: false }
+    CountOutcome {
+        ranges,
+        resize_root: false,
+    }
 }
 
 #[cfg(test)]
@@ -212,7 +224,11 @@ mod tests {
         let out = count_phase(&p, &[0], BoundKind::Upper);
         assert!(!out.resize_root);
         assert_eq!(out.ranges.len(), 1);
-        assert!(out.ranges[0].start == 0 && out.ranges[0].end >= 2, "{:?}", out.ranges);
+        assert!(
+            out.ranges[0].start == 0 && out.ranges[0].end >= 2,
+            "{:?}",
+            out.ranges
+        );
     }
 
     #[test]

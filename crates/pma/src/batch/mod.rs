@@ -44,29 +44,14 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     /// number of keys that were not already present (the artifact's
     /// `insert_batch`).
     pub fn insert_batch(&mut self, batch: &mut [K], sorted: bool) -> usize {
-        if sorted {
-            debug_assert!(batch.windows(2).all(|w| w[0] < w[1]));
-            return self.insert_batch_sorted(batch);
-        }
-        batch.par_sort_unstable();
-        // Slice-level dedup: move uniques to the front.
-        let unique = partition_dedup_len(batch);
-        let (uniq, _) = batch.split_at(unique);
-        self.insert_batch_sorted(uniq)
+        cpma_api::BatchSet::insert_batch(self, batch, sorted)
     }
 
     /// Remove a batch of keys; see [`Self::insert_batch`] for `sorted`.
     /// Returns the number of keys actually removed (the artifact's
     /// `remove_batch`).
     pub fn remove_batch(&mut self, batch: &mut [K], sorted: bool) -> usize {
-        if sorted {
-            debug_assert!(batch.windows(2).all(|w| w[0] < w[1]));
-            return self.remove_batch_sorted(batch);
-        }
-        batch.par_sort_unstable();
-        let unique = partition_dedup_len(batch);
-        let (uniq, _) = batch.split_at(unique);
-        self.remove_batch_sorted(uniq)
+        cpma_api::BatchSet::remove_batch(self, batch, sorted)
     }
 
     /// Batch insert of a sorted, deduplicated slice.
@@ -103,9 +88,8 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
             let mut acc = (0usize, 0isize);
             for a in &assignments {
                 // SAFETY: single-threaded here.
-                let out = unsafe {
-                    shared.merge_into_leaf(a.leaf, &batch[a.start..a.end], &mut scratch)
-                };
+                let out =
+                    unsafe { shared.merge_into_leaf(a.leaf, &batch[a.start..a.end], &mut scratch) };
                 acc.0 += out.delta_count;
                 acc.1 += out.delta_units;
             }
@@ -115,9 +99,8 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
                 .par_iter()
                 .map_init(Vec::new, |scratch, a| {
                     // SAFETY: route_batch assigns each leaf at most once.
-                    let out = unsafe {
-                        shared.merge_into_leaf(a.leaf, &batch[a.start..a.end], scratch)
-                    };
+                    let out =
+                        unsafe { shared.merge_into_leaf(a.leaf, &batch[a.start..a.end], scratch) };
                     (out.delta_count, out.delta_units)
                 })
                 .reduce(|| (0usize, 0isize), |x, y| (x.0 + y.0, x.1 + y.1))
@@ -181,9 +164,8 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
                 .par_iter()
                 .map_init(Vec::new, |scratch, a| {
                     // SAFETY: route_batch assigns each leaf at most once.
-                    let out = unsafe {
-                        shared.remove_from_leaf(a.leaf, &batch[a.start..a.end], scratch)
-                    };
+                    let out =
+                        unsafe { shared.remove_from_leaf(a.leaf, &batch[a.start..a.end], scratch) };
                     (out.delta_count, out.delta_units)
                 })
                 .reduce(|| (0usize, 0isize), |x, y| (x.0 + y.0, x.1 + y.1))
@@ -316,26 +298,8 @@ pub(crate) fn par_set_difference<K: PmaKey>(a: &[K], b: &[K]) -> (Vec<K>, usize)
     (out, removed)
 }
 
-/// Stable-order slice dedup: moves the unique prefix of a sorted slice to
-/// the front and returns its length (like the unstable
-/// `slice::partition_dedup`).
-fn partition_dedup_len<K: PartialEq + Copy>(s: &mut [K]) -> usize {
-    if s.is_empty() {
-        return 0;
-    }
-    let mut w = 1;
-    for r in 1..s.len() {
-        if s[r] != s[w - 1] {
-            s[w] = s[r];
-            w += 1;
-        }
-    }
-    w
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{Cpma, Pma};
     use std::collections::BTreeSet;
 
@@ -343,21 +307,12 @@ mod tests {
         let mut x = seed;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x >> (64 - bits)
             })
             .collect()
-    }
-
-    #[test]
-    fn partition_dedup_works() {
-        let mut v = [1u64, 1, 2, 3, 3, 3, 4];
-        let n = partition_dedup_len(&mut v);
-        assert_eq!(&v[..n], &[1, 2, 3, 4]);
-        let mut e: [u64; 0] = [];
-        assert_eq!(partition_dedup_len(&mut e), 0);
-        let mut one = [5u64];
-        assert_eq!(partition_dedup_len(&mut one), 1);
     }
 
     #[test]
@@ -437,7 +392,11 @@ mod tests {
         c.check_invariants();
         // Remove in batches: half present keys, half misses.
         for chunk in keys.chunks(3000).step_by(2) {
-            let mut b: Vec<u64> = chunk.iter().map(|&k| k ^ 1).chain(chunk.iter().copied()).collect();
+            let mut b: Vec<u64> = chunk
+                .iter()
+                .map(|&k| k ^ 1)
+                .chain(chunk.iter().copied())
+                .collect();
             let removed = c.remove_batch(&mut b, false);
             let mut expect = 0;
             let mut seen = BTreeSet::new();

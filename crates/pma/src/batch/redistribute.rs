@@ -61,7 +61,11 @@ pub(crate) fn redistribute_ranges<K: PmaKey, L: LeafStorage<K>>(
             .and_then(|l| storage.leaf_max(l))
             .unwrap_or(K::MIN);
         debug_assert!(elems.windows(2).all(|w| w[0] < w[1]));
-        RangeJob { node, elems, prev_elem }
+        RangeJob {
+            node,
+            elems,
+            prev_elem,
+        }
     };
     let jobs: Vec<RangeJob<K>> = if serial {
         ranges.iter().map(|&n| collect_one(n)).collect()
@@ -74,8 +78,11 @@ pub(crate) fn redistribute_ranges<K: PmaKey, L: LeafStorage<K>>(
     let write_leaf_j = |job: &RangeJob<K>, offsets: &[usize], j: usize| -> isize {
         let leaf = job.node.start + j;
         let slice = &job.elems[offsets[j]..offsets[j + 1]];
-        let inherited =
-            if offsets[j] > 0 { job.elems[offsets[j] - 1] } else { job.prev_elem };
+        let inherited = if offsets[j] > 0 {
+            job.elems[offsets[j] - 1]
+        } else {
+            job.prev_elem
+        };
         // SAFETY: ranges are disjoint and each call owns a distinct leaf of
         // its range.
         unsafe {

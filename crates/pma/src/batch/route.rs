@@ -36,11 +36,16 @@ pub(crate) fn route_batch<K: PmaKey, L: LeafStorage<K>>(
     core: &PmaCore<K, L>,
     batch: &[K],
 ) -> Vec<Assignment> {
-    debug_assert!(core.len() > 0);
+    debug_assert!(!core.is_empty());
     let f0 = core
         .first_nonempty_leaf()
         .expect("route_batch requires a non-empty PMA");
-    let ctx = RouteCtx { core, batch, f0, tree: core.tree() };
+    let ctx = RouteCtx {
+        core,
+        batch,
+        f0,
+        tree: core.tree(),
+    };
     ctx.recurse(0, batch.len(), 0, core.storage().num_leaves())
 }
 
@@ -99,7 +104,11 @@ impl<K: PmaKey, L: LeafStorage<K>> RouteCtx<'_, K, L> {
             || self.recurse(blo, i, llo, t),
             || self.recurse(j, bhi, t + 1, lhi),
         );
-        left.push(Assignment { leaf: t, start: i, end: j });
+        left.push(Assignment {
+            leaf: t,
+            start: i,
+            end: j,
+        });
         left.extend(right);
         left
     }
@@ -116,7 +125,11 @@ impl<K: PmaKey, L: LeafStorage<K>> RouteCtx<'_, K, L> {
                 .expect("non-empty PMA always routes");
             let (i, j) = self.segment_for(t, b, bhi);
             debug_assert!(i <= b && b < j);
-            out.push(Assignment { leaf: t, start: b, end: j });
+            out.push(Assignment {
+                leaf: t,
+                start: b,
+                end: j,
+            });
             b = j;
         }
         out
@@ -182,11 +195,14 @@ mod tests {
             let batch = vec![e];
             let assignments = route_batch(&p, &batch);
             assert_eq!(assignments.len(), 1);
-            assert_eq!(assignments[0], Assignment {
-                leaf: p.dest_leaf(e).unwrap(),
-                start: 0,
-                end: 1
-            });
+            assert_eq!(
+                assignments[0],
+                Assignment {
+                    leaf: p.dest_leaf(e).unwrap(),
+                    start: 0,
+                    end: 1
+                }
+            );
         }
     }
 

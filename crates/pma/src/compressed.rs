@@ -8,9 +8,7 @@
 //! central structural claim, and it is what lets this type plug into the
 //! same `PmaCore` as the uncompressed storage.
 
-use crate::codec::{
-    decode_run, encode_run, encoded_run_len, for_each_in_run, varint_len,
-};
+use crate::codec::{decode_run, encode_run, encoded_run_len, for_each_in_run, varint_len};
 use crate::leaf::{set_difference_into, set_union_into, MergeOutcome, SharedLeaves};
 use crate::{stats, LeafStorage};
 use std::marker::PhantomData;
@@ -46,6 +44,8 @@ impl LeafStorage<u64> for CompressedLeaves {
         = CompressedShared<'a>
     where
         Self: 'a;
+
+    const NAME: &'static str = "CPMA";
 
     // ≥ 256 bytes: the redistribution fit argument needs
     // 0.1 · capacity ≥ 18 (head swap 8 B + dropped boundary delta 10 B);
@@ -304,6 +304,7 @@ unsafe impl Sync for CompressedShared<'_> {}
 
 impl CompressedShared<'_> {
     #[inline]
+    #[allow(clippy::mut_from_ref)] // shared-disjoint contract: see trait docs
     unsafe fn leaf_buf(&self, leaf: usize, len: usize) -> &mut [u8] {
         debug_assert!(leaf < self.num_leaves && len <= self.leaf_units);
         std::slice::from_raw_parts_mut(self.bytes.add(leaf * self.leaf_units), len)
@@ -338,7 +339,11 @@ impl CompressedShared<'_> {
             *self.overflow.add(leaf) = None;
             *self.counts.add(leaf) = elems.len() as u32;
             *self.used.add(leaf) = units as u32;
-            *self.heads.add(leaf) = if elems.is_empty() { inherited_head } else { elems[0] };
+            *self.heads.add(leaf) = if elems.is_empty() {
+                inherited_head
+            } else {
+                elems[0]
+            };
             (units, false)
         } else {
             *self.overflow.add(leaf) = Some(elems.to_vec().into_boxed_slice());

@@ -28,6 +28,7 @@ use crate::density::DensityBounds;
 use crate::leaf::SharedLeaves;
 use crate::tree::{ImplicitTree, Node};
 use crate::{stats, CompressedLeaves, LeafStorage, PmaKey, UncompressedLeaves};
+use cpma_api::ConfigError;
 use rayon::prelude::*;
 use std::marker::PhantomData;
 
@@ -46,16 +47,90 @@ pub struct PmaConfig {
 
 impl Default for PmaConfig {
     fn default() -> Self {
-        Self { bounds: DensityBounds::default(), growing_factor: 1.2, min_leaves: 4 }
+        Self {
+            bounds: DensityBounds::default(),
+            growing_factor: 1.2,
+            min_leaves: 4,
+        }
     }
 }
 
 impl PmaConfig {
-    /// Validate parameters; called by constructors.
+    /// Start building a configuration; [`PmaConfigBuilder::build`] validates
+    /// and returns `Result`, making invalid parameters a recoverable error
+    /// instead of a panic.
+    pub fn builder() -> PmaConfigBuilder {
+        PmaConfigBuilder::default()
+    }
+
+    /// Check parameter validity. Constructors call this and panic on `Err`
+    /// (an already-constructed invalid config is a programming error);
+    /// build-time callers should prefer [`PmaConfig::builder`].
+    pub fn check(&self) -> Result<(), ConfigError> {
+        self.bounds.check()?;
+        if !self.growing_factor.is_finite() {
+            return Err(ConfigError::new("growing_factor", "must be finite"));
+        }
+        if self.growing_factor <= 1.0 {
+            return Err(ConfigError::new("growing_factor", "must exceed 1"));
+        }
+        if self.min_leaves < 1 {
+            return Err(ConfigError::new("min_leaves", "must be at least 1"));
+        }
+        Ok(())
+    }
+
+    /// Panicking forerunner of [`Self::check`], kept one release.
+    #[deprecated(since = "0.2.0", note = "use `PmaConfig::builder()` or `check()`")]
     pub fn validate(&self) {
-        self.bounds.validate();
-        assert!(self.growing_factor > 1.0, "growing factor must exceed 1");
-        assert!(self.min_leaves >= 1);
+        self.assert_valid();
+    }
+
+    pub(crate) fn assert_valid(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Builder for [`PmaConfig`] with fallible validation.
+///
+/// ```
+/// use cpma_pma::PmaConfig;
+///
+/// let cfg = PmaConfig::builder().growing_factor(1.5).min_leaves(8).build().unwrap();
+/// assert_eq!(cfg.min_leaves, 8);
+/// assert!(PmaConfig::builder().growing_factor(0.9).build().is_err());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PmaConfigBuilder {
+    cfg: PmaConfig,
+}
+
+impl PmaConfigBuilder {
+    /// Density thresholds per tree level.
+    pub fn bounds(mut self, bounds: DensityBounds) -> Self {
+        self.cfg.bounds = bounds;
+        self
+    }
+
+    /// Capacity multiplier on growth, divisor on shrink (Appendix C
+    /// studies 1.1×–2.0×; the paper uses 1.2×).
+    pub fn growing_factor(mut self, f: f64) -> Self {
+        self.cfg.growing_factor = f;
+        self
+    }
+
+    /// Capacity floor in leaves.
+    pub fn min_leaves(mut self, n: usize) -> Self {
+        self.cfg.min_leaves = n;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<PmaConfig, ConfigError> {
+        self.cfg.check()?;
+        Ok(self.cfg)
     }
 }
 
@@ -90,7 +165,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
 
     /// Empty structure with explicit configuration.
     pub fn with_config(cfg: PmaConfig) -> Self {
-        cfg.validate();
+        cfg.assert_valid();
         let leaf_units = Self::leaf_units_for_cap(cfg.min_leaves * L::MIN_LEAF_UNITS);
         Self {
             storage: L::with_geometry(cfg.min_leaves, leaf_units),
@@ -110,8 +185,11 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
 
     /// [`Self::from_sorted`] with explicit configuration.
     pub fn from_sorted_with(elems: &[K], cfg: PmaConfig) -> Self {
-        cfg.validate();
-        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]), "input must be sorted unique");
+        cfg.assert_valid();
+        debug_assert!(
+            elems.windows(2).all(|w| w[0] < w[1]),
+            "input must be sorted unique"
+        );
         let mut this = Self::with_config(cfg);
         if !elems.is_empty() {
             let cap = this.capacity_for_target(elems);
@@ -169,8 +247,11 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
             .into_par_iter()
             .map(|j| {
                 let slice = &elems[offsets[j]..offsets[j + 1]];
-                let inherited =
-                    if offsets[j] > 0 { elems[offsets[j] - 1] } else { K::MIN };
+                let inherited = if offsets[j] > 0 {
+                    elems[offsets[j] - 1]
+                } else {
+                    K::MIN
+                };
                 // SAFETY: each iteration owns a distinct leaf.
                 unsafe { shared.write_leaf(j, slice, inherited) }
             })
@@ -313,7 +394,9 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
 
     /// Remove one key; returns false if it was absent.
     pub fn remove(&mut self, key: K) -> bool {
-        let Some(leaf) = self.dest_leaf(key) else { return false };
+        let Some(leaf) = self.dest_leaf(key) else {
+            return false;
+        };
         let mut scratch = Vec::new();
         let shared = self.storage.shared();
         // SAFETY: single-threaded exclusive access.
@@ -329,7 +412,9 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
 
     /// Units occupied within `node`'s leaf range.
     pub(crate) fn node_units(&self, node: Node) -> usize {
-        (node.start..node.end).map(|l| self.storage.units_used(l)).sum()
+        (node.start..node.end)
+            .map(|l| self.storage.units_used(l))
+            .sum()
     }
 
     /// Walk up from a leaf that may violate its **upper** bound; grow or
@@ -341,8 +426,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         let leaf_node = *path.last().unwrap();
         let cap = self.storage.leaf_units();
         let leaf_used = self.storage.units_used(leaf);
-        let violates_leaf = leaf_used
-            > self.cfg.bounds.max_units(cap, leaf_node.depth, max_depth)
+        let violates_leaf = leaf_used > self.cfg.bounds.max_units(cap, leaf_node.depth, max_depth)
             || self.storage.is_overflowed(leaf);
         if !violates_leaf {
             return;
@@ -351,7 +435,10 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         // it; if even the root violates, grow.
         for node in path.iter().rev().skip(1) {
             let used = self.node_units(*node);
-            let bound = self.cfg.bounds.max_units(cap * node.len(), node.depth, max_depth);
+            let bound = self
+                .cfg
+                .bounds
+                .max_units(cap * node.len(), node.depth, max_depth);
             if used <= bound {
                 self.redistribute(*node);
                 return;
@@ -376,7 +463,10 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         }
         for node in path.iter().rev().skip(1) {
             let used = self.node_units(*node);
-            let bound = self.cfg.bounds.min_units(cap * node.len(), node.depth, max_depth);
+            let bound = self
+                .cfg
+                .bounds
+                .min_units(cap * node.len(), node.depth, max_depth);
             if used >= bound {
                 self.redistribute(*node);
                 return;
@@ -402,8 +492,11 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
                 unsafe { shared.collect_leaf(l, &mut elems) };
             }
         }
-        let prev_head =
-            if node.start == 0 { K::MIN } else { self.storage.head(node.start - 1) };
+        let prev_head = if node.start == 0 {
+            K::MIN
+        } else {
+            self.storage.head(node.start - 1)
+        };
         let k = node.len();
         let leaf_units = self.storage.leaf_units();
         let offsets = L::plan_split(&elems, k, leaf_units);
@@ -412,8 +505,11 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         for j in 0..k {
             let leaf = node.start + j;
             let slice = &elems[offsets[j]..offsets[j + 1]];
-            let inherited =
-                if offsets[j] > 0 { elems[offsets[j] - 1] } else { prev_head };
+            let inherited = if offsets[j] > 0 {
+                elems[offsets[j] - 1]
+            } else {
+                prev_head
+            };
             // SAFETY: exclusive access.
             unsafe {
                 let old = shared.units_used(leaf);
@@ -501,42 +597,37 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     /// Apply `f` to every element, leaves in parallel (the artifact's
     /// `parallel_map`).
     pub fn par_map(&self, f: impl Fn(K) + Send + Sync) {
-        (0..self.storage.num_leaves()).into_par_iter().for_each(|leaf| {
-            if self.storage.count(leaf) > 0 {
-                self.storage.for_each_in_leaf(leaf, &mut |e| {
-                    f(e);
-                    true
-                });
-            }
-        });
+        (0..self.storage.num_leaves())
+            .into_par_iter()
+            .for_each(|leaf| {
+                if self.storage.count(leaf) > 0 {
+                    self.storage.for_each_in_leaf(leaf, &mut |e| {
+                        f(e);
+                        true
+                    });
+                }
+            });
     }
 
-    /// Apply `f` to every element in `[start, end)` in order (the paper's
-    /// `range_map`).
-    pub fn map_range(&self, start: K, end: K, mut f: impl FnMut(K)) {
-        if start >= end {
+    /// Visit elements ≥ `start` in ascending order until `f` returns
+    /// `false` (the `RangeSet::scan_from` primitive).
+    pub fn for_each_from(&self, start: K, f: &mut dyn FnMut(K) -> bool) {
+        let Some(first) = self.dest_leaf(start) else {
             return;
-        }
-        let Some(first) = self.dest_leaf(start) else { return };
+        };
         let n = self.storage.num_leaves();
         for leaf in first..n {
             if self.storage.count(leaf) == 0 {
                 continue;
             }
-            if self.storage.head(leaf) >= end {
-                break;
-            }
-            let done = !self.storage.for_each_in_leaf(leaf, &mut |e| {
-                if e >= end {
-                    return false;
+            let stopped = !self.storage.for_each_in_leaf(leaf, &mut |e| {
+                if e < start {
+                    return true;
                 }
-                if e >= start {
-                    f(e);
-                }
-                true
+                f(e)
             });
-            if done {
-                break;
+            if stopped {
+                return;
             }
         }
     }
@@ -548,7 +639,9 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         if length == 0 {
             return 0;
         }
-        let Some(first) = self.dest_leaf(start) else { return 0 };
+        let Some(first) = self.dest_leaf(start) else {
+            return 0;
+        };
         let mut visited = 0usize;
         let n = self.storage.num_leaves();
         for leaf in first..n {
@@ -570,12 +663,14 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     }
 
     /// Sum of elements in `[start, end)`, with a whole-leaf fast path for
-    /// interior leaves.
-    pub fn range_sum(&self, start: K, end: K) -> u64 {
+    /// interior leaves (the public API is `RangeSet::range_sum`).
+    pub(crate) fn range_sum_excl(&self, start: K, end: K) -> u64 {
         if start >= end {
             return 0;
         }
-        let Some(first) = self.dest_leaf(start) else { return 0 };
+        let Some(first) = self.dest_leaf(start) else {
+            return 0;
+        };
         let n = self.storage.num_leaves();
         let mut sum = 0u64;
         for leaf in first..n {
@@ -615,7 +710,13 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     pub fn sum(&self) -> u64 {
         (0..self.storage.num_leaves())
             .into_par_iter()
-            .map(|leaf| if self.storage.count(leaf) > 0 { self.storage.leaf_sum(leaf) } else { 0 })
+            .map(|leaf| {
+                if self.storage.count(leaf) > 0 {
+                    self.storage.leaf_sum(leaf)
+                } else {
+                    0
+                }
+            })
             .reduce(|| 0u64, u64::wrapping_add)
     }
 
@@ -655,6 +756,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         unsafe impl<K> Sync for OutPtr<K> {}
         impl<K> OutPtr<K> {
             /// # Safety: ranges must be disjoint across concurrent callers.
+            #[allow(clippy::mut_from_ref)]
             unsafe fn slice(&self, at: usize, len: usize) -> &mut [K] {
                 std::slice::from_raw_parts_mut(self.0.add(at), len)
             }
@@ -679,7 +781,12 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
 
     /// Iterate all elements in order.
     pub fn iter(&self) -> Iter<'_, K, L> {
-        Iter { core: self, leaf: 0, buf: Vec::new(), pos: 0 }
+        Iter {
+            core: self,
+            leaf: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
     }
 
     /// Iterate, in order, the elements ≥ `start`.
@@ -695,7 +802,12 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         let mut buf = Vec::new();
         self.storage.collect_leaf(leaf, &mut buf);
         let pos = buf.partition_point(|&e| e < start);
-        Iter { core: self, leaf: leaf + 1, buf, pos }
+        Iter {
+            core: self,
+            leaf: leaf + 1,
+            buf,
+            pos,
+        }
     }
 
     /// Direct read access to the leaf storage (used by the graph layer for
@@ -742,7 +854,10 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         let mut total_len = 0usize;
         let mut total_units = 0usize;
         for leaf in 0..n {
-            assert!(!self.storage.is_overflowed(leaf), "leaf {leaf} overflowed outside batch");
+            assert!(
+                !self.storage.is_overflowed(leaf),
+                "leaf {leaf} overflowed outside batch"
+            );
             let h = self.storage.head(leaf);
             if let Some(p) = prev_head {
                 assert!(p <= h, "heads decrease at leaf {leaf}");
@@ -773,7 +888,11 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
                 assert_eq!(seen, cnt, "leaf {leaf} count mismatch");
                 assert_eq!(first, Some(h), "leaf {leaf} head is not its minimum");
             } else {
-                assert_eq!(self.storage.units_used(leaf), 0, "empty leaf {leaf} has units");
+                assert_eq!(
+                    self.storage.units_used(leaf),
+                    0,
+                    "empty leaf {leaf} has units"
+                );
             }
         }
         assert_eq!(total_len, self.len, "len out of sync");
@@ -825,6 +944,33 @@ impl<'a, K: PmaKey, L: LeafStorage<K>> IntoIterator for &'a PmaCore<K, L> {
     type IntoIter = Iter<'a, K, L>;
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
+    }
+}
+
+/// Owned iteration drains into a sorted buffer (the backing array is a
+/// packed layout, not a `Vec` of elements).
+impl<K: PmaKey, L: LeafStorage<K>> IntoIterator for PmaCore<K, L> {
+    type Item = K;
+    type IntoIter = std::vec::IntoIter<K>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.collect_all().into_iter()
+    }
+}
+
+/// Collect arbitrary (unsorted, possibly duplicated) keys into a PMA.
+impl<K: PmaKey, L: LeafStorage<K>> FromIterator<K> for PmaCore<K, L> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut keys: Vec<K> = iter.into_iter().collect();
+        let keys = cpma_api::normalize_batch(&mut keys);
+        Self::from_sorted(keys)
+    }
+}
+
+/// Batch-insert arbitrary keys (buffers, then runs one batch update).
+impl<K: PmaKey, L: LeafStorage<K>> Extend<K> for PmaCore<K, L> {
+    fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        let mut keys: Vec<K> = iter.into_iter().collect();
+        self.insert_batch(&mut keys, false);
     }
 }
 
@@ -884,7 +1030,9 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut x = 12345u64;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x >> 20;
             p.insert(k);
             model.insert(k);
@@ -979,20 +1127,29 @@ mod tests {
     }
 
     #[test]
-    fn map_range_respects_bounds() {
+    fn for_range_respects_bounds() {
+        use cpma_api::RangeSet;
         let elems: Vec<u64> = (0..1000).map(|i| i * 10).collect();
         let c = Cpma::from_sorted(&elems);
         let mut seen = Vec::new();
-        c.map_range(95, 250, |e| seen.push(e));
-        assert_eq!(seen, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240]);
+        c.for_range(95..250, |e| seen.push(e));
+        assert_eq!(
+            seen,
+            vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240]
+        );
+        // Inclusive end is part of the range.
+        let mut incl = Vec::new();
+        c.for_range(95..=250, |e| incl.push(e));
+        assert_eq!(incl.last(), Some(&250));
         // Empty and inverted ranges.
         let mut none = Vec::new();
-        c.map_range(300, 300, |e| none.push(e));
-        c.map_range(400, 300, |e| none.push(e));
+        c.for_range(300..300, |e| none.push(e));
+        #[allow(clippy::reversed_empty_ranges)]
+        c.for_range(400..300, |e| none.push(e));
         assert!(none.is_empty());
         // Range past the end.
         let mut tail = Vec::new();
-        c.map_range(9_990, u64::MAX, |e| tail.push(e));
+        c.for_range(9_990.., |e| tail.push(e));
         assert_eq!(tail, vec![9_990]);
     }
 
@@ -1012,9 +1169,15 @@ mod tests {
     fn range_sum_matches_naive() {
         let elems: Vec<u64> = (0..5000).map(|i| i * 3 + 1).collect();
         let c = Cpma::from_sorted(&elems);
-        for (a, b) in [(0u64, 100u64), (50, 5000), (1, 2), (14_000, 15_000), (0, u64::MAX)] {
+        for (a, b) in [
+            (0u64, 100u64),
+            (50, 5000),
+            (1, 2),
+            (14_000, 15_000),
+            (0, u64::MAX),
+        ] {
             let naive: u64 = elems.iter().filter(|&&e| e >= a && e < b).sum();
-            assert_eq!(c.range_sum(a, b), naive, "range [{a},{b})");
+            assert_eq!(c.range_sum_excl(a, b), naive, "range [{a},{b})");
         }
         assert_eq!(c.sum(), elems.iter().sum::<u64>());
     }
@@ -1062,7 +1225,10 @@ mod tests {
         assert!(c.has(0));
         assert!(c.has(u64::MAX));
         assert_eq!(c.successor(u64::MAX), Some(u64::MAX));
-        assert_eq!(c.iter().collect::<Vec<_>>(), vec![0, u64::MAX - 1, u64::MAX]);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![0, u64::MAX - 1, u64::MAX]
+        );
         c.check_invariants();
         assert!(c.remove(u64::MAX));
         assert_eq!(c.max(), Some(u64::MAX - 1));
@@ -1083,7 +1249,10 @@ mod tests {
     #[test]
     fn custom_growing_factor() {
         for f in [1.1f64, 1.5, 2.0] {
-            let cfg = PmaConfig { growing_factor: f, ..Default::default() };
+            let cfg = PmaConfig {
+                growing_factor: f,
+                ..Default::default()
+            };
             let mut p = Pma::<u64>::with_config(cfg);
             for k in 0..2000u64 {
                 p.insert(k);

@@ -43,23 +43,57 @@ impl Default for DensityBounds {
 }
 
 impl DensityBounds {
-    /// Validate the parameter relationships the maintenance algorithms rely
-    /// on. Called once at construction.
+    /// Check the parameter relationships the maintenance algorithms rely
+    /// on. Called once at construction (via [`crate::PmaConfig::check`]).
+    pub fn check(&self) -> Result<(), cpma_api::ConfigError> {
+        let err = |field, reason: &str| Err(cpma_api::ConfigError::new(field, reason));
+        // NaN compares false against everything, so the relational checks
+        // below would silently wave it through; reject non-finite first.
+        for (field, value) in [
+            ("bounds.upper_leaf", self.upper_leaf),
+            ("bounds.upper_root", self.upper_root),
+            ("bounds.lower_leaf", self.lower_leaf),
+            ("bounds.lower_root", self.lower_root),
+            ("bounds.rebuild_target", self.rebuild_target),
+        ] {
+            if !value.is_finite() {
+                return err(field, "must be finite");
+            }
+        }
+        if !(self.upper_leaf > 0.0 && self.upper_leaf <= 1.0) {
+            return err("bounds.upper_leaf", "must be in (0, 1]");
+        }
+        if self.upper_root >= self.upper_leaf {
+            return err(
+                "bounds.upper_root",
+                "root upper bound must be tighter than leaf upper bound",
+            );
+        }
+        if self.lower_leaf < 0.0 {
+            return err("bounds.lower_leaf", "must be non-negative");
+        }
+        if self.lower_root <= self.lower_leaf {
+            return err(
+                "bounds.lower_root",
+                "root lower bound must be tighter than leaf lower bound",
+            );
+        }
+        if !(self.lower_root < self.rebuild_target && self.rebuild_target < self.upper_root) {
+            return err(
+                "bounds.rebuild_target",
+                "rebuild target must sit strictly inside the root density band",
+            );
+        }
+        Ok(())
+    }
+
+    /// Panicking forerunner of [`Self::check`], kept one release for
+    /// callers of the pre-builder API.
+    #[deprecated(since = "0.2.0", note = "use `check()`, which returns a Result")]
     pub fn validate(&self) {
-        assert!(self.upper_leaf <= 1.0 && self.upper_leaf > 0.0);
-        assert!(
-            self.upper_root < self.upper_leaf,
-            "root upper bound must be tighter than leaf upper bound"
-        );
-        assert!(self.lower_leaf >= 0.0);
-        assert!(
-            self.lower_root > self.lower_leaf,
-            "root lower bound must be tighter than leaf lower bound"
-        );
-        assert!(
-            self.lower_root < self.rebuild_target && self.rebuild_target < self.upper_root,
-            "rebuild target must sit strictly inside the root density band"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Upper density bound for a node at `depth`, where the root has depth 0
@@ -106,7 +140,7 @@ mod tests {
 
     #[test]
     fn defaults_validate() {
-        DensityBounds::default().validate();
+        DensityBounds::default().check().unwrap();
     }
 
     #[test]
@@ -157,8 +191,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rebuild target")]
     fn bad_target_rejected() {
-        DensityBounds { rebuild_target: 0.9, ..Default::default() }.validate();
+        let err = DensityBounds {
+            rebuild_target: 0.9,
+            ..Default::default()
+        }
+        .check()
+        .unwrap_err();
+        assert_eq!(err.field, "bounds.rebuild_target");
+    }
+
+    #[test]
+    fn non_finite_bounds_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = DensityBounds {
+                lower_leaf: bad,
+                ..Default::default()
+            }
+            .check()
+            .unwrap_err();
+            assert_eq!(err.field, "bounds.lower_leaf");
+            let err = DensityBounds {
+                upper_root: bad,
+                ..Default::default()
+            }
+            .check()
+            .unwrap_err();
+            assert_eq!(err.field, "bounds.upper_root");
+        }
     }
 }

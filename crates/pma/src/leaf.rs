@@ -46,6 +46,10 @@ pub trait LeafStorage<K: PmaKey>: Send + Sync + Sized {
     where
         Self: 'a;
 
+    /// Name of the structure this storage yields, as the paper's tables
+    /// spell it ("PMA" / "CPMA"); surfaces as `OrderedSet::NAME`.
+    const NAME: &'static str;
+
     /// Smallest permissible leaf capacity in units. For the CPMA this must
     /// be ≥ 256 bytes: redistribution's fit proof needs
     /// `0.1 · capacity ≥ 18` (see `plan_split`).
@@ -124,12 +128,7 @@ pub trait SharedLeaves<K: PmaKey> {
     ///
     /// # Safety
     /// See trait-level contract.
-    unsafe fn merge_into_leaf(
-        &self,
-        leaf: usize,
-        add: &[K],
-        scratch: &mut Vec<K>,
-    ) -> MergeOutcome;
+    unsafe fn merge_into_leaf(&self, leaf: usize, add: &[K], scratch: &mut Vec<K>) -> MergeOutcome;
 
     /// Remove every element of sorted `rem` present in `leaf` (set
     /// difference). Never overflows. An emptied leaf keeps its old head as
@@ -138,12 +137,8 @@ pub trait SharedLeaves<K: PmaKey> {
     ///
     /// # Safety
     /// See trait-level contract.
-    unsafe fn remove_from_leaf(
-        &self,
-        leaf: usize,
-        rem: &[K],
-        scratch: &mut Vec<K>,
-    ) -> MergeOutcome;
+    unsafe fn remove_from_leaf(&self, leaf: usize, rem: &[K], scratch: &mut Vec<K>)
+        -> MergeOutcome;
 
     /// Overwrite `leaf` with `elems` (must fit capacity; caller planned the
     /// split). For an empty `elems`, the head is set to `inherited_head`.

@@ -12,6 +12,15 @@
 //! updates, the three-phase parallel batch-update algorithm of §4
 //! (batch-merge → counting → redistribute), range maps, and resizing with a
 //! configurable growing factor (Appendix C).
+//!
+//! The public query/update surface is the workspace-wide `cpma_api`
+//! hierarchy — `OrderedSet` (point queries), `BatchSet` (batch updates),
+//! `RangeSet` (`RangeBounds`-based scans: `range_sum(a..b)`,
+//! `for_range(a..=b, f)`, `range_iter`) — implemented once for the generic
+//! engine in this crate's `api` module. Construction is tunable through
+//! the fallible [`PmaConfig::builder`]; `Pma`/`Cpma` also implement
+//! `FromIterator`, `Extend`, and `IntoIterator` for std-collection
+//! ergonomics.
 
 pub mod codec;
 pub mod core;
@@ -19,61 +28,35 @@ pub mod density;
 pub mod stats;
 pub mod tree;
 
+mod api;
 mod batch;
 mod compressed;
 mod leaf;
 mod uncompressed;
 
 pub use crate::compressed::CompressedLeaves;
-pub use crate::core::{Cpma, Pma, PmaConfig, PmaCore};
+pub use crate::core::{Cpma, Pma, PmaConfig, PmaConfigBuilder, PmaCore};
 pub use crate::density::DensityBounds;
 pub use crate::leaf::{LeafStorage, MergeOutcome};
 pub use crate::uncompressed::UncompressedLeaves;
+pub use cpma_api::SetKey;
 
 /// Integer key types storable in a PMA.
 ///
-/// The paper's artifact is a 64-bit key store; we additionally allow `u32`
-/// for the uncompressed PMA. The CPMA's delta coder is defined on `u64`.
-pub trait PmaKey:
-    Copy + Ord + Eq + Send + Sync + std::fmt::Debug + std::fmt::Display + 'static
-{
+/// Extends the workspace-wide [`SetKey`] (which carries `MIN`/`MAX` and the
+/// u64 widening used by sums and compression) with the raw encoding width
+/// the PMA's cell accounting needs. The paper's artifact is a 64-bit key
+/// store; we additionally allow `u32` for the uncompressed PMA. The CPMA's
+/// delta coder is defined on `u64`.
+pub trait PmaKey: SetKey {
     /// Width of the raw (uncompressed) encoding in bytes.
     const BYTES: usize;
-    /// Smallest key value.
-    const MIN: Self;
-    /// Largest key value.
-    const MAX: Self;
-    /// Widen to u64 (used by sum / compression).
-    fn to_u64(self) -> u64;
-    /// Narrow from u64; values out of range must not occur by construction.
-    fn from_u64(v: u64) -> Self;
 }
 
 impl PmaKey for u64 {
     const BYTES: usize = 8;
-    const MIN: Self = 0;
-    const MAX: Self = u64::MAX;
-    #[inline]
-    fn to_u64(self) -> u64 {
-        self
-    }
-    #[inline]
-    fn from_u64(v: u64) -> Self {
-        v
-    }
 }
 
 impl PmaKey for u32 {
     const BYTES: usize = 4;
-    const MIN: Self = 0;
-    const MAX: Self = u32::MAX;
-    #[inline]
-    fn to_u64(self) -> u64 {
-        self as u64
-    }
-    #[inline]
-    fn from_u64(v: u64) -> Self {
-        debug_assert!(v <= u32::MAX as u64);
-        v as u32
-    }
 }

@@ -90,11 +90,20 @@ mod tests {
 
     #[test]
     fn line_transfer_estimate_rounds_up() {
-        let t = Traffic { bytes_read: 1, bytes_written: 0 };
+        let t = Traffic {
+            bytes_read: 1,
+            bytes_written: 0,
+        };
         assert_eq!(t.est_line_transfers(), 1);
-        let t = Traffic { bytes_read: 64, bytes_written: 64 };
+        let t = Traffic {
+            bytes_read: 64,
+            bytes_written: 64,
+        };
         assert_eq!(t.est_line_transfers(), 2);
-        let t = Traffic { bytes_read: 65, bytes_written: 0 };
+        let t = Traffic {
+            bytes_read: 65,
+            bytes_written: 0,
+        };
         assert_eq!(t.est_line_transfers(), 2);
     }
 

@@ -24,6 +24,7 @@ pub struct Node {
 impl Node {
     /// Number of leaves in the region.
     #[inline]
+    #[allow(clippy::len_without_is_empty)] // a tree node's range is never empty
     pub fn len(&self) -> usize {
         self.end - self.start
     }
@@ -41,8 +42,16 @@ impl Node {
         debug_assert!(!self.is_leaf());
         let mid = self.start + self.len() / 2;
         (
-            Node { start: self.start, end: mid, depth: self.depth + 1 },
-            Node { start: mid, end: self.end, depth: self.depth + 1 },
+            Node {
+                start: self.start,
+                end: mid,
+                depth: self.depth + 1,
+            },
+            Node {
+                start: mid,
+                end: self.end,
+                depth: self.depth + 1,
+            },
         )
     }
 
@@ -75,7 +84,11 @@ impl ImplicitTree {
     /// The root node `[0, L)`.
     #[inline]
     pub fn root(&self) -> Node {
-        Node { start: 0, end: self.num_leaves, depth: 0 }
+        Node {
+            start: 0,
+            end: self.num_leaves,
+            depth: 0,
+        }
     }
 
     /// Maximum depth of any leaf = ⌈log₂ L⌉. With range halving every leaf
@@ -156,7 +169,14 @@ mod tests {
     #[test]
     fn root_and_leaf_basics() {
         let t = ImplicitTree::new(5);
-        assert_eq!(t.root(), Node { start: 0, end: 5, depth: 0 });
+        assert_eq!(
+            t.root(),
+            Node {
+                start: 0,
+                end: 5,
+                depth: 0
+            }
+        );
         assert_eq!(t.max_depth(), 3);
         let leaf = t.leaf_node(3);
         assert_eq!((leaf.start, leaf.end), (3, 4));
@@ -209,7 +229,10 @@ mod tests {
             }
             // Depth of every leaf is max_depth or max_depth - 1.
             let d = last.depth;
-            assert!(d == t.max_depth() || d + 1 == t.max_depth(), "leaf {leaf} depth {d}");
+            assert!(
+                d == t.max_depth() || d + 1 == t.max_depth(),
+                "leaf {leaf} depth {d}"
+            );
         }
     }
 
@@ -234,15 +257,35 @@ mod tests {
     #[test]
     fn is_tree_node_accepts_only_halving_ranges() {
         let t = ImplicitTree::new(8);
-        assert!(t.is_tree_node(Node { start: 0, end: 8, depth: 0 }));
-        assert!(t.is_tree_node(Node { start: 4, end: 6, depth: 2 }));
+        assert!(t.is_tree_node(Node {
+            start: 0,
+            end: 8,
+            depth: 0
+        }));
+        assert!(t.is_tree_node(Node {
+            start: 4,
+            end: 6,
+            depth: 2
+        }));
         // [1,3) is not reachable by halving [0,8).
-        assert!(!t.is_tree_node(Node { start: 1, end: 3, depth: 2 }));
+        assert!(!t.is_tree_node(Node {
+            start: 1,
+            end: 3,
+            depth: 2
+        }));
     }
 
     #[test]
     fn max_depth_formula() {
-        for (leaves, depth) in [(1usize, 0u32), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)] {
+        for (leaves, depth) in [
+            (1usize, 0u32),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+        ] {
             assert_eq!(ImplicitTree::new(leaves).max_depth(), depth, "L={leaves}");
         }
     }

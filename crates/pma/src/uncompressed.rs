@@ -40,6 +40,8 @@ impl<K: PmaKey> LeafStorage<K> for UncompressedLeaves<K> {
     where
         Self: 'a;
 
+    const NAME: &'static str = "PMA";
+
     // 16 cells minimum so leaves stay Θ(log n)-sized rather than degenerate.
     const MIN_LEAF_UNITS: usize = 16;
     const LEAF_ALIGN: usize = 8;
@@ -139,7 +141,9 @@ impl<K: PmaKey> LeafStorage<K> for UncompressedLeaves<K> {
     fn leaf_sum(&self, leaf: usize) -> u64 {
         let slice = self.leaf_slice(leaf);
         stats::record_read(slice.len() * K::BYTES);
-        slice.iter().fold(0u64, |acc, &e| acc.wrapping_add(e.to_u64()))
+        slice
+            .iter()
+            .fold(0u64, |acc, &e| acc.wrapping_add(e.to_u64()))
     }
 
     #[inline]
@@ -200,6 +204,7 @@ unsafe impl<K: PmaKey> Sync for UncompressedShared<'_, K> {}
 
 impl<K: PmaKey> UncompressedShared<'_, K> {
     #[inline]
+    #[allow(clippy::mut_from_ref)] // shared-disjoint contract: see trait docs
     unsafe fn leaf_cells(&self, leaf: usize, len: usize) -> &mut [K] {
         debug_assert!(leaf < self.num_leaves && len <= self.leaf_units);
         std::slice::from_raw_parts_mut(self.cells.add(leaf * self.leaf_units), len)
@@ -240,12 +245,7 @@ impl<K: PmaKey> UncompressedShared<'_, K> {
 }
 
 impl<K: PmaKey> SharedLeaves<K> for UncompressedShared<'_, K> {
-    unsafe fn merge_into_leaf(
-        &self,
-        leaf: usize,
-        add: &[K],
-        scratch: &mut Vec<K>,
-    ) -> MergeOutcome {
+    unsafe fn merge_into_leaf(&self, leaf: usize, add: &[K], scratch: &mut Vec<K>) -> MergeOutcome {
         let mut cur = Vec::new();
         let old_units = self.current(leaf, &mut cur);
         stats::record_read(old_units * K::BYTES);

@@ -1,73 +1,77 @@
 //! Crate-level property tests for the PMA/CPMA: structural invariants and
 //! behavioural equivalences under adversarial inputs that unit tests don't
 //! reach (dense runs, huge gaps, boundary keys, pathological batch mixes).
+//!
+//! Written against the in-repo randomized-test kit
+//! ([`cpma_api::testkit::Rng`]) — seeded and fully deterministic, no
+//! external property-testing dependency (the build environment is offline).
 
+use cpma_api::testkit::{sorted_unique, Rng};
 use cpma_pma::{Cpma, DensityBounds, Pma, PmaConfig};
-use proptest::collection::vec;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn sorted_unique(mut v: Vec<u64>) -> Vec<u64> {
-    v.sort_unstable();
-    v.dedup();
-    v
-}
+const CASES: u64 = 48;
 
 /// Key generators spanning the distributions that stress different parts
 /// of the structure: dense runs (tiny deltas), sparse (huge deltas), and
 /// clustered (a few hot leaves).
-fn key_strategy() -> impl Strategy<Value = Vec<u64>> {
-    prop_oneof![
+fn key_batch(rng: &mut Rng) -> Vec<u64> {
+    match rng.below(3) {
         // dense run with a random base
-        (any::<u32>(), 1usize..600).prop_map(|(base, n)| {
-            (0..n as u64).map(|i| base as u64 + i).collect()
-        }),
+        0 => {
+            let base = rng.bits(32);
+            let n = rng.below(600) + 1;
+            (0..n).map(|i| base + i).collect()
+        }
         // uniform sparse
-        vec(any::<u64>(), 0..600),
+        1 => {
+            let n = rng.below(600) as usize;
+            (0..n).map(|_| rng.next_u64()).collect()
+        }
         // clustered around a handful of centers
-        (vec(any::<u32>(), 1..5), 1usize..400).prop_map(|(centers, n)| {
-            let mut out = Vec::with_capacity(n);
-            for i in 0..n {
-                let c = centers[i % centers.len()] as u64;
-                out.push((c << 16) + (i as u64 % 1000));
-            }
-            out
-        }),
-    ]
+        _ => {
+            let centers: Vec<u64> = (0..rng.below(4) + 1).map(|_| rng.bits(32)).collect();
+            let n = rng.below(400) as usize + 1;
+            (0..n)
+                .map(|i| (centers[i % centers.len()] << 16) + (i as u64 % 1000))
+                .collect()
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// from_sorted round-trips any distribution, both storages.
-    #[test]
-    fn build_roundtrip(keys in key_strategy()) {
-        let elems = sorted_unique(keys);
+/// from_sorted round-trips any distribution, both storages.
+#[test]
+fn build_roundtrip() {
+    let mut rng = Rng::new(0xB111);
+    for _ in 0..CASES {
+        let elems = sorted_unique(key_batch(&mut rng));
         let p = Pma::<u64>::from_sorted(&elems);
-        prop_assert!(p.iter().eq(elems.iter().copied()));
+        assert!(p.iter().eq(elems.iter().copied()));
         p.check_invariants();
         let c = Cpma::from_sorted(&elems);
-        prop_assert!(c.iter().eq(elems.iter().copied()));
+        assert!(c.iter().eq(elems.iter().copied()));
         c.check_invariants();
     }
+}
 
-    /// Alternating insert/delete batches keep both structures equal to the
-    /// model and internally consistent.
-    #[test]
-    fn mixed_batches_match_model(
-        rounds in vec((any::<bool>(), key_strategy()), 1..6)
-    ) {
+/// Alternating insert/delete batches keep both structures equal to the
+/// model and internally consistent.
+#[test]
+fn mixed_batches_match_model() {
+    let mut rng = Rng::new(0x0112);
+    for _ in 0..CASES {
         let mut p = Pma::<u64>::new();
         let mut c = Cpma::new();
         let mut model = BTreeSet::new();
-        for (is_insert, keys) in rounds {
-            let b = sorted_unique(keys);
-            if is_insert {
+        let rounds = rng.below(5) + 1;
+        for _ in 0..rounds {
+            let b = sorted_unique(key_batch(&mut rng));
+            if rng.chance(1, 2) {
                 let before = model.len();
                 model.extend(b.iter().copied());
                 let want = model.len() - before;
-                prop_assert_eq!(p.insert_batch_sorted(&b), want);
-                prop_assert_eq!(c.insert_batch_sorted(&b), want);
+                assert_eq!(p.insert_batch_sorted(&b), want);
+                assert_eq!(c.insert_batch_sorted(&b), want);
             } else {
                 let mut want = 0;
                 for k in &b {
@@ -75,45 +79,66 @@ proptest! {
                         want += 1;
                     }
                 }
-                prop_assert_eq!(p.remove_batch_sorted(&b), want);
-                prop_assert_eq!(c.remove_batch_sorted(&b), want);
+                assert_eq!(p.remove_batch_sorted(&b), want);
+                assert_eq!(c.remove_batch_sorted(&b), want);
             }
             p.check_invariants();
             c.check_invariants();
         }
-        prop_assert!(p.iter().eq(model.iter().copied()));
-        prop_assert!(c.iter().eq(model.iter().copied()));
+        assert!(p.iter().eq(model.iter().copied()));
+        assert!(c.iter().eq(model.iter().copied()));
     }
+}
 
-    /// iter_from agrees with filtering the full iteration.
-    #[test]
-    fn iter_from_matches_filter(keys in key_strategy(), start in any::<u64>()) {
-        let elems = sorted_unique(keys);
+/// iter_from agrees with filtering the full iteration.
+#[test]
+fn iter_from_matches_filter() {
+    let mut rng = Rng::new(0x17E4);
+    for _ in 0..CASES {
+        let elems = sorted_unique(key_batch(&mut rng));
         let c = Cpma::from_sorted(&elems);
+        // Probe both arbitrary values and stored values.
+        let start = if rng.chance(1, 2) || elems.is_empty() {
+            rng.next_u64()
+        } else {
+            elems[rng.below(elems.len() as u64) as usize]
+        };
         let want: Vec<u64> = elems.iter().copied().filter(|&e| e >= start).collect();
         let got: Vec<u64> = c.iter_from(start).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// map_range_length visits exactly min(length, #elements ≥ start)
-    /// elements, in order.
-    #[test]
-    fn map_range_length_counts(keys in key_strategy(), start in any::<u64>(), len in 0usize..50) {
-        let elems = sorted_unique(keys);
+/// map_range_length visits exactly min(length, #elements ≥ start)
+/// elements, in order.
+#[test]
+fn map_range_length_counts() {
+    let mut rng = Rng::new(0x3A91);
+    for _ in 0..CASES {
+        let elems = sorted_unique(key_batch(&mut rng));
         let p = Pma::<u64>::from_sorted(&elems);
+        let start = rng.next_u64();
+        let len = rng.below(50) as usize;
         let mut got = Vec::new();
         let visited = p.map_range_length(start, len, |e| got.push(e));
-        let want: Vec<u64> =
-            elems.iter().copied().filter(|&e| e >= start).take(len).collect();
-        prop_assert_eq!(visited, want.len());
-        prop_assert_eq!(got, want);
+        let want: Vec<u64> = elems
+            .iter()
+            .copied()
+            .filter(|&e| e >= start)
+            .take(len)
+            .collect();
+        assert_eq!(visited, want.len());
+        assert_eq!(got, want);
     }
+}
 
-    /// min/max/len/sum agree with the model after batch churn.
-    #[test]
-    fn aggregates_match(keys in key_strategy(), dels in key_strategy()) {
-        let elems = sorted_unique(keys);
-        let dels = sorted_unique(dels);
+/// min/max/len/sum agree with the model after batch churn.
+#[test]
+fn aggregates_match() {
+    let mut rng = Rng::new(0xA66A);
+    for _ in 0..CASES {
+        let elems = sorted_unique(key_batch(&mut rng));
+        let dels = sorted_unique(key_batch(&mut rng));
         let mut c = Cpma::from_sorted(&elems);
         c.remove_batch_sorted(&dels);
         let model: BTreeSet<u64> = elems
@@ -121,42 +146,44 @@ proptest! {
             .copied()
             .filter(|k| dels.binary_search(k).is_err())
             .collect();
-        prop_assert_eq!(c.len(), model.len());
-        prop_assert_eq!(c.min(), model.iter().next().copied());
-        prop_assert_eq!(c.max(), model.iter().next_back().copied());
+        assert_eq!(c.len(), model.len());
+        assert_eq!(c.min(), model.iter().next().copied());
+        assert_eq!(c.max(), model.iter().next_back().copied());
         let want = model.iter().fold(0u64, |a, &b| a.wrapping_add(b));
-        prop_assert_eq!(c.sum(), want);
+        assert_eq!(c.sum(), want);
     }
+}
 
-    /// Every growing factor in the paper's Appendix C sweep keeps the
-    /// structure correct.
-    #[test]
-    fn growing_factors_correct(
-        factor_tenths in 11u32..=20,
-        keys in vec(any::<u64>(), 1..800),
-    ) {
-        let cfg = PmaConfig {
-            growing_factor: factor_tenths as f64 / 10.0,
-            ..Default::default()
-        };
+/// Every growing factor in the paper's Appendix C sweep keeps the
+/// structure correct. Exercises the fallible builder while at it.
+#[test]
+fn growing_factors_correct() {
+    let mut rng = Rng::new(0x6F01);
+    for factor_tenths in 11u32..=20 {
+        let cfg = PmaConfig::builder()
+            .growing_factor(factor_tenths as f64 / 10.0)
+            .build()
+            .expect("legal growing factor");
         let mut c = Cpma::with_config(cfg);
         let mut model = BTreeSet::new();
+        let keys: Vec<u64> = (0..rng.below(800) + 1).map(|_| rng.next_u64()).collect();
         for chunk in keys.chunks(97) {
             let b = sorted_unique(chunk.to_vec());
             c.insert_batch_sorted(&b);
             model.extend(b);
         }
-        prop_assert!(c.iter().eq(model.iter().copied()));
+        assert!(c.iter().eq(model.iter().copied()));
         c.check_invariants();
     }
+}
 
-    /// Custom density bounds within the legal envelope keep behaviour.
-    #[test]
-    fn custom_density_bounds_correct(
-        upper_leaf in 0.80f64..0.95,
-        lower_root in 0.20f64..0.35,
-        keys in vec(any::<u64>(), 1..600),
-    ) {
+/// Custom density bounds within the legal envelope keep behaviour.
+#[test]
+fn custom_density_bounds_correct() {
+    let mut rng = Rng::new(0xD0B5);
+    for _ in 0..CASES {
+        let upper_leaf = 0.80 + rng.below(15) as f64 / 100.0;
+        let lower_root = 0.20 + rng.below(15) as f64 / 100.0;
         let bounds = DensityBounds {
             upper_leaf,
             upper_root: 0.7,
@@ -164,13 +191,53 @@ proptest! {
             lower_root,
             rebuild_target: 0.5,
         };
-        let cfg = PmaConfig { bounds, ..Default::default() };
+        let cfg = PmaConfig::builder()
+            .bounds(bounds)
+            .build()
+            .expect("legal bounds");
         let mut p = Pma::<u64>::with_config(cfg);
-        let b = sorted_unique(keys);
+        let b = sorted_unique(key_batch(&mut rng));
         p.insert_batch_sorted(&b);
-        prop_assert!(p.iter().eq(b.iter().copied()));
+        assert!(p.iter().eq(b.iter().copied()));
         p.check_invariants();
     }
+}
+
+/// The builder rejects every illegal parameter with a named field.
+#[test]
+fn builder_rejects_bad_configs() {
+    assert_eq!(
+        PmaConfig::builder()
+            .growing_factor(1.0)
+            .build()
+            .unwrap_err()
+            .field,
+        "growing_factor"
+    );
+    assert_eq!(
+        PmaConfig::builder()
+            .growing_factor(f64::INFINITY)
+            .build()
+            .unwrap_err()
+            .field,
+        "growing_factor"
+    );
+    assert_eq!(
+        PmaConfig::builder()
+            .min_leaves(0)
+            .build()
+            .unwrap_err()
+            .field,
+        "min_leaves"
+    );
+    let bad = DensityBounds {
+        rebuild_target: 0.95,
+        ..Default::default()
+    };
+    assert_eq!(
+        PmaConfig::builder().bounds(bad).build().unwrap_err().field,
+        "bounds.rebuild_target"
+    );
 }
 
 #[test]
@@ -180,7 +247,10 @@ fn point_ops_at_extremes() {
     assert!(c.insert(0));
     assert!(c.insert(u64::MAX - 1));
     assert!(!c.insert(u64::MAX));
-    assert_eq!(c.iter().collect::<Vec<_>>(), vec![0, u64::MAX - 1, u64::MAX]);
+    assert_eq!(
+        c.iter().collect::<Vec<_>>(),
+        vec![0, u64::MAX - 1, u64::MAX]
+    );
     assert!(c.remove(0));
     assert_eq!(c.min(), Some(u64::MAX - 1));
     c.check_invariants();
@@ -215,12 +285,7 @@ fn alternating_grow_shrink_cycles() {
     let mut c = Cpma::new();
     for round in 0..6u64 {
         let keys: Vec<u64> = (0..20_000u64).map(|i| i * 31 + round).collect();
-        let b: Vec<u64> = {
-            let mut v = keys.clone();
-            v.sort_unstable();
-            v.dedup();
-            v
-        };
+        let b = sorted_unique(keys);
         c.insert_batch_sorted(&b);
         c.check_invariants();
         c.remove_batch_sorted(&b);

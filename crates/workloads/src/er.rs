@@ -52,7 +52,8 @@ pub fn erdos_renyi_edges(n: u32, p: f64, seed: u64) -> Vec<u64> {
         })
         .collect();
 
-    let mut edges: Vec<u64> = Vec::with_capacity(per_stripe.iter().map(Vec::len).sum::<usize>() * 2);
+    let mut edges: Vec<u64> =
+        Vec::with_capacity(per_stripe.iter().map(Vec::len).sum::<usize>() * 2);
     for stripe in per_stripe.iter_mut() {
         for &e in stripe.iter() {
             let (s, d) = crate::unpack_edge(e);
@@ -105,7 +106,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(erdos_renyi_edges(400, 2e-3, 5), erdos_renyi_edges(400, 2e-3, 5));
+        assert_eq!(
+            erdos_renyi_edges(400, 2e-3, 5),
+            erdos_renyi_edges(400, 2e-3, 5)
+        );
     }
 
     #[test]

@@ -46,7 +46,13 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        for &(s, d) in &[(0, 0), (1, 2), (u32::MAX, 0), (0, u32::MAX), (123456, 654321)] {
+        for &(s, d) in &[
+            (0, 0),
+            (1, 2),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (123456, 654321),
+        ] {
             assert_eq!(unpack_edge(pack_edge(s, d)), (s, d));
         }
     }

@@ -25,9 +25,18 @@ pub struct RmatGenerator {
 impl RmatGenerator {
     /// New generator; quadrant probabilities must sum to 1.
     pub fn new(scale: u32, a: f64, b: f64, c: f64, d: f64, seed: u64) -> Self {
-        assert!(scale >= 1 && scale <= 32);
-        assert!((a + b + c + d - 1.0).abs() < 1e-9, "probabilities must sum to 1");
-        Self { scale, a, ab: a + b, abc: a + b + c, seed }
+        assert!((1..=32).contains(&scale));
+        assert!(
+            (a + b + c + d - 1.0).abs() < 1e-9,
+            "probabilities must sum to 1"
+        );
+        Self {
+            scale,
+            a,
+            ab: a + b,
+            abc: a + b + c,
+            seed,
+        }
     }
 
     /// The paper's parameters: a=0.5, b=c=0.1, d=0.3.

@@ -44,7 +44,7 @@ impl SplitMix64 {
     /// Uniform value with exactly `bits` random low bits (`bits` ≤ 64).
     #[inline]
     pub fn next_bits(&mut self, bits: u32) -> u64 {
-        debug_assert!(bits >= 1 && bits <= 64);
+        debug_assert!((1..=64).contains(&bits));
         if bits == 64 {
             self.next_u64()
         } else {

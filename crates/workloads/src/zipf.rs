@@ -56,9 +56,17 @@ impl ZipfGenerator {
         let zetan = zeta_approx(n, theta);
         let zeta2theta = zeta_approx(2, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta =
-            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
-        Self { n, theta, alpha, zetan, eta, zeta2theta, rng: SplitMix64::new(seed), scramble }
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+            rng: SplitMix64::new(seed),
+            scramble,
+        }
     }
 
     /// The paper's configuration: 34-bit key space, α = 0.99, scrambled.

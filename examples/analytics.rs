@@ -1,73 +1,46 @@
 //! Side-by-side analytics workload across the paper's set implementations:
 //! the same ingest-and-scan loop on the CPMA, the uncompressed PMA,
-//! P-trees, and compressed PaC-trees, reporting throughput and footprint.
+//! P-trees, compressed PaC-trees, C-trees, and the std `BTreeSet`,
+//! reporting throughput and footprint.
 //!
 //! A miniature of the paper's headline claim: the CPMA matches tree space,
-//! beats trees on scans *and* batch ingest.
+//! beats trees on scans *and* batch ingest. The whole driver is one
+//! generic function over `cpma::api`'s `BatchSet + RangeSet` — adding a
+//! structure to the comparison is a single line in `main`.
 //!
 //! Run with: `cargo run --release --example analytics`
 
-use cpma::baselines::{CPac, PTree};
-use cpma::pma::{Cpma, Pma};
+use cpma::prelude::*;
 use cpma::workloads::{uniform_keys, ZipfGenerator};
 use std::time::Instant;
 
-trait Store {
-    fn name(&self) -> &'static str;
-    fn ingest(&mut self, batch: &[u64]) -> usize;
-    fn scan_sum(&self, lo: u64, hi: u64) -> u64;
-    fn bytes(&self) -> usize;
-}
-
-macro_rules! impl_store {
-    ($ty:ty, $name:literal, $ins:ident, $sum:ident, $size:ident) => {
-        impl Store for $ty {
-            fn name(&self) -> &'static str {
-                $name
-            }
-            fn ingest(&mut self, batch: &[u64]) -> usize {
-                let mut b = batch.to_vec();
-                b.sort_unstable();
-                b.dedup();
-                self.$ins(&b)
-            }
-            fn scan_sum(&self, lo: u64, hi: u64) -> u64 {
-                self.$sum(lo, hi)
-            }
-            fn bytes(&self) -> usize {
-                self.$size()
-            }
-        }
-    };
-}
-
-impl_store!(Cpma, "CPMA", insert_batch_sorted, range_sum, size_bytes);
-impl_store!(Pma<u64>, "PMA", insert_batch_sorted, range_sum, size_bytes);
-impl_store!(PTree, "P-tree", insert_batch_sorted, range_sum, size_bytes);
-impl_store!(CPac, "C-PaC", insert_batch_sorted, range_sum, size_bytes);
-
-fn drive(store: &mut dyn Store, batches: &[Vec<u64>], windows: &[(u64, u64)]) {
+fn drive<S: BatchSet<u64> + RangeSet<u64>>(batches: &[Vec<u64>], windows: &[(u64, u64)]) {
+    let mut store = S::new_set();
     let t = Instant::now();
     let mut added = 0;
+    let mut scratch = Vec::new();
     for b in batches {
-        added += store.ingest(b);
+        scratch.clear();
+        scratch.extend_from_slice(b);
+        let uniq = normalize_batch(&mut scratch);
+        added += store.insert_batch_sorted(uniq);
     }
     let ingest = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
     let mut checksum = 0u64;
     for &(lo, hi) in windows {
-        checksum = checksum.wrapping_add(store.scan_sum(lo, hi));
+        checksum = checksum.wrapping_add(store.range_sum(lo..hi));
     }
     let scan = t.elapsed().as_secs_f64();
 
     println!(
-        "{:>7}: ingest {:>9.0} keys/s | {} window scans in {:>6.1} ms | {:>6.2} B/key | checksum {:#x}",
-        store.name(),
+        "{:>8}: ingest {:>9.0} keys/s | {} window scans in {:>6.1} ms | {:>6.2} B/key | checksum {:#x}",
+        S::NAME,
         added as f64 / ingest,
         windows.len(),
         scan * 1e3,
-        store.bytes() as f64 / added.max(1) as f64,
+        store.size_bytes() as f64 / added.max(1) as f64,
         checksum
     );
 }
@@ -91,9 +64,15 @@ fn main() {
         })
         .collect();
 
-    println!("ingesting {} batches of {} keys, then scanning...", batches.len(), total / 50);
-    drive(&mut Cpma::new(), &batches, &windows);
-    drive(&mut Pma::<u64>::new(), &batches, &windows);
-    drive(&mut PTree::new(), &batches, &windows);
-    drive(&mut CPac::new(), &batches, &windows);
+    println!(
+        "ingesting {} batches of {} keys, then scanning...",
+        batches.len(),
+        total / 50
+    );
+    drive::<Cpma>(&batches, &windows);
+    drive::<Pma<u64>>(&batches, &windows);
+    drive::<PTree>(&batches, &windows);
+    drive::<CPac>(&batches, &windows);
+    drive::<CTreeSet>(&batches, &windows);
+    drive::<std::collections::BTreeSet<u64>>(&batches, &windows);
 }

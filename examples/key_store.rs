@@ -4,12 +4,13 @@
 //!
 //! Simulates an event-ID store: timestamps arrive in bursts (batches),
 //! recent windows are range-scanned for analytics, and old events are
-//! batch-expired. Contrasts the CPMA against the uncompressed PMA on
-//! footprint.
+//! batch-expired — all through the canonical `cpma::api` traits, with
+//! std-range syntax for the window scans. Contrasts the CPMA against the
+//! uncompressed PMA on footprint.
 //!
 //! Run with: `cargo run --release --example key_store`
 
-use cpma::pma::{Cpma, Pma};
+use cpma::prelude::*;
 use cpma::workloads::SplitMix64;
 use std::time::Instant;
 
@@ -28,35 +29,37 @@ fn main() {
     let mut total_ingested = 0usize;
     for second in 0..300u64 {
         // A burst of 10k events this second, slightly out of order.
-        let mut burst: Vec<u64> =
-            (0..10_000).map(|_| event_key(second, rng.next_below(1 << 20))).collect();
+        let mut burst: Vec<u64> = (0..10_000)
+            .map(|_| event_key(second, rng.next_below(1 << 20)))
+            .collect();
         total_ingested += store.insert_batch(&mut burst.clone(), false);
         shadow.insert_batch(&mut burst, false);
 
         // Every 50 seconds: range analytics over the trailing 10-second
         // window, then expire everything older than 100 seconds.
         if second % 50 == 49 {
-            let win_lo = event_key(second.saturating_sub(10), 0);
-            let win_hi = event_key(second + 1, 0);
+            let window = event_key(second.saturating_sub(10), 0)..event_key(second + 1, 0);
             let mut window_count = 0u64;
-            store.map_range(win_lo, win_hi, |_| window_count += 1);
-            let window_sum = store.range_sum(win_lo, win_hi);
+            store.for_range(window.clone(), |_| window_count += 1);
+            let window_sum = store.range_sum(window);
             println!(
                 "t={second:>3}s  window events: {window_count:>6}  checksum: {window_sum:#018x}"
             );
 
             if second > 100 {
                 let expire_before = event_key(second - 100, 0);
-                let mut victims = Vec::new();
-                store.map_range(0, expire_before, |k| victims.push(k));
-                let dropped = store.remove_batch(&mut victims.clone(), true);
-                shadow.remove_batch(&mut victims, true);
+                let victims: Vec<u64> = store.range_iter(..expire_before).collect();
+                let dropped = store.remove_batch_sorted(&victims);
+                shadow.remove_batch_sorted(&victims);
                 println!("        expired {dropped} events below t={}s", second - 100);
             }
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
-    println!("\ningested {total_ingested} events in {elapsed:.2}s ({:.0} events/s)", total_ingested as f64 / elapsed);
+    println!(
+        "\ningested {total_ingested} events in {elapsed:.2}s ({:.0} events/s)",
+        total_ingested as f64 / elapsed
+    );
     println!(
         "footprint: CPMA {:.2} B/event vs uncompressed PMA {:.2} B/event ({:.1}x smaller)",
         store.size_bytes() as f64 / store.len() as f64,

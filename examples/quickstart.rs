@@ -1,11 +1,13 @@
 //! Quickstart: the CPMA as a drop-in dynamic ordered set.
 //!
-//! Mirrors the paper artifact's API walk-through (`size`, `insert`,
-//! `insert_batch`, `has`, `map_range`, `sum`, iteration).
+//! Mirrors the paper artifact's API walk-through through the canonical
+//! `cpma::api` traits: build, batch updates, point queries, std-idiom
+//! range queries, iteration, and the fallible config builder.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cpma::pma::Cpma;
+use cpma::pma::PmaConfig;
+use cpma::prelude::*;
 
 fn main() {
     // Build empty, insert points.
@@ -21,22 +23,26 @@ fn main() {
     let added = set.insert_batch(&mut batch, false);
     println!("batch insert added {added} keys; len = {}", set.len());
 
-    // Point queries.
-    assert!(set.has(42));
-    assert!(set.has(4));
+    // Point queries (OrderedSet).
+    assert!(set.contains(42));
+    assert!(set.contains(4));
     assert_eq!(set.successor(5), Some(7));
+    assert_eq!(set.min(), Some(1));
 
-    // Ordered scans: range map, bounded map, sums.
-    let mut first_five = Vec::new();
-    set.map_range_length(0, 5, |k| first_five.push(k));
+    // Ordered scans with std range syntax (RangeSet).
+    let first_five: Vec<u64> = set.range_iter(..).take(5).collect();
     println!("first five keys: {first_five:?}");
     let in_range = {
         let mut c = 0u64;
-        set.map_range(1_000, 2_000, |_| c += 1);
+        set.for_range(1_000..2_000, |_| c += 1);
         c
     };
-    println!("keys in [1000, 2000): {in_range}");
-    println!("sum of all keys: {}", set.sum());
+    println!("keys in 1000..2000: {in_range}");
+    println!(
+        "sum of keys in 1000..=2000: {}",
+        set.range_sum(1_000..=2_000)
+    );
+    println!("sum of all keys: {}", set.range_sum(..));
 
     // Batch delete.
     let mut evens: Vec<u64> = (0..100_000u64).map(|i| i * 6 + 4).collect();
@@ -50,7 +56,17 @@ fn main() {
         set.size_bytes() as f64 / set.len() as f64
     );
 
-    // Iterate in order (first 3).
+    // Iterate in order (first 3), zero-copy.
     let head: Vec<u64> = set.iter().take(3).collect();
     println!("smallest three: {head:?}");
+
+    // Custom configuration via the fallible builder.
+    let cfg = PmaConfig::builder()
+        .growing_factor(1.5)
+        .build()
+        .expect("valid config");
+    let tuned: Cpma = Cpma::with_config(cfg);
+    assert!(tuned.is_empty());
+    assert!(PmaConfig::builder().growing_factor(0.5).build().is_err());
+    println!("builder rejects growing_factor 0.5, accepts 1.5 — config errors are values now");
 }

@@ -2,29 +2,73 @@
 //!
 //! Umbrella crate for the reproduction of *CPMA: An Efficient Batch-Parallel
 //! Compressed Set Without Pointers* (Wheatman, Burns, Buluç, Xu — PPoPP
-//! 2024). Re-exports the workspace crates under one roof:
+//! 2024).
 //!
-//! * [`pma`] — the paper's contribution: [`pma::Pma`] (uncompressed) and
-//!   [`pma::Cpma`] (delta + byte-code compressed), both with the
-//!   work-efficient parallel batch-update algorithm of §4;
-//! * [`baselines`] — reimplementations of the systems the paper compares
-//!   against: P-trees (PAM), PaC-trees (U-PaC / C-PaC), Aspen-style C-trees;
-//! * [`fgraph`] — F-Graph (dynamic graphs on a single CPMA), the baseline
-//!   graph containers, a CSR reference, and a Ligra-style algorithm layer;
-//! * [`workloads`] — deterministic generators for every input distribution
-//!   in the paper's evaluation.
+//! ## One interface, seven set structures
+//!
+//! The paper's evaluation runs six ordered-set structures through identical
+//! workloads. This workspace expresses that as one canonical trait
+//! hierarchy, defined in [`api`] (`cpma-api`) and implemented by every
+//! structure plus `std::collections::BTreeSet` (the test oracle):
+//!
+//! * [`api::OrderedSet`] — point queries: `contains`, `len`, `min`/`max`,
+//!   `successor`, `size_bytes`;
+//! * [`api::BatchSet`] — `build_sorted`, `insert_batch_sorted`,
+//!   `remove_batch_sorted`, plus unsorted `insert_batch`/`remove_batch`
+//!   wrappers routed through [`api::normalize_batch`];
+//! * [`api::RangeSet`] — std-idiom range queries over
+//!   [`std::ops::RangeBounds`]: `range_sum(a..b)`, `for_range(a..=b, f)`,
+//!   `range_iter`, built on one `scan_from` primitive.
+//!
+//! Import the lot with the [`prelude`]:
 //!
 //! ```
-//! use cpma::pma::Cpma;
+//! use cpma::prelude::*;
 //!
 //! let mut set = Cpma::new();
 //! set.insert_batch(&mut [5, 1, 3, 1], false);
 //! assert_eq!(set.len(), 3);
-//! assert!(set.has(3));
-//! assert_eq!(set.sum(), 9);
+//! assert!(set.contains(3));
+//! assert_eq!(set.range_sum(1..=5), 9);
+//! assert_eq!(set.range_iter(2..).collect::<Vec<_>>(), vec![3, 5]);
 //! ```
+//!
+//! The same program runs against any structure in the workspace — swap
+//! `Cpma::new()` for `PTree::new()`, `UPac::new()`, or `BTreeSet::new()`
+//! and nothing else changes. That property is enforced, not aspirational:
+//! [`api::conformance::assert_ordered_set_contract`] runs the shared
+//! randomized contract against all seven implementations in CI.
+//!
+//! ## The crates under the roof
+//!
+//! * [`api`] — the trait hierarchy, `normalize_batch`, `ConfigError`, the
+//!   conformance suite, and the deterministic test kit;
+//! * [`pma`] — the paper's contribution: [`pma::Pma`] (uncompressed) and
+//!   [`pma::Cpma`] (delta + byte-code compressed), both with the
+//!   work-efficient parallel batch-update algorithm of §4, configured via
+//!   the fallible [`pma::PmaConfig::builder`];
+//! * [`baselines`] — reimplementations of the systems the paper compares
+//!   against: P-trees (PAM), PaC-trees (U-PaC / C-PaC), Aspen-style
+//!   C-trees;
+//! * [`fgraph`] — F-Graph (dynamic graphs on a single CPMA) as an instance
+//!   of the backend-generic [`fgraph::SetGraph`], the baseline graph
+//!   containers, a CSR reference, and a Ligra-style algorithm layer;
+//! * [`workloads`] — deterministic generators for every input distribution
+//!   in the paper's evaluation.
 
+pub use cpma_api as api;
 pub use cpma_baselines as baselines;
 pub use cpma_fgraph as fgraph;
 pub use cpma_pma as pma;
 pub use cpma_workloads as workloads;
+
+/// Everything needed to use any of the workspace's set structures through
+/// the canonical interface: the trait hierarchy, the key trait, the batch
+/// normal-form helper, and the concrete structure types.
+pub mod prelude {
+    pub use crate::api::{
+        normalize_batch, BatchSet, ConfigError, OrderedSet, ParallelChunks, RangeSet, SetKey,
+    };
+    pub use crate::baselines::{CPac, CTreeSet, PTree, UPac};
+    pub use crate::pma::{Cpma, Pma, PmaConfig};
+}

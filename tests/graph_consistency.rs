@@ -50,9 +50,11 @@ fn algorithms_agree_across_containers_rmat() {
 
     // PageRank: exact same arithmetic on every container.
     let pr_ref = pagerank(&csr, 10);
-    for (name, pr) in
-        [("F", pagerank(&snap, 10)), ("C-PaC", pagerank(&pac, 10)), ("Aspen", pagerank(&asp, 10))]
-    {
+    for (name, pr) in [
+        ("F", pagerank(&snap, 10)),
+        ("C-PaC", pagerank(&pac, 10)),
+        ("Aspen", pagerank(&asp, 10)),
+    ] {
         for (i, (a, b)) in pr_ref.iter().zip(&pr).enumerate() {
             assert!((a - b).abs() < 1e-10, "{name}: PR[{i}] {a} vs {b}");
         }
@@ -66,7 +68,11 @@ fn algorithms_agree_across_containers_rmat() {
 
     // BC: identical dependency scores.
     let bc_ref = bc(&csr, 3);
-    for (name, d) in [("F", bc(&snap, 3)), ("C-PaC", bc(&pac, 3)), ("Aspen", bc(&asp, 3))] {
+    for (name, d) in [
+        ("F", bc(&snap, 3)),
+        ("C-PaC", bc(&pac, 3)),
+        ("Aspen", bc(&asp, 3)),
+    ] {
         for (i, (a, b)) in bc_ref.iter().zip(&d).enumerate() {
             assert!((a - b).abs() < 1e-9, "{name}: BC[{i}] {a} vs {b}");
         }

@@ -1,55 +1,63 @@
-//! Property-based tests (proptest) for the core invariants the paper's
-//! data structures must uphold under arbitrary inputs.
+//! Property-based tests for the core invariants the paper's data
+//! structures must uphold under arbitrary inputs, driven by the in-repo
+//! randomized-test kit ([`cpma::api::testkit::Rng`]) — seeded and fully
+//! deterministic, no external property-testing dependency (the build
+//! environment is offline).
 
-use cpma::baselines::{CPac, PTree};
-use cpma::pma::{codec, Cpma, Pma};
-use proptest::collection::vec;
-use proptest::prelude::*;
+use cpma::api::testkit::{sorted_unique, Rng};
+use cpma::pma::codec;
+use cpma::prelude::*;
 use std::collections::BTreeSet;
+use std::ops::Bound;
 
-fn sorted_unique(mut v: Vec<u64>) -> Vec<u64> {
-    v.sort_unstable();
-    v.dedup();
-    v
-}
+const CASES: u64 = 64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Byte codes round-trip any strictly increasing run.
-    #[test]
-    fn codec_roundtrip(raw in vec(any::<u64>(), 0..300)) {
-        let elems = sorted_unique(raw);
+/// Byte codes round-trip any strictly increasing run.
+#[test]
+fn codec_roundtrip() {
+    let mut rng = Rng::new(0xC0DE);
+    for _ in 0..CASES {
+        let elems = sorted_unique(rng.raw_keys(300));
         let len = codec::encoded_run_len(&elems, 8);
         let mut buf = vec![0u8; len];
         let written = codec::encode_run(&elems, &mut buf);
-        prop_assert_eq!(written, len);
+        assert_eq!(written, len);
         let mut out = Vec::new();
         codec::decode_run(&buf, elems.len(), &mut out);
-        prop_assert_eq!(out, elems);
+        assert_eq!(out, elems);
     }
+}
 
-    /// Varints round-trip any u64.
-    #[test]
-    fn varint_roundtrip(v in any::<u64>()) {
+/// Varints round-trip any u64.
+#[test]
+fn varint_roundtrip() {
+    let mut rng = Rng::new(0x7A21);
+    let probe = |v: u64| {
         let mut buf = [0u8; codec::MAX_VARINT_BYTES];
         let n = codec::write_varint(v, &mut buf);
-        prop_assert_eq!(n, codec::varint_len(v));
+        assert_eq!(n, codec::varint_len(v));
         let (back, used) = codec::decode_varint(&buf);
-        prop_assert_eq!(back, v);
-        prop_assert_eq!(used, n);
+        assert_eq!(back, v);
+        assert_eq!(used, n);
+    };
+    probe(0);
+    probe(u64::MAX);
+    for _ in 0..CASES * 4 {
+        // Vary magnitude so every varint width is hit.
+        let bits = rng.below(64) as u32 + 1;
+        probe(rng.bits(bits));
     }
+}
 
-    /// Batch insert ≡ point inserts, for the PMA.
-    #[test]
-    fn pma_batch_equals_points(
-        base in vec(any::<u64>(), 0..500),
-        batch in vec(any::<u64>(), 0..800),
-    ) {
-        let base = sorted_unique(base);
+/// Batch insert ≡ point inserts, for the PMA.
+#[test]
+fn pma_batch_equals_points() {
+    let mut rng = Rng::new(0xBA7C);
+    for _ in 0..CASES {
+        let base = sorted_unique(rng.raw_keys(500));
         let mut batched = Pma::<u64>::from_sorted(&base);
         let mut pointed = Pma::<u64>::from_sorted(&base);
-        let b = sorted_unique(batch);
+        let b = sorted_unique(rng.raw_keys(800));
         let added = batched.insert_batch_sorted(&b);
         let mut point_added = 0;
         for &k in &b {
@@ -57,112 +65,168 @@ proptest! {
                 point_added += 1;
             }
         }
-        prop_assert_eq!(added, point_added);
-        prop_assert!(batched.iter().eq(pointed.iter()));
+        assert_eq!(added, point_added);
+        assert!(batched.iter().eq(pointed.iter()));
         batched.check_invariants();
         pointed.check_invariants();
     }
+}
 
-    /// The CPMA stores exactly the same set as the PMA under the same
-    /// operations (compression must be invisible).
-    #[test]
-    fn cpma_equals_pma(
-        ops in vec((any::<bool>(), vec(any::<u64>(), 1..400)), 1..8)
-    ) {
+/// The CPMA stores exactly the same set as the PMA under the same
+/// operations (compression must be invisible).
+#[test]
+fn cpma_equals_pma() {
+    let mut rng = Rng::new(0xCE0A);
+    for _ in 0..CASES {
         let mut pma = Pma::<u64>::new();
         let mut cpma = Cpma::new();
-        for (is_insert, keys) in ops {
-            let b = sorted_unique(keys);
-            if is_insert {
-                prop_assert_eq!(pma.insert_batch_sorted(&b), cpma.insert_batch_sorted(&b));
+        let rounds = rng.below(7) + 1;
+        for _ in 0..rounds {
+            let b = sorted_unique(rng.raw_keys(400).into_iter().chain([1]).collect());
+            if rng.chance(1, 2) {
+                assert_eq!(pma.insert_batch_sorted(&b), cpma.insert_batch_sorted(&b));
             } else {
-                prop_assert_eq!(pma.remove_batch_sorted(&b), cpma.remove_batch_sorted(&b));
+                assert_eq!(pma.remove_batch_sorted(&b), cpma.remove_batch_sorted(&b));
             }
         }
-        prop_assert!(pma.iter().eq(cpma.iter()));
+        assert!(pma.iter().eq(cpma.iter()));
         pma.check_invariants();
         cpma.check_invariants();
     }
+}
 
-    /// delete ∘ insert ≡ identity on the CPMA.
-    #[test]
-    fn cpma_insert_then_delete_is_identity(
-        base in vec(any::<u64>(), 0..600),
-        extra in vec(any::<u64>(), 1..600),
-    ) {
-        let base = sorted_unique(base);
-        let extra: Vec<u64> = sorted_unique(extra)
+/// delete ∘ insert ≡ identity on the CPMA.
+#[test]
+fn cpma_insert_then_delete_is_identity() {
+    let mut rng = Rng::new(0x1DE7);
+    for _ in 0..CASES {
+        let base = sorted_unique(rng.raw_keys(600));
+        let extra: Vec<u64> = sorted_unique(rng.raw_keys(600).into_iter().chain([3]).collect())
             .into_iter()
             .filter(|k| base.binary_search(k).is_err())
             .collect();
         let mut c = Cpma::from_sorted(&base);
         let before: Vec<u64> = c.iter().collect();
         let added = c.insert_batch_sorted(&extra);
-        prop_assert_eq!(added, extra.len());
+        assert_eq!(added, extra.len());
         let removed = c.remove_batch_sorted(&extra);
-        prop_assert_eq!(removed, extra.len());
-        prop_assert_eq!(c.iter().collect::<Vec<_>>(), before);
+        assert_eq!(removed, extra.len());
+        assert_eq!(c.iter().collect::<Vec<_>>(), before);
         c.check_invariants();
     }
+}
 
-    /// Range queries agree with the model on arbitrary bounds.
-    #[test]
-    fn range_ops_match_model(
-        elems in vec(any::<u64>(), 0..800),
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
-        let elems = sorted_unique(elems);
-        let c = Cpma::from_sorted(&elems);
-        let (lo, hi) = (a.min(b), a.max(b));
-        let want: Vec<u64> = elems.iter().copied().filter(|&e| e >= lo && e < hi).collect();
-        let mut got = Vec::new();
-        c.map_range(lo, hi, |e| got.push(e));
-        prop_assert_eq!(&got, &want);
-        let want_sum = want.iter().fold(0u64, |x, &y| x.wrapping_add(y));
-        prop_assert_eq!(c.range_sum(lo, hi), want_sum);
+/// THE range-agreement property of the new API: on every structure,
+/// `range_iter(range)` ≡ `for_range(range)` ≡ `BTreeSet::range(range)`,
+/// for random windows in every `RangeBounds` shape (including ones only
+/// the inclusive forms can express, like `..=u64::MAX`).
+#[test]
+fn range_iter_agrees_with_for_range_and_btreeset_on_every_structure() {
+    fn check<S: BatchSet<u64> + RangeSet<u64>>(rng: &mut Rng) {
+        let elems = sorted_unique(
+            rng.raw_keys(500)
+                .into_iter()
+                .chain([0, u64::MAX, rng.next_u64()])
+                .collect(),
+        );
+        let s = S::build_sorted(&elems);
+        let model: BTreeSet<u64> = elems.iter().copied().collect();
+        for _ in 0..12 {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
+            let (lo, hi) = (a.min(b), a.max(b));
+            let shapes: [(Bound<u64>, Bound<u64>); 6] = [
+                (Bound::Included(lo), Bound::Excluded(hi)),
+                (Bound::Included(lo), Bound::Included(hi)),
+                (Bound::Excluded(lo), Bound::Included(hi)),
+                (Bound::Included(lo), Bound::Unbounded),
+                (Bound::Unbounded, Bound::Excluded(hi)),
+                (Bound::Unbounded, Bound::Unbounded),
+            ];
+            for range in shapes {
+                let want: Vec<u64> = model.range(range).copied().collect();
+                let got_iter: Vec<u64> = s.range_iter(range).collect();
+                assert_eq!(got_iter, want, "{}: range_iter {range:?}", S::NAME);
+                let mut got_for = Vec::new();
+                s.for_range(range, |k| got_for.push(k));
+                assert_eq!(got_for, want, "{}: for_range {range:?}", S::NAME);
+                let want_sum = want.iter().fold(0u64, |x, &y| x.wrapping_add(y));
+                assert_eq!(
+                    s.range_sum(range),
+                    want_sum,
+                    "{}: range_sum {range:?}",
+                    S::NAME
+                );
+            }
+        }
     }
+    let mut rng = Rng::new(0x4A63);
+    for _ in 0..8 {
+        check::<Pma<u64>>(&mut rng);
+        check::<Cpma>(&mut rng);
+        check::<PTree>(&mut rng);
+        check::<UPac>(&mut rng);
+        check::<CPac>(&mut rng);
+        check::<CTreeSet>(&mut rng);
+        check::<BTreeSet<u64>>(&mut rng);
+    }
+}
 
-    /// successor() is the BTreeSet range lower bound.
-    #[test]
-    fn successor_matches_model(elems in vec(any::<u64>(), 0..400), probe in any::<u64>()) {
-        let elems = sorted_unique(elems);
+/// successor() is the BTreeSet range lower bound.
+#[test]
+fn successor_matches_model() {
+    let mut rng = Rng::new(0x5CCE);
+    for _ in 0..CASES {
+        let elems = sorted_unique(rng.raw_keys(400));
         let model: BTreeSet<u64> = elems.iter().copied().collect();
         let p = Pma::<u64>::from_sorted(&elems);
+        let probe = rng.next_u64();
         let want = model.range(probe..).next().copied();
-        prop_assert_eq!(p.successor(probe), want);
+        assert_eq!(p.successor(probe), want);
     }
+}
 
-    /// Tree baselines implement the same set as the PMA (union semantics).
-    #[test]
-    fn baselines_match_pma(
-        base in vec(any::<u64>(), 0..400),
-        batch in vec(any::<u64>(), 0..400),
-        dels in vec(any::<u64>(), 0..200),
-    ) {
-        let base = sorted_unique(base);
-        let batch = sorted_unique(batch);
-        let dels = sorted_unique(dels);
+/// Tree baselines implement the same set as the PMA (union semantics).
+#[test]
+fn baselines_match_pma() {
+    let mut rng = Rng::new(0xBA5E);
+    for _ in 0..CASES {
+        let base = sorted_unique(rng.raw_keys(400));
+        let batch = sorted_unique(rng.raw_keys(400));
+        let dels = sorted_unique(rng.raw_keys(200));
         let mut pma = Pma::<u64>::from_sorted(&base);
         let mut pt = PTree::from_sorted(&base);
         let mut cp = CPac::from_sorted(&base);
-        prop_assert_eq!(pma.insert_batch_sorted(&batch), pt.insert_batch_sorted(&batch));
-        prop_assert_eq!(cp.insert_batch_sorted(&batch), pt.len() - base.len().min(pt.len()));
-        prop_assert_eq!(pma.remove_batch_sorted(&dels), pt.remove_batch_sorted(&dels));
+        assert_eq!(
+            pma.insert_batch_sorted(&batch),
+            pt.insert_batch_sorted(&batch)
+        );
+        assert_eq!(
+            cp.insert_batch_sorted(&batch),
+            pt.len() - base.len().min(pt.len())
+        );
+        assert_eq!(
+            pma.remove_batch_sorted(&dels),
+            pt.remove_batch_sorted(&dels)
+        );
         cp.remove_batch_sorted(&dels);
         let reference: Vec<u64> = pma.iter().collect();
-        prop_assert_eq!(pt.collect(), reference.clone());
-        prop_assert_eq!(cp.collect(), reference);
+        assert_eq!(pt.collect(), reference);
+        assert_eq!(cp.collect(), reference);
     }
+}
 
-    /// Structural invariants hold after arbitrary mixed point operations.
-    #[test]
-    fn pma_invariants_under_point_ops(ops in vec((any::<bool>(), any::<u32>()), 0..600)) {
+/// Structural invariants hold after arbitrary mixed point operations.
+#[test]
+fn pma_invariants_under_point_ops() {
+    let mut rng = Rng::new(0x1417);
+    for _ in 0..CASES {
         let mut p = Pma::<u64>::new();
         let mut c = Cpma::new();
-        for (ins, k) in ops {
-            let k = k as u64;
-            if ins {
+        let ops = rng.below(600) as usize;
+        for _ in 0..ops {
+            let k = rng.bits(32);
+            if rng.chance(1, 2) {
                 p.insert(k);
                 c.insert(k);
             } else {
@@ -172,6 +236,24 @@ proptest! {
         }
         p.check_invariants();
         c.check_invariants();
-        prop_assert!(p.iter().eq(c.iter()));
+        assert!(p.iter().eq(c.iter()));
+    }
+}
+
+/// The std-idiom constructors agree with the batch API.
+#[test]
+fn from_iterator_and_extend_match_batches() {
+    let mut rng = Rng::new(0xF20E);
+    for _ in 0..16 {
+        let keys = rng.raw_keys(500);
+        let collected: Cpma = keys.iter().copied().collect();
+        let mut batched = Cpma::new();
+        batched.insert_batch(&mut keys.clone(), false);
+        assert!(collected.iter().eq(batched.iter()));
+        let more = rng.raw_keys(300);
+        let mut extended = collected;
+        extended.extend(more.iter().copied());
+        batched.insert_batch(&mut more.clone(), false);
+        assert!(extended.iter().eq(batched.iter()));
     }
 }

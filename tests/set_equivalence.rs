@@ -1,105 +1,33 @@
 //! Cross-crate integration test: every set implementation in the
-//! evaluation (PMA, CPMA, P-tree, U-PaC, C-PaC, C-tree) must behave as the
-//! same abstract ordered set under a long randomized mixed workload of
-//! batch inserts, batch deletes, and range scans, with `BTreeSet` as the
-//! oracle.
+//! evaluation (PMA, CPMA, P-tree, U-PaC, C-PaC, C-tree) plus the
+//! `BTreeSet` oracle must behave as the same abstract ordered set — once
+//! through the shared conformance suite, and once under a long randomized
+//! mixed workload of batch inserts, batch deletes, and range scans, all
+//! driven through the canonical `cpma::api` traits (no per-test shims).
 
-use cpma::baselines::{CPac, CTreeSet, PTree, UPac};
-use cpma::pma::{Cpma, Pma};
+use cpma::api::conformance::assert_ordered_set_contract;
+use cpma::prelude::*;
 use cpma::workloads::SplitMix64;
 use std::collections::BTreeSet;
 
-/// The operations every structure must expose for this test.
-trait SetUnderTest {
-    fn name() -> &'static str;
-    fn new_empty() -> Self;
-    fn ins(&mut self, batch: &[u64]) -> usize;
-    fn del(&mut self, batch: &[u64]) -> usize;
-    fn contains(&self, k: u64) -> bool;
-    fn items(&self) -> Vec<u64>;
-    fn count(&self) -> usize;
+// ---------------------------------------------------------------------
+// The shared contract, against all seven implementations.
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_seven_implementations_pass_the_contract() {
+    assert_ordered_set_contract::<Pma<u64>>(1);
+    assert_ordered_set_contract::<Cpma>(2);
+    assert_ordered_set_contract::<PTree>(3);
+    assert_ordered_set_contract::<UPac>(4);
+    assert_ordered_set_contract::<CPac>(5);
+    assert_ordered_set_contract::<CTreeSet>(6);
+    assert_ordered_set_contract::<BTreeSet<u64>>(7);
 }
 
-macro_rules! set_under_test {
-    ($ty:ty, $name:literal, $collect:ident) => {
-        impl SetUnderTest for $ty {
-            fn name() -> &'static str {
-                $name
-            }
-            fn new_empty() -> Self {
-                <$ty>::new()
-            }
-            fn ins(&mut self, batch: &[u64]) -> usize {
-                self.insert_batch_sorted(batch)
-            }
-            fn del(&mut self, batch: &[u64]) -> usize {
-                self.remove_batch_sorted(batch)
-            }
-            fn contains(&self, k: u64) -> bool {
-                self.has(k)
-            }
-            fn items(&self) -> Vec<u64> {
-                self.$collect()
-            }
-            fn count(&self) -> usize {
-                self.len()
-            }
-        }
-    };
-}
-
-impl SetUnderTest for Pma<u64> {
-    fn name() -> &'static str {
-        "PMA"
-    }
-    fn new_empty() -> Self {
-        Pma::new()
-    }
-    fn ins(&mut self, batch: &[u64]) -> usize {
-        self.insert_batch_sorted(batch)
-    }
-    fn del(&mut self, batch: &[u64]) -> usize {
-        self.remove_batch_sorted(batch)
-    }
-    fn contains(&self, k: u64) -> bool {
-        self.has(k)
-    }
-    fn items(&self) -> Vec<u64> {
-        self.iter().collect()
-    }
-    fn count(&self) -> usize {
-        self.len()
-    }
-}
-
-impl SetUnderTest for Cpma {
-    fn name() -> &'static str {
-        "CPMA"
-    }
-    fn new_empty() -> Self {
-        Cpma::new()
-    }
-    fn ins(&mut self, batch: &[u64]) -> usize {
-        self.insert_batch_sorted(batch)
-    }
-    fn del(&mut self, batch: &[u64]) -> usize {
-        self.remove_batch_sorted(batch)
-    }
-    fn contains(&self, k: u64) -> bool {
-        self.has(k)
-    }
-    fn items(&self) -> Vec<u64> {
-        self.iter().collect()
-    }
-    fn count(&self) -> usize {
-        self.len()
-    }
-}
-
-set_under_test!(PTree, "P-tree", collect);
-set_under_test!(UPac, "U-PaC", collect);
-set_under_test!(CPac, "C-PaC", collect);
-set_under_test!(CTreeSet, "C-tree", collect);
+// ---------------------------------------------------------------------
+// Long-run equivalence under one generic driver.
+// ---------------------------------------------------------------------
 
 fn batch(rng: &mut SplitMix64, max_len: usize, bits: u32) -> Vec<u64> {
     let len = rng.next_below(max_len as u64) as usize + 1;
@@ -109,9 +37,9 @@ fn batch(rng: &mut SplitMix64, max_len: usize, bits: u32) -> Vec<u64> {
     b
 }
 
-fn exercise<S: SetUnderTest>(seed: u64) {
+fn exercise<S: BatchSet<u64> + RangeSet<u64>>(seed: u64) {
     let mut rng = SplitMix64::new(seed);
-    let mut s = S::new_empty();
+    let mut s = S::new_set();
     let mut model: BTreeSet<u64> = BTreeSet::new();
     for round in 0..60 {
         let op = rng.next_below(10);
@@ -121,8 +49,13 @@ fn exercise<S: SetUnderTest>(seed: u64) {
             let b = batch(&mut rng, 3000, 24);
             let before = model.len();
             model.extend(b.iter().copied());
-            let added = s.ins(&b);
-            assert_eq!(added, model.len() - before, "{} round {round} insert", S::name());
+            let added = s.insert_batch_sorted(&b);
+            assert_eq!(
+                added,
+                model.len() - before,
+                "{} round {round} insert",
+                S::NAME
+            );
         } else {
             let b = batch(&mut rng, 2000, 24);
             let mut expect = 0;
@@ -131,19 +64,30 @@ fn exercise<S: SetUnderTest>(seed: u64) {
                     expect += 1;
                 }
             }
-            let removed = s.del(&b);
-            assert_eq!(removed, expect, "{} round {round} delete", S::name());
+            let removed = s.remove_batch_sorted(&b);
+            assert_eq!(removed, expect, "{} round {round} delete", S::NAME);
         }
-        assert_eq!(s.count(), model.len(), "{} round {round} len", S::name());
+        assert_eq!(s.len(), model.len(), "{} round {round} len", S::NAME);
         // Spot membership checks.
         for _ in 0..20 {
             let k = rng.next_bits(24);
-            assert_eq!(s.contains(k), model.contains(&k), "{} has({k})", S::name());
+            assert_eq!(s.contains(k), model.contains(&k), "{} has({k})", S::NAME);
         }
+        // A range scan per round (random window).
+        let a = rng.next_bits(24);
+        let b = rng.next_bits(24);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let want: Vec<u64> = model.range(lo..hi).copied().collect();
+        assert_eq!(
+            s.range_iter(lo..hi).collect::<Vec<_>>(),
+            want,
+            "{} round {round} range_iter",
+            S::NAME
+        );
     }
-    let got = s.items();
+    let got = s.to_vec();
     let want: Vec<u64> = model.iter().copied().collect();
-    assert_eq!(got, want, "{} final contents", S::name());
+    assert_eq!(got, want, "{} final contents", S::NAME);
 }
 
 #[test]
@@ -177,46 +121,49 @@ fn ctree_matches_model() {
 }
 
 #[test]
+fn btreeset_matches_model() {
+    exercise::<BTreeSet<u64>>(707);
+}
+
+#[test]
 fn all_structures_agree_with_each_other() {
-    // One shared workload, six structures, identical final contents.
+    // One shared workload, six structures, identical final contents —
+    // driven through the trait, structures in a homogeneous list of
+    // drivers (the payoff of the canonical hierarchy: adding a structure
+    // is one line here).
     let mut rng = SplitMix64::new(777);
     let batches: Vec<Vec<u64>> = (0..20).map(|_| batch(&mut rng, 5000, 30)).collect();
     let dels: Vec<Vec<u64>> = (0..10).map(|_| batch(&mut rng, 3000, 30)).collect();
 
-    let mut pma = Pma::<u64>::new();
-    let mut cpma = Cpma::new();
-    let mut pt = PTree::new();
-    let mut up = UPac::new();
-    let mut cp = CPac::new();
-    let mut ct = CTreeSet::new();
-    for b in &batches {
-        pma.insert_batch_sorted(b);
-        cpma.insert_batch_sorted(b);
-        pt.insert_batch_sorted(b);
-        up.insert_batch_sorted(b);
-        cp.insert_batch_sorted(b);
-        ct.insert_batch_sorted(b);
+    fn drive<S: BatchSet<u64> + RangeSet<u64>>(
+        batches: &[Vec<u64>],
+        dels: &[Vec<u64>],
+    ) -> (Vec<u64>, u64) {
+        let mut s = S::new_set();
+        for b in batches {
+            s.insert_batch_sorted(b);
+        }
+        for d in dels {
+            s.remove_batch_sorted(d);
+        }
+        let contents = s.to_vec();
+        let sum = s.range_sum(..);
+        (contents, sum)
     }
-    for d in &dels {
-        pma.remove_batch_sorted(d);
-        cpma.remove_batch_sorted(d);
-        pt.remove_batch_sorted(d);
-        up.remove_batch_sorted(d);
-        cp.remove_batch_sorted(d);
-        ct.remove_batch_sorted(d);
-    }
-    let reference: Vec<u64> = pma.iter().collect();
-    assert_eq!(cpma.iter().collect::<Vec<_>>(), reference);
-    assert_eq!(pt.collect(), reference);
-    assert_eq!(up.collect(), reference);
-    assert_eq!(cp.collect(), reference);
-    assert_eq!(ct.collect(), reference);
-    // Sums agree too (exercises each structure's scan path).
-    let want: u64 = reference.iter().fold(0u64, |a, &b| a.wrapping_add(b));
-    assert_eq!(pma.sum(), want);
-    assert_eq!(cpma.sum(), want);
-    assert_eq!(pt.sum(), want);
-    assert_eq!(up.sum(), want);
-    assert_eq!(cp.sum(), want);
-    assert_eq!(ct.sum(), want);
+
+    let reference = drive::<Pma<u64>>(&batches, &dels);
+    assert_eq!(drive::<Cpma>(&batches, &dels), reference, "CPMA");
+    assert_eq!(drive::<PTree>(&batches, &dels), reference, "P-tree");
+    assert_eq!(drive::<UPac>(&batches, &dels), reference, "U-PaC");
+    assert_eq!(drive::<CPac>(&batches, &dels), reference, "C-PaC");
+    assert_eq!(drive::<CTreeSet>(&batches, &dels), reference, "C-tree");
+    assert_eq!(
+        drive::<BTreeSet<u64>>(&batches, &dels),
+        reference,
+        "BTreeSet"
+    );
+    // The range_sum in the tuple exercises each structure's scan path; it
+    // must also equal the naive fold over the reference contents.
+    let want: u64 = reference.0.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+    assert_eq!(reference.1, want);
 }
