@@ -12,6 +12,7 @@
 use crate::testkit::Rng;
 use crate::{normalize_batch, BatchSet, ParallelChunks, RangeSet};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Assert the full `OrderedSet`/`BatchSet`/`RangeSet`/`ParallelChunks`
@@ -141,6 +142,29 @@ where
     }
     let flat: Vec<u64> = chunks.into_iter().flatten().collect();
     assert_eq!(flat, want, "{name}: par_chunks does not cover the set");
+
+    // Chunked parallel aggregation must agree with the sequential range
+    // queries — the whole-set scan contract the parallel engine executes
+    // for real, so every current and future backend is gated on
+    // parallel-scan correctness at whatever thread count the suite runs
+    // under (the results are schedule-independent by construction).
+    let par_sum = AtomicU64::new(0);
+    let par_count = AtomicUsize::new(0);
+    s.par_chunks(&|chunk| {
+        let local: u64 = chunk.iter().fold(0u64, |a, &k| a.wrapping_add(k));
+        par_sum.fetch_add(local, Ordering::Relaxed);
+        par_count.fetch_add(chunk.len(), Ordering::Relaxed);
+    });
+    assert_eq!(
+        par_sum.into_inner(),
+        s.range_sum(..),
+        "{name}: parallel chunked sum != sequential range_sum(..)"
+    );
+    assert_eq!(
+        par_count.into_inner(),
+        s.len(),
+        "{name}: parallel chunked count != len()"
+    );
 
     // scan_from: suffix agreement and early exit.
     let probe = rng.bits(bits);

@@ -239,8 +239,18 @@ pub trait ParallelChunks<K: SetKey>: RangeSet<K> {
     /// individual chunk is in ascending order, and chunk `i`'s elements all
     /// precede chunk `i + 1`'s.
     fn par_chunks(&self, f: &(dyn Fn(&[K]) + Sync)) {
-        // Fallback: one chunk holding everything, visited serially.
-        f(&self.to_vec());
+        // Fallback for structures without a native chunked layout (the
+        // PMA hands out leaves instead): materialize once, then hand out
+        // slice chunks in parallel — about four per thread, but no smaller
+        // than 1024 keys so tiny sets stay a single serial visit.
+        use rayon::prelude::*;
+        let all = self.to_vec();
+        if all.is_empty() {
+            return;
+        }
+        let target_chunks = rayon::current_num_threads() * 4;
+        let chunk = all.len().div_ceil(target_chunks.max(1)).max(1024);
+        all.par_chunks(chunk).for_each(f);
     }
 }
 

@@ -47,8 +47,11 @@ fn main() {
     let stream = uniform_keys(n, bits, seed ^ 0xABCD);
 
     let point_tp = with_threads(1, || point_insert_throughput(&base, &stream));
+    // The effective budget can be below `--threads` when CPMA_THREADS caps
+    // the process; report it so a capped run cannot read as a scaling result.
+    let effective = with_threads(threads, rayon::current_num_threads);
     println!(
-        "# Table 3 — PMA batch inserts: serial vs parallel ({} base elements, {threads} threads)",
+        "# Table 3 — PMA batch inserts: serial vs parallel ({} base elements, {threads} threads, {effective} effective)",
         base.len()
     );
     println!(

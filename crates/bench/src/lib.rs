@@ -77,21 +77,11 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 /// Run `f` inside a fresh rayon pool with `threads` workers (strong-scaling
-/// sweeps build one pool per configuration, like the paper's `PARLAY_NUM_THREADS`).
+/// sweeps build one pool per configuration, like the paper's
+/// `PARLAY_NUM_THREADS`). Note `CPMA_THREADS`, if set, caps the budget —
+/// a sweep run under `CPMA_THREADS=1` is a valid serial baseline but not a
+/// scaling measurement.
 pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
-    // Thread sweeps must not present sequential numbers as scaling results:
-    // say so once when built against the in-repo shim (whose parallel
-    // iterators run serially; only fork-join `rayon::join` paths fan out).
-    static SHIM_NOTE: std::sync::Once = std::sync::Once::new();
-    if rayon::SHIM_SEQUENTIAL_ITERATORS {
-        SHIM_NOTE.call_once(|| {
-            eprintln!(
-                "note: built against the in-repo rayon shim — parallel iterators run \
-                 sequentially, so --threads only affects fork-join (rayon::join) paths \
-                 (the tree baselines), not the PMA/CPMA iterator-parallel phases"
-            );
-        });
-    }
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()

@@ -1,60 +1,96 @@
-//! First-party parallelism shim with rayon's API surface.
+//! First-party parallelism engine with rayon's API surface.
 //!
 //! The build environment for this reproduction is offline, so the real
 //! `rayon` crate cannot be fetched. This crate is a drop-in stand-in for
-//! the subset of rayon's API the workspace uses, with these semantics:
+//! the subset of rayon's API the workspace uses — swapping real rayon back
+//! in is a one-line change in the workspace `Cargo.toml`
+//! (`rayon = "1"` instead of the path entry), no call-site changes — but
+//! unlike a shim it really executes in parallel:
 //!
-//! * [`join`] runs its two closures with real fork-join parallelism: the
-//!   second closure is spawned onto a scoped OS thread whenever the number
-//!   of shim-spawned threads is below [`current_num_threads`], and inline
-//!   otherwise. Recursive joins (the tree baselines' bulk builds) therefore
-//!   fan out to roughly one thread per core and no further.
-//! * The parallel-iterator adaptors ([`iter::Par`]) execute **sequentially**.
-//!   They preserve rayon's types and semantics (`reduce` with an identity,
-//!   `flat_map_iter`, indexed `enumerate`, ...), so swapping the real rayon
-//!   back in is a one-line change in the workspace manifest — no call site
-//!   changes.
-//! * [`ThreadPoolBuilder::build`] + [`ThreadPool::install`] bound the
-//!   thread budget [`join`] sees, which is what the benchmark harness's
-//!   strong-scaling sweeps rely on (`--threads 1` must mean serial).
+//! * [`join`] forks its second closure onto a lazily-initialized, bounded
+//!   thread pool ([`pool`]) and runs the first inline; while waiting it
+//!   *helps* (runs other queued jobs), so nested joins from inside workers
+//!   cannot deadlock. A panic on either side is captured and re-thrown to
+//!   the caller; an in-flight stolen arm is always awaited first, while an
+//!   arm nobody started yet is dropped unexecuted (rayon's semantics) —
+//!   workers catch job panics, so the pool is never poisoned.
+//! * The parallel-iterator adaptors ([`iter::Par`]) are built on
+//!   splittable producers: indexed sources (slices, ranges, chunks) are
+//!   recursively halved down to a grain size (`len / (4 × threads)` by
+//!   default; raise it with `with_min_len`) and the pieces execute via
+//!   [`join`]. All terminals are order-preserving and schedule-independent:
+//!   `collect` concatenates split results in index order, integer
+//!   `sum`/`reduce` results are bit-identical at any thread count.
+//! * [`slice::ParallelSliceMut::par_sort_unstable`] (and friends) is a
+//!   parallel merge sort: halves sort via [`join`], then merge.
 //!
-//! Every operation is semantically identical to rayon's (set aside
-//! scheduling), so correctness-critical code — the PMA's shared-disjoint
-//! batch phases most of all — exercises the same contracts either way.
+//! ## Thread budgets
+//!
+//! The number of threads a parallel region may use is, in precedence order:
+//!
+//! 1. the `CPMA_THREADS` environment variable, which **caps** everything in
+//!    the process (`CPMA_THREADS=1` forces the fully sequential path — the
+//!    determinism baseline; results are identical either way, only the
+//!    schedule changes);
+//! 2. the budget installed by [`ThreadPool::install`] (what the benchmark
+//!    harness's strong-scaling sweeps use, like the paper's
+//!    `PARLAY_NUM_THREADS`);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Budgets above the core count are honored (workers are spawned up to the
+//! budget), which is how the concurrency tests exercise real parallelism
+//! on small CI machines.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// True for this shim: parallel-iterator adaptors execute sequentially
-/// (only [`join`] fans out). Consumers that present thread-scaling numbers
-/// check this to label their output honestly; the real rayon does not
-/// export it, so remove the references when swapping rayon back in.
-pub const SHIM_SEQUENTIAL_ITERATORS: bool = true;
-
 pub mod iter;
+pub mod pool;
 pub mod prelude;
 pub mod slice;
 
-/// Threads the shim has live in [`join`] spawns.
+/// Jobs this crate currently has forked and not yet joined. Used to keep
+/// the fan-out within the thread budget: a join only forks while the
+/// outstanding-fork count is under the budget, and runs inline otherwise.
 static ACTIVE_SPAWNS: AtomicUsize = AtomicUsize::new(0);
 
-/// Non-zero while inside [`ThreadPool::install`]: caps the thread budget.
+/// Non-zero while inside [`ThreadPool::install`]: the installed budget.
 static LIMIT_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// The thread budget: the installed pool's size if inside
-/// [`ThreadPool::install`], otherwise the machine's available parallelism.
+/// The thread budget currently in effect: the installed pool's size if
+/// inside [`ThreadPool::install`], otherwise the machine's available
+/// parallelism — in both cases capped by `CPMA_THREADS` if set.
 pub fn current_num_threads() -> usize {
-    match LIMIT_OVERRIDE.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+    let base = match LIMIT_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
         n => n,
+    };
+    match pool::env_cap() {
+        Some(cap) => base.min(cap),
+        None => base,
     }
+}
+
+/// The budget outside any `install`: `CPMA_THREADS` if set, else the
+/// available parallelism. Cached — this sits on the hot path (every join
+/// and every split decision consults it), and `available_parallelism` is
+/// a syscall.
+fn default_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        pool::env_cap().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    })
 }
 
 /// Run both closures, potentially in parallel, and return both results.
 ///
-/// Spawns `oper_b` on a scoped thread while the live-spawn count is under
-/// the budget; otherwise runs both inline. Panics propagate like rayon's.
+/// Forks `oper_b` onto the pool while the outstanding-fork count is under
+/// the budget; otherwise runs both inline. Panics propagate like rayon's:
+/// a stolen `oper_b` runs to completion before the payload unwinds from
+/// the caller; an `oper_b` nobody started is dropped unexecuted.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -62,8 +98,12 @@ where
     RA: Send,
     RB: Send,
 {
-    // Reserve-then-check keeps the budget exact under concurrent joins (a
-    // plain load would let two threads both see room for one spawn); the
+    let budget = current_num_threads();
+    if budget <= 1 {
+        return (oper_a(), oper_b());
+    }
+    // Reserve-then-check keeps the fan-out exact under concurrent joins (a
+    // plain load would let two threads both see room for one fork); the
     // guard releases the reservation even if a closure panics.
     struct Reservation;
     impl Drop for Reservation {
@@ -71,19 +111,11 @@ where
             ACTIVE_SPAWNS.fetch_sub(1, Ordering::Relaxed);
         }
     }
-    let spawns_after = ACTIVE_SPAWNS.fetch_add(1, Ordering::Relaxed) + 1;
     // `+ 1` accounts for the calling thread itself.
-    if spawns_after < current_num_threads() {
+    let spawns_after = ACTIVE_SPAWNS.fetch_add(1, Ordering::Relaxed) + 1;
+    if spawns_after < budget {
         let _reservation = Reservation; // released on return or unwind
-        std::thread::scope(|s| {
-            let hb = s.spawn(oper_b);
-            let ra = oper_a();
-            let rb = match hb.join() {
-                Ok(rb) => rb,
-                Err(payload) => std::panic::resume_unwind(payload),
-            };
-            (ra, rb)
-        })
+        pool::fork_join(oper_a, oper_b, budget)
     } else {
         // Over budget: release the reservation before running inline.
         drop(Reservation);
@@ -91,7 +123,8 @@ where
     }
 }
 
-/// Builder for a [`ThreadPool`] (thread-budget handle in this shim).
+/// Builder for a [`ThreadPool`] (thread-budget handle; the workers
+/// themselves live in the process-global pool).
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -102,7 +135,8 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Budget for [`join`] inside [`ThreadPool::install`]; 0 = all cores.
+    /// Budget for [`join`] inside [`ThreadPool::install`]; 0 = default
+    /// (`CPMA_THREADS`, else all cores).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
@@ -110,9 +144,7 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            default_threads()
         } else {
             self.num_threads
         };
@@ -133,7 +165,8 @@ impl std::fmt::Display for ThreadPoolBuildError {
 impl std::error::Error for ThreadPoolBuildError {}
 
 /// A thread budget. `install` caps what [`current_num_threads`] reports
-/// (and therefore how far [`join`] fans out) for the closure's duration.
+/// (and therefore how far [`join`] and the iterator terminals fan out) for
+/// the closure's duration.
 pub struct ThreadPool {
     threads: usize,
 }
@@ -142,7 +175,9 @@ impl ThreadPool {
     /// Runs `op` with the budget capped at this pool's size. The cap is a
     /// process-global (restored on return **or unwind**); concurrent
     /// `install`s from different threads are not supported — the benchmark
-    /// harness installs pools strictly sequentially.
+    /// harness installs pools strictly sequentially. (Misuse can only skew
+    /// scheduling, never results: every parallel operation here is
+    /// schedule-independent.)
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
@@ -196,7 +231,7 @@ mod tests {
 
     #[test]
     fn par_iter_combinators() {
-        let v = vec![1u64, 2, 3, 4, 5];
+        let v = [1u64, 2, 3, 4, 5];
         let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
         let total: u64 = v.par_iter().map(|&x| x).sum();

@@ -1,19 +1,32 @@
 //! Slice extensions: `par_chunks`, `par_chunks_mut`, `par_sort*`.
+//!
+//! The chunk views are splittable producers (split indices land on chunk
+//! boundaries), so chunked terminals fan out like any other indexed
+//! source. The sorts are parallel merge sorts: halves sort concurrently
+//! via [`crate::join`], then merge through a left-half scratch buffer
+//! (`par_sort` keeps equal elements in order; the `unstable` variants use
+//! the unstable sequential sort at the leaves but are observably identical
+//! for the workspace's `Copy` integer keys).
 
-use crate::iter::Par;
+use crate::iter::{par, Par, Producer};
+use std::cmp::Ordering;
 
 pub trait ParallelSlice<T: Sync> {
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksProducer<'_, T>>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        par(ChunksProducer {
+            slice: self,
+            size: chunk_size,
+        })
     }
 }
 
 pub trait ParallelSliceMut<T: Send> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutProducer<'_, T>>;
 
     fn par_sort(&mut self)
     where
@@ -23,29 +36,286 @@ pub trait ParallelSliceMut<T: Send> {
     where
         T: Ord;
 
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F);
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        par(ChunksMutProducer {
+            slice: self,
+            size: chunk_size,
+        })
     }
 
     fn par_sort(&mut self)
     where
         T: Ord,
     {
-        self.sort();
+        par_merge_sort(self, &T::cmp, true);
     }
 
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.sort_unstable();
+        par_merge_sort(self, &T::cmp, false);
     }
 
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
-        self.sort_unstable_by_key(f);
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F) {
+        par_merge_sort(self, &|a: &T, b: &T| f(a).cmp(&f(b)), false);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk producers
+// ---------------------------------------------------------------------------
+
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(elems);
+        (
+            ChunksProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn fold<Acc, G: FnMut(Acc, Self::Item) -> Acc>(self, acc: Acc, mut g: G) -> Acc {
+        let mut acc = acc;
+        for c in self.slice.chunks(self.size) {
+            acc = g(acc, c);
+        }
+        acc
+    }
+}
+
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(elems);
+        (
+            ChunksMutProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn fold<Acc, G: FnMut(Acc, Self::Item) -> Acc>(self, acc: Acc, mut g: G) -> Acc {
+        let mut acc = acc;
+        for c in self.slice.chunks_mut(self.size) {
+            acc = g(acc, c);
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel merge sort
+// ---------------------------------------------------------------------------
+
+/// Below this length (or with a budget of one thread) fall back to the
+/// sequential std sort.
+const SEQ_SORT_CUTOFF: usize = 4096;
+
+fn par_merge_sort<T: Send, C: Fn(&T, &T) -> Ordering + Sync>(v: &mut [T], cmp: &C, stable: bool) {
+    let leaf = leaf_size(v.len());
+    sort_rec(v, cmp, stable, leaf);
+}
+
+/// Leaf segment size: ~2 leaves per thread per level keeps every worker
+/// busy without drowning small inputs in forks.
+fn leaf_size(len: usize) -> usize {
+    let threads = crate::current_num_threads();
+    (len / (2 * threads).max(1)).max(SEQ_SORT_CUTOFF)
+}
+
+fn sort_rec<T: Send, C: Fn(&T, &T) -> Ordering + Sync>(
+    v: &mut [T],
+    cmp: &C,
+    stable: bool,
+    leaf: usize,
+) {
+    if v.len() <= leaf || crate::current_num_threads() <= 1 {
+        if stable {
+            v.sort_by(cmp);
+        } else {
+            v.sort_unstable_by(cmp);
+        }
+        return;
+    }
+    let mid = v.len() / 2;
+    {
+        let (l, r) = v.split_at_mut(mid);
+        crate::join(
+            || sort_rec(l, cmp, stable, leaf),
+            || sort_rec(r, cmp, stable, leaf),
+        );
+    }
+    merge_halves(v, mid, cmp);
+}
+
+/// Merge `v[..mid]` and `v[mid..]` (each sorted) in place through a scratch
+/// copy of the left half. Elements are moved bytewise (no clones, no
+/// drops); a guard restores the un-merged remainder of the scratch on
+/// unwind so a panicking comparator cannot double-drop.
+fn merge_halves<T, C: Fn(&T, &T) -> Ordering>(v: &mut [T], mid: usize, cmp: &C) {
+    let len = v.len();
+    if mid == 0 || mid == len {
+        return;
+    }
+    let mut scratch: Vec<T> = Vec::with_capacity(mid);
+    // Tracks the state of the merge for the unwind guard: scratch[i..mid]
+    // still holds live elements whose home is v[k..j].
+    struct Hole<T> {
+        scratch: *const T,
+        dst: *mut T,
+        i: usize,
+        mid: usize,
+        k: usize,
+    }
+    impl<T> Drop for Hole<T> {
+        fn drop(&mut self) {
+            // SAFETY: scratch[i..mid] holds exactly (mid - i) initialized
+            // elements and v[k..k + (mid - i)] is the uninitialized gap.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.scratch.add(self.i),
+                    self.dst.add(self.k),
+                    self.mid - self.i,
+                );
+            }
+        }
+    }
+    // SAFETY: scratch's first `mid` slots receive a bitwise copy of the
+    // left run; from then on those elements logically live in scratch and
+    // v[..mid] is a gap that the merge fills left to right. `scratch`'s
+    // length stays 0, so it never drops elements itself; the Hole guard
+    // moves any leftovers back on normal exit *or* unwind.
+    unsafe {
+        let s = scratch.as_mut_ptr();
+        let p = v.as_mut_ptr();
+        std::ptr::copy_nonoverlapping(p, s, mid);
+        let mut hole = Hole {
+            scratch: s,
+            dst: p,
+            i: 0,
+            mid,
+            k: 0,
+        };
+        let mut j = mid;
+        while hole.i < mid && j < len {
+            // `<` (not `<=`) keeps the merge stable: ties take the left run.
+            if cmp(&*p.add(j), &*s.add(hole.i)) == Ordering::Less {
+                std::ptr::copy_nonoverlapping(p.add(j), p.add(hole.k), 1);
+                j += 1;
+            } else {
+                std::ptr::copy_nonoverlapping(s.add(hole.i), p.add(hole.k), 1);
+                hole.i += 1;
+            }
+            hole.k += 1;
+        }
+        // Remaining left-run elements (if any) are flushed by the guard;
+        // remaining right-run elements are already in place (k == j).
+        drop(hole);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrambled(n: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16)
+            .collect()
+    }
+
+    #[test]
+    fn par_sort_matches_std() {
+        for &n in &[0u64, 1, 2, 100, 5000, 100_000] {
+            let mut a = scrambled(n);
+            let mut b = a.clone();
+            a.par_sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_sort_stable_keeps_tie_order() {
+        // Sort (key, payload) pairs by key only; payload order must hold.
+        let mut v: Vec<(u64, usize)> = (0..50_000).map(|i| ((i as u64 * 31) % 16, i)).collect();
+        let mut want = v.clone();
+        want.sort_by_key(|&(k, _)| k); // std stable sort as the oracle
+        par_merge_sort(
+            &mut v,
+            &|a: &(u64, usize), b: &(u64, usize)| a.0.cmp(&b.0),
+            true,
+        );
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn par_sort_by_key() {
+        let mut v = scrambled(20_000);
+        let mut w = v.clone();
+        v.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        w.sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn par_chunks_cover_in_order() {
+        let v = scrambled(10_007);
+        let collected: Vec<u64> = v.par_chunks(64).flat_map_iter(|c| c.to_vec()).collect();
+        assert_eq!(collected, v);
+        assert_eq!(v.par_chunks(64).count(), v.len().div_ceil(64));
+        let total: u64 = v.par_chunks(64).map(|c| c.iter().sum::<u64>()).sum();
+        assert_eq!(total, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let mut v = vec![0u64; 100_003];
+        v.par_chunks_mut(97).enumerate().for_each(|(ci, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (ci * 97 + j) as u64;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
     }
 }

@@ -1,0 +1,156 @@
+//! Determinism across thread counts.
+//!
+//! The paper's batch algorithm is deterministic by construction — leaf
+//! merges are disjoint, counting reductions are integer sums, rebuild
+//! offsets are precomputed — so **every** observable result must be
+//! bit-identical no matter how many threads execute it. These tests run
+//! the same seeded workload under thread budgets 1 (the sequential
+//! oracle), 2, and 8 on every `BatchSet` backend and on the workload
+//! generators, and require identical outputs.
+//!
+//! Budgets are pinned with `ThreadPool::install` (process-global), so the
+//! suite serializes itself on a lock. A `CPMA_THREADS=1` run caps all
+//! three budgets to one — the comparisons then hold trivially, and the CI
+//! matrix's default-threads leg does the real cross-schedule comparison.
+
+use cpma::api::testkit::Rng;
+use cpma::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static BUDGET_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+/// Everything a workload observes from a backend, in one comparable blob.
+#[derive(Debug, PartialEq, Eq)]
+struct Observations {
+    contents: Vec<u64>,
+    counts: Vec<usize>,
+    sums: Vec<u64>,
+    sizes: Vec<usize>,
+}
+
+/// A seeded mixed batch workload: large unsorted insert and remove batches
+/// (well past the point-update cutoff, so the three-phase parallel
+/// algorithm runs), interleaved range sums and len/min/max probes.
+fn run_workload<S: BatchSet<u64> + RangeSet<u64>>(seed: u64) -> Observations {
+    let mut rng = Rng::new(seed);
+    let mut s = S::new_set();
+    let mut obs = Observations {
+        contents: Vec::new(),
+        counts: Vec::new(),
+        sums: Vec::new(),
+        sizes: Vec::new(),
+    };
+    for round in 0..6 {
+        let mut ins = rng.keys(4000, 24);
+        obs.counts.push(s.insert_batch(&mut ins, false));
+        let mut del = rng.keys(1500, 24);
+        obs.counts.push(s.remove_batch(&mut del, false));
+        let a = rng.bits(24);
+        let b = rng.bits(24);
+        obs.sums.push(s.range_sum(a.min(b)..=a.max(b)));
+        obs.sums.push(s.range_sum(..));
+        obs.sizes.push(s.len());
+        if round == 5 {
+            obs.contents = s.to_vec();
+        }
+    }
+    obs
+}
+
+fn assert_deterministic<S: BatchSet<u64> + RangeSet<u64>>(name: &str) {
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for seed in [0x5EED_0001u64, 0xD15C_0C0A] {
+        let oracle = with_threads(1, || run_workload::<S>(seed));
+        for threads in [2usize, 8] {
+            let got = with_threads(threads, || run_workload::<S>(seed));
+            assert_eq!(
+                got, oracle,
+                "{name}: results diverged between 1 and {threads} threads (seed {seed:#x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn pma_batches_deterministic_across_thread_counts() {
+    assert_deterministic::<Pma<u64>>("PMA");
+}
+
+#[test]
+fn cpma_batches_deterministic_across_thread_counts() {
+    assert_deterministic::<Cpma>("CPMA");
+}
+
+#[test]
+fn ptree_batches_deterministic_across_thread_counts() {
+    assert_deterministic::<PTree>("P-tree");
+}
+
+#[test]
+fn upac_batches_deterministic_across_thread_counts() {
+    assert_deterministic::<UPac>("U-PaC");
+}
+
+#[test]
+fn cpac_batches_deterministic_across_thread_counts() {
+    assert_deterministic::<CPac>("C-PaC");
+}
+
+#[test]
+fn ctree_batches_deterministic_across_thread_counts() {
+    assert_deterministic::<CTreeSet>("C-tree");
+}
+
+#[test]
+fn btreeset_batches_deterministic_across_thread_counts() {
+    assert_deterministic::<BTreeSet<u64>>("BTreeSet");
+}
+
+#[test]
+fn workload_generators_deterministic_across_thread_counts() {
+    // The paper's input generators are chunk-parallel with per-chunk seed
+    // streams; their output must not depend on the thread count either.
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let uniform1 = with_threads(1, || cpma::workloads::uniform_keys(300_000, 40, 42));
+    let rmat1 = with_threads(1, || {
+        cpma::workloads::RmatGenerator::paper_config(12, 7).directed_edges(200_000)
+    });
+    for threads in [2usize, 8] {
+        let uniform = with_threads(threads, || cpma::workloads::uniform_keys(300_000, 40, 42));
+        assert_eq!(uniform, uniform1, "uniform_keys @ {threads} threads");
+        let rmat = with_threads(threads, || {
+            cpma::workloads::RmatGenerator::paper_config(12, 7).directed_edges(200_000)
+        });
+        assert_eq!(rmat, rmat1, "rmat edges @ {threads} threads");
+    }
+}
+
+#[test]
+fn normalize_batch_deterministic_across_thread_counts() {
+    // normalize_batch is the parallel sort every unsorted wrapper routes
+    // through; sorting u64s has one answer, but this pins the whole
+    // pipeline (sort + dedup) across schedules.
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = Rng::new(0xBA7C4);
+    let input = rng.keys(250_000, 18); // dense: plenty of duplicates
+    let oracle = with_threads(1, || {
+        let mut v = input.clone();
+        normalize_batch(&mut v).to_vec()
+    });
+    for threads in [2usize, 8] {
+        let got = with_threads(threads, || {
+            let mut v = input.clone();
+            normalize_batch(&mut v).to_vec()
+        });
+        assert_eq!(got, oracle, "normalize_batch @ {threads} threads");
+    }
+}
