@@ -47,4 +47,5 @@ fn main() {
     let victims: Vec<u64> = base.iter().step_by(20).copied().collect();
     bench_remove::<Pma<u64>>(&b, "batch_remove_10k_of_200k/pma", &base, &victims);
     bench_remove::<Cpma>(&b, "batch_remove_10k_of_200k/cpma", &base, &victims);
+    b.write_json("batch").expect("write BENCH_batch.json");
 }

@@ -35,4 +35,5 @@ fn main() {
             black_box(g.insert_edges(&mut s, false));
         },
     );
+    b.write_json("graph").expect("write BENCH_graph.json");
 }

@@ -73,4 +73,5 @@ fn main() {
     bench_codec(&b);
     bench_point_ops(&b);
     bench_scans(&b);
+    b.write_json("micro").expect("write BENCH_micro.json");
 }

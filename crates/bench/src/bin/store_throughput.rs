@@ -1,0 +1,250 @@
+//! `store_throughput` — end-to-end throughput of the concurrent store
+//! front-end (`cpma-store`), the "batches beat points under contention"
+//! measurement.
+//!
+//! Sweeps writer-thread count × combining-window size × shard count on
+//! zipfian and uniform key streams, comparing:
+//!
+//! * `combiner` — `Combiner<ShardedSet<Cpma, N>>`: every writer submits
+//!   point ops, the flat-combining leader turns them into one
+//!   batch-parallel update per epoch;
+//! * `mutex_point` — the classic alternative: one `Mutex<Cpma>`, every
+//!   writer locks and applies a point update (the regime the paper's
+//!   Figure 1 shows losing by orders of magnitude once batching wins).
+//!
+//! Prints the usual human table + `csv,` lines and emits
+//! `BENCH_store.json` with one entry per configuration.
+//!
+//! Defaults are laptop-scale; `--ops` scales the per-writer stream,
+//! `--snapshot-every` the snapshot publication cadence.
+
+use cpma_bench::ubench::Bencher;
+use cpma_bench::{sci, Args};
+use cpma_pma::Cpma;
+use cpma_store::{Combiner, CombinerConfig, ShardedSet};
+use cpma_workloads::{uniform_keys, ZipfGenerator};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-writer op streams for one configuration (disjoint seeds per
+/// writer so streams differ but the workload is reproducible).
+fn streams(dist: &str, writers: usize, ops: usize, seed: u64) -> Vec<Vec<u64>> {
+    (0..writers)
+        .map(|t| {
+            let s = seed ^ ((t as u64 + 1) << 32);
+            match dist {
+                "zipf" => ZipfGenerator::paper_config(s).keys(ops),
+                _ => uniform_keys(ops, 34, s),
+            }
+        })
+        .collect()
+}
+
+/// Drive `ops` point inserts per writer through the combiner; returns
+/// ops/second of wall-clock.
+fn run_combiner<const N: usize>(
+    base: &[u64],
+    streams: &[Vec<u64>],
+    window: usize,
+    snapshot_every: u64,
+) -> (f64, u64) {
+    // window == 1 is reactive flat combining (drain whatever is pending,
+    // never wait); larger windows hold the epoch open briefly to build
+    // bigger batches.
+    let cfg = CombinerConfig {
+        window_ops: window,
+        window_wait: if window > 1 {
+            Duration::from_micros(50)
+        } else {
+            Duration::ZERO
+        },
+        snapshot_every,
+        ..CombinerConfig::default()
+    };
+    let store: Combiner<ShardedSet<Cpma, N>> =
+        Combiner::with_config(cpma_bench::BatchSet::build_sorted(base), cfg);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in streams {
+            let store = &store;
+            scope.spawn(move || {
+                for &k in stream {
+                    store.insert(k);
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    (total as f64 / secs, store.epochs_applied())
+}
+
+/// Same epochs, but each writer submits `burst`-sized publications —
+/// the stream-ingest regime where combined batches stay large.
+fn run_combiner_burst<const N: usize>(
+    base: &[u64],
+    streams: &[Vec<u64>],
+    burst: usize,
+    snapshot_every: u64,
+) -> (f64, u64) {
+    // Hold each epoch open until every writer's burst has landed (or a
+    // short timeout passes) — with a zero window the first writer to
+    // wake would seal an epoch around just its own burst.
+    let cfg = CombinerConfig {
+        window_ops: burst.saturating_mul(streams.len()),
+        window_wait: Duration::from_micros(200),
+        snapshot_every,
+        ..CombinerConfig::default()
+    };
+    let store: Combiner<ShardedSet<Cpma, N>> =
+        Combiner::with_config(cpma_bench::BatchSet::build_sorted(base), cfg);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in streams {
+            let store = &store;
+            scope.spawn(move || {
+                for chunk in stream.chunks(burst) {
+                    store.insert_many(chunk);
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    (total as f64 / secs, store.epochs_applied())
+}
+
+/// The contended baseline: every writer locks the whole set per op.
+fn run_mutex_point(base: &[u64], streams: &[Vec<u64>]) -> f64 {
+    let store = Mutex::new(Cpma::from_sorted(base));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in streams {
+            let store = &store;
+            scope.spawn(move || {
+                for &k in stream {
+                    store.lock().unwrap().insert(k);
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    total as f64 / secs
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    b: &Bencher,
+    name: &str,
+    dist: &str,
+    writers: usize,
+    window: usize,
+    shards: usize,
+    ops: usize,
+    throughput: f64,
+) {
+    println!("csv,store,{dist},{name},{writers},{window},{shards},{throughput}");
+    b.record(
+        &format!("store/{dist}/{name}"),
+        &[
+            ("dist", dist.to_string()),
+            ("writers", writers.to_string()),
+            ("window", window.to_string()),
+            ("shards", shards.to_string()),
+            ("ops_per_writer", ops.to_string()),
+        ],
+        if throughput > 0.0 {
+            1.0 / throughput
+        } else {
+            0.0
+        },
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let ops: usize = args.get_or("ops", 30_000);
+    let base_n: usize = args.get_or("base", 1_000_000);
+    let seed: u64 = args.get_or("seed", 42);
+    let snapshot_every: u64 = args.get_or("snapshot-every", 64);
+
+    // The pre-built base set: large enough that point updates pay the
+    // PMA's redistribution cost while batches amortize it — the regime
+    // the store front-end exists for.
+    let base = cpma_workloads::dedup_sorted(uniform_keys(base_n, 34, seed ^ 0xBA5E));
+
+    let b = Bencher::new();
+    let writer_sweep = [1usize, 4, 8];
+    let window_sweep = [1usize, 64];
+
+    println!(
+        "# store_throughput — concurrent front-end ops/sec ({ops} ops/writer, {} base elements)",
+        base.len()
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>7} {:>12} {:>12}  {:>8}",
+        "dist", "writers", "window", "shards", "combiner", "mutex_pt", "epochs"
+    );
+    for dist in ["zipf", "uniform"] {
+        for &writers in &writer_sweep {
+            let streams = streams(dist, writers, ops, seed);
+            let mutex = run_mutex_point(&base, &streams);
+            report(&b, "mutex_point", dist, writers, 0, 1, ops, mutex);
+            // Burst ingest: writers publish `burst`-op publications; the
+            // combined epoch batch grows with both burst size and writer
+            // count — the regime where batch-parallel updates pull away
+            // from the point-locked baseline.
+            for burst in [256usize, 4096] {
+                let (burst_tp, burst_epochs) =
+                    run_combiner_burst::<8>(&base, &streams, burst, snapshot_every);
+                report(
+                    &b,
+                    &format!("combiner_burst{burst}"),
+                    dist,
+                    writers,
+                    burst,
+                    8,
+                    ops,
+                    burst_tp,
+                );
+                println!(
+                    "{:>8} {:>8} {:>8} {:>7} {:>12} {:>12}  {:>8}  (burst {burst})",
+                    dist,
+                    writers,
+                    "-",
+                    8,
+                    sci(burst_tp),
+                    sci(mutex),
+                    burst_epochs
+                );
+            }
+            for &window in &window_sweep {
+                // Shard-count sweep (const generic, so enumerated).
+                for (shards, tp, epochs) in [
+                    {
+                        let (tp, e) = run_combiner::<1>(&base, &streams, window, snapshot_every);
+                        (1usize, tp, e)
+                    },
+                    {
+                        let (tp, e) = run_combiner::<8>(&base, &streams, window, snapshot_every);
+                        (8usize, tp, e)
+                    },
+                ] {
+                    report(&b, "combiner", dist, writers, window, shards, ops, tp);
+                    println!(
+                        "{:>8} {:>8} {:>8} {:>7} {:>12} {:>12}  {:>8}",
+                        dist,
+                        writers,
+                        window,
+                        shards,
+                        sci(tp),
+                        sci(mutex),
+                        epochs
+                    );
+                }
+            }
+        }
+    }
+    b.write_json("store").expect("write BENCH_store.json");
+}

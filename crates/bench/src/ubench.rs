@@ -4,7 +4,15 @@
 //! is spent, and reports the per-iteration median over batches. Output is
 //! one line per benchmark plus a `csv,bench,...` line for scripting, the
 //! same convention as the harness binaries.
+//!
+//! Every measurement is also recorded in memory; call
+//! [`Bencher::write_json`] at the end of a run to emit a machine-readable
+//! `BENCH_<tag>.json` (name, params, median ns/op, throughput) — the
+//! artifact perf-trajectory tooling diffs across commits.
 
+use std::cell::RefCell;
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from deleting a computed value (criterion's
@@ -15,10 +23,21 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// One recorded measurement, destined for `BENCH_<tag>.json`.
+struct JsonEntry {
+    name: String,
+    /// `(key, value)` pairs; values that parse as numbers are emitted as
+    /// JSON numbers, everything else as strings.
+    params: Vec<(String, String)>,
+    median_ns_per_op: f64,
+    ops_per_sec: f64,
+}
+
 /// A benchmark group with a shared time budget per measurement.
 pub struct Bencher {
     warmup: Duration,
     budget: Duration,
+    entries: RefCell<Vec<JsonEntry>>,
 }
 
 impl Default for Bencher {
@@ -26,6 +45,7 @@ impl Default for Bencher {
         Self {
             warmup: Duration::from_millis(200),
             budget: Duration::from_millis(800),
+            entries: RefCell::new(Vec::new()),
         }
     }
 }
@@ -71,6 +91,7 @@ impl Bencher {
             samples.len()
         );
         println!("csv,bench,{name},{median:e}");
+        self.record(name, &[], median);
         median
     }
 
@@ -113,7 +134,102 @@ impl Bencher {
             samples.len()
         );
         println!("csv,bench,{name},{median:e}");
+        self.record(name, &[], median);
         median
+    }
+
+    /// Record an externally measured result (e.g. a whole-run wall-clock
+    /// throughput sweep) so it lands in [`Bencher::write_json`] alongside
+    /// the harnessed measurements. `secs_per_op` is the median (or only)
+    /// per-operation cost in seconds.
+    pub fn record(&self, name: &str, params: &[(&str, String)], secs_per_op: f64) {
+        self.entries.borrow_mut().push(JsonEntry {
+            name: name.to_string(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            median_ns_per_op: secs_per_op * 1e9,
+            ops_per_sec: if secs_per_op > 0.0 {
+                1.0 / secs_per_op
+            } else {
+                0.0
+            },
+        });
+    }
+
+    /// Write everything measured so far to `BENCH_<tag>.json` in the
+    /// current directory and return the path. The format is one object
+    /// with a `bench` label and an `entries` array of
+    /// `{name, params, median_ns_per_op, ops_per_sec}` — flat and stable
+    /// on purpose, so perf-trajectory tooling can diff runs.
+    pub fn write_json(&self, tag: &str) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{tag}.json"));
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string(tag)));
+        out.push_str("  \"entries\": [\n");
+        let entries = self.entries.borrow();
+        for (i, e) in entries.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": {}, ", json_string(&e.name)));
+            out.push_str("\"params\": {");
+            for (j, (k, v)) in e.params.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(k), json_value(v)));
+            }
+            out.push_str("}, ");
+            out.push_str(&format!(
+                "\"median_ns_per_op\": {}, \"ops_per_sec\": {}",
+                json_number(e.median_ns_per_op),
+                json_number(e.ops_per_sec)
+            ));
+            out.push('}');
+            out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(out.as_bytes())?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// A JSON string literal (the names and params here are ASCII identifiers,
+/// but escape the essentials anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Param values: numbers stay numbers, everything else becomes a string.
+fn json_value(v: &str) -> String {
+    if v.parse::<f64>().map(|x| x.is_finite()).unwrap_or(false) {
+        v.to_string()
+    } else {
+        json_string(v)
+    }
+}
+
+/// A finite JSON number (JSON has no NaN/inf; clamp those to 0).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
     }
 }
 
@@ -150,5 +266,34 @@ mod tests {
         assert!(fmt_secs(5e-5).contains("µs"));
         assert!(fmt_secs(5e-2).contains("ms"));
         assert!(fmt_secs(5.0).contains(" s"));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let b = Bencher::new();
+        b.record(
+            "store/insert",
+            &[("writers", "8".to_string()), ("dist", "zipf".to_string())],
+            1e-6,
+        );
+        let path = b.write_json("ubench_selftest").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(body.contains("\"bench\": \"ubench_selftest\""));
+        assert!(body.contains("\"name\": \"store/insert\""));
+        // Numeric params stay numbers, non-numeric become strings.
+        assert!(body.contains("\"writers\": 8"));
+        assert!(body.contains("\"dist\": \"zipf\""));
+        assert!(body.contains("\"median_ns_per_op\": 1000"));
+        assert!(body.contains("\"ops_per_sec\": 1000000"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_value("12.5"), "12.5");
+        assert_eq!(json_value("NaN"), "\"NaN\"");
+        assert_eq!(json_value("uniform"), "\"uniform\"");
+        assert_eq!(json_number(f64::NAN), "0");
     }
 }

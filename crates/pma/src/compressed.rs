@@ -14,6 +14,7 @@ use crate::{stats, LeafStorage};
 use std::marker::PhantomData;
 
 /// Delta-compressed leaves over `u64` keys. See module docs.
+#[derive(Clone)]
 pub struct CompressedLeaves {
     /// `num_leaves * leaf_units` bytes; leaf `i` owns
     /// `[i * leaf_units, (i+1) * leaf_units)`, valid prefix = `used[i]`.

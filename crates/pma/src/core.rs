@@ -80,12 +80,6 @@ impl PmaConfig {
         Ok(())
     }
 
-    /// Panicking forerunner of [`Self::check`], kept one release.
-    #[deprecated(since = "0.2.0", note = "use `PmaConfig::builder()` or `check()`")]
-    pub fn validate(&self) {
-        self.assert_valid();
-    }
-
     pub(crate) fn assert_valid(&self) {
         if let Err(e) = self.check() {
             panic!("{e}");
@@ -141,6 +135,10 @@ pub type Pma<K = u64> = PmaCore<K, UncompressedLeaves<K>>;
 pub type Cpma = PmaCore<u64, CompressedLeaves>;
 
 /// Engine over generic leaf storage. See module docs.
+///
+/// `Clone` (for `Clone` leaf storages) is what snapshot publishers like
+/// `cpma-store`'s combiner build on.
+#[derive(Clone)]
 pub struct PmaCore<K: PmaKey, L: LeafStorage<K>> {
     pub(crate) storage: L,
     pub(crate) cfg: PmaConfig,

@@ -87,15 +87,6 @@ impl DensityBounds {
         Ok(())
     }
 
-    /// Panicking forerunner of [`Self::check`], kept one release for
-    /// callers of the pre-builder API.
-    #[deprecated(since = "0.2.0", note = "use `check()`, which returns a Result")]
-    pub fn validate(&self) {
-        if let Err(e) = self.check() {
-            panic!("{e}");
-        }
-    }
-
     /// Upper density bound for a node at `depth`, where the root has depth 0
     /// and leaves have depth `max_depth`. Interpolates linearly from
     /// `upper_root` (depth 0) to `upper_leaf` (max depth).

@@ -12,6 +12,7 @@ use crate::{stats, LeafStorage, PmaKey};
 use std::marker::PhantomData;
 
 /// Packed-left uncompressed leaves. See module docs.
+#[derive(Clone)]
 pub struct UncompressedLeaves<K: PmaKey> {
     /// `num_leaves * leaf_units` cells; leaf `i` owns
     /// `[i * leaf_units, (i+1) * leaf_units)`, valid prefix = `counts[i]`.

@@ -1,0 +1,542 @@
+//! Flat-combining concurrent writer front-end over a batch-parallel set.
+//!
+//! # Combining epochs
+//!
+//! Point operations from concurrent threads are collected into *epochs*.
+//! A submitting thread appends its operation to the open epoch's
+//! publication buffer, then either becomes the **leader** (if the
+//! single leader slot — a `Mutex` around the authoritative set — is free)
+//! or waits for its epoch's completion. The leader:
+//!
+//! 1. holds the epoch open for a *combining window* — until the buffer
+//!    reaches [`CombinerConfig::window_ops`] operations or
+//!    [`CombinerConfig::window_wait`] elapses — so concurrent traffic
+//!    accumulates into one batch;
+//! 2. seals the epoch (a fresh epoch opens for later submitters) and
+//!    replays the drained operations *in submission order* against a
+//!    presence overlay, recording each operation's individual result —
+//!    this is what makes the epoch linearizable: every operation observes
+//!    exactly the operations submitted before it;
+//! 3. folds the overlay's net effect into one remove batch and one insert
+//!    batch (both through [`cpma_api::normalize_batch`]), and applies them
+//!    with the backend's batch-parallel updates — one batch per epoch, the
+//!    regime the paper shows beats point updates by orders of magnitude;
+//! 4. publishes a fresh snapshot (every
+//!    [`CombinerConfig::snapshot_every`] epochs), then marks the epoch
+//!    done and wakes all waiters with their results.
+//!
+//! Leadership is re-elected per epoch by `try_lock`: whichever waiter
+//! finds the leader slot free next drives the next epoch, so the design
+//! needs no dedicated combiner thread and quiesces to zero cost when
+//! idle. Everything is built on `std` `Mutex`/`Condvar` only.
+//!
+//! # Snapshot readers
+//!
+//! [`Combiner::snapshot`] hands out the most recently published snapshot
+//! behind an `Arc` — readers never block behind a writing leader, and an
+//! acknowledged operation is visible in the next published snapshot
+//! (immediately on acknowledgement with `snapshot_every == 1`, the
+//! default, because the leader publishes *before* it wakes waiters).
+
+use cpma_api::{normalize_batch, BatchSet, ConfigError, RangeSet, SetKey};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, TryLockError};
+use std::time::{Duration, Instant};
+
+/// One point operation submitted to a [`Combiner`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op<K> {
+    /// Insert the key; acknowledged `true` iff the key was newly added.
+    Insert(K),
+    /// Remove the key; acknowledged `true` iff the key was present.
+    Remove(K),
+    /// Linearized membership test (reads that must observe all earlier
+    /// writes; use [`Combiner::snapshot`] for wait-free reads).
+    Contains(K),
+}
+
+impl<K: Copy> Op<K> {
+    fn key(&self) -> K {
+        match *self {
+            Op::Insert(k) | Op::Remove(k) | Op::Contains(k) => k,
+        }
+    }
+}
+
+/// Tuning knobs for the combining epochs.
+#[derive(Clone, Debug)]
+pub struct CombinerConfig {
+    /// The combining-window *target*: while `window_wait` has not
+    /// elapsed, the leader holds the epoch open until at least this many
+    /// operations are pending. It is a wait threshold, not a cap —
+    /// submissions that land before sealing all join the epoch — and it
+    /// has no effect when `window_wait` is zero (the leader then never
+    /// waits).
+    pub window_ops: usize,
+    /// How long the leader holds the epoch open waiting for the window
+    /// to fill. `Duration::ZERO` (the default) is *reactive* flat
+    /// combining: the leader drains whatever is pending and never waits —
+    /// batch size then adapts to contention (ops pile up while the
+    /// previous epoch applies). A non-zero wait trades latency for bigger
+    /// batches on sparse traffic.
+    pub window_wait: Duration,
+    /// Publish a snapshot every this many epochs. 1 (the default) makes
+    /// every acknowledged operation immediately snapshot-visible; larger
+    /// values trade snapshot freshness for less cloning on write-heavy
+    /// workloads.
+    pub snapshot_every: u64,
+    /// How long a waiter sleeps before re-checking whether the leader
+    /// slot has freed up (bounds leader-handoff latency).
+    pub retry_wait: Duration,
+}
+
+impl Default for CombinerConfig {
+    fn default() -> Self {
+        Self {
+            window_ops: 64,
+            window_wait: Duration::ZERO,
+            snapshot_every: 1,
+            retry_wait: Duration::from_micros(50),
+        }
+    }
+}
+
+impl CombinerConfig {
+    /// Check parameter validity ([`Combiner::with_config`] asserts this).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.window_ops < 1 {
+            return Err(ConfigError::new("window_ops", "must be at least 1"));
+        }
+        if self.snapshot_every < 1 {
+            return Err(ConfigError::new("snapshot_every", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// The publication buffer for one epoch, shared between its submitters
+/// and the leader that drains it.
+struct EpochState<K> {
+    ops: Vec<Op<K>>,
+    /// Set by the leader when it drains the buffer; submitters that find
+    /// their epoch sealed re-route to the freshly opened one.
+    sealed: bool,
+    /// Set (with `results`) after the batch is applied and published.
+    done: bool,
+    /// `results[i]` answers `ops[i]`; valid once `done`.
+    results: Vec<bool>,
+}
+
+struct Epoch<K> {
+    state: Mutex<EpochState<K>>,
+    /// Waiters (submitters) block here until `done`.
+    done_cv: Condvar,
+    /// The leader blocks here while its combining window fills.
+    fill_cv: Condvar,
+}
+
+impl<K> Epoch<K> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(EpochState {
+                ops: Vec::new(),
+                sealed: false,
+                done: false,
+                results: Vec::new(),
+            }),
+            done_cv: Condvar::new(),
+            fill_cv: Condvar::new(),
+        }
+    }
+}
+
+/// Leader-exclusive state: the authoritative set plus the epoch counter.
+struct Core<S> {
+    set: S,
+    epochs_applied: u64,
+}
+
+/// A flat-combining concurrent front-end over any batch-parallel set.
+///
+/// Share it by reference (or `Arc`) across threads; see the
+/// [module docs](self) for the epoch protocol.
+pub struct Combiner<S, K: SetKey = u64> {
+    core: Mutex<Core<S>>,
+    current: Mutex<Arc<Epoch<K>>>,
+    published: Mutex<Arc<S>>,
+    cfg: CombinerConfig,
+}
+
+impl<S, K> Combiner<S, K>
+where
+    K: SetKey,
+    S: BatchSet<K> + RangeSet<K> + Clone + Sync,
+{
+    /// Wrap `set` with the default configuration.
+    pub fn new(set: S) -> Self {
+        Self::with_config(set, CombinerConfig::default())
+    }
+
+    /// Wrap `set` with an explicit configuration.
+    ///
+    /// # Panics
+    /// If `cfg` fails [`CombinerConfig::check`] (an already-constructed
+    /// invalid config is a programming error).
+    pub fn with_config(set: S, cfg: CombinerConfig) -> Self {
+        if let Err(e) = cfg.check() {
+            panic!("{e}");
+        }
+        Self {
+            published: Mutex::new(Arc::new(set.clone())),
+            core: Mutex::new(Core {
+                set,
+                epochs_applied: 0,
+            }),
+            current: Mutex::new(Arc::new(Epoch::new())),
+            cfg,
+        }
+    }
+
+    /// Insert `key`; returns whether it was newly added, linearized
+    /// against every other submitted operation.
+    pub fn insert(&self, key: K) -> bool {
+        self.submit(Op::Insert(key))
+    }
+
+    /// Remove `key`; returns whether it was present.
+    pub fn remove(&self, key: K) -> bool {
+        self.submit(Op::Remove(key))
+    }
+
+    /// Linearized membership test (goes through the op stream; for
+    /// wait-free reads use [`Combiner::snapshot`]).
+    pub fn contains(&self, key: K) -> bool {
+        self.submit(Op::Contains(key))
+    }
+
+    /// The most recently published snapshot. Never blocks behind a
+    /// writing leader — only a pointer clone under a short lock.
+    pub fn snapshot(&self) -> Arc<S> {
+        self.published.lock().unwrap().clone()
+    }
+
+    /// Epochs applied so far (each applied exactly one combined batch).
+    pub fn epochs_applied(&self) -> u64 {
+        self.core.lock().unwrap().epochs_applied
+    }
+
+    /// Unwrap the authoritative set (consumes the combiner, so every
+    /// acknowledged operation is included).
+    pub fn into_inner(self) -> S {
+        self.core.into_inner().unwrap().set
+    }
+
+    /// Submit one operation and block until its epoch is applied;
+    /// returns the operation's individual result.
+    pub fn submit(&self, op: Op<K>) -> bool {
+        let (epoch, idx) = self.enqueue(std::slice::from_ref(&op));
+        self.await_epoch(&epoch, |st| st.results[idx])
+    }
+
+    /// Submit a burst of operations as one publication — one enqueue,
+    /// one wait — and block until their epoch is applied. Returns the
+    /// per-operation results in submission order. This is the ingest
+    /// path: a burst keeps the combined batch large even when writers
+    /// are synchronous, which is where batch-parallel updates pull ahead
+    /// of per-operation locking.
+    pub fn submit_many(&self, ops: &[Op<K>]) -> Vec<bool> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let (epoch, start) = self.enqueue(ops);
+        let end = start + ops.len();
+        self.await_epoch(&epoch, |st| st.results[start..end].to_vec())
+    }
+
+    /// Burst-insert convenience: returns how many keys were newly added.
+    pub fn insert_many(&self, keys: &[K]) -> usize {
+        let ops: Vec<Op<K>> = keys.iter().map(|&k| Op::Insert(k)).collect();
+        self.submit_many(&ops).into_iter().filter(|&b| b).count()
+    }
+
+    /// Append `ops` to the open epoch (re-routing if a leader seals it
+    /// between lookup and push — the new epoch is installed while
+    /// `current` is held, so the retry loop is bounded). Returns the
+    /// epoch and the index of the first appended op.
+    fn enqueue(&self, ops: &[Op<K>]) -> (Arc<Epoch<K>>, usize) {
+        let (epoch, idx) = loop {
+            let cur = self.current.lock().unwrap().clone();
+            let mut st = cur.state.lock().unwrap();
+            if !st.sealed {
+                let idx = st.ops.len();
+                st.ops.extend_from_slice(ops);
+                drop(st);
+                break (cur, idx);
+            }
+            drop(st);
+            std::thread::yield_now();
+        };
+        // A leader may be holding its combining window open for us.
+        epoch.fill_cv.notify_one();
+        (epoch, idx)
+    }
+
+    /// Wait until `epoch` completes (leading it ourselves if the leader
+    /// slot frees first), then return `extract` of its final state.
+    fn await_epoch<R>(&self, epoch: &Arc<Epoch<K>>, extract: impl Fn(&EpochState<K>) -> R) -> R {
+        loop {
+            // Try to take the leader slot. `try_lock` never blocks, so a
+            // running leader just sends us to the wait below.
+            match self.core.try_lock() {
+                Ok(core) => {
+                    // Our epoch may have been completed between enqueue
+                    // and lock acquisition.
+                    {
+                        let st = epoch.state.lock().unwrap();
+                        if st.done {
+                            return extract(&st);
+                        }
+                    }
+                    // Not done and the leader slot is ours: our epoch is
+                    // unsealed (sealed epochs complete before the leader
+                    // slot frees), i.e. it is the current epoch — lead it.
+                    self.lead(core);
+                    let st = epoch.state.lock().unwrap();
+                    debug_assert!(st.done, "leader must complete its own epoch");
+                    return extract(&st);
+                }
+                Err(TryLockError::WouldBlock) => {}
+                Err(TryLockError::Poisoned(e)) => panic!("combiner poisoned: {e}"),
+            }
+            let st = epoch.state.lock().unwrap();
+            if st.done {
+                return extract(&st);
+            }
+            // Timed wait: on `done` notification we return; on timeout we
+            // loop to contend for the (possibly freed) leader slot.
+            let (st, _) = epoch.done_cv.wait_timeout(st, self.cfg.retry_wait).unwrap();
+            if st.done {
+                return extract(&st);
+            }
+        }
+    }
+
+    /// Drive one epoch: window, seal, replay, apply, publish, wake, then
+    /// release the leader slot and hand leadership to a waiter of the
+    /// next epoch if one is already pending.
+    fn lead(&self, mut guard: std::sync::MutexGuard<'_, Core<S>>) {
+        let core = &mut *guard;
+        let epoch = self.current.lock().unwrap().clone();
+
+        // Combining window: hold the epoch open briefly so concurrent
+        // submitters can pile on.
+        let ops = {
+            let mut st = epoch.state.lock().unwrap();
+            let deadline = Instant::now() + self.cfg.window_wait;
+            while st.ops.len() < self.cfg.window_ops {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (g, _) = epoch.fill_cv.wait_timeout(st, deadline - now).unwrap();
+                st = g;
+            }
+            st.sealed = true;
+            std::mem::take(&mut st.ops)
+        };
+        // Open a fresh epoch for subsequent submitters.
+        *self.current.lock().unwrap() = Arc::new(Epoch::new());
+
+        // Prefetch the base presence of every distinct key with parallel
+        // point lookups — the replay's dominant cost on large backends.
+        let mut uniq: Vec<K> = ops.iter().map(|op| op.key()).collect();
+        let uniq = normalize_batch(&mut uniq);
+        let presence: Vec<bool> = {
+            use rayon::prelude::*;
+            let set = &core.set;
+            uniq.par_iter().map(|&k| set.contains(k)).collect()
+        };
+        // Replay in submission order against the presence overlay: each
+        // operation observes the set as of all operations before it.
+        let mut overlay: HashMap<u64, (bool, bool)> = uniq
+            .iter()
+            .zip(presence)
+            .map(|(&k, p)| (k.to_u64(), (p, p))) // key -> (before, now)
+            .collect();
+        let mut results = Vec::with_capacity(ops.len());
+        for op in &ops {
+            let entry = overlay
+                .get_mut(&op.key().to_u64())
+                .expect("every op key was prefetched");
+            let result = match op {
+                Op::Insert(_) => {
+                    let was = entry.1;
+                    entry.1 = true;
+                    !was
+                }
+                Op::Remove(_) => {
+                    let was = entry.1;
+                    entry.1 = false;
+                    was
+                }
+                Op::Contains(_) => entry.1,
+            };
+            results.push(result);
+        }
+
+        // Net effect of the epoch as one remove + one insert batch.
+        let mut ins: Vec<K> = Vec::new();
+        let mut del: Vec<K> = Vec::new();
+        for (&key, &(before, now)) in &overlay {
+            if now && !before {
+                ins.push(K::from_u64(key));
+            } else if !now && before {
+                del.push(K::from_u64(key));
+            }
+        }
+        let del = normalize_batch(&mut del);
+        if !del.is_empty() {
+            core.set.remove_batch_sorted(del);
+        }
+        let ins = normalize_batch(&mut ins);
+        if !ins.is_empty() {
+            core.set.insert_batch_sorted(ins);
+        }
+        core.epochs_applied += 1;
+
+        // Publish before waking: an acknowledged op is snapshot-visible.
+        if core.epochs_applied.is_multiple_of(self.cfg.snapshot_every) {
+            let snap = Arc::new(core.set.clone());
+            *self.published.lock().unwrap() = snap;
+        }
+
+        let mut st = epoch.state.lock().unwrap();
+        st.results = results;
+        st.done = true;
+        drop(st);
+        epoch.done_cv.notify_all();
+
+        // Leadership handoff: if the next epoch already has submitters,
+        // wake one *after* releasing the leader slot so it can take over
+        // immediately instead of sleeping out its retry timeout.
+        let next = self.current.lock().unwrap().clone();
+        let pending = !next.state.lock().unwrap().ops.is_empty();
+        drop(guard);
+        if pending {
+            next.done_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn single_thread_ops_match_oracle() {
+        let c: Combiner<BTreeSet<u64>> = Combiner::new(BTreeSet::new());
+        let mut model = BTreeSet::new();
+        let mut rng = cpma_api::testkit::Rng::new(0xC0B1);
+        for _ in 0..500 {
+            let k = rng.bits(6);
+            match rng.below(3) {
+                0 => assert_eq!(c.insert(k), model.insert(k), "insert({k})"),
+                1 => assert_eq!(c.remove(k), model.remove(&k), "remove({k})"),
+                _ => assert_eq!(c.contains(k), model.contains(&k), "contains({k})"),
+            }
+        }
+        let snap = c.snapshot();
+        assert_eq!(
+            snap.iter().copied().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
+        assert_eq!(c.into_inner(), model);
+    }
+
+    #[test]
+    fn submit_many_matches_per_op_results() {
+        let c: Combiner<BTreeSet<u64>> = Combiner::new(BTreeSet::new());
+        let burst = [
+            Op::Insert(3),
+            Op::Insert(3),
+            Op::Contains(3),
+            Op::Remove(3),
+            Op::Contains(3),
+            Op::Insert(9),
+        ];
+        assert_eq!(
+            c.submit_many(&burst),
+            vec![true, false, true, true, false, true]
+        );
+        // The whole burst shares one epoch (single-thread: it leads it).
+        assert_eq!(c.epochs_applied(), 1);
+        assert_eq!(c.insert_many(&[9, 10, 11]), 2);
+        assert_eq!(
+            c.snapshot().iter().copied().collect::<Vec<_>>(),
+            vec![9, 10, 11]
+        );
+        assert!(c.submit_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn acked_ops_are_snapshot_visible() {
+        let c: Combiner<BTreeSet<u64>> = Combiner::new(BTreeSet::new());
+        assert!(c.insert(42));
+        assert!(c.snapshot().contains(&42));
+        assert!(c.remove(42));
+        assert!(!c.snapshot().contains(&42));
+    }
+
+    #[test]
+    fn ops_resolve_in_submission_order() {
+        let c: Combiner<BTreeSet<u64>> = Combiner::new(BTreeSet::new());
+        assert!(c.insert(7));
+        assert!(!c.insert(7), "second insert sees the first");
+        assert!(c.remove(7));
+        assert!(!c.remove(7), "second remove sees the first");
+        assert!(!c.contains(7));
+        assert_eq!(c.epochs_applied(), 5);
+    }
+
+    #[test]
+    fn snapshot_every_throttles_publication() {
+        let cfg = CombinerConfig {
+            snapshot_every: 4,
+            window_wait: Duration::ZERO,
+            ..CombinerConfig::default()
+        };
+        let c: Combiner<BTreeSet<u64>> = Combiner::with_config(BTreeSet::new(), cfg);
+        for k in 0..3u64 {
+            c.insert(k);
+        }
+        // 3 epochs applied, none published yet.
+        assert_eq!(c.snapshot().len(), 0);
+        c.insert(3);
+        assert_eq!(c.snapshot().len(), 4);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert_eq!(
+            CombinerConfig {
+                window_ops: 0,
+                ..CombinerConfig::default()
+            }
+            .check()
+            .unwrap_err()
+            .field,
+            "window_ops"
+        );
+        assert_eq!(
+            CombinerConfig {
+                snapshot_every: 0,
+                ..CombinerConfig::default()
+            }
+            .check()
+            .unwrap_err()
+            .field,
+            "snapshot_every"
+        );
+    }
+}

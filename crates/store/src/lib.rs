@@ -1,0 +1,38 @@
+//! # cpma-store — a concurrent front-end that turns live traffic into
+//! batch-parallel updates.
+//!
+//! The paper's core claim is that *batching amortizes update cost*: a
+//! batch-parallel insert of k elements into a CPMA beats k point inserts
+//! by orders of magnitude (§4, Figure 1). But every structure in this
+//! workspace is single-owner — `&mut self` batch methods — so many
+//! concurrent clients could not use one at all. This crate closes that gap
+//! with two composable layers, following the shape of batch-parallel 2-3
+//! trees (explicit batch interfaces fed by an aggregation layer) and
+//! PaC-tree-style snapshot readers:
+//!
+//! * [`ShardedSet<S, N>`] range-partitions the key space into `N` shards
+//!   of any [`cpma_api::BatchSet`] + [`cpma_api::RangeSet`] backend,
+//!   splits each sorted batch at learned splitters, and applies the
+//!   per-shard sub-batches **in parallel** on the workspace pool. It
+//!   implements the full canonical trait hierarchy itself, so the
+//!   conformance suite, the equivalence and determinism tests, and
+//!   `fgraph::SetGraph` all gate it unchanged.
+//! * [`Combiner<S>`] is a flat-combining writer front-end: any thread may
+//!   submit `insert`/`remove`/`contains` operations; one submitter is
+//!   elected leader per *epoch*, drains the shared publication buffer,
+//!   folds the drained operations into one normalized batch, applies it
+//!   with the backend's batch-parallel update, and wakes every waiter with
+//!   its individual result. Readers run against a swap-published snapshot
+//!   ([`Combiner::snapshot`]) and never block behind writers.
+//!
+//! Stacked as `Combiner<ShardedSet<Cpma>>`, point operations from many
+//! threads become sorted batches, and those batches fan out over shards —
+//! live traffic executes exactly the workload regime the paper shows the
+//! CPMA wins. The `store_throughput` benchmark binary in `cpma-bench`
+//! measures that end to end.
+
+mod combiner;
+mod sharded;
+
+pub use combiner::{Combiner, CombinerConfig, Op};
+pub use sharded::ShardedSet;

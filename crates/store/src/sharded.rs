@@ -1,0 +1,382 @@
+//! Range-partitioned sharding over any batch-parallel set backend.
+//!
+//! # Shard routing
+//!
+//! A [`ShardedSet<S, N>`] owns `N` backends and `N − 1` ascending
+//! *splitters*. Key `k` lives in shard `i` iff
+//! `splitters[i − 1] ≤ k < splitters[i]` (with implicit `−∞`/`+∞`
+//! sentinels), i.e. `shard_of(k)` is the number of splitters ≤ `k`.
+//! Because shards partition the key space in order, every cross-shard
+//! operation stitches shard results in shard index order and gets key
+//! order for free: `to_vec` concatenates, `scan_from` resumes in the next
+//! shard, `range_sum` adds per-shard sums, `par_chunks` hands out each
+//! shard's chunks unchanged.
+//!
+//! # Batch splitting
+//!
+//! The `*_batch_sorted` methods binary-search the sorted batch once per
+//! splitter ([`slice::partition_point`]), yielding `N` disjoint sub-batch
+//! ranges, then apply them to their shards **in parallel** via the
+//! workspace pool (`par_iter_mut` over the shard vector). Sub-batch `i`
+//! only ever touches shard `i`, so the shards' `&mut` batch updates run
+//! concurrently without any locking, and the per-shard counts are summed
+//! in shard index order — results are bit-identical at any thread count.
+//!
+//! # Splitter learning and rebalance
+//!
+//! A freshly built set learns its splitters from the data: splitter `i` is
+//! the `(i + 1)/N` quantile of the sorted input. An empty set starts from
+//! evenly spaced cut points over the `u64` domain. Skewed traffic can
+//! outgrow either choice, so after every batch update the set checks the
+//! observed skew: once it holds at least [`REBALANCE_MIN_PER_SHARD`]
+//! elements per shard on average, and the fullest shard exceeds
+//! [`SKEW_FACTOR`]× the mean, the set re-learns quantile splitters from
+//! its own (sorted) contents and redistributes — an `O(n)` rebuild, the
+//! same cost class as the backend PMA's own resize, and deterministic
+//! because it depends only on the stored contents.
+
+use cpma_api::{range_to_inclusive, BatchSet, OrderedSet, ParallelChunks, RangeSet, SetKey};
+use rayon::prelude::*;
+use std::ops::RangeBounds;
+
+/// Average elements per shard below which rebalance is never attempted
+/// (tiny sets gain nothing from redistribution).
+pub const REBALANCE_MIN_PER_SHARD: usize = 256;
+
+/// Rebalance triggers when the fullest shard holds more than this many
+/// times the mean shard load.
+pub const SKEW_FACTOR: usize = 2;
+
+/// A range-partitioned composition of `N` ordered-set backends that
+/// applies sorted batches to its shards in parallel.
+///
+/// `ShardedSet<S, N>` implements the same canonical trait hierarchy as its
+/// backend `S`, so it drops into every generic driver in the workspace —
+/// including [`Combiner`](crate::Combiner), benches, and
+/// `fgraph::SetGraph`. The default shard count is 8.
+#[derive(Clone)]
+pub struct ShardedSet<S, const N: usize = 8> {
+    /// The backends, in key order.
+    shards: Vec<S>,
+    /// `splitters[i]` = smallest key (widened to `u64`) routed to shard
+    /// `i + 1`; strictly context-dependent but always non-decreasing.
+    splitters: Vec<u64>,
+}
+
+/// Sub-batch boundaries: `bounds[i]..bounds[i + 1]` is shard `i`'s slice
+/// of the sorted `batch`.
+fn split_bounds<K: SetKey>(splitters: &[u64], batch: &[K]) -> Vec<usize> {
+    let mut bounds = Vec::with_capacity(splitters.len() + 2);
+    bounds.push(0);
+    for &s in splitters {
+        bounds.push(batch.partition_point(|&k| k.to_u64() < s));
+    }
+    bounds.push(batch.len());
+    bounds
+}
+
+impl<S, const N: usize> ShardedSet<S, N> {
+    /// Shard index for a key (widened): the number of splitters ≤ it.
+    fn shard_of(&self, key: u64) -> usize {
+        self.splitters.partition_point(|&s| s <= key)
+    }
+
+    /// Evenly spaced cut points over the `u64` domain — the no-data prior.
+    fn default_splitters() -> Vec<u64> {
+        let stride = (u64::MAX / N as u64).max(1);
+        (1..N as u64).map(|i| i.saturating_mul(stride)).collect()
+    }
+
+    /// Quantile splitters learned from a strictly increasing key slice;
+    /// falls back to the domain prior when there is too little data to
+    /// pick `N − 1` distinct quantiles.
+    fn learned_splitters<K: SetKey>(elems: &[K]) -> Vec<u64> {
+        if elems.len() < N * 2 {
+            return Self::default_splitters();
+        }
+        (1..N)
+            .map(|i| elems[i * elems.len() / N].to_u64())
+            .collect()
+    }
+
+    /// Current per-shard element counts (diagnostics and tests).
+    pub fn shard_lens<K: SetKey>(&self) -> Vec<usize>
+    where
+        S: OrderedSet<K>,
+    {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// The number of shards, `N`.
+    pub fn shard_count(&self) -> usize {
+        N
+    }
+
+    /// The current splitters (widened to `u64`), ascending.
+    pub fn splitters(&self) -> &[u64] {
+        &self.splitters
+    }
+}
+
+impl<S, const N: usize> ShardedSet<S, N> {
+    /// Split `batch` at the splitters and run `apply` on every non-empty
+    /// (shard, sub-batch) pair in parallel; returns the summed counts in
+    /// shard index order (schedule-independent).
+    fn apply_split<K: SetKey>(
+        &mut self,
+        batch: &[K],
+        apply: impl Fn(&mut S, &[K]) -> usize + Sync + Send,
+    ) -> usize
+    where
+        S: Send,
+    {
+        let bounds = split_bounds(&self.splitters, batch);
+        let bounds = &bounds;
+        self.shards
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, shard)| {
+                let sub = &batch[bounds[i]..bounds[i + 1]];
+                if sub.is_empty() {
+                    0
+                } else {
+                    apply(shard, sub)
+                }
+            })
+            .sum()
+    }
+
+    /// Re-learn splitters from the stored contents and redistribute if the
+    /// observed skew warrants it. Depends only on the stored contents, so
+    /// the decision (and result) is identical at any thread count.
+    fn maybe_rebalance<K: SetKey>(&mut self)
+    where
+        S: BatchSet<K> + RangeSet<K> + Send,
+    {
+        if N <= 1 {
+            return;
+        }
+        let lens: Vec<usize> = self.shards.iter().map(|s| s.len()).collect();
+        let total: usize = lens.iter().sum();
+        if total < N * REBALANCE_MIN_PER_SHARD {
+            return;
+        }
+        let max = lens.into_iter().max().unwrap_or(0);
+        if max * N > total * SKEW_FACTOR {
+            let all = RangeSet::to_vec(self);
+            *self = BatchSet::build_sorted(&all);
+        }
+    }
+}
+
+impl<K: SetKey, S: OrderedSet<K>, const N: usize> OrderedSet<K> for ShardedSet<S, N> {
+    const NAME: &'static str = "Sharded";
+
+    fn contains(&self, key: K) -> bool {
+        self.shards[self.shard_of(key.to_u64())].contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn min(&self) -> Option<K> {
+        self.shards.iter().find_map(|s| s.min())
+    }
+
+    fn max(&self) -> Option<K> {
+        self.shards.iter().rev().find_map(|s| s.max())
+    }
+
+    fn successor(&self, key: K) -> Option<K> {
+        let first = self.shard_of(key.to_u64());
+        // Every key in a later shard is ≥ its left splitter > `key`, so
+        // the first hit in shard order is the global successor.
+        self.shards[first]
+            .successor(key)
+            .or_else(|| self.shards[first + 1..].iter().find_map(|s| s.min()))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.size_bytes()).sum::<usize>()
+            + self.splitters.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl<K: SetKey, S: BatchSet<K> + RangeSet<K> + Send, const N: usize> BatchSet<K>
+    for ShardedSet<S, N>
+{
+    fn new_set() -> Self {
+        assert!(N >= 1, "ShardedSet needs at least one shard");
+        Self {
+            shards: (0..N).map(|_| S::new_set()).collect(),
+            splitters: Self::default_splitters(),
+        }
+    }
+
+    fn build_sorted(elems: &[K]) -> Self {
+        assert!(N >= 1, "ShardedSet needs at least one shard");
+        let splitters = Self::learned_splitters(elems);
+        let bounds = split_bounds(&splitters, elems);
+        let bounds = &bounds;
+        let shards: Vec<S> = (0..N)
+            .into_par_iter()
+            .map(|i| S::build_sorted(&elems[bounds[i]..bounds[i + 1]]))
+            .collect();
+        Self { shards, splitters }
+    }
+
+    fn insert_batch_sorted(&mut self, batch: &[K]) -> usize {
+        let added = self.apply_split(batch, |s, b| s.insert_batch_sorted(b));
+        self.maybe_rebalance();
+        added
+    }
+
+    fn remove_batch_sorted(&mut self, batch: &[K]) -> usize {
+        let removed = self.apply_split(batch, |s, b| s.remove_batch_sorted(b));
+        self.maybe_rebalance();
+        removed
+    }
+}
+
+impl<K: SetKey, S: RangeSet<K>, const N: usize> RangeSet<K> for ShardedSet<S, N> {
+    fn scan_from(&self, start: K, f: &mut dyn FnMut(K) -> bool) {
+        let first = self.shard_of(start.to_u64());
+        let mut live = true;
+        for (i, shard) in self.shards.iter().enumerate().skip(first) {
+            let from = if i == first { start } else { K::MIN };
+            shard.scan_from(from, &mut |k| {
+                live = f(k);
+                live
+            });
+            if !live {
+                return;
+            }
+        }
+    }
+
+    fn range_sum<R: RangeBounds<K>>(&self, range: R) -> u64 {
+        // Stitch per-shard sums in shard (= key) order so each backend's
+        // own range_sum fast path runs on its slice of the range.
+        let Some((lo, hi)) = range_to_inclusive(&range) else {
+            return 0;
+        };
+        let first = self.shard_of(lo.to_u64());
+        let last = self.shard_of(hi.to_u64());
+        let mut sum = 0u64;
+        for shard in &self.shards[first..=last] {
+            sum = sum.wrapping_add(shard.range_sum(lo..=hi));
+        }
+        sum
+    }
+}
+
+impl<K: SetKey, S: ParallelChunks<K> + Sync, const N: usize> ParallelChunks<K>
+    for ShardedSet<S, N>
+{
+    /// Shards are disjoint and ascending, so each shard's chunks are valid
+    /// chunks of the whole set; visit the shards in parallel too.
+    fn par_chunks(&self, f: &(dyn Fn(&[K]) + Sync)) {
+        self.shards.par_iter().for_each(|s| s.par_chunks(f));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    type Sharded4 = ShardedSet<BTreeSet<u64>, 4>;
+
+    #[test]
+    fn routing_matches_splitters() {
+        let s = Sharded4 {
+            shards: (0..4).map(|_| BTreeSet::new()).collect(),
+            splitters: vec![10, 20, 30],
+        };
+        assert_eq!(s.shard_of(0), 0);
+        assert_eq!(s.shard_of(9), 0);
+        assert_eq!(s.shard_of(10), 1);
+        assert_eq!(s.shard_of(29), 2);
+        assert_eq!(s.shard_of(30), 3);
+        assert_eq!(s.shard_of(u64::MAX), 3);
+    }
+
+    #[test]
+    fn split_bounds_partition_the_batch() {
+        let batch: Vec<u64> = vec![1, 5, 10, 15, 25, 40];
+        let bounds = split_bounds(&[10, 20, 30], &batch);
+        assert_eq!(bounds, vec![0, 2, 4, 5, 6]);
+        // Sub-batches agree with per-key routing.
+        let s = Sharded4 {
+            shards: (0..4).map(|_| BTreeSet::new()).collect(),
+            splitters: vec![10, 20, 30],
+        };
+        for i in 0..4 {
+            for &k in &batch[bounds[i]..bounds[i + 1]] {
+                assert_eq!(s.shard_of(k), i, "key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_learns_quantile_splitters() {
+        let elems: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        let s: Sharded4 = BatchSet::build_sorted(&elems);
+        assert_eq!(s.splitters().len(), 3);
+        assert_eq!(RangeSet::to_vec(&s), elems);
+        let lens = s.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 1000);
+        assert!(
+            lens.iter().all(|&l| l == 250),
+            "quantile build should balance exactly: {lens:?}"
+        );
+    }
+
+    #[test]
+    fn skewed_traffic_triggers_rebalance() {
+        // Dense small keys all route to shard 0 under the domain prior.
+        let mut s: Sharded4 = BatchSet::new_set();
+        let keys: Vec<u64> = (0..(4 * REBALANCE_MIN_PER_SHARD as u64)).collect();
+        s.insert_batch_sorted(&keys);
+        let lens = s.shard_lens();
+        let max = *lens.iter().max().unwrap();
+        assert!(
+            max <= keys.len() / 3,
+            "rebalance should have spread the load: {lens:?}"
+        );
+        assert_eq!(OrderedSet::len(&s), keys.len());
+        assert_eq!(RangeSet::to_vec(&s), keys);
+    }
+
+    #[test]
+    fn single_shard_degenerates_gracefully() {
+        let mut s: ShardedSet<BTreeSet<u64>, 1> = BatchSet::new_set();
+        assert!(s.splitters().is_empty());
+        s.insert_batch_sorted(&[1, 2, 3]);
+        assert_eq!(OrderedSet::len(&s), 3);
+        assert_eq!(s.remove_batch_sorted(&[2, 9]), 1);
+        assert_eq!(RangeSet::to_vec(&s), vec![1, 3]);
+    }
+
+    #[test]
+    fn cross_shard_queries_stitch_in_key_order() {
+        let elems: Vec<u64> = (0..400).map(|i| i * 5).collect();
+        let s: Sharded4 = BatchSet::build_sorted(&elems);
+        // Range spanning all shards.
+        assert_eq!(
+            s.range_sum(..),
+            elems.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+        );
+        // scan_from across a shard boundary, with early exit.
+        let mut got = Vec::new();
+        s.scan_from(495, &mut |k| {
+            got.push(k);
+            got.len() < 4
+        });
+        assert_eq!(got, vec![495, 500, 505, 510]);
+        assert_eq!(OrderedSet::successor(&s, 501), Some(505));
+        assert_eq!(OrderedSet::min(&s), Some(0));
+        assert_eq!(OrderedSet::max(&s), Some(1995));
+    }
+}

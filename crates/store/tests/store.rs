@@ -1,0 +1,155 @@
+//! cpma-store integration tests: the sharded wrapper must pass the full
+//! canonical contract over real CPMA/PMA backends at several shard
+//! counts, and the combiner must linearize concurrent mixed traffic —
+//! every acknowledged operation matching a per-thread oracle and visible
+//! in the next published snapshot.
+
+use cpma_api::conformance::assert_ordered_set_contract;
+use cpma_api::testkit::Rng;
+use cpma_api::{BatchSet, OrderedSet, RangeSet};
+use cpma_pma::{Cpma, Pma};
+use cpma_store::{Combiner, CombinerConfig, ShardedSet};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// ShardedSet: the shared contract at shard counts 1 / 4 / 16.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sharded_cpma_passes_the_contract_at_1_4_16_shards() {
+    assert_ordered_set_contract::<ShardedSet<Cpma, 1>>(0x5A1);
+    assert_ordered_set_contract::<ShardedSet<Cpma, 4>>(0x5A4);
+    assert_ordered_set_contract::<ShardedSet<Cpma, 16>>(0x5A16);
+}
+
+#[test]
+fn sharded_pma_and_btreeset_pass_the_contract() {
+    // The wrapper is backend-generic; gate it over an uncompressed PMA
+    // and the oracle too.
+    assert_ordered_set_contract::<ShardedSet<Pma<u64>, 4>>(0x5B4);
+    assert_ordered_set_contract::<ShardedSet<BTreeSet<u64>, 4>>(0x5C4);
+}
+
+#[test]
+fn sharded_set_is_transparent_at_any_shard_count() {
+    // One workload, three shard counts, plus the unsharded backend: all
+    // four must externally behave as the same abstract set.
+    let mut rng = Rng::new(0x7A77);
+    let mut plain = Cpma::new_set();
+    let mut s1: ShardedSet<Cpma, 1> = BatchSet::new_set();
+    let mut s4: ShardedSet<Cpma, 4> = BatchSet::new_set();
+    let mut s16: ShardedSet<Cpma, 16> = BatchSet::new_set();
+    for _ in 0..12 {
+        let ins = rng.sorted_batch(2000, 22);
+        let n = plain.insert_batch_sorted(&ins);
+        assert_eq!(s1.insert_batch_sorted(&ins), n);
+        assert_eq!(s4.insert_batch_sorted(&ins), n);
+        assert_eq!(s16.insert_batch_sorted(&ins), n);
+        let del = rng.sorted_batch(900, 22);
+        let n = plain.remove_batch_sorted(&del);
+        assert_eq!(s1.remove_batch_sorted(&del), n);
+        assert_eq!(s4.remove_batch_sorted(&del), n);
+        assert_eq!(s16.remove_batch_sorted(&del), n);
+    }
+    let want = plain.to_vec();
+    assert_eq!(RangeSet::to_vec(&s1), want);
+    assert_eq!(RangeSet::to_vec(&s4), want);
+    assert_eq!(RangeSet::to_vec(&s16), want);
+    assert_eq!(s4.range_sum(..), plain.range_sum(..));
+}
+
+// ---------------------------------------------------------------------
+// Combiner: oracle-checked concurrent mixed readers and writers.
+// ---------------------------------------------------------------------
+
+/// Each writer owns a disjoint key stripe (thread id in the high bits),
+/// so its per-op acknowledgements are checkable against a thread-local
+/// model even under full concurrency, and an acknowledged write must be
+/// visible in the next published snapshot (`snapshot_every == 1`
+/// publishes before acknowledging).
+fn striped_key(thread: u64, rng: &mut Rng) -> u64 {
+    (thread << 32) | rng.bits(10)
+}
+
+#[test]
+fn combiner_linearizes_concurrent_mixed_traffic() {
+    const WRITERS: u64 = 4;
+    const OPS_PER_WRITER: usize = 2_000;
+
+    let cfg = CombinerConfig {
+        window_ops: 16,
+        window_wait: Duration::from_micros(50),
+        ..CombinerConfig::default()
+    };
+    let store: Combiner<ShardedSet<Cpma, 4>> = Combiner::with_config(BatchSet::new_set(), cfg);
+
+    let models: Vec<BTreeSet<u64>> = std::thread::scope(|scope| {
+        // A snapshot reader runs throughout: wait-free, internally
+        // consistent views (strictly ascending contents, matching len).
+        let reader = scope.spawn(|| {
+            for _ in 0..200 {
+                let snap = store.snapshot();
+                let contents = RangeSet::to_vec(&*snap);
+                assert!(
+                    contents.windows(2).all(|w| w[0] < w[1]),
+                    "snapshot contents must be strictly ascending"
+                );
+                assert_eq!(contents.len(), OrderedSet::len(&*snap));
+                std::thread::yield_now();
+            }
+        });
+
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|t| {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut rng = Rng::new(0xAC5_0000 + t);
+                    let mut model: BTreeSet<u64> = BTreeSet::new();
+                    for i in 0..OPS_PER_WRITER {
+                        let k = striped_key(t, &mut rng);
+                        match rng.below(4) {
+                            0 | 1 => {
+                                let acked = store.insert(k);
+                                assert_eq!(acked, model.insert(k), "t{t} insert({k})");
+                            }
+                            2 => {
+                                let acked = store.remove(k);
+                                assert_eq!(acked, model.remove(&k), "t{t} remove({k})");
+                            }
+                            _ => {
+                                let acked = store.contains(k);
+                                assert_eq!(acked, model.contains(&k), "t{t} contains({k})");
+                            }
+                        }
+                        // Periodically: everything acknowledged so far in
+                        // this stripe must be visible in the snapshot.
+                        if i % 256 == 255 {
+                            let snap = store.snapshot();
+                            for &k in &model {
+                                assert!(
+                                    snap.contains(k),
+                                    "t{t}: acked key {k} missing from snapshot"
+                                );
+                            }
+                        }
+                    }
+                    model
+                })
+            })
+            .collect();
+
+        reader.join().unwrap();
+        writers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    // Final state: the union of every thread's model, exactly.
+    let mut want: Vec<u64> = models.iter().flatten().copied().collect();
+    want.sort_unstable();
+    let snap = store.snapshot();
+    assert_eq!(RangeSet::to_vec(&*snap), want, "final snapshot contents");
+    let total_ops = WRITERS * OPS_PER_WRITER as u64;
+    let epochs = store.epochs_applied();
+    assert!(epochs >= 1 && epochs <= total_ops);
+    assert_eq!(RangeSet::to_vec(&store.into_inner()), want);
+}

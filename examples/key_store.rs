@@ -1,70 +1,135 @@
-//! A batch-ingesting ordered key store — the workload class the paper's
-//! introduction motivates ("applications with a large number of requests
-//! in a short time, such as stream processing").
+//! A concurrent batch-ingesting ordered key store — the workload class
+//! the paper's introduction motivates ("applications with a large number
+//! of requests in a short time, such as stream processing"), served by
+//! `cpma-store`.
 //!
-//! Simulates an event-ID store: timestamps arrive in bursts (batches),
-//! recent windows are range-scanned for analytics, and old events are
-//! batch-expired — all through the canonical `cpma::api` traits, with
-//! std-range syntax for the window scans. Contrasts the CPMA against the
-//! uncompressed PMA on footprint.
+//! Several ingest threads stream bursts of event IDs into one
+//! `Combiner<ShardedSet<Cpma>>`: the flat-combining leader folds
+//! concurrent bursts into one batch-parallel CPMA update per epoch, and
+//! an analytics thread runs range scans against swap-published snapshots
+//! without ever blocking the writers. A periodic expiry pass batch-removes
+//! old events through the same front-end.
 //!
 //! Run with: `cargo run --release --example key_store`
 
 use cpma::prelude::*;
 use cpma::workloads::SplitMix64;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Compose an event key: seconds in the high bits, a sequence number in
-/// the low bits — keys arrive roughly ordered, the CPMA's best case.
+/// Compose an event key: a coarse timestamp in the high bits, a sequence
+/// number in the low bits — keys arrive roughly ordered, the CPMA's best
+/// case.
 fn event_key(second: u64, seq: u64) -> u64 {
     (second << 20) | (seq & 0xFFFFF)
 }
 
+const INGEST_THREADS: u64 = 4;
+const SECONDS: u64 = 120;
+const EVENTS_PER_THREAD_SECOND: usize = 2_500;
+
 fn main() {
-    let mut store = Cpma::new();
-    let mut shadow = Pma::<u64>::new(); // uncompressed comparison
-    let mut rng = SplitMix64::new(2024);
+    // 8 shards, snapshots published every epoch: every acknowledged burst
+    // is immediately visible to the analytics reader.
+    let store: Combiner<ShardedSet<Cpma, 8>> = Combiner::new(BatchSet::new_set());
+    let ingested = AtomicUsize::new(0);
+    let finished_writers = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
 
     let start = Instant::now();
-    let mut total_ingested = 0usize;
-    for second in 0..300u64 {
-        // A burst of 10k events this second, slightly out of order.
-        let mut burst: Vec<u64> = (0..10_000)
-            .map(|_| event_key(second, rng.next_below(1 << 20)))
-            .collect();
-        total_ingested += store.insert_batch(&mut burst.clone(), false);
-        shadow.insert_batch(&mut burst, false);
-
-        // Every 50 seconds: range analytics over the trailing 10-second
-        // window, then expire everything older than 100 seconds.
-        if second % 50 == 49 {
-            let window = event_key(second.saturating_sub(10), 0)..event_key(second + 1, 0);
-            let mut window_count = 0u64;
-            store.for_range(window.clone(), |_| window_count += 1);
-            let window_sum = store.range_sum(window);
-            println!(
-                "t={second:>3}s  window events: {window_count:>6}  checksum: {window_sum:#018x}"
-            );
-
-            if second > 100 {
-                let expire_before = event_key(second - 100, 0);
-                let victims: Vec<u64> = store.range_iter(..expire_before).collect();
-                let dropped = store.remove_batch_sorted(&victims);
-                shadow.remove_batch_sorted(&victims);
-                println!("        expired {dropped} events below t={}s", second - 100);
-            }
+    std::thread::scope(|scope| {
+        // --- ingest: each thread streams one burst per simulated second.
+        for t in 0..INGEST_THREADS {
+            let store = &store;
+            let ingested = &ingested;
+            let finished_writers = &finished_writers;
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(2024 + t);
+                for second in 0..SECONDS {
+                    let burst: Vec<u64> = (0..EVENTS_PER_THREAD_SECOND)
+                        .map(|_| event_key(second, rng.next_below(1 << 20)))
+                        .collect();
+                    ingested.fetch_add(store.insert_many(&burst), Ordering::Relaxed);
+                }
+                finished_writers.fetch_add(1, Ordering::Release);
+            });
         }
-    }
+
+        // --- expiry: batch-remove events older than 40 "seconds", read
+        // from a snapshot, removed through the combiner like any writer.
+        scope.spawn(|| {
+            let mut expired_total = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let snap = store.snapshot();
+                if let Some(newest) = snap.max() {
+                    let horizon = (newest >> 20).saturating_sub(40);
+                    let victims: Vec<u64> = snap.range_iter(..event_key(horizon, 0)).collect();
+                    let ops: Vec<_> = victims
+                        .iter()
+                        .map(|&k| cpma::store::Op::Remove(k))
+                        .collect();
+                    expired_total += store
+                        .submit_many(&ops)
+                        .into_iter()
+                        .filter(|&removed| removed)
+                        .count();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            println!("expiry: removed {expired_total} old events");
+        });
+
+        // --- analytics: trailing-window scans on snapshots; never blocks
+        // the ingest path.
+        let reports = scope.spawn(|| {
+            let mut reports = 0u32;
+            while !done.load(Ordering::Acquire) {
+                let snap = store.snapshot();
+                if let Some(newest) = snap.max() {
+                    let second = newest >> 20;
+                    let window = event_key(second.saturating_sub(10), 0)..event_key(second + 1, 0);
+                    let count = snap.range_iter(window.clone()).count();
+                    let checksum = snap.range_sum(window);
+                    if reports.is_multiple_of(16) {
+                        println!(
+                            "t≈{second:>3}s  trailing-10s events: {count:>6}  checksum: {checksum:#018x}"
+                        );
+                    }
+                    reports += 1;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            reports
+        });
+
+        // The reader loops run until every ingest thread has finished
+        // (joining the scope directly would deadlock their `while !done`
+        // loops, so signal them instead).
+        while finished_writers.load(Ordering::Acquire) < INGEST_THREADS as usize {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        done.store(true, Ordering::Release);
+        let reports = reports.join().unwrap();
+        println!("analytics: {reports} snapshot reports while ingesting");
+    });
     let elapsed = start.elapsed().as_secs_f64();
+
+    let total = ingested.load(Ordering::Relaxed);
+    let epochs = store.epochs_applied();
+    let set = store.into_inner();
     println!(
-        "\ningested {total_ingested} events in {elapsed:.2}s ({:.0} events/s)",
-        total_ingested as f64 / elapsed
+        "\ningested {total} unique events in {elapsed:.2}s ({:.0} acked inserts/s)",
+        total as f64 / elapsed
     );
     println!(
-        "footprint: CPMA {:.2} B/event vs uncompressed PMA {:.2} B/event ({:.1}x smaller)",
-        store.size_bytes() as f64 / store.len() as f64,
-        shadow.size_bytes() as f64 / shadow.len() as f64,
-        shadow.size_bytes() as f64 / store.size_bytes() as f64
+        "combined into {epochs} epochs (~{:.0} ops per batch-parallel update)",
+        (INGEST_THREADS as usize * SECONDS as usize * EVENTS_PER_THREAD_SECOND) as f64
+            / epochs.max(1) as f64
     );
-    assert_eq!(store.len(), shadow.len(), "stores must agree");
+    println!(
+        "final store: {} events, {:.2} B/event (CPMA-compressed, {} shards)",
+        set.len(),
+        set.size_bytes() as f64 / set.len().max(1) as f64,
+        set.shard_count()
+    );
 }

@@ -53,6 +53,12 @@
 //! * [`fgraph`] — F-Graph (dynamic graphs on a single CPMA) as an instance
 //!   of the backend-generic [`fgraph::SetGraph`], the baseline graph
 //!   containers, a CSR reference, and a Ligra-style algorithm layer;
+//! * [`store`] — the concurrent front-end: [`store::ShardedSet`]
+//!   (range-partitioned shards, batches split at learned splitters and
+//!   applied shard-parallel) and [`store::Combiner`] (flat-combining
+//!   writer aggregation with swap-published snapshots), which together
+//!   turn live multi-threaded traffic into the batch-parallel updates the
+//!   paper's structures are built for;
 //! * [`workloads`] — deterministic generators for every input distribution
 //!   in the paper's evaluation.
 
@@ -60,6 +66,7 @@ pub use cpma_api as api;
 pub use cpma_baselines as baselines;
 pub use cpma_fgraph as fgraph;
 pub use cpma_pma as pma;
+pub use cpma_store as store;
 pub use cpma_workloads as workloads;
 
 /// Everything needed to use any of the workspace's set structures through
@@ -71,4 +78,5 @@ pub mod prelude {
     };
     pub use crate::baselines::{CPac, CTreeSet, PTree, UPac};
     pub use crate::pma::{Cpma, Pma, PmaConfig};
+    pub use crate::store::{Combiner, CombinerConfig, ShardedSet};
 }

@@ -116,6 +116,17 @@ fn btreeset_batches_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn sharded_cpma_batches_deterministic_across_thread_counts() {
+    // The sharded wrapper adds two more schedule-sensitive layers — the
+    // parallel per-shard batch application and the skew-triggered
+    // rebalance — both of which must be invisible in the results: the
+    // per-shard counts merge in shard index order and the rebalance
+    // decision depends only on the stored contents.
+    assert_deterministic::<ShardedSet<Cpma, 8>>("ShardedSet<Cpma, 8>");
+    assert_deterministic::<ShardedSet<Cpma, 3>>("ShardedSet<Cpma, 3>");
+}
+
+#[test]
 fn workload_generators_deterministic_across_thread_counts() {
     // The paper's input generators are chunk-parallel with per-chunk seed
     // streams; their output must not depend on the thread count either.

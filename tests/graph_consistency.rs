@@ -4,7 +4,8 @@
 //! results on all of them.
 
 use cpma::fgraph::algos::{bc, bfs, cc, pagerank};
-use cpma::fgraph::{pack_edge, AspenGraph, Csr, FGraph, GraphScan, PacGraph};
+use cpma::fgraph::{pack_edge, AspenGraph, Csr, FGraph, GraphScan, PacGraph, SetGraph};
+use cpma::prelude::ShardedSet;
 use cpma::workloads::{erdos_renyi_edges, RmatGenerator};
 
 fn neighbors_of(g: &impl GraphScan, v: u32) -> Vec<u32> {
@@ -36,6 +37,10 @@ fn containers_present_identical_topology() {
     assert_same_graph(&csr, &fg.snapshot(), "F-Graph");
     assert_same_graph(&csr, &pac, "PacGraph");
     assert_same_graph(&csr, &asp, "AspenGraph");
+    // The backend-generic SetGraph accepts cpma-store's sharded wrapper
+    // like any other EdgeSet — same topology, no special casing.
+    let sharded: SetGraph<ShardedSet<cpma::pma::Cpma, 4>> = SetGraph::from_edges(n, &edges);
+    assert_same_graph(&csr, &sharded.snapshot(), "SetGraph<ShardedSet<Cpma>>");
 }
 
 #[test]

@@ -25,6 +25,15 @@ fn all_seven_implementations_pass_the_contract() {
     assert_ordered_set_contract::<BTreeSet<u64>>(7);
 }
 
+#[test]
+fn sharded_cpma_passes_the_contract_at_1_4_16_shards() {
+    // The cpma-store wrapper must be externally indistinguishable from
+    // its backend at any shard count (including the degenerate 1).
+    assert_ordered_set_contract::<ShardedSet<Cpma, 1>>(8);
+    assert_ordered_set_contract::<ShardedSet<Cpma, 4>>(9);
+    assert_ordered_set_contract::<ShardedSet<Cpma, 16>>(10);
+}
+
 // ---------------------------------------------------------------------
 // Long-run equivalence under one generic driver.
 // ---------------------------------------------------------------------
@@ -126,6 +135,11 @@ fn btreeset_matches_model() {
 }
 
 #[test]
+fn sharded_cpma_matches_model() {
+    exercise::<ShardedSet<Cpma, 4>>(808);
+}
+
+#[test]
 fn all_structures_agree_with_each_other() {
     // One shared workload, six structures, identical final contents —
     // driven through the trait, structures in a homogeneous list of
@@ -157,6 +171,11 @@ fn all_structures_agree_with_each_other() {
     assert_eq!(drive::<UPac>(&batches, &dels), reference, "U-PaC");
     assert_eq!(drive::<CPac>(&batches, &dels), reference, "C-PaC");
     assert_eq!(drive::<CTreeSet>(&batches, &dels), reference, "C-tree");
+    assert_eq!(
+        drive::<ShardedSet<Cpma, 8>>(&batches, &dels),
+        reference,
+        "Sharded CPMA"
+    );
     assert_eq!(
         drive::<BTreeSet<u64>>(&batches, &dels),
         reference,

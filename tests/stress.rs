@@ -121,3 +121,69 @@ fn cpma_full_rebuild_regime_under_full_pool() {
     let mut rng = Rng::new(0x9E37);
     pounded::<Cpma>(|_| rng.keys(400_000, 26), 8, "CPMA/rebuild");
 }
+
+#[test]
+#[ignore = "stress: minutes of runtime; run via `cargo test -- --ignored` (CI stress job)"]
+fn store_combiner_oversubscribed_multi_writers() {
+    // The cpma-store front-end under more writer threads than any CI
+    // runner has cores, on top of an already-oversubscribed internal
+    // pool: preemption inside combining epochs, snapshot publication,
+    // and the sharded parallel batch apply all race for the same few
+    // cores. Every writer owns a key stripe, so each acknowledgement is
+    // oracle-checked, and every acknowledged write must be visible in
+    // the next published snapshot.
+    const WRITERS: u64 = 16;
+    const OPS_PER_WRITER: usize = 25_000;
+
+    // A non-zero window so the leader actually holds epochs open for the
+    // 128-op target (with the default zero wait the target is inert and
+    // draining is purely reactive — that path is stressed by the
+    // cpma-store suite's own concurrent test).
+    let cfg = CombinerConfig {
+        window_ops: 128,
+        window_wait: std::time::Duration::from_micros(20),
+        ..CombinerConfig::default()
+    };
+    let store: Combiner<ShardedSet<Cpma, 8>> = Combiner::with_config(BatchSet::new_set(), cfg);
+
+    let models: Vec<BTreeSet<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|t| {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut rng = Rng::new(0x57E5_5100 + t);
+                    let mut model: BTreeSet<u64> = BTreeSet::new();
+                    for i in 0..OPS_PER_WRITER {
+                        let k = (t << 40) | rng.bits(14);
+                        match rng.below(4) {
+                            0 | 1 => {
+                                assert_eq!(store.insert(k), model.insert(k), "t{t} insert({k})")
+                            }
+                            2 => {
+                                assert_eq!(store.remove(k), model.remove(&k), "t{t} remove({k})")
+                            }
+                            _ => assert_eq!(
+                                store.contains(k),
+                                model.contains(&k),
+                                "t{t} contains({k})"
+                            ),
+                        }
+                        if i % 4096 == 4095 {
+                            let snap = store.snapshot();
+                            for &k in &model {
+                                assert!(snap.contains(k), "t{t}: acked {k} not in snapshot");
+                            }
+                        }
+                    }
+                    model
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut want: Vec<u64> = models.iter().flatten().copied().collect();
+    want.sort_unstable();
+    assert_eq!(store.snapshot().to_vec(), want, "final snapshot");
+    assert_eq!(store.into_inner().to_vec(), want, "final contents");
+}
