@@ -10,7 +10,9 @@
 //! end)` pairs could never express.
 
 use crate::testkit::Rng;
-use crate::{normalize_batch, BatchSet, ParallelChunks, RangeSet};
+use crate::{
+    normalize_batch, normalize_ops, BatchOp, BatchOutcome, BatchSet, ParallelChunks, RangeSet,
+};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -202,6 +204,112 @@ where
         "{name}: unsorted remove wrapper count"
     );
     assert!(a.is_empty(), "{name}: unsorted remove wrapper emptied");
+
+    // --- mixed-op batches (apply_batch_sorted / normalize_ops) ---------
+    // Random interleaved insert/remove streams — duplicates included, so
+    // last-op-wins normalization is exercised (remove-then-insert and
+    // insert-then-remove of the same key inside one batch) — checked
+    // against the oracle across batch sizes spanning every update regime
+    // (point fallback, in-place pipeline, full rebuild).
+    let mut s = S::new_set();
+    let mut model: BTreeSet<u64> = BTreeSet::new();
+    {
+        // Bulk-seed so mid-size op batches are small relative to the set.
+        let seedling = rng.sorted_batch(30_000, bits);
+        s.insert_batch_sorted(&seedling);
+        model.extend(seedling.iter().copied());
+    }
+    for (round, &op_count) in [40usize, 1_500, 1_500, 6_000, 40, 1_500].iter().enumerate() {
+        let mut raw: Vec<BatchOp<u64>> = (0..op_count)
+            .map(|_| {
+                let k = rng.bits(bits - 4); // dense: plenty of same-key runs
+                if rng.chance(11, 20) {
+                    BatchOp::Insert(k)
+                } else {
+                    BatchOp::Remove(k)
+                }
+            })
+            .collect();
+        // Oracle A: replay the *raw* stream sequentially.
+        let mut replay = model.clone();
+        for op in &raw {
+            match *op {
+                BatchOp::Insert(k) => {
+                    replay.insert(k);
+                }
+                BatchOp::Remove(k) => {
+                    replay.remove(&k);
+                }
+            }
+        }
+        let ops = normalize_ops(&mut raw);
+        assert!(
+            ops.windows(2).all(|w| w[0].key() < w[1].key()),
+            "{name} round {round}: normalize_ops not strictly increasing"
+        );
+        // Oracle B: apply the normal form to the model, tracking counts.
+        let mut want = BatchOutcome::default();
+        for op in ops {
+            match *op {
+                BatchOp::Insert(k) => {
+                    if model.insert(k) {
+                        want.added += 1;
+                    }
+                }
+                BatchOp::Remove(k) => {
+                    if model.remove(&k) {
+                        want.removed += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            model, replay,
+            "{name} round {round}: last-op-wins normal form diverged from sequential replay"
+        );
+        let got = s.apply_batch_sorted(ops);
+        assert_eq!(got, want, "{name} round {round}: apply_batch_sorted counts");
+        assert_eq!(s.len(), model.len(), "{name} round {round}: mixed len");
+        for _ in 0..10 {
+            let k = rng.bits(bits - 4);
+            assert_eq!(
+                s.contains(k),
+                model.contains(&k),
+                "{name} round {round}: mixed contains({k})"
+            );
+        }
+    }
+    let want: Vec<u64> = model.iter().copied().collect();
+    assert_eq!(s.to_vec(), want, "{name}: mixed final contents");
+
+    // Same-key collisions inside one batch, pinned explicitly: the later
+    // op must win regardless of the key's prior presence.
+    let mut s = S::new_set();
+    s.insert_batch_sorted(&[5, 7]);
+    let mut ops = vec![
+        BatchOp::Remove(5u64), // present: remove…
+        BatchOp::Insert(5),    // …then re-insert → net no-op, not added
+        BatchOp::Insert(6),    // absent: insert…
+        BatchOp::Remove(6),    // …then remove → net no-op, not removed
+        BatchOp::Insert(7),    // present: plain no-op insert
+        BatchOp::Remove(8),    // absent: plain no-op remove
+        BatchOp::Insert(9),    // absent: real insert
+        BatchOp::Remove(7),    // ops arrive unsorted across keys too
+    ];
+    let out = s.apply_batch(&mut ops, false);
+    assert_eq!(
+        out,
+        BatchOutcome {
+            added: 1,
+            removed: 1
+        },
+        "{name}: same-key collision outcome"
+    );
+    assert_eq!(
+        s.to_vec(),
+        vec![5, 9],
+        "{name}: same-key collision contents"
+    );
 }
 
 fn check_range<S: RangeSet<u64>>(

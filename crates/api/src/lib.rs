@@ -121,6 +121,58 @@ pub trait OrderedSet<K: SetKey> {
     fn size_bytes(&self) -> usize;
 }
 
+/// One element of a mixed update batch: insert or remove a single key.
+///
+/// A *mixed* batch interleaves insertions and removals in one submission —
+/// the shape a combining front-end naturally produces from live traffic.
+/// [`normalize_ops`] brings a stream of these into the normal form
+/// [`BatchSet::apply_batch_sorted`] requires: ascending, one op per key,
+/// the *last* submitted op for each key winning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BatchOp<K> {
+    /// Insert the key (counted in [`BatchOutcome::added`] iff it was new).
+    Insert(K),
+    /// Remove the key (counted in [`BatchOutcome::removed`] iff present).
+    Remove(K),
+}
+
+impl<K: Copy> BatchOp<K> {
+    /// The key this operation targets.
+    #[inline]
+    pub fn key(&self) -> K {
+        match *self {
+            BatchOp::Insert(k) | BatchOp::Remove(k) => k,
+        }
+    }
+
+    /// True iff this is an [`BatchOp::Insert`].
+    #[inline]
+    pub fn is_insert(&self) -> bool {
+        matches!(self, BatchOp::Insert(_))
+    }
+}
+
+/// Net effect of a mixed batch: how many keys were actually added and how
+/// many actually removed (set semantics — inserts of present keys and
+/// removes of absent keys count in neither).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Keys newly inserted.
+    pub added: usize,
+    /// Keys actually removed.
+    pub removed: usize,
+}
+
+impl std::ops::Add for BatchOutcome {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            added: self.added + rhs.added,
+            removed: self.removed + rhs.removed,
+        }
+    }
+}
+
 /// Batch-parallel construction and updates (the paper's §4 interface).
 ///
 /// `*_sorted` methods require strictly increasing input — the normal form
@@ -162,6 +214,58 @@ pub trait BatchSet<K: SetKey>: OrderedSet<K> + Sized {
         } else {
             let b = normalize_batch(batch);
             self.remove_batch_sorted(b)
+        }
+    }
+
+    /// Apply a *mixed* batch of inserts and removes in one pass. `ops`
+    /// must be in the normal form produced by [`normalize_ops`]: keys
+    /// strictly increasing (hence one op per key).
+    ///
+    /// The default implementation splits the batch into its remove and
+    /// insert halves and runs the two one-sided batch updates — correct
+    /// for every backend, but it walks the structure twice. Backends with
+    /// a native mixed pipeline (the PMA/CPMA's single
+    /// route→merge→count→redistribute pass, the sharded wrapper's
+    /// one-split fan-out) override this.
+    ///
+    /// Because each key appears at most once, the relative order of
+    /// inserts and removes of *distinct* keys is immaterial and the
+    /// per-op results are well-defined: an `Insert` counts as added iff
+    /// the key was absent, a `Remove` as removed iff it was present.
+    fn apply_batch_sorted(&mut self, ops: &[BatchOp<K>]) -> BatchOutcome {
+        debug_assert!(ops.windows(2).all(|w| w[0].key() < w[1].key()));
+        let mut ins: Vec<K> = Vec::new();
+        let mut del: Vec<K> = Vec::new();
+        for op in ops {
+            match *op {
+                BatchOp::Insert(k) => ins.push(k),
+                BatchOp::Remove(k) => del.push(k),
+            }
+        }
+        let removed = if del.is_empty() {
+            0
+        } else {
+            self.remove_batch_sorted(&del)
+        };
+        let added = if ins.is_empty() {
+            0
+        } else {
+            self.insert_batch_sorted(&ins)
+        };
+        BatchOutcome { added, removed }
+    }
+
+    /// Apply an arbitrary op stream: normalizes in place (sort by key,
+    /// last-op-wins dedup) unless `normalized` promises the stream is
+    /// already in normal form, then delegates to
+    /// [`apply_batch_sorted`](Self::apply_batch_sorted).
+    fn apply_batch(&mut self, ops: &mut [BatchOp<K>], normalized: bool) -> BatchOutcome {
+        if normalized {
+            debug_assert!(ops.windows(2).all(|w| w[0].key() < w[1].key()));
+            self.apply_batch_sorted(ops)
+        } else {
+            let ops = normalize_ops(ops);
+            self.apply_batch_sorted(ops)
         }
     }
 }
@@ -323,6 +427,35 @@ pub fn normalize_batch<K: SetKey>(batch: &mut [K]) -> &[K] {
     &batch[..w]
 }
 
+/// Sort a mixed op stream by key (stable) and dedup with last-op-wins,
+/// in place; returns the normal-form prefix every
+/// [`BatchSet::apply_batch_sorted`] requires.
+///
+/// *Last-op-wins* is the sequential semantics of replaying the stream in
+/// submission order: `[Remove(5), Insert(5)]` nets to `Insert(5)`,
+/// `[Insert(5), Remove(5)]` to `Remove(5)`. It is exact for presence —
+/// after every prefix of same-key ops, the key's membership equals the
+/// last op's kind — so applying the normal form leaves the set in the
+/// same state as replaying the raw stream one op at a time. (Per-op
+/// *results* are a different question; front-ends that acknowledge
+/// individual ops, like `cpma-store`'s combiner, replay against an
+/// overlay first.) The sort is rayon's stable `par_sort_by_key`, so
+/// equal-key ops keep submission order at any thread count.
+pub fn normalize_ops<K: SetKey>(ops: &mut [BatchOp<K>]) -> &[BatchOp<K>] {
+    use rayon::slice::ParallelSliceMut;
+    ops.par_sort_by_key(|op| op.key());
+    let mut w = 0;
+    for r in 0..ops.len() {
+        if w > 0 && ops[w - 1].key() == ops[r].key() {
+            ops[w - 1] = ops[r]; // same key: the later op wins
+        } else {
+            ops[w] = ops[r];
+            w += 1;
+        }
+    }
+    &ops[..w]
+}
+
 /// Evaluate a [`RangeBounds`] `range_sum` through an exclusive-end kernel
 /// (`sum_excl(lo, hi_excl)` summing keys in `[lo, hi_excl)`), folding in
 /// `K::MAX` separately — the one value a half-open kernel can never cover.
@@ -387,6 +520,58 @@ mod tests {
         assert_eq!(normalize_batch(&mut empty), &[] as &[u64]);
         let mut same = [7u64, 7, 7];
         assert_eq!(normalize_batch(&mut same), &[7]);
+    }
+
+    #[test]
+    fn normalize_ops_last_op_wins() {
+        use BatchOp::{Insert, Remove};
+        let mut ops = [
+            Insert(5u64),
+            Remove(3),
+            Insert(3),
+            Remove(5),
+            Insert(7),
+            Insert(7),
+        ];
+        assert_eq!(normalize_ops(&mut ops), &[Insert(3), Remove(5), Insert(7)]);
+        let mut single = [Remove(9u64)];
+        assert_eq!(normalize_ops(&mut single), &[Remove(9)]);
+        let mut empty: [BatchOp<u64>; 0] = [];
+        assert_eq!(normalize_ops(&mut empty), &[] as &[BatchOp<u64>]);
+        // A long same-key run keeps only its last op.
+        let mut run: Vec<BatchOp<u64>> = (0..100)
+            .map(|i| if i % 2 == 0 { Insert(1) } else { Remove(1) })
+            .collect();
+        assert_eq!(normalize_ops(&mut run), &[Remove(1)]);
+    }
+
+    #[test]
+    fn default_apply_batch_matches_oracle() {
+        use std::collections::BTreeSet;
+        use BatchOp::{Insert, Remove};
+        let mut s: BTreeSet<u64> = [1u64, 2, 3].into_iter().collect();
+        let out = s.apply_batch_sorted(&[Insert(0), Remove(2), Insert(3), Remove(9)]);
+        assert_eq!(
+            out,
+            BatchOutcome {
+                added: 1,
+                removed: 1
+            }
+        );
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![0, 1, 3]);
+        // Unsorted wrapper normalizes: remove-then-insert of 1 nets to
+        // insert (a no-op here), insert-then-remove of 3 nets to remove.
+        let mut ops = [Remove(1u64), Insert(3), Insert(1), Remove(3)];
+        let out = s.apply_batch(&mut ops, false);
+        assert_eq!(
+            out,
+            BatchOutcome {
+                added: 0,
+                removed: 1
+            }
+        );
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(s.apply_batch_sorted(&[]), BatchOutcome::default());
     }
 
     #[test]

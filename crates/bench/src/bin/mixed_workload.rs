@@ -1,0 +1,152 @@
+//! `mixed_workload` — the mixed-op batch pipeline measurement: one
+//! route→merge→count→redistribute pass (`apply_batch_sorted`) versus the
+//! legacy remove-batch + insert-batch split on interleaved traffic.
+//!
+//! Sweeps insert:remove ratio × batch size × key distribution
+//! (zipf/uniform) on the PMA, the CPMA, and the sharded CPMA. Removes
+//! target keys drawn from the base set (so they do real work); inserts
+//! draw fresh keys from the distribution. Batch sizes sit in the
+//! pipeline regime (well above the point cutoff, under the full-rebuild
+//! threshold) — the regime the single pass exists for.
+//!
+//! Prints the usual human table + `csv,` lines, the CPMA's
+//! `PmaStats` pipeline counters for the headline configuration, and
+//! emits `BENCH_mixed.json` (one `single` and one `split` entry per
+//! configuration, so the perf-trajectory diff shows the ratio).
+//!
+//! `--quick` shrinks everything to CI-smoke scale.
+
+use cpma_bench::ubench::Bencher;
+use cpma_bench::{mixed_apply_throughput, mixed_split_throughput, sci, Args, BatchOp};
+use cpma_pma::{Cpma, Pma};
+use cpma_store::ShardedSet;
+use cpma_workloads::{dedup_sorted, uniform_keys, SplitMix64, ZipfGenerator};
+
+/// An interleaved op stream: `insert_pct`% fresh-key inserts, the rest
+/// removes of (uniformly drawn) base keys.
+fn mixed_stream(
+    dist: &str,
+    base: &[u64],
+    ops: usize,
+    insert_pct: u64,
+    seed: u64,
+) -> Vec<BatchOp<u64>> {
+    let fresh = match dist {
+        "zipf" => ZipfGenerator::paper_config(seed ^ 0xF5E5).keys(ops),
+        _ => uniform_keys(ops, 34, seed ^ 0xF5E5),
+    };
+    let mut rng = SplitMix64::new(seed);
+    (0..ops)
+        .map(|i| {
+            if rng.next_below(100) < insert_pct {
+                BatchOp::Insert(fresh[i])
+            } else {
+                BatchOp::Remove(base[rng.next_below(base.len() as u64) as usize])
+            }
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    b: &Bencher,
+    structure: &str,
+    path: &str,
+    dist: &str,
+    insert_pct: u64,
+    batch: usize,
+    throughput: f64,
+) {
+    println!("csv,mixed,{structure},{path},{dist},{insert_pct},{batch},{throughput}");
+    b.record(
+        &format!("mixed/{structure}/{path}"),
+        &[
+            ("dist", dist.to_string()),
+            ("insert_pct", insert_pct.to_string()),
+            ("batch", batch.to_string()),
+        ],
+        if throughput > 0.0 {
+            1.0 / throughput
+        } else {
+            0.0
+        },
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let base_n: usize = args.get_or("base", if quick { 60_000 } else { 1_000_000 });
+    let ops: usize = args.get_or("ops", if quick { 20_000 } else { 400_000 });
+    let seed: u64 = args.get_or("seed", 42);
+
+    let base = dedup_sorted(uniform_keys(base_n, 34, seed ^ 0xBA5E));
+    let batch_sweep: &[usize] = if quick {
+        &[1_024, 4_096]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let ratio_sweep = [50u64, 90];
+
+    let b = Bencher::new();
+    println!(
+        "# mixed_workload — interleaved insert/remove batches, single-pass vs split \
+         ({} base elements, {ops} ops)",
+        base.len()
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>8} {:>12} {:>12} {:>7}",
+        "struct", "dist", "ins:rem", "batch", "single", "split", "ratio"
+    );
+    for dist in ["zipf", "uniform"] {
+        for &insert_pct in &ratio_sweep {
+            let stream = mixed_stream(dist, &base, ops, insert_pct, seed);
+            for &batch in batch_sweep {
+                let row = |structure: &str, single: f64, split: f64| {
+                    report(&b, structure, "single", dist, insert_pct, batch, single);
+                    report(&b, structure, "split", dist, insert_pct, batch, split);
+                    println!(
+                        "{:>8} {:>8} {:>7}:{:<2} {:>8} {:>12} {:>12} {:>6.2}x",
+                        structure,
+                        dist,
+                        insert_pct,
+                        100 - insert_pct,
+                        batch,
+                        sci(single),
+                        sci(split),
+                        single / split
+                    );
+                };
+                let single = mixed_apply_throughput::<Pma<u64>>(&base, &stream, batch);
+                let split = mixed_split_throughput::<Pma<u64>>(&base, &stream, batch);
+                row("PMA", single, split);
+                let single = mixed_apply_throughput::<Cpma>(&base, &stream, batch);
+                let split = mixed_split_throughput::<Cpma>(&base, &stream, batch);
+                row("CPMA", single, split);
+                let single = mixed_apply_throughput::<ShardedSet<Cpma, 8>>(&base, &stream, batch);
+                let split = mixed_split_throughput::<ShardedSet<Cpma, 8>>(&base, &stream, batch);
+                row("Sharded", single, split);
+            }
+        }
+    }
+
+    // Pipeline counters for the headline configuration (CPMA, zipf,
+    // 50:50, middle batch size): what the single pass actually touched.
+    let stream = mixed_stream("zipf", &base, ops, 50, seed);
+    let batch = batch_sweep[batch_sweep.len() / 2];
+    let mut probe = Cpma::from_sorted(&base);
+    probe.reset_stats();
+    let mut scratch: Vec<BatchOp<u64>> = Vec::new();
+    for chunk in stream.chunks(batch) {
+        scratch.clear();
+        scratch.extend_from_slice(chunk);
+        let norm = cpma_bench::normalize_ops(&mut scratch);
+        probe.apply_batch_sorted(norm);
+    }
+    println!(
+        "# CPMA stats (zipf 50:50, batch {batch}): {}",
+        probe.stats().summary()
+    );
+
+    b.write_json("mixed").expect("write BENCH_mixed.json");
+}

@@ -19,10 +19,11 @@
 //! `--snapshot-every` the snapshot publication cadence.
 
 use cpma_bench::ubench::Bencher;
-use cpma_bench::{sci, Args};
+use cpma_bench::{sci, Args, OrderedSet};
 use cpma_pma::Cpma;
 use cpma_store::{Combiner, CombinerConfig, ShardedSet};
-use cpma_workloads::{uniform_keys, ZipfGenerator};
+use cpma_workloads::{uniform_keys, SplitMix64, ZipfGenerator};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -114,6 +115,114 @@ fn run_combiner_burst<const N: usize>(
     (total as f64 / secs, store.epochs_applied())
 }
 
+/// Shared harness of the reader-heavy sweep: spawn one background
+/// writer per stream (each looping `write_chunk` over 1024-key chunks
+/// until stopped), then time `readers` threads each issuing `probes`
+/// point probes; returns reader probes/second. The two variants below
+/// differ only in how they build the store and what one write/probe is.
+fn reader_probe_harness(
+    streams: &[Vec<u64>],
+    readers: usize,
+    probes: usize,
+    seed: u64,
+    write_chunk: impl Fn(&[u64]) + Sync,
+    probe: impl Fn(u64) -> bool + Sync,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let mut probed = 0.0;
+    std::thread::scope(|scope| {
+        for stream in streams {
+            let (write_chunk, stop) = (&write_chunk, &stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for chunk in stream.chunks(1024) {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        write_chunk(chunk);
+                    }
+                }
+            });
+        }
+        let start = Instant::now();
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let probe = &probe;
+                scope.spawn(move || {
+                    let mut rng = SplitMix64::new(seed ^ ((r as u64 + 1) << 40));
+                    let mut hits = 0usize;
+                    for _ in 0..probes {
+                        hits += usize::from(probe(rng.next_below(1 << 34)));
+                    }
+                    hits
+                })
+            })
+            .collect();
+        let mut total_hits = 0usize;
+        for h in handles {
+            total_hits += h.join().unwrap();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        std::hint::black_box(total_hits);
+        probed = (readers * probes) as f64 / secs;
+    });
+    probed
+}
+
+/// Reader-heavy sweep, combiner side: every probe takes the published
+/// snapshot — the wait-free read path under write pressure.
+fn run_snapshot_readers<const N: usize>(
+    base: &[u64],
+    streams: &[Vec<u64>],
+    readers: usize,
+    probes: usize,
+    seed: u64,
+) -> f64 {
+    let cfg = CombinerConfig {
+        window_ops: 1024 * streams.len().max(1),
+        window_wait: Duration::from_micros(200),
+        snapshot_every: 1,
+        ..CombinerConfig::default()
+    };
+    let store: Combiner<ShardedSet<Cpma, N>> =
+        Combiner::with_config(cpma_bench::BatchSet::build_sorted(base), cfg);
+    reader_probe_harness(
+        streams,
+        readers,
+        probes,
+        seed,
+        |chunk| {
+            store.insert_many(chunk);
+        },
+        |k| store.snapshot().contains(k),
+    )
+}
+
+/// Reader-heavy sweep, baseline side: same writer load and probe count,
+/// but every reader (and writer) goes through one `Mutex<Cpma>`.
+fn run_mutex_readers(
+    base: &[u64],
+    streams: &[Vec<u64>],
+    readers: usize,
+    probes: usize,
+    seed: u64,
+) -> f64 {
+    let store = Mutex::new(Cpma::from_sorted(base));
+    reader_probe_harness(
+        streams,
+        readers,
+        probes,
+        seed,
+        |chunk| {
+            for &k in chunk {
+                store.lock().unwrap().insert(k);
+            }
+        },
+        |k| store.lock().unwrap().has(k),
+    )
+}
+
 /// The contended baseline: every writer locks the whole set per op.
 fn run_mutex_point(base: &[u64], streams: &[Vec<u64>]) -> f64 {
     let store = Mutex::new(Cpma::from_sorted(base));
@@ -164,8 +273,9 @@ fn report(
 
 fn main() {
     let args = Args::parse();
-    let ops: usize = args.get_or("ops", 30_000);
-    let base_n: usize = args.get_or("base", 1_000_000);
+    let quick = args.flag("quick");
+    let ops: usize = args.get_or("ops", if quick { 3_000 } else { 30_000 });
+    let base_n: usize = args.get_or("base", if quick { 60_000 } else { 1_000_000 });
     let seed: u64 = args.get_or("seed", 42);
     let snapshot_every: u64 = args.get_or("snapshot-every", 64);
 
@@ -175,8 +285,11 @@ fn main() {
     let base = cpma_workloads::dedup_sorted(uniform_keys(base_n, 34, seed ^ 0xBA5E));
 
     let b = Bencher::new();
-    let writer_sweep = [1usize, 4, 8];
-    let window_sweep = [1usize, 64];
+    let writer_sweep: &[usize] = if quick { &[2] } else { &[1, 4, 8] };
+    let window_sweep: &[usize] = if quick { &[1] } else { &[1, 64] };
+    let burst_sweep: &[usize] = if quick { &[256] } else { &[256, 4096] };
+    let reader_sweep: &[usize] = if quick { &[2] } else { &[1, 4, 8] };
+    let probes: usize = args.get_or("probes", if quick { 5_000 } else { 100_000 });
 
     println!(
         "# store_throughput — concurrent front-end ops/sec ({ops} ops/writer, {} base elements)",
@@ -187,7 +300,7 @@ fn main() {
         "dist", "writers", "window", "shards", "combiner", "mutex_pt", "epochs"
     );
     for dist in ["zipf", "uniform"] {
-        for &writers in &writer_sweep {
+        for &writers in writer_sweep {
             let streams = streams(dist, writers, ops, seed);
             let mutex = run_mutex_point(&base, &streams);
             report(&b, "mutex_point", dist, writers, 0, 1, ops, mutex);
@@ -195,7 +308,7 @@ fn main() {
             // combined epoch batch grows with both burst size and writer
             // count — the regime where batch-parallel updates pull away
             // from the point-locked baseline.
-            for burst in [256usize, 4096] {
+            for &burst in burst_sweep {
                 let (burst_tp, burst_epochs) =
                     run_combiner_burst::<8>(&base, &streams, burst, snapshot_every);
                 report(
@@ -219,7 +332,7 @@ fn main() {
                     burst_epochs
                 );
             }
-            for &window in &window_sweep {
+            for &window in window_sweep {
                 // Shard-count sweep (const generic, so enumerated).
                 for (shards, tp, epochs) in [
                     {
@@ -244,6 +357,48 @@ fn main() {
                     );
                 }
             }
+        }
+    }
+
+    // Reader-heavy sweep (fixed writer load of 2 burst-ingesting
+    // writers): the combiner's wait-free snapshot readers vs readers
+    // that must share the `Mutex<Cpma>` with the writers. This is the
+    // read-path half of the store's value proposition — snapshot reads
+    // never block behind a writing leader.
+    let reader_writers = 2usize.min(writer_sweep[writer_sweep.len() - 1]);
+    println!(
+        "# reader sweep — reader probes/sec at {reader_writers} background writers \
+         ({probes} probes/reader)"
+    );
+    println!(
+        "{:>8} {:>8} {:>14} {:>14}",
+        "dist", "readers", "snapshot", "mutex_rd"
+    );
+    for dist in ["zipf", "uniform"] {
+        let streams = streams(dist, reader_writers, ops, seed ^ 0x5EAD);
+        for &readers in reader_sweep {
+            let snap = run_snapshot_readers::<8>(&base, &streams, readers, probes, seed);
+            let mutex_rd = run_mutex_readers(&base, &streams, readers, probes, seed);
+            for (name, tp) in [("readers_snapshot", snap), ("readers_mutex", mutex_rd)] {
+                println!("csv,store,{dist},{name},{readers},{tp}");
+                b.record(
+                    &format!("store/{dist}/{name}"),
+                    &[
+                        ("dist", dist.to_string()),
+                        ("readers", readers.to_string()),
+                        ("writers", reader_writers.to_string()),
+                        ("probes", probes.to_string()),
+                    ],
+                    if tp > 0.0 { 1.0 / tp } else { 0.0 },
+                );
+            }
+            println!(
+                "{:>8} {:>8} {:>14} {:>14}",
+                dist,
+                readers,
+                sci(snap),
+                sci(mutex_rd)
+            );
         }
     }
     b.write_json("store").expect("write BENCH_store.json");

@@ -47,4 +47,22 @@ fn main() {
             println!("csv,table5,{dist},{bs},{pi},{pd},{ci},{cd}");
         }
     }
+
+    // Pipeline counters for one representative stream (CPMA, uniform,
+    // largest batch size): how much routing/merging/redistribution the
+    // one-sided batches actually did.
+    let bs = 10usize.pow(max_exp);
+    let mut probe = cpma_pma::Cpma::from_sorted(&base);
+    probe.reset_stats();
+    let mut scratch = Vec::new();
+    for chunk in uniform.chunks(bs) {
+        scratch.clear();
+        scratch.extend_from_slice(chunk);
+        let b = cpma_bench::normalize_batch(&mut scratch);
+        probe.insert_batch_sorted(b);
+    }
+    println!(
+        "# CPMA stats (uniform inserts, batch {bs}): {}",
+        probe.stats().summary()
+    );
 }

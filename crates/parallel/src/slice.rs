@@ -32,6 +32,10 @@ pub trait ParallelSliceMut<T: Send> {
     where
         T: Ord;
 
+    fn par_sort_by<F: Fn(&T, &T) -> Ordering + Sync>(&mut self, cmp: F);
+
+    fn par_sort_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F);
+
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
@@ -53,6 +57,17 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
         T: Ord,
     {
         par_merge_sort(self, &T::cmp, true);
+    }
+
+    // Like rayon's, the `by`/`by_key` variants without `unstable` are
+    // stable sorts: equal-key elements keep their input order (what
+    // `cpma_api::normalize_ops`'s last-op-wins dedup is built on).
+    fn par_sort_by<F: Fn(&T, &T) -> Ordering + Sync>(&mut self, cmp: F) {
+        par_merge_sort(self, &cmp, true);
+    }
+
+    fn par_sort_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F) {
+        par_merge_sort(self, &|a: &T, b: &T| f(a).cmp(&f(b)), true);
     }
 
     fn par_sort_unstable(&mut self)
@@ -296,6 +311,22 @@ mod tests {
         v.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
         w.sort_unstable_by_key(|&x| std::cmp::Reverse(x));
         assert_eq!(v, w);
+    }
+
+    #[test]
+    fn par_sort_by_key_is_stable() {
+        // Pairs sorted by key only: payload order within equal keys must
+        // match std's stable sort (rayon's par_sort_by_key contract).
+        let mut v: Vec<(u64, usize)> = (0..60_000).map(|i| ((i as u64 * 37) % 11, i)).collect();
+        let mut want = v.clone();
+        want.sort_by_key(|&(k, _)| k);
+        v.par_sort_by_key(|&(k, _)| k);
+        assert_eq!(v, want);
+        let mut u: Vec<(u64, usize)> = (0..30_000).map(|i| ((i as u64 * 13) % 7, i)).collect();
+        let mut want_u = u.clone();
+        want_u.sort_by_key(|&(k, _)| k);
+        u.par_sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(u, want_u);
     }
 
     #[test]

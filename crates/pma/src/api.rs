@@ -7,7 +7,7 @@
 
 use crate::core::PmaCore;
 use crate::{LeafStorage, PmaKey};
-use cpma_api::{BatchSet, OrderedSet, ParallelChunks, RangeSet};
+use cpma_api::{BatchOp, BatchOutcome, BatchSet, OrderedSet, ParallelChunks, RangeSet};
 use rayon::prelude::*;
 
 impl<K: PmaKey, L: LeafStorage<K>> OrderedSet<K> for PmaCore<K, L> {
@@ -53,6 +53,12 @@ impl<K: PmaKey, L: LeafStorage<K>> BatchSet<K> for PmaCore<K, L> {
 
     fn remove_batch_sorted(&mut self, batch: &[K]) -> usize {
         PmaCore::remove_batch_sorted(self, batch)
+    }
+
+    /// The PMA/CPMA native mixed pipeline: one route→merge→count→
+    /// redistribute pass instead of the default remove+insert split.
+    fn apply_batch_sorted(&mut self, ops: &[BatchOp<K>]) -> BatchOutcome {
+        PmaCore::apply_batch_sorted(self, ops)
     }
 }
 

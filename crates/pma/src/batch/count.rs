@@ -47,12 +47,23 @@ impl Hasher for NodeHasher {
 
 type NodeCache = HashMap<(usize, usize), usize, BuildHasherDefault<NodeHasher>>;
 
-/// Which density band the phase enforces: upper bounds after inserts, lower
-/// bounds after deletes.
+/// Which density band the phase enforces: upper bounds after inserts,
+/// lower bounds after deletes, and both at once after a *mixed* batch —
+/// one counting pass over the touched set catches leaves pushed over by
+/// the inserts and leaves drained under by the removes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum BoundKind {
     Upper,
     Lower,
+    Both,
+}
+
+/// Which way a root violation points: over the upper bound (grow) or
+/// under the lower bound (shrink).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RootResize {
+    Grow,
+    Shrink,
 }
 
 /// Result of the counting phase.
@@ -60,8 +71,8 @@ pub(crate) enum BoundKind {
 pub(crate) struct CountOutcome {
     /// Maximal disjoint nodes to redistribute, sorted by start leaf.
     pub ranges: Vec<Node>,
-    /// The root itself violates its bound: grow (Upper) or shrink (Lower).
-    pub resize_root: bool,
+    /// The root itself violates a bound, and in which direction.
+    pub resize_root: Option<RootResize>,
 }
 
 /// Units of `node`, using `cache` for already-counted descendants so every
@@ -105,7 +116,7 @@ pub(crate) fn count_phase<K: PmaKey, L: LeafStorage<K>>(
 
     let mut cache: NodeCache = NodeCache::default();
     let mut candidates: Vec<Node> = Vec::new();
-    let mut resize_root = false;
+    let mut resize_root: Option<RootResize> = None;
 
     for d in (0..=max_depth as usize).rev() {
         let mut nodes = std::mem::take(&mut to_count[d]);
@@ -134,14 +145,23 @@ pub(crate) fn count_phase<K: PmaKey, L: LeafStorage<K>>(
         for (n, used) in counted {
             cache.insert((n.start, n.end), used);
             let cap = leaf_cap * n.len();
+            let over = used > bounds.max_units(cap, n.depth, max_depth);
+            let under = used < bounds.min_units(cap, n.depth, max_depth);
             let violates = match kind {
-                BoundKind::Upper => used > bounds.max_units(cap, n.depth, max_depth),
-                BoundKind::Lower => used < bounds.min_units(cap, n.depth, max_depth),
+                BoundKind::Upper => over,
+                BoundKind::Lower => under,
+                BoundKind::Both => over || under,
             };
             if violates {
                 match tree.parent_of(n) {
                     Some(p) => to_count[p.depth as usize].push(p),
-                    None => resize_root = true,
+                    None => {
+                        resize_root = Some(if over {
+                            RootResize::Grow
+                        } else {
+                            RootResize::Shrink
+                        })
+                    }
                 }
             } else if !n.is_leaf() {
                 // Counted because a child violated, and it satisfies its own
@@ -151,10 +171,10 @@ pub(crate) fn count_phase<K: PmaKey, L: LeafStorage<K>>(
         }
     }
 
-    if resize_root {
+    if resize_root.is_some() {
         return CountOutcome {
             ranges: Vec::new(),
-            resize_root: true,
+            resize_root,
         };
     }
 
@@ -172,7 +192,7 @@ pub(crate) fn count_phase<K: PmaKey, L: LeafStorage<K>>(
     }
     CountOutcome {
         ranges,
-        resize_root: false,
+        resize_root: None,
     }
 }
 
@@ -204,14 +224,14 @@ mod tests {
         let touched: Vec<usize> = (0..p.storage().num_leaves().min(4)).collect();
         let out = count_phase(&p, &touched, BoundKind::Upper);
         assert!(out.ranges.is_empty());
-        assert!(!out.resize_root);
+        assert!(out.resize_root.is_none());
     }
 
     #[test]
     fn empty_touch_set() {
         let p = Pma::from_sorted(&(0..100u64).collect::<Vec<_>>());
         let out = count_phase(&p, &[], BoundKind::Upper);
-        assert!(out.ranges.is_empty() && !out.resize_root);
+        assert!(out.ranges.is_empty() && out.resize_root.is_none());
     }
 
     #[test]
@@ -222,13 +242,17 @@ mod tests {
         // Overflow leaf 0 well past its capacity.
         force_fill(&mut p, 0, leaf_cap * 2);
         let out = count_phase(&p, &[0], BoundKind::Upper);
-        assert!(!out.resize_root);
+        assert!(out.resize_root.is_none());
         assert_eq!(out.ranges.len(), 1);
         assert!(
             out.ranges[0].start == 0 && out.ranges[0].end >= 2,
             "{:?}",
             out.ranges
         );
+        // The mixed-batch kind sees the same upper violation.
+        let both = count_phase(&p, &[0], BoundKind::Both);
+        assert!(both.resize_root.is_none());
+        assert_eq!(both.ranges.len(), 1);
     }
 
     #[test]
@@ -238,7 +262,9 @@ mod tests {
         let total_cap = p.capacity_units();
         force_fill(&mut p, 0, total_cap);
         let out = count_phase(&p, &[0], BoundKind::Upper);
-        assert!(out.resize_root);
+        assert_eq!(out.resize_root, Some(RootResize::Grow));
+        let both = count_phase(&p, &[0], BoundKind::Both);
+        assert_eq!(both.resize_root, Some(RootResize::Grow));
     }
 
     #[test]
@@ -251,7 +277,7 @@ mod tests {
         force_fill(&mut p, 0, cap);
         force_fill(&mut p, nl - 1, cap);
         let out = count_phase(&p, &[0, nl - 1], BoundKind::Upper);
-        assert!(!out.resize_root);
+        assert!(out.resize_root.is_none());
         assert!(out.ranges.len() >= 2 || out.ranges[0].len() == nl);
         for w in out.ranges.windows(2) {
             assert!(w[0].end <= w[1].start, "overlap {:?}", w);
@@ -272,8 +298,42 @@ mod tests {
             shared.remove_from_leaf(0, &elems0, &mut scratch);
         }
         let out = count_phase(&p, &[0], BoundKind::Lower);
-        assert!(!out.resize_root);
+        assert!(out.resize_root.is_none());
         assert_eq!(out.ranges.len(), 1);
         assert_eq!(out.ranges[0].start, 0);
+        // The mixed-batch kind catches the same lower violation in its
+        // single pass.
+        let both = count_phase(&p, &[0], BoundKind::Both);
+        assert!(both.resize_root.is_none());
+        assert_eq!(both.ranges.len(), 1);
+        assert_eq!(both.ranges[0].start, 0);
+    }
+
+    #[test]
+    fn both_kind_catches_upper_and_lower_in_one_pass() {
+        // Overfill one leaf and drain another: a single Both-pass must
+        // surface ranges covering each violation.
+        let elems: Vec<u64> = (0..20_000).collect();
+        let mut p = Pma::from_sorted(&elems);
+        let nl = p.storage().num_leaves();
+        let cap = p.storage().leaf_units();
+        force_fill(&mut p, 0, cap);
+        use crate::leaf::SharedLeaves;
+        let mut last = Vec::new();
+        p.storage().collect_leaf(nl - 1, &mut last);
+        let mut scratch = Vec::new();
+        let shared = p.storage_mut().shared();
+        unsafe {
+            shared.remove_from_leaf(nl - 1, &last, &mut scratch);
+        }
+        let out = count_phase(&p, &[0, nl - 1], BoundKind::Both);
+        assert!(out.resize_root.is_none());
+        let covers = |leaf: usize| out.ranges.iter().any(|n| n.start <= leaf && leaf < n.end);
+        assert!(covers(0), "upper violation uncovered: {:?}", out.ranges);
+        assert!(
+            covers(nl - 1),
+            "lower violation uncovered: {:?}",
+            out.ranges
+        );
     }
 }

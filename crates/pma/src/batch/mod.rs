@@ -1,34 +1,56 @@
-//! The work-efficient parallel batch-update algorithm (§4 of the paper).
+//! The work-efficient parallel batch-update algorithm (§4 of the paper),
+//! one-sided *and* mixed.
 //!
-//! `insert_batch` / `remove_batch` follow the paper's three regimes:
+//! All three batch entry points — `insert_batch_sorted`,
+//! `remove_batch_sorted`, and the mixed-op `apply_batch_sorted` — follow
+//! the paper's three regimes:
 //!
-//! * **tiny batches** fall back to point updates (the paper uses point
-//!   inserts "for small batches when the batch update algorithm does not
-//!   provide practical benefits", Table 3);
-//! * **huge batches** (`k ≥ n/10`) rebuild the whole structure with a
-//!   linear two-finger merge ("the optimal algorithm is to rebuild the
-//!   entire data structure", §4);
-//! * everything in between runs the three-phase algorithm:
-//!   batch-merge (route + parallel leaf merges), counting, redistribute —
-//!   `O(k(log n + log²n / B))` amortized work, `O(log²n)` span (Theorem 5).
+//! * **tiny batches** (below [`crate::PmaConfig::point_update_cutoff`])
+//!   fall back to point updates (the paper uses point inserts "for small
+//!   batches when the batch update algorithm does not provide practical
+//!   benefits", Table 3);
+//! * **huge batches** (`k ≥ n /`
+//!   [`crate::PmaConfig::full_rebuild_divisor`]) rebuild the whole
+//!   structure with a linear merge ("the optimal algorithm is to rebuild
+//!   the entire data structure", §4) — two-finger for one-sided batches,
+//!   three-finger ([`par_set_merge_ops`]) for mixed ones;
+//! * everything in between runs the four-phase pipeline —
+//!   `O(k(log n + log²n / B))` amortized work, `O(log²n)` span
+//!   (Theorem 5):
+//!   1. **route** (`route.rs`) — the recursive midpoint search partitions
+//!      the batch into per-leaf runs; op runs route exactly like key runs
+//!      (routing reads only keys);
+//!   2. **merge** — parallel rewrites of disjoint leaves; a mixed run
+//!      threads every key's insert-or-remove through **one** rewrite of
+//!      its leaf ([`crate::leaf::SharedLeaves::merge_ops_into_leaf`], on
+//!      both the uncompressed and the delta-coded leaf codec);
+//!   3. **count** (`count.rs`) — work-efficient counting from the leaves
+//!      up; a mixed batch can push leaves over the upper bound *and*
+//!      drain others under the lower bound, so both bands are checked in
+//!      the same pass (`BoundKind::Both`);
+//!   4. **redistribute** (`redistribute.rs`) — parallel re-spread of the
+//!      maximal violating ranges, or a root grow/shrink.
+//!
+//! A mixed batch therefore pays **one** route + merge + count +
+//! redistribute traversal where the legacy remove-then-insert split paid
+//! two full passes over the touched leaves. The required normal form —
+//! keys strictly ascending, one op per key, later submissions winning —
+//! is produced by [`cpma_api::normalize_ops`] (*last-op-wins*: a
+//! `Remove(k)` followed by `Insert(k)` in the same stream nets to
+//! `Insert(k)`, matching a sequential replay).
 
 mod count;
 mod redistribute;
 mod route;
 
-pub(crate) use count::{count_phase, BoundKind};
+pub(crate) use count::{count_phase, BoundKind, RootResize};
 pub(crate) use redistribute::redistribute_ranges;
 
-use crate::leaf::{set_difference_into, set_union_into, SharedLeaves};
+use crate::leaf::{apply_ops_into, set_difference_into, set_union_into, SharedLeaves};
+use crate::tree::Node;
 use crate::{LeafStorage, PmaCore, PmaKey};
+use cpma_api::{BatchOp, BatchOutcome};
 use rayon::prelude::*;
-
-/// Batches smaller than this use point updates (paper: "e.g., k < 100").
-const POINT_UPDATE_CUTOFF: usize = 128;
-
-/// Batches at least `len / FULL_REBUILD_DIVISOR` trigger a full two-finger
-/// merge rebuild (paper: "e.g., k ≥ n/10").
-const FULL_REBUILD_DIVISOR: usize = 10;
 
 /// Assignment counts at or below this merge serially: fork overhead must
 /// be amortized across the available workers, so the grain shrinks as the
@@ -54,6 +76,13 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         cpma_api::BatchSet::remove_batch(self, batch, sorted)
     }
 
+    /// Apply a mixed insert/remove op stream; normalizes in place (sort
+    /// by key, last-op-wins dedup) unless `normalized` promises the
+    /// stream is already in normal form.
+    pub fn apply_batch(&mut self, ops: &mut [BatchOp<K>], normalized: bool) -> BatchOutcome {
+        cpma_api::BatchSet::apply_batch(self, ops, normalized)
+    }
+
     /// Batch insert of a sorted, deduplicated slice.
     pub fn insert_batch_sorted(&mut self, batch: &[K]) -> usize {
         if batch.is_empty() {
@@ -66,11 +95,12 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
             return batch.len();
         }
         // Tiny batch: point updates win.
-        if batch.len() < POINT_UPDATE_CUTOFF {
+        if batch.len() < self.cfg.point_update_cutoff {
+            self.batch_stats.point_fallbacks += 1;
             return batch.iter().filter(|&&k| self.insert(k)).count();
         }
         // Huge batch: parallel linear two-finger merge + rebuild.
-        if batch.len() >= self.len / FULL_REBUILD_DIVISOR {
+        if batch.len() >= self.len / self.cfg.full_rebuild_divisor {
             let current = self.collect_all_par();
             let (merged, added) = par_set_union(&current, batch);
             let cap = self.capacity_for_target(&merged);
@@ -81,7 +111,10 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         // Phase 1: batch merge (route, then parallel disjoint leaf merges).
         // Small assignment sets run serially: fork-join overhead would
         // otherwise dominate (work-efficiency, §4).
+        self.batch_stats.pipeline_batches += 1;
         let assignments = route::route_batch(self, batch);
+        self.batch_stats.routed_runs += assignments.len() as u64;
+        self.batch_stats.leaves_touched += assignments.len() as u64;
         let shared = self.storage.shared();
         let (added, units_delta) = if assignments.len() <= serial_merge_cutoff() {
             let mut scratch = Vec::new();
@@ -116,11 +149,11 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         let outcome = count_phase(self, &touched, BoundKind::Upper);
 
         // Phase 3: redistribute (or grow on root violation).
-        if outcome.resize_root {
+        if outcome.resize_root.is_some() {
             let elems = self.collect_all_par();
             self.grow_and_rebuild(&elems);
         } else {
-            redistribute_ranges(self, &outcome.ranges);
+            self.redistribute_with_stats(&outcome.ranges);
         }
         self.debug_check_no_overflow();
         added
@@ -131,10 +164,11 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         if batch.is_empty() || self.len == 0 {
             return 0;
         }
-        if batch.len() < POINT_UPDATE_CUTOFF {
+        if batch.len() < self.cfg.point_update_cutoff {
+            self.batch_stats.point_fallbacks += 1;
             return batch.iter().filter(|&&k| self.remove(k)).count();
         }
-        if batch.len() >= self.len / FULL_REBUILD_DIVISOR {
+        if batch.len() >= self.len / self.cfg.full_rebuild_divisor {
             let current = self.collect_all_par();
             let (remaining, removed) = par_set_difference(&current, batch);
             if removed == 0 {
@@ -145,7 +179,10 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
             return removed;
         }
 
+        self.batch_stats.pipeline_batches += 1;
         let assignments = route::route_batch(self, batch);
+        self.batch_stats.routed_runs += assignments.len() as u64;
+        self.batch_stats.leaves_touched += assignments.len() as u64;
         let shared = self.storage.shared();
         let (removed, units_delta) = if assignments.len() <= serial_merge_cutoff() {
             let mut scratch = Vec::new();
@@ -178,23 +215,153 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
 
         let touched: Vec<usize> = assignments.iter().map(|a| a.leaf).collect();
         let outcome = count_phase(self, &touched, BoundKind::Lower);
-        if outcome.resize_root {
-            let elems = self.collect_all_par();
-            if elems.is_empty() {
-                let floor = self.cfg.min_leaves * L::MIN_LEAF_UNITS;
-                self.rebuild_into(&elems, floor);
-            } else if self.storage.num_leaves() > self.cfg.min_leaves {
-                self.shrink_and_rebuild(&elems);
-            } else {
-                // At the floor: just re-spread evenly.
-                let root = self.tree().root();
-                redistribute_ranges(self, &[root]);
-            }
+        if outcome.resize_root.is_some() {
+            self.resize_root_shrink();
         } else {
-            redistribute_ranges(self, &outcome.ranges);
+            self.redistribute_with_stats(&outcome.ranges);
         }
         self.debug_check_no_overflow();
         removed
+    }
+
+    /// Apply a normal-form mixed batch (ascending keys, one op per key —
+    /// the output of [`cpma_api::normalize_ops`]) through **one**
+    /// route→merge→count→redistribute pass; see the module docs. Returns
+    /// the keys actually added and removed.
+    pub fn apply_batch_sorted(&mut self, ops: &[BatchOp<K>]) -> BatchOutcome {
+        if ops.is_empty() {
+            return BatchOutcome::default();
+        }
+        debug_assert!(ops.windows(2).all(|w| w[0].key() < w[1].key()));
+        // Empty structure: removes are no-ops, the inserts bulk-load.
+        if self.len == 0 {
+            let ins: Vec<K> = ops
+                .iter()
+                .filter_map(|op| match *op {
+                    BatchOp::Insert(k) => Some(k),
+                    BatchOp::Remove(_) => None,
+                })
+                .collect();
+            if ins.is_empty() {
+                return BatchOutcome::default();
+            }
+            let cap = self.capacity_for_target(&ins);
+            self.rebuild_into(&ins, cap);
+            return BatchOutcome {
+                added: ins.len(),
+                removed: 0,
+            };
+        }
+        // Tiny batch: point updates win.
+        if ops.len() < self.cfg.point_update_cutoff {
+            self.batch_stats.point_fallbacks += 1;
+            let mut out = BatchOutcome::default();
+            for op in ops {
+                match *op {
+                    BatchOp::Insert(k) => out.added += usize::from(self.insert(k)),
+                    BatchOp::Remove(k) => out.removed += usize::from(self.remove(k)),
+                }
+            }
+            return out;
+        }
+        // Huge batch: parallel linear three-finger merge + rebuild.
+        if ops.len() >= self.len / self.cfg.full_rebuild_divisor {
+            let current = self.collect_all_par();
+            let (merged, outcome) = par_set_merge_ops(&current, ops);
+            if outcome == BatchOutcome::default() {
+                return outcome;
+            }
+            let cap = if merged.is_empty() {
+                self.cfg.min_leaves * L::MIN_LEAF_UNITS
+            } else {
+                self.capacity_for_target(&merged)
+            };
+            self.rebuild_into(&merged, cap);
+            return outcome;
+        }
+
+        // Phase 1: route op runs to leaves (ops route exactly like keys).
+        self.batch_stats.pipeline_batches += 1;
+        let assignments = route::route_batch(self, ops);
+        self.batch_stats.routed_runs += assignments.len() as u64;
+        self.batch_stats.leaves_touched += assignments.len() as u64;
+        // Phase 1b: one rewrite per touched leaf threads that leaf's
+        // inserts and removes together.
+        let shared = self.storage.shared();
+        let (added, removed, units_delta) = if assignments.len() <= serial_merge_cutoff() {
+            let mut scratch = Vec::new();
+            let mut acc = (0usize, 0usize, 0isize);
+            for a in &assignments {
+                // SAFETY: single-threaded here.
+                let out = unsafe {
+                    shared.merge_ops_into_leaf(a.leaf, &ops[a.start..a.end], &mut scratch)
+                };
+                acc.0 += out.added;
+                acc.1 += out.removed;
+                acc.2 += out.delta_units;
+            }
+            acc
+        } else {
+            assignments
+                .par_iter()
+                .map_init(Vec::new, |scratch, a| {
+                    // SAFETY: route_batch assigns each leaf at most once.
+                    let out = unsafe {
+                        shared.merge_ops_into_leaf(a.leaf, &ops[a.start..a.end], scratch)
+                    };
+                    (out.added, out.removed, out.delta_units)
+                })
+                .reduce(
+                    || (0usize, 0usize, 0isize),
+                    |x, y| (x.0 + y.0, x.1 + y.1, x.2 + y.2),
+                )
+        };
+        self.len = self.len + added - removed;
+        self.units = self.units.checked_add_signed(units_delta).unwrap();
+        let outcome = BatchOutcome { added, removed };
+        if added == 0 && removed == 0 {
+            return outcome; // nothing changed; no bound can be newly violated
+        }
+
+        // Phase 2: one counting pass checks upper *and* lower bounds.
+        let touched: Vec<usize> = assignments.iter().map(|a| a.leaf).collect();
+        let count = count_phase(self, &touched, BoundKind::Both);
+
+        // Phase 3: redistribute, or resize in whichever direction the
+        // root violated.
+        match count.resize_root {
+            Some(RootResize::Grow) => {
+                let elems = self.collect_all_par();
+                self.grow_and_rebuild(&elems);
+            }
+            Some(RootResize::Shrink) => self.resize_root_shrink(),
+            None => self.redistribute_with_stats(&count.ranges),
+        }
+        self.debug_check_no_overflow();
+        outcome
+    }
+
+    /// Handle a root lower-bound violation: shrink the capacity, or
+    /// re-spread evenly when already at the floor.
+    fn resize_root_shrink(&mut self) {
+        let elems = self.collect_all_par();
+        if elems.is_empty() {
+            let floor = self.cfg.min_leaves * L::MIN_LEAF_UNITS;
+            self.rebuild_into(&elems, floor);
+        } else if self.storage.num_leaves() > self.cfg.min_leaves {
+            self.shrink_and_rebuild(&elems);
+        } else {
+            // At the floor: just re-spread evenly.
+            let root = self.tree().root();
+            self.redistribute_with_stats(&[root]);
+        }
+    }
+
+    /// Redistribute `ranges` and account them in the batch stats.
+    fn redistribute_with_stats(&mut self, ranges: &[Node]) {
+        self.batch_stats.redistribute_ranges += ranges.len() as u64;
+        self.batch_stats.leaves_touched += ranges.iter().map(|n| n.len() as u64).sum::<u64>();
+        redistribute_ranges(self, ranges);
     }
 
     #[inline]
@@ -211,32 +378,47 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     }
 }
 
+/// Below this combined input size the whole-set merges run serially.
+const SERIAL_MERGE_LIMIT: usize = 1 << 15;
+
+/// Piece boundaries for the parallel whole-set merges: cut `a` at its
+/// quantiles and align the second input at the same key pivots via
+/// `partition` (elements equal to a pivot go right, where the pivot
+/// element itself lives).
+fn piece_cuts<K: PmaKey>(
+    a: &[K],
+    b_len: usize,
+    pieces: usize,
+    partition: impl Fn(K) -> usize,
+) -> Vec<(usize, usize)> {
+    (0..=pieces)
+        .map(|p| {
+            if p == 0 {
+                (0, 0)
+            } else if p == pieces {
+                (a.len(), b_len)
+            } else {
+                let ai = p * a.len() / pieces;
+                (ai, partition(a[ai]))
+            }
+        })
+        .collect()
+}
+
 /// Parallel sorted set union: split both inputs at quantile pivots of `a`,
 /// union the pieces concurrently, then concatenate. Returns the union and
 /// the number of `b` elements not present in `a` (the parallel "linear
 /// two-finger merge" of the paper's huge-batch regime).
 pub(crate) fn par_set_union<K: PmaKey>(a: &[K], b: &[K]) -> (Vec<K>, usize) {
-    const SERIAL_LIMIT: usize = 1 << 15;
-    if a.len() + b.len() <= SERIAL_LIMIT {
+    if a.len() + b.len() <= SERIAL_MERGE_LIMIT {
         let mut out = Vec::new();
         let added = set_union_into(a, b, &mut out);
         return (out, added);
     }
     let pieces = rayon::current_num_threads().max(2) * 4;
-    let cuts: Vec<(usize, usize)> = (0..=pieces)
-        .map(|p| {
-            if p == 0 {
-                (0, 0)
-            } else if p == pieces {
-                (a.len(), b.len())
-            } else {
-                let ai = p * a.len() / pieces;
-                // b elements equal to the pivot go right, where a[ai] lives.
-                let bi = b.partition_point(|&e| e < a[ai]);
-                (ai, bi)
-            }
-        })
-        .collect();
+    let cuts = piece_cuts(a, b.len(), pieces, |pivot| {
+        b.partition_point(|&e| e < pivot)
+    });
     let parts: Vec<(Vec<K>, usize)> = (0..pieces)
         .into_par_iter()
         .map(|p| {
@@ -259,26 +441,15 @@ pub(crate) fn par_set_union<K: PmaKey>(a: &[K], b: &[K]) -> (Vec<K>, usize) {
 /// Parallel sorted set difference `a \ b`; returns the survivors and the
 /// number removed.
 pub(crate) fn par_set_difference<K: PmaKey>(a: &[K], b: &[K]) -> (Vec<K>, usize) {
-    const SERIAL_LIMIT: usize = 1 << 15;
-    if a.len() + b.len() <= SERIAL_LIMIT {
+    if a.len() + b.len() <= SERIAL_MERGE_LIMIT {
         let mut out = Vec::new();
         let removed = set_difference_into(a, b, &mut out);
         return (out, removed);
     }
     let pieces = rayon::current_num_threads().max(2) * 4;
-    let cuts: Vec<(usize, usize)> = (0..=pieces)
-        .map(|p| {
-            if p == 0 {
-                (0, 0)
-            } else if p == pieces {
-                (a.len(), b.len())
-            } else {
-                let ai = p * a.len() / pieces;
-                let bi = b.partition_point(|&e| e < a[ai]);
-                (ai, bi)
-            }
-        })
-        .collect();
+    let cuts = piece_cuts(a, b.len(), pieces, |pivot| {
+        b.partition_point(|&e| e < pivot)
+    });
     let parts: Vec<(Vec<K>, usize)> = (0..pieces)
         .into_par_iter()
         .map(|p| {
@@ -296,6 +467,41 @@ pub(crate) fn par_set_difference<K: PmaKey>(a: &[K], b: &[K]) -> (Vec<K>, usize)
         out.extend_from_slice(&v);
     }
     (out, removed)
+}
+
+/// Parallel three-finger whole-set merge for mixed batches: split the
+/// current contents at quantile pivots, align the op run at the same
+/// pivots, and apply each piece concurrently (the mixed analogue of the
+/// huge-batch "rebuild the entire data structure" regime — union and
+/// difference in the same linear pass).
+pub(crate) fn par_set_merge_ops<K: PmaKey>(a: &[K], ops: &[BatchOp<K>]) -> (Vec<K>, BatchOutcome) {
+    if a.len() + ops.len() <= SERIAL_MERGE_LIMIT {
+        let mut out = Vec::new();
+        let (added, removed) = apply_ops_into(a, ops, &mut out);
+        return (out, BatchOutcome { added, removed });
+    }
+    let pieces = rayon::current_num_threads().max(2) * 4;
+    let cuts = piece_cuts(a, ops.len(), pieces, |pivot| {
+        ops.partition_point(|op| op.key() < pivot)
+    });
+    let parts: Vec<(Vec<K>, usize, usize)> = (0..pieces)
+        .into_par_iter()
+        .map(|p| {
+            let (a0, b0) = cuts[p];
+            let (a1, b1) = cuts[p + 1];
+            let mut out = Vec::new();
+            let (added, removed) = apply_ops_into(&a[a0..a1], &ops[b0..b1], &mut out);
+            (out, added, removed)
+        })
+        .collect();
+    let total: usize = parts.iter().map(|(v, _, _)| v.len()).sum();
+    let added: usize = parts.iter().map(|&(_, a, _)| a).sum();
+    let removed: usize = parts.iter().map(|&(_, _, r)| r).sum();
+    let mut out = Vec::with_capacity(total);
+    for (v, _, _) in parts {
+        out.extend_from_slice(&v);
+    }
+    (out, BatchOutcome { added, removed })
 }
 
 #[cfg(test)]
@@ -450,6 +656,212 @@ mod tests {
         assert_eq!(added, 5_000);
         assert_eq!(c.len(), 15_000);
         c.check_invariants();
+    }
+
+    #[test]
+    fn mixed_batches_match_model_across_regimes() {
+        use cpma_api::BatchOp;
+        // Batch sizes spanning the point-update, four-phase, and full-
+        // rebuild regimes, on both leaf codecs.
+        fn run<L: crate::LeafStorage<u64>>(batch_size: usize) {
+            let mut s = crate::PmaCore::<u64, L>::new();
+            let mut model = BTreeSet::new();
+            let keys = lcg_keys(60_000, batch_size as u64 ^ 0x50F7, 22);
+            for chunk in keys.chunks(batch_size.max(2)) {
+                let mut ops: Vec<BatchOp<u64>> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &k)| {
+                        if i % 3 == 0 {
+                            BatchOp::Remove(k)
+                        } else {
+                            BatchOp::Insert(k)
+                        }
+                    })
+                    .collect();
+                let norm = cpma_api::normalize_ops(&mut ops);
+                let mut want = cpma_api::BatchOutcome::default();
+                for op in norm {
+                    match *op {
+                        BatchOp::Insert(k) => want.added += usize::from(model.insert(k)),
+                        BatchOp::Remove(k) => want.removed += usize::from(model.remove(&k)),
+                    }
+                }
+                let got = s.apply_batch_sorted(norm);
+                assert_eq!(got, want, "batch_size={batch_size}");
+                s.check_invariants();
+            }
+            assert_eq!(s.len(), model.len(), "batch_size={batch_size}");
+            assert!(s.iter().eq(model.iter().copied()));
+        }
+        for &bs in &[20usize, 600, 5_000, 40_000] {
+            run::<crate::UncompressedLeaves<u64>>(bs);
+            run::<crate::CompressedLeaves>(bs);
+        }
+    }
+
+    #[test]
+    fn mixed_batch_heavy_removal_shrinks() {
+        use cpma_api::BatchOp;
+        // A mixed batch that drains most of the structure must survive the
+        // root lower-bound (shrink) path of the single counting pass.
+        let keys: Vec<u64> = (0..40_000u64).map(|i| i * 7).collect();
+        let mut c = Cpma::from_sorted(&keys);
+        // Stay under the full-rebuild threshold so the pipeline runs:
+        // n/10 = 4000 ops max; remove 3500, insert 100 fresh.
+        let mut rounds = 0;
+        while c.len() > 8_000 {
+            let len_before = c.len();
+            let present: Vec<u64> = c.iter().take(3_500).collect();
+            let mut ops: Vec<BatchOp<u64>> = present.iter().map(|&k| BatchOp::Remove(k)).collect();
+            ops.extend((0..100u64).map(|i| BatchOp::Insert(1_000_000_000 + rounds * 1000 + i)));
+            let norm = cpma_api::normalize_ops(&mut ops);
+            let out = c.apply_batch_sorted(norm);
+            assert_eq!(out.removed, 3_500);
+            assert_eq!(c.len(), len_before - out.removed + out.added);
+            c.check_invariants();
+            rounds += 1;
+        }
+    }
+
+    #[test]
+    fn mixed_batch_same_state_as_split_application() {
+        use cpma_api::BatchOp;
+        // The single pass and the legacy remove+insert split must land in
+        // identical states (same contents, same counts).
+        let base = lcg_keys(30_000, 11, 24);
+        let mut single = Pma::<u64>::new();
+        let mut split = Pma::<u64>::new();
+        let mut b = base.clone();
+        single.insert_batch(&mut b.clone(), false);
+        split.insert_batch(&mut b, false);
+        let stream = lcg_keys(2_000, 12, 24);
+        let mut ops: Vec<BatchOp<u64>> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                if i % 2 == 0 {
+                    BatchOp::Insert(k)
+                } else {
+                    BatchOp::Remove(k)
+                }
+            })
+            .collect();
+        let norm = cpma_api::normalize_ops(&mut ops);
+        let got = single.apply_batch_sorted(norm);
+        let (mut ins, mut del) = (Vec::new(), Vec::new());
+        for op in norm {
+            match *op {
+                BatchOp::Insert(k) => ins.push(k),
+                BatchOp::Remove(k) => del.push(k),
+            }
+        }
+        let removed = split.remove_batch_sorted(&del);
+        let added = split.insert_batch_sorted(&ins);
+        assert_eq!((got.added, got.removed), (added, removed));
+        assert!(single.iter().eq(split.iter()));
+        single.check_invariants();
+    }
+
+    #[test]
+    fn mixed_batch_into_empty_and_all_removes() {
+        use cpma_api::BatchOp::{Insert, Remove};
+        let mut p = Pma::<u64>::new();
+        // Only removes against an empty structure: nothing happens.
+        let out = p.apply_batch_sorted(&[Remove(1), Remove(2)]);
+        assert_eq!(out, cpma_api::BatchOutcome::default());
+        assert!(p.is_empty());
+        // Mixed into empty: inserts bulk-load, removes are no-ops.
+        let mut ops: Vec<cpma_api::BatchOp<u64>> = (0..1000u64)
+            .map(|i| if i % 4 == 0 { Remove(i) } else { Insert(i) })
+            .collect();
+        let norm = cpma_api::normalize_ops(&mut ops);
+        let out = p.apply_batch_sorted(norm);
+        assert_eq!(out.added, 750);
+        assert_eq!(out.removed, 0);
+        p.check_invariants();
+        // Remove everything through the mixed path (full-rebuild regime).
+        let all: Vec<cpma_api::BatchOp<u64>> = p.iter().map(Remove).collect();
+        let out = p.apply_batch_sorted(&all);
+        assert_eq!(out.removed, 750);
+        assert!(p.is_empty());
+        p.check_invariants();
+    }
+
+    #[test]
+    fn pipeline_stats_accumulate() {
+        use cpma_api::BatchOp;
+        let mut c = Cpma::new();
+        let mut seed: Vec<u64> = (0..50_000u64).map(|i| i * 3).collect();
+        c.insert_batch(&mut seed, true);
+        let stats0 = c.stats();
+        assert!(stats0.full_rebuilds >= 1, "bulk load counts as rebuild");
+        // A pipeline-regime mixed batch bumps the pipeline counters.
+        let mut ops: Vec<BatchOp<u64>> = (0..2_000u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    BatchOp::Insert(i * 3 + 1)
+                } else {
+                    BatchOp::Remove(i * 3)
+                }
+            })
+            .collect();
+        let norm = cpma_api::normalize_ops(&mut ops);
+        c.apply_batch_sorted(norm);
+        let stats1 = c.stats();
+        assert_eq!(stats1.pipeline_batches, stats0.pipeline_batches + 1);
+        assert!(stats1.routed_runs > stats0.routed_runs);
+        assert!(stats1.leaves_touched > stats0.leaves_touched);
+        // A tiny batch is a point fallback.
+        let out = c.apply_batch_sorted(&[BatchOp::Insert(u64::MAX)]);
+        assert_eq!(out.added, 1);
+        assert_eq!(c.stats().point_fallbacks, stats1.point_fallbacks + 1);
+        c.reset_stats();
+        assert_eq!(c.stats(), crate::stats::PmaStats::default());
+    }
+
+    #[test]
+    fn configurable_cutoffs_steer_regimes() {
+        use cpma_api::BatchOp;
+        // cutoff 0 forces even a two-op batch through the pipeline;
+        // divisor 1 raises the full-rebuild threshold to `len` exactly.
+        let cfg = crate::PmaConfig::builder()
+            .point_update_cutoff(0)
+            .full_rebuild_divisor(1)
+            .build()
+            .unwrap();
+        let mut p = Pma::<u64>::with_config(cfg);
+        let mut seed: Vec<u64> = (0..5_000u64).collect();
+        p.insert_batch(&mut seed, true);
+        let pipeline_before = p.stats().pipeline_batches;
+        let out = p.apply_batch_sorted(&[BatchOp::Remove(7), BatchOp::Insert(9_999_999)]);
+        assert_eq!(
+            out,
+            cpma_api::BatchOutcome {
+                added: 1,
+                removed: 1
+            }
+        );
+        assert_eq!(p.stats().point_fallbacks, 0);
+        assert_eq!(p.stats().pipeline_batches, pipeline_before + 1);
+        p.check_invariants();
+        // A len-sized batch hits the (divisor-1) full-rebuild regime.
+        let rebuilds_before = p.stats().full_rebuilds;
+        let huge: Vec<BatchOp<u64>> = (0..p.len() as u64)
+            .map(|i| BatchOp::Insert(10_000_000 + i))
+            .collect();
+        p.apply_batch_sorted(&huge);
+        assert!(p.stats().full_rebuilds > rebuilds_before);
+        p.check_invariants();
+        // Invalid divisor is a builder error.
+        assert_eq!(
+            crate::PmaConfig::builder()
+                .full_rebuild_divisor(0)
+                .build()
+                .unwrap_err()
+                .field,
+            "full_rebuild_divisor"
+        );
     }
 
     #[test]

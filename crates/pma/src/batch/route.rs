@@ -15,6 +15,7 @@
 
 use crate::tree::ImplicitTree;
 use crate::{LeafStorage, PmaCore, PmaKey};
+use cpma_api::BatchOp;
 
 /// One unit of merge work: batch[start..end] all belong in `leaf`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,17 +25,39 @@ pub(crate) struct Assignment {
     pub end: usize,
 }
 
+/// Anything routable: a sorted run of these is partitioned across leaves
+/// by key. Plain keys (one-sided batches) and [`BatchOp`]s (mixed
+/// batches) route through the *same* recursion — the mixed pipeline
+/// reuses the one-sided routing phase verbatim.
+pub(crate) trait RouteKey<K>: Copy + Send + Sync {
+    fn route_key(&self) -> K;
+}
+
+impl<K: PmaKey> RouteKey<K> for K {
+    #[inline]
+    fn route_key(&self) -> K {
+        *self
+    }
+}
+
+impl<K: PmaKey> RouteKey<K> for BatchOp<K> {
+    #[inline]
+    fn route_key(&self) -> K {
+        self.key()
+    }
+}
+
 /// Below this many batch elements, route with a serial sweep instead of
 /// forking; the grain shrinks as the pool grows (see `serial_merge_cutoff`).
 fn serial_cutoff() -> usize {
     (32_768 / rayon::current_num_threads().max(1)).max(1024)
 }
 
-/// Compute the destination segments for a sorted, deduplicated batch.
+/// Compute the destination segments for a batch sorted strictly by key.
 /// The PMA must be non-empty. Assignments come back ordered by leaf.
-pub(crate) fn route_batch<K: PmaKey, L: LeafStorage<K>>(
+pub(crate) fn route_batch<K: PmaKey, L: LeafStorage<K>, T: RouteKey<K>>(
     core: &PmaCore<K, L>,
-    batch: &[K],
+    batch: &[T],
 ) -> Vec<Assignment> {
     debug_assert!(!core.is_empty());
     let f0 = core
@@ -49,16 +72,16 @@ pub(crate) fn route_batch<K: PmaKey, L: LeafStorage<K>>(
     ctx.recurse(0, batch.len(), 0, core.storage().num_leaves())
 }
 
-struct RouteCtx<'a, K: PmaKey, L: LeafStorage<K>> {
+struct RouteCtx<'a, K: PmaKey, L: LeafStorage<K>, T: RouteKey<K>> {
     core: &'a PmaCore<K, L>,
-    batch: &'a [K],
+    batch: &'a [T],
     /// First non-empty leaf: elements below the global minimum route here.
     f0: usize,
     #[allow(dead_code)]
     tree: ImplicitTree,
 }
 
-impl<K: PmaKey, L: LeafStorage<K>> RouteCtx<'_, K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, T: RouteKey<K>> RouteCtx<'_, K, L, T> {
     /// Segment of `self.batch[blo..bhi)` destined for leaf `t`:
     /// keys in `[head(t), head(next non-empty leaf))`, extended down to
     /// −∞ when `t` is the first non-empty leaf.
@@ -68,12 +91,12 @@ impl<K: PmaKey, L: LeafStorage<K>> RouteCtx<'_, K, L> {
             blo
         } else {
             let h = self.core.storage().head(t);
-            blo + slice.partition_point(|&e| e < h)
+            blo + slice.partition_point(|e| e.route_key() < h)
         };
         let hi = match self.core.next_nonempty_leaf(t) {
             Some(nn) => {
                 let h = self.core.storage().head(nn);
-                blo + slice.partition_point(|&e| e < h)
+                blo + slice.partition_point(|e| e.route_key() < h)
             }
             None => bhi,
         };
@@ -95,7 +118,7 @@ impl<K: PmaKey, L: LeafStorage<K>> RouteCtx<'_, K, L> {
         let mid = blo + (bhi - blo) / 2;
         let t = self
             .core
-            .dest_leaf(self.batch[mid])
+            .dest_leaf(self.batch[mid].route_key())
             .expect("non-empty PMA always routes");
         debug_assert!((llo..lhi).contains(&t), "dest {t} outside [{llo},{lhi})");
         let (i, j) = self.segment_for(t, blo, bhi);
@@ -121,7 +144,7 @@ impl<K: PmaKey, L: LeafStorage<K>> RouteCtx<'_, K, L> {
         while b < bhi {
             let t = self
                 .core
-                .dest_leaf(self.batch[b])
+                .dest_leaf(self.batch[b].route_key())
                 .expect("non-empty PMA always routes");
             let (i, j) = self.segment_for(t, b, bhi);
             debug_assert!(i <= b && b < j);
@@ -211,6 +234,25 @@ mod tests {
         let p = setup();
         let batch: Vec<u64> = (0..10_000u64).map(|i| i * 2 + 1).collect();
         check_routing(&p, &batch);
+    }
+
+    #[test]
+    fn op_batches_route_like_their_keys() {
+        let p = setup();
+        let keys: Vec<u64> = (0..500).map(|i| i * 13 + 2).collect();
+        let ops: Vec<BatchOp<u64>> = keys
+            .iter()
+            .map(|&k| {
+                if k % 3 == 0 {
+                    BatchOp::Remove(k)
+                } else {
+                    BatchOp::Insert(k)
+                }
+            })
+            .collect();
+        let by_key = route_batch(&p, &keys);
+        let by_op = route_batch(&p, &ops);
+        assert_eq!(by_key, by_op, "routing must depend only on keys");
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! same `PmaCore` as the uncompressed storage.
 
 use crate::codec::{decode_run, encode_run, encoded_run_len, for_each_in_run, varint_len};
-use crate::leaf::{set_difference_into, set_union_into, MergeOutcome, SharedLeaves};
+use crate::leaf::{
+    apply_ops_into, set_difference_into, set_union_into, MergeOutcome, OpsOutcome, SharedLeaves,
+};
 use crate::{stats, LeafStorage};
+use cpma_api::BatchOp;
 use std::marker::PhantomData;
 
 /// Delta-compressed leaves over `u64` keys. See module docs.
@@ -397,6 +400,28 @@ impl SharedLeaves<u64> for CompressedShared<'_> {
         }
     }
 
+    unsafe fn merge_ops_into_leaf(
+        &self,
+        leaf: usize,
+        ops: &[BatchOp<u64>],
+        scratch: &mut Vec<u64>,
+    ) -> OpsOutcome {
+        let mut cur = Vec::new();
+        let old_units = self.current(leaf, &mut cur);
+        stats::record_read(old_units);
+        let (added, removed) = apply_ops_into(&cur, ops, scratch);
+        if added == 0 && removed == 0 {
+            return OpsOutcome::default();
+        }
+        let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+        OpsOutcome {
+            added,
+            removed,
+            delta_units: new_units as isize - old_units as isize,
+            overflowed,
+        }
+    }
+
     unsafe fn write_leaf(&self, leaf: usize, elems: &[u64], inherited_head: u64) -> usize {
         let (units, overflowed) = self.store(leaf, elems, inherited_head);
         debug_assert!(!overflowed, "write_leaf must fit");
@@ -503,6 +528,37 @@ mod tests {
         assert_eq!(s.count(0), 0);
         assert_eq!(s.units_used(0), 0);
         assert_eq!(s.head(0), 3);
+    }
+
+    #[test]
+    fn merge_ops_single_rewrite_compressed() {
+        use cpma_api::BatchOp::{Insert, Remove};
+        let mut s = store(1);
+        let mut scratch = Vec::new();
+        unsafe {
+            let sh = s.shared();
+            sh.merge_into_leaf(0, &[100, 200, 1 << 30], &mut scratch);
+            let out = sh.merge_ops_into_leaf(
+                0,
+                &[Insert(50), Insert(100), Remove(200), Remove(777)],
+                &mut scratch,
+            );
+            assert_eq!((out.added, out.removed), (1, 1));
+            assert!(!out.overflowed);
+        }
+        let mut v = Vec::new();
+        s.collect_leaf(0, &mut v);
+        assert_eq!(v, vec![50, 100, 1 << 30]);
+        assert_eq!(s.head(0), 50);
+        assert_eq!(s.units_used(0), encoded_run_len(&v, 8));
+        // No-op run: no rewrite, no unit change.
+        let before = s.units_used(0);
+        let out = unsafe {
+            s.shared()
+                .merge_ops_into_leaf(0, &[Remove(3), Insert(100)], &mut scratch)
+        };
+        assert_eq!(out, OpsOutcome::default());
+        assert_eq!(s.units_used(0), before);
     }
 
     #[test]

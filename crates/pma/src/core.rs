@@ -43,6 +43,14 @@ pub struct PmaConfig {
     /// Capacity floor in *leaves* (the structure never shrinks below this
     /// many leaves).
     pub min_leaves: usize,
+    /// Batches smaller than this use point updates (the paper uses point
+    /// inserts "for small batches when the batch update algorithm does
+    /// not provide practical benefits", Table 3 — "e.g., k < 100"). Zero
+    /// sends every non-empty batch through the pipeline.
+    pub point_update_cutoff: usize,
+    /// Batches of at least `len / full_rebuild_divisor` elements rebuild
+    /// the whole structure with a linear merge (paper: "e.g., k ≥ n/10").
+    pub full_rebuild_divisor: usize,
 }
 
 impl Default for PmaConfig {
@@ -51,6 +59,8 @@ impl Default for PmaConfig {
             bounds: DensityBounds::default(),
             growing_factor: 1.2,
             min_leaves: 4,
+            point_update_cutoff: 128,
+            full_rebuild_divisor: 10,
         }
     }
 }
@@ -76,6 +86,12 @@ impl PmaConfig {
         }
         if self.min_leaves < 1 {
             return Err(ConfigError::new("min_leaves", "must be at least 1"));
+        }
+        if self.full_rebuild_divisor < 1 {
+            return Err(ConfigError::new(
+                "full_rebuild_divisor",
+                "must be at least 1",
+            ));
         }
         Ok(())
     }
@@ -121,6 +137,20 @@ impl PmaConfigBuilder {
         self
     }
 
+    /// Batch size below which point updates are used instead of the batch
+    /// pipeline (0 disables the fallback entirely).
+    pub fn point_update_cutoff(mut self, n: usize) -> Self {
+        self.cfg.point_update_cutoff = n;
+        self
+    }
+
+    /// Divisor of the full-rebuild threshold: batches of at least
+    /// `len / divisor` elements rebuild the whole structure.
+    pub fn full_rebuild_divisor(mut self, n: usize) -> Self {
+        self.cfg.full_rebuild_divisor = n;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<PmaConfig, ConfigError> {
         self.cfg.check()?;
@@ -146,6 +176,8 @@ pub struct PmaCore<K: PmaKey, L: LeafStorage<K>> {
     pub(crate) len: usize,
     /// Total occupied units across leaves.
     pub(crate) units: usize,
+    /// Batch-pipeline counters (see [`stats::PmaStats`]).
+    pub(crate) batch_stats: stats::PmaStats,
     pub(crate) _marker: PhantomData<K>,
 }
 
@@ -170,6 +202,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
             cfg,
             len: 0,
             units: 0,
+            batch_stats: stats::PmaStats::default(),
             _marker: PhantomData,
         }
     }
@@ -257,6 +290,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         self.storage = storage;
         self.units = units;
         self.len = elems.len();
+        self.batch_stats.full_rebuilds += 1;
     }
 
     /// Grow capacity by the growing factor (repeatedly if needed) and
@@ -822,6 +856,17 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     /// The active configuration.
     pub fn config(&self) -> &PmaConfig {
         &self.cfg
+    }
+
+    /// Batch-pipeline counters accumulated by this instance (routed runs,
+    /// touched leaves, redistribution ranges, full rebuilds).
+    pub fn stats(&self) -> stats::PmaStats {
+        self.batch_stats
+    }
+
+    /// Zero the batch-pipeline counters (e.g. between measured phases).
+    pub fn reset_stats(&mut self) {
+        self.batch_stats = stats::PmaStats::default();
     }
 
     /// Adjust the unit counter (batch phases account deltas in bulk).

@@ -20,6 +20,7 @@
 //! from `&mut self`, never materializing overlapping `&mut` references.
 
 use crate::PmaKey;
+use cpma_api::BatchOp;
 
 /// Result of merging into / removing from one leaf.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -33,6 +34,22 @@ pub struct MergeOutcome {
     /// contents live in an out-of-place overflow buffer (Figure 4 of the
     /// paper). The counting phase is guaranteed to schedule it for
     /// redistribution because its density exceeds 1.0.
+    pub overflowed: bool,
+}
+
+/// Result of applying a mixed op run to one leaf: like [`MergeOutcome`]
+/// but with the add and remove counts kept apart (a mixed run can do
+/// both in the same rewrite).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpsOutcome {
+    /// Keys newly inserted into the leaf.
+    pub added: usize,
+    /// Keys actually removed from the leaf.
+    pub removed: usize,
+    /// Signed change in the leaf's occupied units (cells or bytes).
+    pub delta_units: isize,
+    /// The rewritten leaf spilled to an overflow buffer (see
+    /// [`MergeOutcome::overflowed`]).
     pub overflowed: bool,
 }
 
@@ -140,6 +157,22 @@ pub trait SharedLeaves<K: PmaKey> {
     unsafe fn remove_from_leaf(&self, leaf: usize, rem: &[K], scratch: &mut Vec<K>)
         -> MergeOutcome;
 
+    /// Apply a mixed op run (normal form: ascending, one op per key) to
+    /// `leaf` in **one** rewrite — the kernel of the single-pass mixed
+    /// batch pipeline. Inserts may spill to an overflow buffer; an
+    /// emptied leaf keeps its old head as the inherited value (the same
+    /// invariants as the one-sided merges, threaded through one
+    /// decode → three-finger merge → encode).
+    ///
+    /// # Safety
+    /// See trait-level contract.
+    unsafe fn merge_ops_into_leaf(
+        &self,
+        leaf: usize,
+        ops: &[BatchOp<K>],
+        scratch: &mut Vec<K>,
+    ) -> OpsOutcome;
+
     /// Overwrite `leaf` with `elems` (must fit capacity; caller planned the
     /// split). For an empty `elems`, the head is set to `inherited_head`.
     /// Clears any overflow buffer. Returns the leaf's new unit count.
@@ -206,6 +239,53 @@ pub(crate) fn set_union_into<K: PmaKey>(cur: &[K], add: &[K], out: &mut Vec<K>) 
     added
 }
 
+/// Apply a normal-form mixed op run to the sorted run `cur`, writing the
+/// result into `out` (cleared first): one three-finger merge that unions
+/// inserts and subtracts removes in the same pass. Returns
+/// `(added, removed)` with set semantics.
+pub(crate) fn apply_ops_into<K: PmaKey>(
+    cur: &[K],
+    ops: &[BatchOp<K>],
+    out: &mut Vec<K>,
+) -> (usize, usize) {
+    debug_assert!(ops.windows(2).all(|w| w[0].key() < w[1].key()));
+    out.clear();
+    out.reserve(cur.len() + ops.len());
+    let (mut added, mut removed) = (0usize, 0usize);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < cur.len() && j < ops.len() {
+        match cur[i].cmp(&ops[j].key()) {
+            std::cmp::Ordering::Less => {
+                out.push(cur[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if let BatchOp::Insert(k) = ops[j] {
+                    out.push(k);
+                    added += 1;
+                }
+                j += 1; // a Remove of an absent key is a no-op
+            }
+            std::cmp::Ordering::Equal => {
+                match ops[j] {
+                    BatchOp::Insert(_) => out.push(cur[i]), // already present
+                    BatchOp::Remove(_) => removed += 1,     // drop it
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&cur[i..]);
+    for op in &ops[j..] {
+        if let BatchOp::Insert(k) = *op {
+            out.push(k);
+            added += 1;
+        }
+    }
+    (added, removed)
+}
+
 /// Set difference `cur \ rem` into `out` (cleared first). Returns the number
 /// of elements removed.
 pub(crate) fn set_difference_into<K: PmaKey>(cur: &[K], rem: &[K], out: &mut Vec<K>) -> usize {
@@ -265,6 +345,29 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(set_difference_into::<u64>(&[7, 8], &[], &mut out), 0);
         assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn apply_ops_mixes_union_and_difference() {
+        use cpma_api::BatchOp::{Insert, Remove};
+        let mut out = Vec::new();
+        let (added, removed) = apply_ops_into(
+            &[1u64, 3, 5, 7],
+            &[Insert(0), Remove(3), Insert(5), Insert(6), Remove(9)],
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 1, 5, 6, 7]);
+        assert_eq!((added, removed), (2, 1));
+        // Pure-insert and pure-remove runs degenerate to union/difference.
+        let (added, removed) = apply_ops_into(&[2u64, 4], &[Insert(2), Insert(3)], &mut out);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!((added, removed), (1, 0));
+        let (added, removed) = apply_ops_into(&[2u64, 4], &[Remove(2), Remove(4)], &mut out);
+        assert!(out.is_empty());
+        assert_eq!((added, removed), (0, 2));
+        let (added, removed) = apply_ops_into::<u64>(&[], &[Insert(9), Remove(10)], &mut out);
+        assert_eq!(out, vec![9]);
+        assert_eq!((added, removed), (1, 0));
     }
 
     #[test]

@@ -37,9 +37,10 @@ mod uncompressed;
 pub use crate::compressed::CompressedLeaves;
 pub use crate::core::{Cpma, Pma, PmaConfig, PmaConfigBuilder, PmaCore};
 pub use crate::density::DensityBounds;
-pub use crate::leaf::{LeafStorage, MergeOutcome};
+pub use crate::leaf::{LeafStorage, MergeOutcome, OpsOutcome};
+pub use crate::stats::PmaStats;
 pub use crate::uncompressed::UncompressedLeaves;
-pub use cpma_api::SetKey;
+pub use cpma_api::{BatchOp, BatchOutcome, SetKey};
 
 /// Integer key types storable in a PMA.
 ///

@@ -39,6 +39,52 @@ pub fn record_write(n: usize) {
     let _ = n;
 }
 
+/// Per-structure batch-pipeline counters, incremented by every batch
+/// update (one-sided and mixed) a `Pma`/`Cpma` instance executes.
+///
+/// Unlike the byte-traffic counters above — process-global and
+/// feature-gated because they sit on the per-element hot path — these are
+/// a handful of integer adds per *batch*, so they are always on and live
+/// in the structure itself (`Pma::stats()`), which also keeps them
+/// deterministic at any thread count: every quantity counted is a
+/// property of the batch algorithm's schedule-independent output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PmaStats {
+    /// Batch updates that fell back to per-key point updates (below the
+    /// configured `point_update_cutoff`).
+    pub point_fallbacks: u64,
+    /// Batch updates that ran the route→merge→count→redistribute
+    /// pipeline.
+    pub pipeline_batches: u64,
+    /// `(leaf, run)` assignments produced by the routing phase — each is
+    /// one leaf rewrite in the merge phase.
+    pub routed_runs: u64,
+    /// Leaves rewritten across merge *and* redistribution phases (the
+    /// touched-leaf traffic the mixed pipeline exists to halve).
+    pub leaves_touched: u64,
+    /// Maximal disjoint ranges handed to the redistribute phase.
+    pub redistribute_ranges: u64,
+    /// Whole-structure rebuilds: huge-batch merges, bulk loads into an
+    /// empty structure, and root-violation grows/shrinks.
+    pub full_rebuilds: u64,
+}
+
+impl PmaStats {
+    /// One compact human-readable line (the bench drivers print this).
+    pub fn summary(&self) -> String {
+        format!(
+            "pipeline={} point_fallbacks={} routed_runs={} leaves_touched={} \
+             redistribute_ranges={} full_rebuilds={}",
+            self.pipeline_batches,
+            self.point_fallbacks,
+            self.routed_runs,
+            self.leaves_touched,
+            self.redistribute_ranges,
+            self.full_rebuilds
+        )
+    }
+}
+
 /// Snapshot of traffic counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Traffic {

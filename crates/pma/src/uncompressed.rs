@@ -7,8 +7,11 @@
 //! leaves" (§5). A separate head array accelerates search, as in the
 //! search-optimized PMA the paper builds on [78]. Units are **cells**.
 
-use crate::leaf::{set_difference_into, set_union_into, MergeOutcome, SharedLeaves};
+use crate::leaf::{
+    apply_ops_into, set_difference_into, set_union_into, MergeOutcome, OpsOutcome, SharedLeaves,
+};
 use crate::{stats, LeafStorage, PmaKey};
+use cpma_api::BatchOp;
 use std::marker::PhantomData;
 
 /// Packed-left uncompressed leaves. See module docs.
@@ -282,6 +285,28 @@ impl<K: PmaKey> SharedLeaves<K> for UncompressedShared<'_, K> {
         }
     }
 
+    unsafe fn merge_ops_into_leaf(
+        &self,
+        leaf: usize,
+        ops: &[BatchOp<K>],
+        scratch: &mut Vec<K>,
+    ) -> OpsOutcome {
+        let mut cur = Vec::new();
+        let old_units = self.current(leaf, &mut cur);
+        stats::record_read(old_units * K::BYTES);
+        let (added, removed) = apply_ops_into(&cur, ops, scratch);
+        if added == 0 && removed == 0 {
+            return OpsOutcome::default();
+        }
+        let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+        OpsOutcome {
+            added,
+            removed,
+            delta_units: new_units as isize - old_units as isize,
+            overflowed,
+        }
+    }
+
     unsafe fn write_leaf(&self, leaf: usize, elems: &[K], inherited_head: K) -> usize {
         debug_assert!(elems.len() <= self.leaf_units, "write_leaf must fit");
         let (units, _) = self.store(leaf, elems, inherited_head);
@@ -384,6 +409,48 @@ mod tests {
         unsafe { s.shared().write_leaf(0, &[1, 2, 3], 0) };
         assert!(!s.is_overflowed(0));
         assert_eq!(s.count(0), 3);
+    }
+
+    #[test]
+    fn merge_ops_single_rewrite() {
+        use cpma_api::BatchOp::{Insert, Remove};
+        let mut s = store3();
+        let mut scratch = Vec::new();
+        unsafe {
+            let sh = s.shared();
+            sh.merge_into_leaf(0, &[10, 20, 30], &mut scratch);
+            let out = sh.merge_ops_into_leaf(
+                0,
+                &[Insert(5), Remove(20), Insert(30), Remove(99)],
+                &mut scratch,
+            );
+            assert_eq!(out.added, 1);
+            assert_eq!(out.removed, 1);
+            assert_eq!(out.delta_units, 0);
+            assert!(!out.overflowed);
+            // A run that changes nothing skips the rewrite entirely.
+            let noop = sh.merge_ops_into_leaf(0, &[Insert(10), Remove(42)], &mut scratch);
+            assert_eq!(noop, OpsOutcome::default());
+            // Removing everything keeps the old head as inherited value.
+            let all = sh.merge_ops_into_leaf(0, &[Remove(5), Remove(10), Remove(30)], &mut scratch);
+            assert_eq!(all.removed, 3);
+        }
+        let mut v = Vec::new();
+        s.collect_leaf(0, &mut v);
+        assert!(v.is_empty());
+        assert_eq!(s.head(0), 5, "emptied leaf keeps old head");
+    }
+
+    #[test]
+    fn merge_ops_can_overflow() {
+        use cpma_api::BatchOp::Insert;
+        let mut s = UncompressedLeaves::<u64>::with_geometry(2, 16);
+        let mut scratch = Vec::new();
+        let ops: Vec<cpma_api::BatchOp<u64>> = (0..20).map(Insert).collect();
+        let out = unsafe { s.shared().merge_ops_into_leaf(0, &ops, &mut scratch) };
+        assert!(out.overflowed);
+        assert_eq!(out.added, 20);
+        assert!(s.is_overflowed(0));
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //!    presence overlay, recording each operation's individual result —
 //!    this is what makes the epoch linearizable: every operation observes
 //!    exactly the operations submitted before it;
-//! 3. folds the overlay's net effect into one remove batch and one insert
-//!    batch (both through [`cpma_api::normalize_batch`]), and applies them
-//!    with the backend's batch-parallel updates — one batch per epoch, the
-//!    regime the paper shows beats point updates by orders of magnitude;
+//! 3. folds the overlay's net effect into **one mixed op batch**
+//!    (normalized by [`cpma_api::normalize_ops`]) and applies it with a
+//!    single [`BatchSet::apply_batch_sorted`] call — one batch-parallel
+//!    update per epoch, and one structure traversal where the former
+//!    remove-batch + insert-batch split paid two;
 //! 4. publishes a fresh snapshot (every
 //!    [`CombinerConfig::snapshot_every`] epochs), then marks the epoch
 //!    done and wakes all waiters with their results.
@@ -38,7 +39,7 @@
 //! (immediately on acknowledgement with `snapshot_every == 1`, the
 //! default, because the leader publishes *before* it wakes waiters).
 
-use cpma_api::{normalize_batch, BatchSet, ConfigError, RangeSet, SetKey};
+use cpma_api::{normalize_batch, normalize_ops, BatchOp, BatchSet, ConfigError, RangeSet, SetKey};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, TryLockError};
 use std::time::{Duration, Instant};
@@ -384,23 +385,22 @@ where
             results.push(result);
         }
 
-        // Net effect of the epoch as one remove + one insert batch.
-        let mut ins: Vec<K> = Vec::new();
-        let mut del: Vec<K> = Vec::new();
-        for (&key, &(before, now)) in &overlay {
-            if now && !before {
-                ins.push(K::from_u64(key));
-            } else if !now && before {
-                del.push(K::from_u64(key));
-            }
-        }
-        let del = normalize_batch(&mut del);
-        if !del.is_empty() {
-            core.set.remove_batch_sorted(del);
-        }
-        let ins = normalize_batch(&mut ins);
-        if !ins.is_empty() {
-            core.set.insert_batch_sorted(ins);
+        // Net effect of the epoch as ONE mixed batch: each changed key
+        // becomes its net op, and the backend applies inserts and removes
+        // in a single batch-parallel pass. Keys are unique by
+        // construction (one overlay entry each); normalize_ops supplies
+        // the key ordering the normal form requires.
+        let mut net: Vec<BatchOp<K>> = overlay
+            .iter()
+            .filter_map(|(&key, &(before, now))| match (before, now) {
+                (false, true) => Some(BatchOp::Insert(K::from_u64(key))),
+                (true, false) => Some(BatchOp::Remove(K::from_u64(key))),
+                _ => None,
+            })
+            .collect();
+        let net = normalize_ops(&mut net);
+        if !net.is_empty() {
+            core.set.apply_batch_sorted(net);
         }
         core.epochs_applied += 1;
 

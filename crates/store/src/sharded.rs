@@ -21,6 +21,11 @@
 //! only ever touches shard `i`, so the shards' `&mut` batch updates run
 //! concurrently without any locking, and the per-shard counts are summed
 //! in shard index order — results are bit-identical at any thread count.
+//! Mixed op batches ([`BatchSet::apply_batch_sorted`]) follow the same
+//! route: **one** split of the op run at the splitters, each shard
+//! applying its interleaved inserts and removes in its backend's single
+//! mixed pass — where the former remove-then-insert split walked every
+//! shard twice.
 //!
 //! # Splitter learning and rebalance
 //!
@@ -35,7 +40,10 @@
 //! same cost class as the backend PMA's own resize, and deterministic
 //! because it depends only on the stored contents.
 
-use cpma_api::{range_to_inclusive, BatchSet, OrderedSet, ParallelChunks, RangeSet, SetKey};
+use cpma_api::{
+    range_to_inclusive, BatchOp, BatchOutcome, BatchSet, OrderedSet, ParallelChunks, RangeSet,
+    SetKey,
+};
 use rayon::prelude::*;
 use std::ops::RangeBounds;
 
@@ -64,15 +72,20 @@ pub struct ShardedSet<S, const N: usize = 8> {
 }
 
 /// Sub-batch boundaries: `bounds[i]..bounds[i + 1]` is shard `i`'s slice
-/// of the sorted `batch`.
-fn split_bounds<K: SetKey>(splitters: &[u64], batch: &[K]) -> Vec<usize> {
+/// of a batch sorted by key — plain keys and mixed op runs split through
+/// the same routine via `key_of`.
+fn split_bounds_by<T>(splitters: &[u64], batch: &[T], key_of: impl Fn(&T) -> u64) -> Vec<usize> {
     let mut bounds = Vec::with_capacity(splitters.len() + 2);
     bounds.push(0);
     for &s in splitters {
-        bounds.push(batch.partition_point(|&k| k.to_u64() < s));
+        bounds.push(batch.partition_point(|t| key_of(t) < s));
     }
     bounds.push(batch.len());
     bounds
+}
+
+fn split_bounds<K: SetKey>(splitters: &[u64], batch: &[K]) -> Vec<usize> {
+    split_bounds_by(splitters, batch, |k| k.to_u64())
 }
 
 impl<S, const N: usize> ShardedSet<S, N> {
@@ -237,6 +250,29 @@ impl<K: SetKey, S: BatchSet<K> + RangeSet<K> + Send, const N: usize> BatchSet<K>
         self.maybe_rebalance();
         removed
     }
+
+    /// Mixed batches split **once** at the splitters and fan out to the
+    /// shards in parallel, each shard running its backend's own mixed
+    /// pass; outcomes merge in shard index order (schedule-independent).
+    fn apply_batch_sorted(&mut self, ops: &[BatchOp<K>]) -> BatchOutcome {
+        let bounds = split_bounds_by(&self.splitters, ops, |op| op.key().to_u64());
+        let bounds = &bounds;
+        let outcome = self
+            .shards
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, shard)| {
+                let sub = &ops[bounds[i]..bounds[i + 1]];
+                if sub.is_empty() {
+                    BatchOutcome::default()
+                } else {
+                    shard.apply_batch_sorted(sub)
+                }
+            })
+            .reduce(BatchOutcome::default, |a, b| a + b);
+        self.maybe_rebalance();
+        outcome
+    }
 }
 
 impl<K: SetKey, S: RangeSet<K>, const N: usize> RangeSet<K> for ShardedSet<S, N> {
@@ -357,6 +393,38 @@ mod tests {
         assert_eq!(OrderedSet::len(&s), 3);
         assert_eq!(s.remove_batch_sorted(&[2, 9]), 1);
         assert_eq!(RangeSet::to_vec(&s), vec![1, 3]);
+    }
+
+    #[test]
+    fn mixed_batches_fan_out_across_shards() {
+        use cpma_api::normalize_ops;
+        let elems: Vec<u64> = (0..2_000).map(|i| i * 4).collect();
+        let mut s: Sharded4 = BatchSet::build_sorted(&elems);
+        let mut model: BTreeSet<u64> = elems.iter().copied().collect();
+        // Ops spanning every shard, interleaving inserts and removes.
+        let mut ops: Vec<BatchOp<u64>> = (0..1_000u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    BatchOp::Remove(i * 8)
+                } else {
+                    BatchOp::Insert(i * 8 + 1)
+                }
+            })
+            .collect();
+        let norm = normalize_ops(&mut ops);
+        let mut want = BatchOutcome::default();
+        for op in norm {
+            match *op {
+                BatchOp::Insert(k) => want.added += usize::from(model.insert(k)),
+                BatchOp::Remove(k) => want.removed += usize::from(model.remove(&k)),
+            }
+        }
+        let got = s.apply_batch_sorted(norm);
+        assert_eq!(got, want);
+        assert_eq!(
+            RangeSet::to_vec(&s),
+            model.iter().copied().collect::<Vec<_>>()
+        );
     }
 
     #[test]

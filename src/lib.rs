@@ -74,7 +74,8 @@ pub use cpma_workloads as workloads;
 /// normal-form helper, and the concrete structure types.
 pub mod prelude {
     pub use crate::api::{
-        normalize_batch, BatchSet, ConfigError, OrderedSet, ParallelChunks, RangeSet, SetKey,
+        normalize_batch, normalize_ops, BatchOp, BatchOutcome, BatchSet, ConfigError, OrderedSet,
+        ParallelChunks, RangeSet, SetKey,
     };
     pub use crate::baselines::{CPac, CTreeSet, PTree, UPac};
     pub use crate::pma::{Cpma, Pma, PmaConfig};

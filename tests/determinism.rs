@@ -39,7 +39,10 @@ struct Observations {
 
 /// A seeded mixed batch workload: large unsorted insert and remove batches
 /// (well past the point-update cutoff, so the three-phase parallel
-/// algorithm runs), interleaved range sums and len/min/max probes.
+/// algorithm runs), a *mixed-op* batch per round (interleaved
+/// inserts/removes through `apply_batch` — the single-pass pipeline on
+/// PMA-family backends, parallel sort + dedup in `normalize_ops`
+/// everywhere), plus range sums and len/min/max probes.
 fn run_workload<S: BatchSet<u64> + RangeSet<u64>>(seed: u64) -> Observations {
     let mut rng = Rng::new(seed);
     let mut s = S::new_set();
@@ -54,6 +57,20 @@ fn run_workload<S: BatchSet<u64> + RangeSet<u64>>(seed: u64) -> Observations {
         obs.counts.push(s.insert_batch(&mut ins, false));
         let mut del = rng.keys(1500, 24);
         obs.counts.push(s.remove_batch(&mut del, false));
+        let mut ops: Vec<BatchOp<u64>> = rng
+            .keys(3000, 24)
+            .into_iter()
+            .map(|k| {
+                if k % 2 == 0 {
+                    BatchOp::Insert(k)
+                } else {
+                    BatchOp::Remove(k ^ 1)
+                }
+            })
+            .collect();
+        let out = s.apply_batch(&mut ops, false);
+        obs.counts.push(out.added);
+        obs.counts.push(out.removed);
         let a = rng.bits(24);
         let b = rng.bits(24);
         obs.sums.push(s.range_sum(a.min(b)..=a.max(b)));
@@ -163,5 +180,36 @@ fn normalize_batch_deterministic_across_thread_counts() {
             normalize_batch(&mut v).to_vec()
         });
         assert_eq!(got, oracle, "normalize_batch @ {threads} threads");
+    }
+}
+
+#[test]
+fn normalize_ops_deterministic_across_thread_counts() {
+    // normalize_ops leans on the *stable* parallel sort: with heavy
+    // same-key duplication, last-op-wins dedup must pick the same op at
+    // every thread count (submission order, not schedule order).
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = Rng::new(0x0B5C4);
+    let input: Vec<BatchOp<u64>> = (0..200_000)
+        .map(|_| {
+            let k = rng.bits(12); // ~4k distinct keys: long same-key runs
+            if rng.chance(1, 2) {
+                BatchOp::Insert(k)
+            } else {
+                BatchOp::Remove(k)
+            }
+        })
+        .collect();
+    let oracle = with_threads(1, || {
+        let mut v = input.clone();
+        normalize_ops(&mut v).to_vec()
+    });
+    assert!(oracle.windows(2).all(|w| w[0].key() < w[1].key()));
+    for threads in [2usize, 8] {
+        let got = with_threads(threads, || {
+            let mut v = input.clone();
+            normalize_ops(&mut v).to_vec()
+        });
+        assert_eq!(got, oracle, "normalize_ops @ {threads} threads");
     }
 }
