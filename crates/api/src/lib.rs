@@ -232,6 +232,25 @@ pub trait BatchSet<K: SetKey>: OrderedSet<K> + Sized {
     /// inserts and removes of *distinct* keys is immaterial and the
     /// per-op results are well-defined: an `Insert` counts as added iff
     /// the key was absent, a `Remove` as removed iff it was present.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpma_api::{normalize_ops, BatchOp, BatchSet};
+    /// use std::collections::BTreeSet;
+    ///
+    /// let mut set: BTreeSet<u64> = [1, 2, 3].into_iter().collect();
+    /// // Raw op stream: same-key runs resolve last-op-wins.
+    /// let mut ops = vec![
+    ///     BatchOp::Remove(2),
+    ///     BatchOp::Insert(9),
+    ///     BatchOp::Insert(5),
+    ///     BatchOp::Remove(5), // cancels the insert above
+    /// ];
+    /// let outcome = set.apply_batch_sorted(normalize_ops(&mut ops));
+    /// assert_eq!((outcome.added, outcome.removed), (1, 1));
+    /// assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![1, 3, 9]);
+    /// ```
     fn apply_batch_sorted(&mut self, ops: &[BatchOp<K>]) -> BatchOutcome {
         debug_assert!(ops.windows(2).all(|w| w[0].key() < w[1].key()));
         let mut ins: Vec<K> = Vec::new();

@@ -1,4 +1,4 @@
-//! Aspen-style C-trees: hash-sampled heads with compressed chunks [36].
+//! Aspen-style C-trees: hash-sampled heads with compressed chunks \[36].
 //!
 //! Aspen ("Low-latency graph streaming using compressed purely-functional
 //! trees", PLDI '19) stores an ordered set as a search tree over *heads* —

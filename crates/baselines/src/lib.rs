@@ -3,12 +3,12 @@
 //! The paper compares the PMA/CPMA to three families of batch-parallel
 //! pointer-based sets (§6):
 //!
-//! * [`PTree`] — P-trees (the PAM library [70]): uncompressed binary trees
+//! * [`PTree`] — P-trees (the PAM library \[70]): uncompressed binary trees
 //!   with join-based parallel bulk operations, 32 bytes per element;
-//! * [`PacTree`] — PaC-trees (the CPAM library [33]): binary trees over
+//! * [`PacTree`] — PaC-trees (the CPAM library \[33]): binary trees over
 //!   *blocks* of up to `P = 256` elements, in uncompressed (`U-PaC`) and
 //!   difference-encoded (`C-PaC`) variants;
-//! * [`CTreeSet`] — Aspen-style C-trees [36]: elements hash-sampled into
+//! * [`CTreeSet`] — Aspen-style C-trees \[36]: elements hash-sampled into
 //!   chunk heads, each head carrying a compressed chunk of followers.
 //!
 //! These are clean-room Rust reimplementations built for the benchmark

@@ -1,4 +1,4 @@
-//! PaC-trees: parallel (compressed) blocked binary trees (CPAM [33]).
+//! PaC-trees: parallel (compressed) blocked binary trees (CPAM \[33]).
 //!
 //! A PaC-tree stores elements in *blocks* of up to `P` elements at the
 //! leaves of a binary tree; C-PaC difference-encodes each block's elements.

@@ -1,4 +1,4 @@
-//! P-trees: batch-parallel binary search trees (the PAM library [70]).
+//! P-trees: batch-parallel binary search trees (the PAM library \[70]).
 //!
 //! PAM's trees support several balancing schemes built on one primitive,
 //! `join`; we use the treap scheme with deterministic pseudo-random

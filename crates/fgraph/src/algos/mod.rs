@@ -1,4 +1,4 @@
-//! The paper's graph-algorithm suite, container-generic via [`GraphScan`].
+//! The paper's graph-algorithm suite, container-generic via `GraphScan`.
 //!
 //! "We evaluate the performance of F-Graph, C-PaC, and Aspen on three
 //! fundamental graph algorithms: PageRank (PR), connected components (CC),

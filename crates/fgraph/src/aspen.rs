@@ -1,4 +1,4 @@
-//! Aspen graph baseline: per-vertex C-trees [36].
+//! Aspen graph baseline: per-vertex C-trees (paper's reference \[36]).
 //!
 //! Aspen stores "compressed trees (one per vertex)" where each adjacency
 //! set is a C-tree: hash-sampled heads carrying compressed chunks. As with

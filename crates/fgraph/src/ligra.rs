@@ -1,4 +1,4 @@
-//! Ligra-style frontier abstraction: `VertexSubset` + `edge_map` [66].
+//! Ligra-style frontier abstraction: `VertexSubset` + `edge_map` (paper's reference \[66]).
 //!
 //! "All systems run the same algorithms via the Ligra interface, which is
 //! based on the VertexSubset/EdgeMap abstraction" (§6). `edge_map` applies

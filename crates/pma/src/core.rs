@@ -8,7 +8,7 @@
 //! # Head-array invariant
 //!
 //! Search routes through a separate array of leaf heads (the layout of the
-//! search-optimized PMA [78] the paper builds on). The invariant maintained
+//! search-optimized PMA \[78] the paper builds on). The invariant maintained
 //! everywhere is:
 //!
 //! 1. the head array is **non-decreasing**;

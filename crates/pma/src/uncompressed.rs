@@ -1,11 +1,11 @@
 //! Uncompressed leaf storage: packed-left leaves of raw keys.
 //!
 //! The classic PMA stores elements in cells with embedded gaps; following
-//! the paper (and [81]) we pack each leaf's elements to the left and keep a
+//! the paper (and \[81]) we pack each leaf's elements to the left and keep a
 //! per-leaf count, which "does not affect the PMA's asymptotic bounds
 //! because the bounds only depend on the density of the elements in the PMA
 //! leaves" (§5). A separate head array accelerates search, as in the
-//! search-optimized PMA the paper builds on [78]. Units are **cells**.
+//! search-optimized PMA the paper builds on \[78]. Units are **cells**.
 
 use crate::leaf::{
     apply_ops_into, set_difference_into, set_union_into, MergeOutcome, OpsOutcome, SharedLeaves,

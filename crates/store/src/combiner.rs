@@ -1,4 +1,5 @@
-//! Flat-combining concurrent writer front-end over a batch-parallel set.
+//! Flat-combining concurrent writer front-end over a batch-parallel set,
+//! with fixed or adaptive combining windows.
 //!
 //! # Combining epochs
 //!
@@ -8,9 +9,8 @@
 //! single leader slot — a `Mutex` around the authoritative set — is free)
 //! or waits for its epoch's completion. The leader:
 //!
-//! 1. holds the epoch open for a *combining window* — until the buffer
-//!    reaches [`CombinerConfig::window_ops`] operations or
-//!    [`CombinerConfig::window_wait`] elapses — so concurrent traffic
+//! 1. holds the epoch open for a *combining window* governed by
+//!    [`CombinerConfig::policy`] (see below), so concurrent traffic
 //!    accumulates into one batch;
 //! 2. seals the epoch (a fresh epoch opens for later submitters) and
 //!    replays the drained operations *in submission order* against a
@@ -31,6 +31,36 @@
 //! needs no dedicated combiner thread and quiesces to zero cost when
 //! idle. Everything is built on `std` `Mutex`/`Condvar` only.
 //!
+//! # Window policies
+//!
+//! How long the leader holds an epoch open decides the batch size — the
+//! quantity every batch-parallel backend's throughput hinges on — and is
+//! chosen by [`WindowPolicy`]:
+//!
+//! * [`WindowPolicy::Fixed`] (the default): hold the epoch open until
+//!   [`CombinerConfig::window_ops`] operations are pending or
+//!   [`CombinerConfig::window_wait`] elapses. With a zero wait this is
+//!   *reactive* flat combining — the leader drains whatever is pending
+//!   and never waits, so batch size adapts only to contention. A fixed
+//!   window must be hand-tuned to the arrival rate: too short and bursts
+//!   fragment into many small batches, too long and the leader wastes
+//!   the whole wait on sparse traffic.
+//! * [`WindowPolicy::Adaptive`]: the leader tracks an EWMA of the
+//!   inter-arrival gaps of *publications* (a point op or one whole
+//!   `submit_many` burst each count as one arrival) and keeps the
+//!   window open *while traffic keeps arriving* — it seals as soon as
+//!   the instantaneous gap since the last arrival exceeds
+//!   [`AdaptiveWindow::gap_factor`]× the EWMA (never sooner than
+//!   [`AdaptiveWindow::idle_grace`]), or when a hard cap fires
+//!   ([`AdaptiveWindow::max_window_ops`] /
+//!   [`AdaptiveWindow::max_window_wait`]). Bursts combine into one big
+//!   batch and the window closes right when the burst ends, with no
+//!   hand-tuned rate assumption.
+//!
+//! Every epoch's size and seal reason feed the always-on
+//! [`CombinerStats`] (mirroring `PmaStats`), so a deployment can check
+//! *why* its epochs seal — `docs/TUNING.md` walks through reading them.
+//!
 //! # Snapshot readers
 //!
 //! [`Combiner::snapshot`] hands out the most recently published snapshot
@@ -38,6 +68,24 @@
 //! acknowledged operation is visible in the next published snapshot
 //! (immediately on acknowledgement with `snapshot_every == 1`, the
 //! default, because the leader publishes *before* it wakes waiters).
+//!
+//! # Examples
+//!
+//! ```
+//! use cpma_store::{AdaptiveWindow, Combiner, CombinerConfig, WindowPolicy};
+//! use std::collections::BTreeSet;
+//!
+//! let cfg = CombinerConfig {
+//!     policy: WindowPolicy::Adaptive(AdaptiveWindow::default()),
+//!     ..CombinerConfig::default()
+//! };
+//! let store: Combiner<BTreeSet<u64>> = Combiner::with_config(BTreeSet::new(), cfg);
+//! assert!(store.insert(7));
+//! assert!(store.snapshot().contains(&7));
+//! let stats = store.stats();
+//! assert_eq!(stats.epochs, 1);
+//! assert_eq!(stats.sealed_rate_drop + stats.sealed_ops_cap + stats.sealed_wait_cap, 1);
+//! ```
 
 use cpma_api::{normalize_batch, normalize_ops, BatchOp, BatchSet, ConfigError, RangeSet, SetKey};
 use std::collections::HashMap;
@@ -64,22 +112,189 @@ impl<K: Copy> Op<K> {
     }
 }
 
+/// How a [`Combiner`] leader decides when its combining window closes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WindowPolicy {
+    /// Static thresholds: seal at [`CombinerConfig::window_ops`] pending
+    /// operations or after [`CombinerConfig::window_wait`] (whichever
+    /// comes first). `window_wait == 0` never waits (reactive combining).
+    Fixed,
+    /// Arrival-rate tracking: grow the epoch while operations keep
+    /// arriving, seal on a rate drop or a hard cap. See
+    /// [`AdaptiveWindow`] for the knobs.
+    Adaptive(AdaptiveWindow),
+}
+
+/// Knobs of [`WindowPolicy::Adaptive`].
+///
+/// The leader keeps an EWMA (weight ¼) of inter-arrival gaps, where one
+/// *arrival* is one publication landing in the epoch buffer — a single
+/// point op or one whole [`Combiner::submit_many`] burst, so tune
+/// `gap_factor` against your publication rate, not the per-op rate
+/// inside bursts. The window stays open while the time since the last
+/// arrival is below `max(gap_factor × EWMA, idle_grace)`; crossing
+/// that line seals the epoch (*rate drop*). `max_window_ops` and
+/// `max_window_wait` are hard caps so a saturating stream still seals.
+/// The EWMA is warm-started from the previous epoch (halved across
+/// epochs that saw no extra arrival), so wave traffic is recognized
+/// from the first straggler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveWindow {
+    /// Seal once the instantaneous gap exceeds this multiple of the EWMA
+    /// gap (≥ 1).
+    pub gap_factor: u32,
+    /// Minimum idle allowance, and the allowance before the epoch's
+    /// first gap sample exists. This bounds the extra latency adaptive
+    /// combining adds to an isolated operation.
+    pub idle_grace: Duration,
+    /// Hard cap: seal as soon as this many operations are pending.
+    pub max_window_ops: usize,
+    /// Hard cap: seal once the window has been open this long.
+    pub max_window_wait: Duration,
+}
+
+impl Default for AdaptiveWindow {
+    fn default() -> Self {
+        Self {
+            gap_factor: 8,
+            idle_grace: Duration::from_micros(50),
+            max_window_ops: 8192,
+            max_window_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+impl AdaptiveWindow {
+    fn check(&self) -> Result<(), ConfigError> {
+        if self.gap_factor < 1 {
+            return Err(ConfigError::new("gap_factor", "must be at least 1"));
+        }
+        if self.max_window_ops < 1 {
+            return Err(ConfigError::new("max_window_ops", "must be at least 1"));
+        }
+        if self.max_window_wait < self.idle_grace {
+            return Err(ConfigError::new(
+                "max_window_wait",
+                "must be at least idle_grace",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why a combining window closed (tallied in [`CombinerStats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SealReason {
+    /// The op threshold fired: `window_ops` under [`WindowPolicy::Fixed`],
+    /// `max_window_ops` under [`WindowPolicy::Adaptive`].
+    OpsCap,
+    /// The wall-clock cap fired: `window_wait` under Fixed (including
+    /// every reactive drain, whose wait is zero), `max_window_wait`
+    /// under Adaptive.
+    WaitCap,
+    /// Adaptive only: the instantaneous inter-arrival gap exceeded the
+    /// allowance — the burst ended.
+    RateDrop,
+}
+
+/// Always-on combining statistics, mirroring `PmaStats`: a handful of
+/// integer adds per *epoch*, kept under the leader lock, so they are
+/// cheap, coherent, and need no feature flag.
+///
+/// # Examples
+///
+/// ```
+/// use cpma_store::Combiner;
+/// use std::collections::BTreeSet;
+///
+/// let c: Combiner<BTreeSet<u64>> = Combiner::new(BTreeSet::new());
+/// c.insert_many(&[1, 2, 3, 4]);
+/// let stats = c.stats();
+/// assert_eq!((stats.epochs, stats.ops), (1, 4));
+/// // A 4-op epoch lands in the ops-histogram bucket for log2(4) == 2.
+/// assert_eq!(stats.ops_per_epoch_log2[2], 1);
+/// assert_eq!(stats.summary().contains("epochs=1"), true);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CombinerStats {
+    /// Epochs applied (each applied exactly one combined batch).
+    pub epochs: u64,
+    /// Operations acknowledged across all epochs.
+    pub ops: u64,
+    /// Histogram of epoch sizes: bucket `i` counts epochs with
+    /// `ops_in_epoch.ilog2() == i` (bucket 15 collects everything of
+    /// 2^15 ops and larger).
+    pub ops_per_epoch_log2: [u64; 16],
+    /// Epochs sealed by the op-count threshold (`window_ops` /
+    /// `max_window_ops`).
+    pub sealed_ops_cap: u64,
+    /// Epochs sealed by the wall-clock threshold (`window_wait` /
+    /// `max_window_wait`; every reactive drain counts here).
+    pub sealed_wait_cap: u64,
+    /// Epochs sealed by an arrival-rate drop (adaptive policy only).
+    pub sealed_rate_drop: u64,
+}
+
+impl CombinerStats {
+    fn record_epoch(&mut self, ops: usize, reason: SealReason) {
+        self.epochs += 1;
+        self.ops += ops as u64;
+        let bucket = if ops <= 1 {
+            0
+        } else {
+            (ops.ilog2() as usize).min(15)
+        };
+        self.ops_per_epoch_log2[bucket] += 1;
+        match reason {
+            SealReason::OpsCap => self.sealed_ops_cap += 1,
+            SealReason::WaitCap => self.sealed_wait_cap += 1,
+            SealReason::RateDrop => self.sealed_rate_drop += 1,
+        }
+    }
+
+    /// Mean operations per epoch so far.
+    pub fn mean_ops_per_epoch(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.epochs as f64
+        }
+    }
+
+    /// One compact human-readable line (the bench drivers print this).
+    pub fn summary(&self) -> String {
+        format!(
+            "epochs={} ops={} mean_ops/epoch={:.1} sealed[ops_cap={} wait_cap={} rate_drop={}]",
+            self.epochs,
+            self.ops,
+            self.mean_ops_per_epoch(),
+            self.sealed_ops_cap,
+            self.sealed_wait_cap,
+            self.sealed_rate_drop
+        )
+    }
+}
+
 /// Tuning knobs for the combining epochs.
 #[derive(Clone, Debug)]
 pub struct CombinerConfig {
-    /// The combining-window *target*: while `window_wait` has not
+    /// How the leader decides when to seal an epoch. [`WindowPolicy::Fixed`]
+    /// (the default) uses `window_ops`/`window_wait` below;
+    /// [`WindowPolicy::Adaptive`] carries its own knobs and ignores them.
+    pub policy: WindowPolicy,
+    /// Fixed-policy combining-window *target*: while `window_wait` has not
     /// elapsed, the leader holds the epoch open until at least this many
     /// operations are pending. It is a wait threshold, not a cap —
     /// submissions that land before sealing all join the epoch — and it
     /// has no effect when `window_wait` is zero (the leader then never
     /// waits).
     pub window_ops: usize,
-    /// How long the leader holds the epoch open waiting for the window
-    /// to fill. `Duration::ZERO` (the default) is *reactive* flat
-    /// combining: the leader drains whatever is pending and never waits —
-    /// batch size then adapts to contention (ops pile up while the
-    /// previous epoch applies). A non-zero wait trades latency for bigger
-    /// batches on sparse traffic.
+    /// Fixed-policy wait bound: how long the leader holds the epoch open
+    /// waiting for the window to fill. `Duration::ZERO` (the default) is
+    /// *reactive* flat combining: the leader drains whatever is pending
+    /// and never waits — batch size then adapts to contention (ops pile
+    /// up while the previous epoch applies). A non-zero wait trades
+    /// latency for bigger batches on sparse traffic.
     pub window_wait: Duration,
     /// Publish a snapshot every this many epochs. 1 (the default) makes
     /// every acknowledged operation immediately snapshot-visible; larger
@@ -94,6 +309,7 @@ pub struct CombinerConfig {
 impl Default for CombinerConfig {
     fn default() -> Self {
         Self {
+            policy: WindowPolicy::Fixed,
             window_ops: 64,
             window_wait: Duration::ZERO,
             snapshot_every: 1,
@@ -103,6 +319,15 @@ impl Default for CombinerConfig {
 }
 
 impl CombinerConfig {
+    /// The default adaptive configuration: `Adaptive(AdaptiveWindow::default())`
+    /// with everything else as in [`CombinerConfig::default`].
+    pub fn adaptive() -> Self {
+        Self {
+            policy: WindowPolicy::Adaptive(AdaptiveWindow::default()),
+            ..Self::default()
+        }
+    }
+
     /// Check parameter validity ([`Combiner::with_config`] asserts this).
     pub fn check(&self) -> Result<(), ConfigError> {
         if self.window_ops < 1 {
@@ -110,6 +335,9 @@ impl CombinerConfig {
         }
         if self.snapshot_every < 1 {
             return Err(ConfigError::new("snapshot_every", "must be at least 1"));
+        }
+        if let WindowPolicy::Adaptive(a) = &self.policy {
+            a.check()?;
         }
         Ok(())
     }
@@ -151,16 +379,47 @@ impl<K> Epoch<K> {
     }
 }
 
-/// Leader-exclusive state: the authoritative set plus the epoch counter.
+/// Leader-exclusive state: the authoritative set, the epoch counter, and
+/// the combining statistics.
 struct Core<S> {
     set: S,
     epochs_applied: u64,
+    stats: CombinerStats,
+    /// Warm-start seed for the next epoch's inter-arrival EWMA (adaptive
+    /// policy): the previous epoch's final EWMA, halved whenever an
+    /// epoch closes without seeing any arrival beyond its opening
+    /// publication, so the allowance decays back toward `idle_grace`
+    /// across a sparse stretch instead of sticking at a stale burst
+    /// estimate.
+    ewma_seed_ns: f64,
 }
 
 /// A flat-combining concurrent front-end over any batch-parallel set.
 ///
-/// Share it by reference (or `Arc`) across threads; see the
-/// [module docs](self) for the epoch protocol.
+/// Share it by reference (or `Arc`) across threads; the module header
+/// in `combiner.rs` documents the epoch protocol and window policies.
+///
+/// # Examples
+///
+/// ```
+/// use cpma_store::{Combiner, Op};
+/// use std::collections::BTreeSet;
+///
+/// let store: Combiner<BTreeSet<u64>> = Combiner::new(BTreeSet::new());
+/// std::thread::scope(|scope| {
+///     for t in 0..4u64 {
+///         let store = &store;
+///         scope.spawn(move || {
+///             for i in 0..100 {
+///                 store.insert(t * 1000 + i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(store.snapshot().len(), 400);
+/// let results = store.submit_many(&[Op::Remove(1), Op::Contains(1)]);
+/// assert_eq!(results, vec![true, false]);
+/// ```
 pub struct Combiner<S, K: SetKey = u64> {
     core: Mutex<Core<S>>,
     current: Mutex<Arc<Epoch<K>>>,
@@ -192,6 +451,8 @@ where
             core: Mutex::new(Core {
                 set,
                 epochs_applied: 0,
+                stats: CombinerStats::default(),
+                ewma_seed_ns: 0.0,
             }),
             current: Mutex::new(Arc::new(Epoch::new())),
             cfg,
@@ -224,6 +485,17 @@ where
     /// Epochs applied so far (each applied exactly one combined batch).
     pub fn epochs_applied(&self) -> u64 {
         self.core.lock().unwrap().epochs_applied
+    }
+
+    /// A copy of the combining statistics so far. Taken under the leader
+    /// lock, so it may briefly wait for an in-flight epoch to finish.
+    pub fn stats(&self) -> CombinerStats {
+        self.core.lock().unwrap().stats
+    }
+
+    /// Zero the combining statistics (e.g. between measured phases).
+    pub fn reset_stats(&self) {
+        self.core.lock().unwrap().stats = CombinerStats::default();
     }
 
     /// Unwrap the authoritative set (consumes the combiner, so every
@@ -322,6 +594,105 @@ where
         }
     }
 
+    /// Fixed policy: hold the window open until `window_ops` pending ops
+    /// or `window_wait` elapsed.
+    fn window_fixed<'a>(
+        &self,
+        epoch: &'a Epoch<K>,
+        mut st: std::sync::MutexGuard<'a, EpochState<K>>,
+    ) -> (std::sync::MutexGuard<'a, EpochState<K>>, SealReason) {
+        let deadline = Instant::now() + self.cfg.window_wait;
+        while st.ops.len() < self.cfg.window_ops {
+            let now = Instant::now();
+            if now >= deadline {
+                return (st, SealReason::WaitCap);
+            }
+            let (g, _) = epoch.fill_cv.wait_timeout(st, deadline - now).unwrap();
+            st = g;
+        }
+        (st, SealReason::OpsCap)
+    }
+
+    /// Adaptive policy: track an EWMA of publication inter-arrival
+    /// gaps; keep the window open while the time since the last arrival
+    /// stays below `max(gap_factor × EWMA, idle_grace)`, seal on a rate
+    /// drop or on the `max_window_ops`/`max_window_wait` hard caps.
+    ///
+    /// The leader *polls* (release the buffer lock, yield, re-check)
+    /// instead of sleeping on the fill condvar: the idle allowances at
+    /// stake are tens of microseconds, well below the OS timer slack a
+    /// condvar timeout pays, and a spinning leader is the classic
+    /// flat-combining shape — the window is only open while an epoch is
+    /// actively being built, and it is bounded by `max_window_wait`.
+    fn window_adaptive<'a>(
+        &self,
+        epoch: &'a Epoch<K>,
+        adaptive: &AdaptiveWindow,
+        mut st: std::sync::MutexGuard<'a, EpochState<K>>,
+        ewma_seed_ns: f64,
+    ) -> (std::sync::MutexGuard<'a, EpochState<K>>, SealReason, f64) {
+        let start = Instant::now();
+        let hard_deadline = start + adaptive.max_window_wait;
+        let mut last_arrival = start;
+        let mut seen = st.ops.len();
+        // EWMA of inter-arrival gaps, in nanoseconds (weight ¼). An
+        // *arrival* is a publication landing in the buffer — one point op
+        // or one whole `submit_many` burst — because what the seal
+        // decision needs is the spacing of traffic events, not of the
+        // individual ops inside a burst. The EWMA is warm-started from
+        // the previous epoch so the first straggler of a wave is not
+        // judged by the bare `idle_grace`.
+        let mut ewma_gap_ns: f64 = ewma_seed_ns;
+        let mut have_sample = ewma_seed_ns > 0.0;
+        let mut sampled_this_epoch = false;
+        loop {
+            let carry = if sampled_this_epoch {
+                ewma_gap_ns
+            } else {
+                // Silent epoch: decay the inherited estimate so a sparse
+                // stretch converges back to the idle_grace floor.
+                ewma_gap_ns * 0.5
+            };
+            if st.ops.len() >= adaptive.max_window_ops {
+                return (st, SealReason::OpsCap, carry);
+            }
+            let now = Instant::now();
+            if now >= hard_deadline {
+                return (st, SealReason::WaitCap, carry);
+            }
+            let n = st.ops.len();
+            if n > seen {
+                // New arrivals since the last look: fold the gap into
+                // the EWMA and restart the idle clock.
+                let gap_ns = now.duration_since(last_arrival).as_nanos() as f64;
+                ewma_gap_ns = if have_sample {
+                    ewma_gap_ns + (gap_ns - ewma_gap_ns) * 0.25
+                } else {
+                    gap_ns
+                };
+                have_sample = true;
+                sampled_this_epoch = true;
+                last_arrival = now;
+                seen = n;
+                continue;
+            }
+            let allowance_ns = if have_sample {
+                (ewma_gap_ns * f64::from(adaptive.gap_factor))
+                    .max(adaptive.idle_grace.as_nanos() as f64)
+            } else {
+                adaptive.idle_grace.as_nanos() as f64
+            };
+            if now.duration_since(last_arrival).as_nanos() as f64 >= allowance_ns {
+                return (st, SealReason::RateDrop, carry);
+            }
+            // Release the publication buffer so submitters can land,
+            // then look again.
+            drop(st);
+            std::thread::yield_now();
+            st = epoch.state.lock().unwrap();
+        }
+    }
+
     /// Drive one epoch: window, seal, replay, apply, publish, wake, then
     /// release the leader slot and hand leadership to a waiter of the
     /// next epoch if one is already pending.
@@ -329,21 +700,21 @@ where
         let core = &mut *guard;
         let epoch = self.current.lock().unwrap().clone();
 
-        // Combining window: hold the epoch open briefly so concurrent
-        // submitters can pile on.
-        let ops = {
-            let mut st = epoch.state.lock().unwrap();
-            let deadline = Instant::now() + self.cfg.window_wait;
-            while st.ops.len() < self.cfg.window_ops {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
+        // Combining window: hold the epoch open so concurrent submitters
+        // can pile on, for as long as the configured policy says.
+        let (ops, seal_reason) = {
+            let st = epoch.state.lock().unwrap();
+            let (mut st, reason) = match &self.cfg.policy {
+                WindowPolicy::Fixed => self.window_fixed(&epoch, st),
+                WindowPolicy::Adaptive(a) => {
+                    let (st, reason, carry) =
+                        self.window_adaptive(&epoch, a, st, core.ewma_seed_ns);
+                    core.ewma_seed_ns = carry;
+                    (st, reason)
                 }
-                let (g, _) = epoch.fill_cv.wait_timeout(st, deadline - now).unwrap();
-                st = g;
-            }
+            };
             st.sealed = true;
-            std::mem::take(&mut st.ops)
+            (std::mem::take(&mut st.ops), reason)
         };
         // Open a fresh epoch for subsequent submitters.
         *self.current.lock().unwrap() = Arc::new(Epoch::new());
@@ -403,6 +774,7 @@ where
             core.set.apply_batch_sorted(net);
         }
         core.epochs_applied += 1;
+        core.stats.record_epoch(ops.len(), seal_reason);
 
         // Publish before waking: an acknowledged op is snapshot-visible.
         if core.epochs_applied.is_multiple_of(self.cfg.snapshot_every) {
@@ -455,6 +827,78 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_single_thread_ops_match_oracle() {
+        // Same oracle run under the adaptive policy: sealing earlier or
+        // later never changes linearized results.
+        let c: Combiner<BTreeSet<u64>> =
+            Combiner::with_config(BTreeSet::new(), CombinerConfig::adaptive());
+        let mut model = BTreeSet::new();
+        let mut rng = cpma_api::testkit::Rng::new(0xC0B2);
+        for _ in 0..300 {
+            let k = rng.bits(6);
+            match rng.below(3) {
+                0 => assert_eq!(c.insert(k), model.insert(k), "insert({k})"),
+                1 => assert_eq!(c.remove(k), model.remove(&k), "remove({k})"),
+                _ => assert_eq!(c.contains(k), model.contains(&k), "contains({k})"),
+            }
+        }
+        let stats = c.stats();
+        assert_eq!(stats.epochs, 300, "solo submitters lead their own epoch");
+        assert_eq!(stats.ops, 300);
+        assert_eq!(
+            stats.sealed_ops_cap + stats.sealed_wait_cap + stats.sealed_rate_drop,
+            stats.epochs,
+            "every epoch has exactly one seal reason"
+        );
+        assert_eq!(c.into_inner(), model);
+    }
+
+    #[test]
+    fn adaptive_solo_epochs_seal_on_rate_drop() {
+        // A solo submitter with generous caps: the only way out of the
+        // window is the rate-drop check (no further arrivals ever come).
+        let cfg = CombinerConfig {
+            policy: WindowPolicy::Adaptive(AdaptiveWindow {
+                gap_factor: 4,
+                idle_grace: Duration::from_micros(50),
+                max_window_ops: 1 << 20,
+                max_window_wait: Duration::from_secs(30),
+            }),
+            ..CombinerConfig::default()
+        };
+        let c: Combiner<BTreeSet<u64>> = Combiner::with_config(BTreeSet::new(), cfg);
+        for burst in 0..20u64 {
+            let keys: Vec<u64> = (burst * 100..burst * 100 + 64).collect();
+            assert_eq!(c.insert_many(&keys), 64);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.epochs, 20);
+        assert_eq!(stats.sealed_rate_drop, 20, "{}", stats.summary());
+        assert_eq!(stats.ops, 20 * 64);
+        // All epochs were 64 ops: a single histogram bucket (log2 == 6).
+        assert_eq!(stats.ops_per_epoch_log2[6], 20);
+    }
+
+    #[test]
+    fn adaptive_ops_cap_seals_big_publications() {
+        // A publication larger than max_window_ops seals immediately via
+        // the ops cap, before any waiting.
+        let cfg = CombinerConfig {
+            policy: WindowPolicy::Adaptive(AdaptiveWindow {
+                max_window_ops: 8,
+                ..AdaptiveWindow::default()
+            }),
+            ..CombinerConfig::default()
+        };
+        let c: Combiner<BTreeSet<u64>> = Combiner::with_config(BTreeSet::new(), cfg);
+        let keys: Vec<u64> = (0..64).collect();
+        assert_eq!(c.insert_many(&keys), 64);
+        let stats = c.stats();
+        assert_eq!(stats.epochs, 1, "one publication, one epoch");
+        assert_eq!(stats.sealed_ops_cap, 1, "{}", stats.summary());
+    }
+
+    #[test]
     fn submit_many_matches_per_op_results() {
         let c: Combiner<BTreeSet<u64>> = Combiner::new(BTreeSet::new());
         let burst = [
@@ -497,6 +941,12 @@ mod tests {
         assert!(!c.remove(7), "second remove sees the first");
         assert!(!c.contains(7));
         assert_eq!(c.epochs_applied(), 5);
+        // Reactive fixed windows never wait: every seal is a wait-cap.
+        let stats = c.stats();
+        assert_eq!(stats.sealed_wait_cap, 5);
+        assert_eq!(stats.ops_per_epoch_log2[0], 5);
+        c.reset_stats();
+        assert_eq!(c.stats(), CombinerStats::default());
     }
 
     #[test]
@@ -537,6 +987,46 @@ mod tests {
             .unwrap_err()
             .field,
             "snapshot_every"
+        );
+        assert_eq!(
+            CombinerConfig {
+                policy: WindowPolicy::Adaptive(AdaptiveWindow {
+                    gap_factor: 0,
+                    ..AdaptiveWindow::default()
+                }),
+                ..CombinerConfig::default()
+            }
+            .check()
+            .unwrap_err()
+            .field,
+            "gap_factor"
+        );
+        assert_eq!(
+            CombinerConfig {
+                policy: WindowPolicy::Adaptive(AdaptiveWindow {
+                    max_window_ops: 0,
+                    ..AdaptiveWindow::default()
+                }),
+                ..CombinerConfig::default()
+            }
+            .check()
+            .unwrap_err()
+            .field,
+            "max_window_ops"
+        );
+        assert_eq!(
+            CombinerConfig {
+                policy: WindowPolicy::Adaptive(AdaptiveWindow {
+                    max_window_wait: Duration::ZERO,
+                    idle_grace: Duration::from_micros(1),
+                    ..AdaptiveWindow::default()
+                }),
+                ..CombinerConfig::default()
+            }
+            .check()
+            .unwrap_err()
+            .field,
+            "max_window_wait"
         );
     }
 }

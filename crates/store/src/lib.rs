@@ -10,29 +10,39 @@
 //! trees (explicit batch interfaces fed by an aggregation layer) and
 //! PaC-tree-style snapshot readers:
 //!
-//! * [`ShardedSet<S, N>`] range-partitions the key space into `N` shards
+//! * [`ShardedSet<S, N>`] range-partitions the key space into shards
 //!   of any [`cpma_api::BatchSet`] + [`cpma_api::RangeSet`] backend,
 //!   splits each sorted batch at learned splitters, and applies the
-//!   per-shard sub-batches **in parallel** on the workspace pool. It
-//!   implements the full canonical trait hierarchy itself, so the
-//!   conformance suite, the equivalence and determinism tests, and
-//!   `fgraph::SetGraph` all gate it unchanged.
+//!   per-shard sub-batches **in parallel** on the workspace pool. Its
+//!   rebalance pass is self-tuning: always-on [`RebalanceStats`] track
+//!   per-shard traffic and imbalance, and the shard count doubles or
+//!   halves between configurable bounds ([`ShardTuning`]) as occupancy
+//!   and traffic demand. It implements the full canonical trait
+//!   hierarchy itself, so the conformance suite, the equivalence and
+//!   determinism tests, and `fgraph::SetGraph` all gate it unchanged.
 //! * [`Combiner<S>`] is a flat-combining writer front-end: any thread may
 //!   submit `insert`/`remove`/`contains` operations; one submitter is
 //!   elected leader per *epoch*, drains the shared publication buffer,
 //!   folds the drained operations into one normalized batch, applies it
 //!   with the backend's batch-parallel update, and wakes every waiter with
-//!   its individual result. Readers run against a swap-published snapshot
+//!   its individual result. The combining window is governed by
+//!   [`WindowPolicy`] — static thresholds or the adaptive arrival-rate
+//!   tracker — with always-on [`CombinerStats`] recording epoch sizes
+//!   and seal reasons. Readers run against a swap-published snapshot
 //!   ([`Combiner::snapshot`]) and never block behind writers.
 //!
 //! Stacked as `Combiner<ShardedSet<Cpma>>`, point operations from many
 //! threads become sorted batches, and those batches fan out over shards —
 //! live traffic executes exactly the workload regime the paper shows the
 //! CPMA wins. The `store_throughput` benchmark binary in `cpma-bench`
-//! measures that end to end.
+//! measures that end to end (including the bursty-arrival Fixed-vs-
+//! Adaptive sweep); `docs/TUNING.md` explains every knob.
 
 mod combiner;
 mod sharded;
 
-pub use combiner::{Combiner, CombinerConfig, Op};
-pub use sharded::ShardedSet;
+pub use combiner::{AdaptiveWindow, Combiner, CombinerConfig, CombinerStats, Op, WindowPolicy};
+pub use sharded::{
+    RebalanceStats, ShardTuning, ShardedSet, DEFAULT_TARGET_PER_SHARD, REBALANCE_MIN_PER_SHARD,
+    SKEW_FACTOR,
+};

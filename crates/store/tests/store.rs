@@ -8,7 +8,7 @@ use cpma_api::conformance::assert_ordered_set_contract;
 use cpma_api::testkit::Rng;
 use cpma_api::{BatchSet, OrderedSet, RangeSet};
 use cpma_pma::{Cpma, Pma};
-use cpma_store::{Combiner, CombinerConfig, ShardedSet};
+use cpma_store::{AdaptiveWindow, Combiner, CombinerConfig, Op, ShardedSet, WindowPolicy};
 use std::collections::BTreeSet;
 use std::time::Duration;
 
@@ -29,6 +29,87 @@ fn sharded_pma_and_btreeset_pass_the_contract() {
     // and the oracle too.
     assert_ordered_set_contract::<ShardedSet<Pma<u64>, 4>>(0x5B4);
     assert_ordered_set_contract::<ShardedSet<BTreeSet<u64>, 4>>(0x5C4);
+}
+
+#[test]
+fn autotuned_sharded_cpma_passes_the_contract() {
+    // With resharding enabled (bounds 2..=32) the wrapper must still be
+    // externally indistinguishable from the abstract set: the contract's
+    // 30k-element mixed workload drives several grow passes.
+    assert_ordered_set_contract::<ShardedSet<Cpma, 4, 2, 32>>(0xA570);
+    // Bounds that force an immediate clamp away from N are legal too.
+    assert_ordered_set_contract::<ShardedSet<Cpma, 8, 1, 2>>(0xA571);
+}
+
+#[test]
+fn resharding_round_trip_grows_then_shrinks() {
+    type Auto = ShardedSet<Cpma, 4, 2, 32>;
+    let mut s: Auto = BatchSet::new_set();
+    let mut model: BTreeSet<u64> = BTreeSet::new();
+    assert_eq!(s.shard_count(), 4);
+
+    // Grow: three large batches walk the count up (one doubling per
+    // rebalance pass while the mean occupancy stays above 2× target).
+    let mut rng = Rng::new(0x6707);
+    for _ in 0..3 {
+        let batch = rng.sorted_batch(30_000, 26);
+        let added = s.insert_batch_sorted(&batch);
+        let want = batch.iter().filter(|&&k| model.insert(k)).count();
+        assert_eq!(added, want);
+    }
+    let grown = s.shard_count();
+    assert!(grown > 4, "expected growth past the initial 4, got {grown}");
+    assert!(grown <= 32);
+    let stats = s.rebalance_stats();
+    assert!(stats.grows >= 1, "{}", stats.summary());
+    assert!(
+        stats.post_rebalance_imbalance_permille >= 1000,
+        "imbalance is fullest/mean, so ≥ 1000‰ by definition: {}",
+        stats.summary()
+    );
+    assert_eq!(
+        RangeSet::to_vec(&s),
+        model.iter().copied().collect::<Vec<_>>(),
+        "contents after growth"
+    );
+
+    // Shrink: drain almost everything; the big remove batch both fills
+    // the traffic window and pushes occupancy below target/2.
+    let all: Vec<u64> = model.iter().copied().collect();
+    let (keep, kill) = all.split_at(100);
+    assert_eq!(s.remove_batch_sorted(kill), kill.len());
+    for k in kill {
+        model.remove(k);
+    }
+    let shrunk = s.shard_count();
+    assert!(shrunk < grown, "expected shrink from {grown}, got {shrunk}");
+    assert!(shrunk >= 2);
+    assert!(s.rebalance_stats().shrinks >= 1);
+
+    // The survivor still behaves: point queries, ranges, and further
+    // batches all agree with the oracle after the round trip.
+    assert_eq!(RangeSet::to_vec(&s), keep);
+    assert_eq!(OrderedSet::len(&s), 100);
+    for &k in keep.iter().step_by(7) {
+        assert!(OrderedSet::contains(&s, k));
+        assert_eq!(
+            OrderedSet::successor(&s, k),
+            model.range(k..).next().copied()
+        );
+    }
+    assert_eq!(
+        s.range_sum(..),
+        keep.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+    );
+    let batch = rng.sorted_batch(5_000, 26);
+    let added = s.insert_batch_sorted(&batch);
+    let want = batch.iter().filter(|&&k| model.insert(k)).count();
+    assert_eq!(added, want);
+    assert_eq!(
+        RangeSet::to_vec(&s),
+        model.iter().copied().collect::<Vec<_>>(),
+        "contents after regrowth"
+    );
 }
 
 #[test]
@@ -151,5 +232,92 @@ fn combiner_linearizes_concurrent_mixed_traffic() {
     let total_ops = WRITERS * OPS_PER_WRITER as u64;
     let epochs = store.epochs_applied();
     assert!(epochs >= 1 && epochs <= total_ops);
+    assert_eq!(RangeSet::to_vec(&store.into_inner()), want);
+}
+
+/// Seeded bursty arrivals under the adaptive window policy: concurrent
+/// writers publish bursts separated by idle gaps. Every acknowledgement
+/// must match the per-stripe oracle, and the always-on stats must
+/// account for every epoch — with the hard caps out of reach, each
+/// window can only close on an arrival-rate drop.
+#[test]
+fn adaptive_combiner_linearizes_bursty_traffic() {
+    const WRITERS: u64 = 4;
+    const BURSTS_PER_WRITER: usize = 25;
+    const BURST_LEN: usize = 32;
+
+    let cfg = CombinerConfig {
+        policy: WindowPolicy::Adaptive(AdaptiveWindow {
+            gap_factor: 8,
+            idle_grace: Duration::from_micros(100),
+            // Caps far beyond what this workload can reach: every seal
+            // below must be a rate drop.
+            max_window_ops: 1 << 20,
+            max_window_wait: Duration::from_secs(30),
+        }),
+        ..CombinerConfig::default()
+    };
+    let store: Combiner<ShardedSet<Cpma, 4>> = Combiner::with_config(BatchSet::new_set(), cfg);
+
+    let models: Vec<BTreeSet<u64>> = std::thread::scope(|scope| {
+        (0..WRITERS)
+            .map(|t| {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut rng = Rng::new(0xB57_0000 + t);
+                    let mut model: BTreeSet<u64> = BTreeSet::new();
+                    for burst in 0..BURSTS_PER_WRITER {
+                        let ops: Vec<Op<u64>> = (0..BURST_LEN)
+                            .map(|_| {
+                                let k = striped_key(t, &mut rng);
+                                match rng.below(4) {
+                                    0 | 1 => Op::Insert(k),
+                                    2 => Op::Remove(k),
+                                    _ => Op::Contains(k),
+                                }
+                            })
+                            .collect();
+                        let acks = store.submit_many(&ops);
+                        for (i, (op, acked)) in ops.iter().zip(acks).enumerate() {
+                            let want = match *op {
+                                Op::Insert(k) => model.insert(k),
+                                Op::Remove(k) => model.remove(&k),
+                                Op::Contains(k) => model.contains(&k),
+                            };
+                            assert_eq!(acked, want, "t{t} burst {burst} op {i} ({op:?})");
+                        }
+                        // Inter-burst idle gap (seeded jitter): the shape
+                        // adaptive sealing exists for.
+                        std::thread::sleep(Duration::from_micros(200 + rng.below(300)));
+                    }
+                    model
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .collect()
+    });
+
+    let mut want: Vec<u64> = models.iter().flatten().copied().collect();
+    want.sort_unstable();
+    let stats = store.stats();
+    let total_ops = WRITERS as usize * BURSTS_PER_WRITER * BURST_LEN;
+    assert_eq!(stats.ops, total_ops as u64, "every op counted exactly once");
+    assert_eq!(stats.epochs, store.epochs_applied());
+    assert_eq!(
+        stats.sealed_rate_drop,
+        stats.epochs,
+        "caps unreachable ⇒ every seal is a rate drop: {}",
+        stats.summary()
+    );
+    assert_eq!(
+        stats.ops_per_epoch_log2.iter().sum::<u64>(),
+        stats.epochs,
+        "histogram covers every epoch"
+    );
+    // Bursts may combine across writers but never split: a publication
+    // lands in one epoch, so there are at most WRITERS × BURSTS epochs.
+    assert!(stats.epochs <= WRITERS * (BURSTS_PER_WRITER as u64));
     assert_eq!(RangeSet::to_vec(&store.into_inner()), want);
 }

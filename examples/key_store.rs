@@ -29,9 +29,13 @@ const SECONDS: u64 = 120;
 const EVENTS_PER_THREAD_SECOND: usize = 2_500;
 
 fn main() {
-    // 8 shards, snapshots published every epoch: every acknowledged burst
-    // is immediately visible to the analytics reader.
-    let store: Combiner<ShardedSet<Cpma, 8>> = Combiner::new(BatchSet::new_set());
+    // Self-tuning store: the adaptive window seals each combining epoch
+    // when the burst wave ends (no arrival-rate knob to guess), the
+    // shard count autotunes between 1 and 64 as the store fills, and
+    // snapshots publish every epoch so every acknowledged burst is
+    // immediately visible to the analytics reader.
+    let store: Combiner<ShardedSet<Cpma, 8, 1, 64>> =
+        Combiner::with_config(BatchSet::new_set(), CombinerConfig::adaptive());
     let ingested = AtomicUsize::new(0);
     let finished_writers = AtomicUsize::new(0);
     let done = AtomicBool::new(false);
@@ -116,7 +120,9 @@ fn main() {
 
     let total = ingested.load(Ordering::Relaxed);
     let epochs = store.epochs_applied();
+    println!("combiner: {}", store.stats().summary());
     let set = store.into_inner();
+    println!("shards:   {}", set.rebalance_stats().summary());
     println!(
         "\ningested {total} unique events in {elapsed:.2}s ({:.0} acked inserts/s)",
         total as f64 / elapsed

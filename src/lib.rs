@@ -55,10 +55,13 @@
 //!   containers, a CSR reference, and a Ligra-style algorithm layer;
 //! * [`store`] — the concurrent front-end: [`store::ShardedSet`]
 //!   (range-partitioned shards, batches split at learned splitters and
-//!   applied shard-parallel) and [`store::Combiner`] (flat-combining
-//!   writer aggregation with swap-published snapshots), which together
+//!   applied shard-parallel, shard count autotuned from its
+//!   [`store::RebalanceStats`]) and [`store::Combiner`] (flat-combining
+//!   writer aggregation with swap-published snapshots and fixed or
+//!   adaptive combining windows, [`store::WindowPolicy`]), which together
 //!   turn live multi-threaded traffic into the batch-parallel updates the
-//!   paper's structures are built for;
+//!   paper's structures are built for — `docs/ARCHITECTURE.md` maps the
+//!   whole stack and `docs/TUNING.md` explains every knob;
 //! * [`workloads`] — deterministic generators for every input distribution
 //!   in the paper's evaluation.
 
@@ -79,5 +82,8 @@ pub mod prelude {
     };
     pub use crate::baselines::{CPac, CTreeSet, PTree, UPac};
     pub use crate::pma::{Cpma, Pma, PmaConfig};
-    pub use crate::store::{Combiner, CombinerConfig, ShardedSet};
+    pub use crate::store::{
+        AdaptiveWindow, Combiner, CombinerConfig, CombinerStats, RebalanceStats, ShardTuning,
+        ShardedSet, WindowPolicy,
+    };
 }

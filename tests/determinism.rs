@@ -144,6 +144,60 @@ fn sharded_cpma_batches_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn autotuned_sharded_cpma_deterministic_across_thread_counts() {
+    // Shard-count autotuning adds a third schedule-sensitive layer: the
+    // resharding decision. It reads only the stored contents and the
+    // batch-op counters (both schedule-independent), so grow/shrink
+    // points — and therefore all observable results — must be identical
+    // at every thread budget.
+    assert_deterministic::<ShardedSet<Cpma, 4, 1, 16>>("ShardedSet<Cpma, 4, 1, 16>");
+    assert_deterministic::<ShardedSet<Cpma, 2, 2, 32>>("ShardedSet<Cpma, 2, 2, 32>");
+}
+
+#[test]
+fn combiner_adaptive_policy_deterministic_across_thread_counts() {
+    // The adaptive window changes *when* epochs seal (wall-clock
+    // dependent), but never *what* the linearized history computes: with
+    // one submitting thread, acknowledgements and final contents are a
+    // pure function of the op stream, whatever the internal thread
+    // budget or the epoch partitioning. Stats (epoch counts, seal
+    // reasons) are deliberately excluded — they are timing-dependent.
+    fn run(seed: u64) -> (Vec<bool>, Vec<u64>) {
+        let c: Combiner<ShardedSet<Cpma, 4, 1, 16>> =
+            Combiner::with_config(BatchSet::new_set(), CombinerConfig::adaptive());
+        let mut rng = Rng::new(seed);
+        let mut acks = Vec::new();
+        for _ in 0..40 {
+            let burst: Vec<cpma::store::Op<u64>> = (0..rng.below(200) + 1)
+                .map(|_| {
+                    let k = rng.bits(14);
+                    match rng.below(3) {
+                        0 => cpma::store::Op::Insert(k),
+                        1 => cpma::store::Op::Remove(k),
+                        _ => cpma::store::Op::Contains(k),
+                    }
+                })
+                .collect();
+            acks.extend(c.submit_many(&burst));
+            acks.push(c.insert(rng.bits(14)));
+        }
+        let contents = RangeSet::to_vec(&c.into_inner());
+        (acks, contents)
+    }
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for seed in [0xADA_0001u64, 0xADA_0002] {
+        let oracle = with_threads(1, || run(seed));
+        for threads in [2usize, 8] {
+            let got = with_threads(threads, || run(seed));
+            assert_eq!(
+                got, oracle,
+                "adaptive combiner diverged between 1 and {threads} threads (seed {seed:#x})"
+            );
+        }
+    }
+}
+
+#[test]
 fn workload_generators_deterministic_across_thread_counts() {
     // The paper's input generators are chunk-parallel with per-chunk seed
     // streams; their output must not depend on the thread count either.
