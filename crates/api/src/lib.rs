@@ -41,9 +41,12 @@
 use std::ops::{Bound, RangeBounds};
 
 pub mod conformance;
+pub mod persist;
 pub mod testkit;
 
 mod btree;
+
+pub use persist::{Persist, PersistError};
 
 /// Integer key types storable in the workspace's ordered sets.
 ///

@@ -1,0 +1,165 @@
+//! `persist_bench` — checkpoint/restore bandwidth and write-ahead-log
+//! overhead of the `cpma-persist` durability layer.
+//!
+//! Three measurements, emitted to `BENCH_persist.json`:
+//!
+//! * **checkpoint** — `Persist::save` wall time for `Pma` and `Cpma`
+//!   snapshots across a size sweep, as elements/sec and MB/s (the PMA's
+//!   pointer-free layout makes a snapshot a raw byte copy of the backing
+//!   arrays, so this should track sequential write bandwidth);
+//! * **restore** — `Persist::load` of the same images, which includes the
+//!   full corruption-validation pass (checksums plus per-leaf structure);
+//! * **wal** — ingest throughput of a durable `Combiner<Cpma>` vs the
+//!   identical non-durable run, at ≥ 3 epoch sizes, reporting the
+//!   per-epoch WAL overhead in microseconds. Bigger epochs amortize the
+//!   logging exactly like they amortize the batch update itself.
+//!
+//! All files land in a per-process temp directory that is removed at
+//! exit. `--quick` shrinks everything for the CI smoke leg.
+
+use cpma_api::{BatchSet, Persist};
+use cpma_bench::ubench::{black_box, Bencher};
+use cpma_bench::{sci, Args};
+use cpma_persist::{FsyncPolicy, WalConfig};
+use cpma_pma::{Cpma, Pma};
+use cpma_store::{Combiner, CombinerConfig};
+use cpma_workloads::{dedup_sorted, uniform_keys};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Save/load bandwidth for one structure at one size.
+fn bench_snapshot<S: BatchSet<u64> + Persist>(b: &Bencher, which: &str, keys: &[u64], path: &Path) {
+    let set = S::build_sorted(keys);
+    let n = keys.len();
+    let save_s = best_of(3, || set.save(path).unwrap());
+    let bytes = std::fs::metadata(path).unwrap().len();
+    let load_s = best_of(3, || S::load(path).unwrap());
+    let mb = bytes as f64 / (1 << 20) as f64;
+    for (op, secs) in [("save", save_s), ("load", load_s)] {
+        println!(
+            "{which:>5} {op:>5} n={n:<9} {:>10} elems/s  {:>8.1} MB/s  ({:.1} bytes/elem)",
+            sci(n as f64 / secs),
+            mb / secs,
+            bytes as f64 / n as f64
+        );
+        println!("csv,persist,{which},{op},{n},{secs:e},{bytes}");
+        b.record(
+            &format!("persist/{op}/{which}/{n}"),
+            &[
+                ("structure", which.to_string()),
+                ("n", n.to_string()),
+                ("bytes", bytes.to_string()),
+                ("mb_per_s", format!("{:.1}", mb / secs)),
+            ],
+            secs / n as f64,
+        );
+    }
+    std::fs::remove_file(path).unwrap();
+}
+
+/// Single-writer burst ingest of `keys` in `epoch`-sized publications,
+/// durable (under `wal`) or plain; returns (seconds, epochs applied).
+fn run_ingest(keys: &[u64], epoch: usize, wal: Option<WalConfig>) -> (f64, u64) {
+    let cfg = CombinerConfig::default();
+    let combiner: Combiner<Cpma> = match wal {
+        Some(wal) => Combiner::open_durable(cfg, wal).unwrap().0,
+        None => Combiner::with_config(Cpma::new(), cfg),
+    };
+    let t = Instant::now();
+    for chunk in keys.chunks(epoch) {
+        combiner.insert_many(chunk);
+    }
+    let secs = t.elapsed().as_secs_f64();
+    (secs, combiner.epochs_applied())
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let seed: u64 = args.get_or("seed", 42);
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("cpma-persist-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let b = Bencher::new();
+
+    println!("# persist_bench — checkpoint/restore bandwidth");
+    let sizes: &[usize] = if quick {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000, 4_000_000]
+    };
+    for &n in sizes {
+        let keys = dedup_sorted(uniform_keys(n, 34, seed ^ 0x5AFE));
+        bench_snapshot::<Pma>(&b, "pma", &keys, &dir.join("pma.snap"));
+        bench_snapshot::<Cpma>(&b, "cpma", &keys, &dir.join("cpma.snap"));
+    }
+
+    // WAL overhead: the same ingest with and without the epoch log. The
+    // fsync policy is `Never` so the comparison isolates the logging work
+    // itself (encode + append + checksum) from device sync latency;
+    // `EveryN(64)` in the full run shows the amortized-sync deployment
+    // point.
+    let total: usize = args.get_or("ops", if quick { 40_000 } else { 400_000 });
+    let keys = uniform_keys(total, 34, seed ^ 0x11A6);
+    println!("# wal overhead — {total} ops, single writer, burst = epoch size");
+    println!(
+        "{:>7} {:>8} {:>12} {:>12} {:>10} {:>14}",
+        "epoch", "fsync", "plain", "durable", "overhead", "us/epoch"
+    );
+    let policies: &[(&str, FsyncPolicy)] = if quick {
+        &[("never", FsyncPolicy::Never)]
+    } else {
+        &[
+            ("never", FsyncPolicy::Never),
+            ("every64", FsyncPolicy::EveryN(64)),
+        ]
+    };
+    for &epoch in &[256usize, 2048, 16384] {
+        let (plain_s, epochs) = run_ingest(&keys, epoch, None);
+        for (pname, policy) in policies {
+            let wal_dir = dir.join(format!("wal-{epoch}-{pname}"));
+            let mut wal = WalConfig::new(&wal_dir);
+            wal.fsync = *policy;
+            wal.rotate_bytes = 64 << 20; // rotation out of the measurement
+            let (durable_s, depochs) = run_ingest(&keys, epoch, Some(wal));
+            assert_eq!(epochs, depochs, "same drive, same epochs");
+            let overhead = (durable_s - plain_s).max(0.0);
+            let per_epoch_us = overhead * 1e6 / epochs as f64;
+            println!(
+                "{epoch:>7} {pname:>8} {:>10}/s {:>10}/s {:>9.1}% {:>12.2}",
+                sci(total as f64 / plain_s),
+                sci(total as f64 / durable_s),
+                100.0 * overhead / plain_s,
+                per_epoch_us
+            );
+            println!("csv,persist,wal,{epoch},{pname},{plain_s:e},{durable_s:e}");
+            b.record(
+                &format!("persist/wal/{pname}/{epoch}"),
+                &[
+                    ("epoch_ops", epoch.to_string()),
+                    ("fsync", pname.to_string()),
+                    ("total_ops", total.to_string()),
+                    ("epochs", epochs.to_string()),
+                    ("overhead_pct", format!("{:.1}", 100.0 * overhead / plain_s)),
+                    ("wal_us_per_epoch", format!("{per_epoch_us:.2}")),
+                ],
+                durable_s / total as f64,
+            );
+            std::fs::remove_dir_all(&wal_dir).unwrap();
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    b.write_json("persist").expect("write BENCH_persist.json");
+}

@@ -1,0 +1,369 @@
+//! The snapshot file format: a versioned, checksummed envelope.
+//!
+//! Because the paper's structures are pointer-free, a checkpoint is a
+//! header plus a byte copy of the backing arrays — no pointer fixup, no
+//! per-node walk. This module owns the *framing*; what goes inside `meta`
+//! (config + geometry) and `payload` (the raw arrays) is up to each
+//! structure's [`cpma_api::Persist`] impl.
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     8  magic  "CPMASNAP"
+//!      8     4  format version (LE u32, currently 1)
+//!     12     4  codec id (LE u32, structure-specific)
+//!     16     4  meta length M (LE u32)
+//!     20     8  payload length P (LE u64)
+//!     28     M  meta: structure header (config, geometry, counts)
+//!   28+M     8  header checksum (FNV-1a 64 over bytes [0, 28+M))
+//!   36+M     P  payload: raw backing arrays, little-endian
+//! 36+M+P     8  payload checksum (FNV-1a 64 over the payload)
+//! ```
+//!
+//! Both declared lengths are validated against the actual file size
+//! *before* any slicing, so a corrupted length field yields
+//! [`PersistError::Truncated`] — never an over-allocation.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use cpma_api::PersistError;
+
+use crate::checksum::fnv1a64;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAP_MAGIC: [u8; 8] = *b"CPMASNAP";
+
+/// Highest snapshot format version this build reads and the version it
+/// writes.
+pub const SNAP_VERSION: u32 = 1;
+
+/// A decoded snapshot: codec id plus the two opaque sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEnvelope {
+    /// Which leaf codec wrote the payload (see `LeafStorage::CODEC_ID`
+    /// in `cpma-pma`; other structures pick their own ids).
+    pub codec_id: u32,
+    /// Structure-specific header fields (config, geometry, counts).
+    pub meta: Vec<u8>,
+    /// The raw backing arrays.
+    pub payload: Vec<u8>,
+}
+
+impl SnapshotEnvelope {
+    /// Serialize to the on-disk byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(44 + self.meta.len() + self.payload.len());
+        out.extend_from_slice(&SNAP_MAGIC);
+        out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.codec_id.to_le_bytes());
+        out.extend_from_slice(&(self.meta.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.meta);
+        let header_crc = fnv1a64(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&fnv1a64(&self.payload).to_le_bytes());
+        out
+    }
+
+    /// Parse and validate the on-disk byte layout.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        if bytes.len() < 28 {
+            return Err(PersistError::Truncated("snapshot header"));
+        }
+        let magic: [u8; 8] = bytes[0..8].try_into().unwrap();
+        if magic != SNAP_MAGIC {
+            return Err(PersistError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version == 0 || version > SNAP_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                found: version,
+                supported: SNAP_VERSION,
+            });
+        }
+        let codec_id = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let meta_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+        // Validate declared lengths against the bytes actually present
+        // before indexing anywhere (checked arithmetic: the lengths are
+        // attacker-controlled until the checksum passes).
+        let header_end = 28usize
+            .checked_add(meta_len)
+            .ok_or(PersistError::Truncated("snapshot meta"))?;
+        if bytes.len() < header_end + 8 {
+            return Err(PersistError::Truncated("snapshot meta"));
+        }
+        let payload_len = usize::try_from(payload_len)
+            .map_err(|_| PersistError::Truncated("snapshot payload"))?;
+        let payload_start = header_end + 8;
+        let payload_end = payload_start
+            .checked_add(payload_len)
+            .ok_or(PersistError::Truncated("snapshot payload"))?;
+        if bytes.len() < payload_end + 8 {
+            return Err(PersistError::Truncated("snapshot payload"));
+        }
+        if bytes.len() > payload_end + 8 {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot has {} trailing bytes",
+                bytes.len() - payload_end - 8
+            )));
+        }
+        let header_crc = u64::from_le_bytes(bytes[header_end..header_end + 8].try_into().unwrap());
+        if fnv1a64(&bytes[..header_end]) != header_crc {
+            return Err(PersistError::ChecksumMismatch("snapshot header"));
+        }
+        let payload = &bytes[payload_start..payload_end];
+        let payload_crc =
+            u64::from_le_bytes(bytes[payload_end..payload_end + 8].try_into().unwrap());
+        if fnv1a64(payload) != payload_crc {
+            return Err(PersistError::ChecksumMismatch("snapshot payload"));
+        }
+        Ok(Self {
+            codec_id,
+            meta: bytes[28..header_end].to_vec(),
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Write the envelope to `path` atomically: serialize to a `.tmp`
+    /// sibling, fsync it, then rename over `path`. A crash mid-save
+    /// leaves either the old file or the new one, never a hybrid.
+    pub fn save_file(&self, path: &Path) -> Result<(), PersistError> {
+        write_atomic(path, &self.to_bytes())
+    }
+
+    /// Read and validate the envelope at `path`.
+    pub fn load_file(path: &Path) -> Result<Self, PersistError> {
+        let bytes = fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Write `bytes` to `path` via a fsynced `.tmp` sibling and rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let tmp = tmp_sibling(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "checkpoint".into());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// A little-endian cursor over persisted bytes; every read is
+/// bounds-checked and yields [`PersistError::Truncated`] past the end.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consume a LE u32.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Consume a LE u64.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Consume an f64 stored as LE bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Error unless every byte has been consumed.
+    pub fn expect_end(&self, what: &'static str) -> Result<(), PersistError> {
+        if self.remaining() != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "{what}: {} unexpected trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Append helpers for building `meta`/`payload` sections (all LE).
+pub trait ByteSink {
+    /// Append a LE u32.
+    fn put_u32(&mut self, v: u32);
+    /// Append a LE u64.
+    fn put_u64(&mut self, v: u64);
+    /// Append an f64 as its LE bit pattern.
+    fn put_f64(&mut self, v: f64);
+}
+
+impl ByteSink for Vec<u8> {
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotEnvelope {
+        SnapshotEnvelope {
+            codec_id: 7,
+            meta: (0u8..40).collect(),
+            payload: (0u16..500).map(|v| (v % 251) as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let env = sample();
+        let bytes = env.to_bytes();
+        assert_eq!(SnapshotEnvelope::from_bytes(&bytes).unwrap(), env);
+        // Empty sections are representable.
+        let empty = SnapshotEnvelope {
+            codec_id: 0,
+            meta: vec![],
+            payload: vec![],
+        };
+        let b = empty.to_bytes();
+        assert_eq!(SnapshotEnvelope::from_bytes(&b).unwrap(), empty);
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let bytes = sample().to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                SnapshotEnvelope::from_bytes(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample().to_bytes();
+        for n in 0..bytes.len() {
+            assert!(
+                SnapshotEnvelope::from_bytes(&bytes[..n]).is_err(),
+                "truncation to {n} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            SnapshotEnvelope::from_bytes(&bytes),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn huge_declared_lengths_do_not_allocate() {
+        // Declare a multi-exabyte payload in a 100-byte file: must fail
+        // with Truncated (lengths are checked against actual size first).
+        let mut bytes = sample().to_bytes();
+        bytes[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            SnapshotEnvelope::from_bytes(&bytes),
+            Err(PersistError::Truncated(_))
+        ));
+        let mut bytes2 = sample().to_bytes();
+        bytes2[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            SnapshotEnvelope::from_bytes(&bytes2),
+            Err(PersistError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            SnapshotEnvelope::from_bytes(&bytes),
+            Err(PersistError::BadMagic { .. })
+        ));
+        let mut v9 = sample().to_bytes();
+        v9[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            SnapshotEnvelope::from_bytes(&v9),
+            Err(PersistError::UnsupportedVersion { found: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_save_load() {
+        let dir = std::env::temp_dir().join(format!("cpma-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.cpma");
+        let env = sample();
+        env.save_file(&path).unwrap();
+        assert_eq!(SnapshotEnvelope::load_file(&path).unwrap(), env);
+        // Overwrite with different contents: atomic replace.
+        let env2 = SnapshotEnvelope {
+            codec_id: 9,
+            ..sample()
+        };
+        env2.save_file(&path).unwrap();
+        assert_eq!(SnapshotEnvelope::load_file(&path).unwrap(), env2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_reader_bounds() {
+        let mut buf = Vec::new();
+        buf.put_u32(7);
+        buf.put_u64(1 << 40);
+        buf.put_f64(1.25);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32("a").unwrap(), 7);
+        assert_eq!(r.u64("b").unwrap(), 1 << 40);
+        assert_eq!(r.f64("c").unwrap(), 1.25);
+        assert!(r.expect_end("buf").is_ok());
+        assert!(matches!(r.u32("d"), Err(PersistError::Truncated("d"))));
+    }
+}

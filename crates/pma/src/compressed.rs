@@ -13,7 +13,7 @@ use crate::leaf::{
     apply_ops_into, set_difference_into, set_union_into, MergeOutcome, OpsOutcome, SharedLeaves,
 };
 use crate::{stats, LeafStorage};
-use cpma_api::BatchOp;
+use cpma_api::{BatchOp, PersistError};
 use std::marker::PhantomData;
 
 /// Delta-compressed leaves over `u64` keys. See module docs.
@@ -58,6 +58,132 @@ impl LeafStorage<u64> for CompressedLeaves {
     const LEAF_ALIGN: usize = 64;
     const HEAD_UNITS: usize = 8;
     const LEAF_SCALE: usize = 8;
+
+    const CODEC_ID: u32 = 2;
+
+    // Snapshot payload layout (all little-endian):
+    //   used    num_leaves × u32
+    //   counts  num_leaves × u32
+    //   heads   num_leaves × u64
+    //   bytes   num_leaves × leaf_units  (full array; the first `used[i]`
+    //           bytes of each leaf are its encoded run, the rest don't-care)
+    fn payload_len(num_leaves: usize, leaf_units: usize) -> Option<usize> {
+        let per_leaf = leaf_units.checked_add(4 + 4 + 8)?;
+        num_leaves.checked_mul(per_leaf)
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.overflow.iter().all(|o| o.is_none()));
+        for &u in &self.used {
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        for &c in &self.counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for &h in &self.heads {
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        out.extend_from_slice(&self.bytes);
+    }
+
+    fn read_payload(
+        num_leaves: usize,
+        leaf_units: usize,
+        payload: &[u8],
+    ) -> Result<Self, PersistError> {
+        let expected = Self::payload_len(num_leaves, leaf_units)
+            .filter(|&n| n == payload.len())
+            .ok_or(PersistError::Truncated("cpma payload"))?;
+        debug_assert_eq!(expected, payload.len());
+
+        let used: Vec<u32> = payload[..num_leaves * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let counts_at = num_leaves * 4;
+        let heads_at = counts_at + num_leaves * 4;
+        let bytes_at = heads_at + num_leaves * 8;
+        let counts: Vec<u32> = payload[counts_at..heads_at]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let heads: Vec<u64> = payload[heads_at..bytes_at]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let bytes = payload[bytes_at..].to_vec();
+
+        // Walk every leaf's encoded run byte by byte: the search and scan
+        // paths decode without bounds checks, so nothing invalid may pass.
+        let mut prev_max: Option<u64> = None;
+        for leaf in 0..num_leaves {
+            let nbytes = used[leaf] as usize;
+            let count = counts[leaf] as usize;
+            if nbytes > leaf_units {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} claims {nbytes} used bytes in {leaf_units}"
+                )));
+            }
+            if leaf > 0 && heads[leaf] < heads[leaf - 1] {
+                return Err(PersistError::Corrupt(format!(
+                    "head array decreases at leaf {leaf}"
+                )));
+            }
+            if count == 0 {
+                if nbytes != 0 {
+                    return Err(PersistError::Corrupt(format!(
+                        "empty leaf {leaf} claims {nbytes} used bytes"
+                    )));
+                }
+                continue;
+            }
+            let run = &bytes[leaf * leaf_units..leaf * leaf_units + nbytes];
+            if nbytes < 8 {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} run too short for a head"
+                )));
+            }
+            let head = u64::from_le_bytes(run[..8].try_into().unwrap());
+            if heads[leaf] != head {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} head disagrees with its encoded run"
+                )));
+            }
+            if prev_max.is_some_and(|p| p >= head) {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} overlaps its predecessor"
+                )));
+            }
+            let mut cur = head;
+            let mut pos = 8usize;
+            for _ in 1..count {
+                let delta = checked_varint(run, &mut pos).ok_or_else(|| {
+                    PersistError::Corrupt(format!("leaf {leaf} has a malformed byte code"))
+                })?;
+                cur = cur
+                    .checked_add(delta)
+                    .filter(|_| delta > 0)
+                    .ok_or_else(|| {
+                        PersistError::Corrupt(format!("leaf {leaf} deltas are not ascending"))
+                    })?;
+            }
+            if pos != nbytes {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} run length disagrees with its element count"
+                )));
+            }
+            prev_max = Some(cur);
+        }
+
+        Ok(Self {
+            bytes,
+            used,
+            counts,
+            heads,
+            overflow: (0..num_leaves).map(|_| None).collect(),
+            leaf_units,
+        })
+    }
 
     fn with_geometry(num_leaves: usize, leaf_units: usize) -> Self {
         assert!(num_leaves >= 1);
@@ -454,6 +580,28 @@ impl CompressedShared<'_> {
     #[inline]
     unsafe fn current_units(&self, leaf: usize) -> usize {
         *self.used.add(leaf) as usize
+    }
+}
+
+/// Bounds- and overflow-checked LEB128 decode for snapshot validation.
+/// Unlike `codec::decode_varint` (which trusts its input — it runs on
+/// runs this module encoded itself), this never reads past `buf` and
+/// rejects encodings that do not fit a `u64`.
+fn checked_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        let part = (byte & 0x7f) as u64;
+        if shift >= 64 || (shift > 0 && part >> (64 - shift) != 0) {
+            return None; // would overflow u64
+        }
+        v |= part << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
     }
 }
 

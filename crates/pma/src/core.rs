@@ -33,7 +33,7 @@ use rayon::prelude::*;
 use std::marker::PhantomData;
 
 /// Tuning knobs. Defaults follow the paper (§6 and Appendix B/C).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PmaConfig {
     /// Density thresholds per tree level.
     pub bounds: DensityBounds,
@@ -950,6 +950,28 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
             );
         }
         let _ = (tree, max_depth);
+    }
+}
+
+/// Element + configuration equality: two PMAs are equal iff they store
+/// the same key set under the same [`PmaConfig`]. Physical layout
+/// (capacity, leaf geometry, which leaf holds which key) is
+/// intentionally ignored — it varies with insertion history while the
+/// abstract set does not.
+impl<K: PmaKey, L: LeafStorage<K>> PartialEq for PmaCore<K, L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.cfg == other.cfg && self.iter().eq(other.iter())
+    }
+}
+
+impl<K: PmaKey, L: LeafStorage<K>> std::fmt::Debug for PmaCore<K, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmaCore")
+            .field("len", &self.len)
+            .field("num_leaves", &self.storage.num_leaves())
+            .field("leaf_units", &self.storage.leaf_units())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
     }
 }
 

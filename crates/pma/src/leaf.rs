@@ -20,7 +20,7 @@
 //! from `&mut self`, never materializing overlapping `&mut` references.
 
 use crate::PmaKey;
-use cpma_api::BatchOp;
+use cpma_api::{BatchOp, PersistError};
 
 /// Result of merging into / removing from one leaf.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -80,8 +80,36 @@ pub trait LeafStorage<K: PmaKey>: Send + Sync + Sized {
     /// aligned), keeping leaves Θ(log N) as the paper requires.
     const LEAF_SCALE: usize;
 
+    /// Stable on-disk identifier of this codec, recorded in snapshot
+    /// headers so a `Pma` image is never deserialized as a `Cpma` (or
+    /// vice versa). Never reuse or renumber.
+    const CODEC_ID: u32;
+
     /// Allocate `num_leaves` empty leaves of `leaf_units` capacity each.
     fn with_geometry(num_leaves: usize, leaf_units: usize) -> Self;
+
+    /// Exact snapshot-payload size in bytes for this geometry, or `None`
+    /// on arithmetic overflow (the geometry then cannot be valid).
+    fn payload_len(num_leaves: usize, leaf_units: usize) -> Option<usize>;
+
+    /// Append the raw backing arrays to `out`, little-endian, in the
+    /// layout fixed by [`CODEC_ID`](Self::CODEC_ID) — the snapshot
+    /// payload. Because the structure is pointer-free this is a plain
+    /// byte view of the allocation: no walk, no fixup. Callers must
+    /// ensure no leaf is overflowed (always true outside a batch).
+    fn write_payload(&self, out: &mut Vec<u8>);
+
+    /// Rebuild storage with the given geometry from a snapshot payload,
+    /// validating lengths *before* allocating and every per-leaf
+    /// invariant (prefix bounds, ascending order, head consistency)
+    /// before the storage is returned. The payload's checksum has
+    /// already been verified by the envelope; this guards against
+    /// crafted or stale inputs ever panicking later.
+    fn read_payload(
+        num_leaves: usize,
+        leaf_units: usize,
+        payload: &[u8],
+    ) -> Result<Self, PersistError>;
 
     /// Number of leaves.
     fn num_leaves(&self) -> usize;

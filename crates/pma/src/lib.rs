@@ -25,6 +25,7 @@
 pub mod codec;
 pub mod core;
 pub mod density;
+pub mod persist;
 pub mod stats;
 pub mod tree;
 
@@ -40,7 +41,7 @@ pub use crate::density::DensityBounds;
 pub use crate::leaf::{LeafStorage, MergeOutcome, OpsOutcome};
 pub use crate::stats::PmaStats;
 pub use crate::uncompressed::UncompressedLeaves;
-pub use cpma_api::{BatchOp, BatchOutcome, SetKey};
+pub use cpma_api::{BatchOp, BatchOutcome, Persist, PersistError, SetKey};
 
 /// Integer key types storable in a PMA.
 ///

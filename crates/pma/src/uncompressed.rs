@@ -11,7 +11,7 @@ use crate::leaf::{
     apply_ops_into, set_difference_into, set_union_into, MergeOutcome, OpsOutcome, SharedLeaves,
 };
 use crate::{stats, LeafStorage, PmaKey};
-use cpma_api::BatchOp;
+use cpma_api::{BatchOp, PersistError};
 use std::marker::PhantomData;
 
 /// Packed-left uncompressed leaves. See module docs.
@@ -51,6 +51,108 @@ impl<K: PmaKey> LeafStorage<K> for UncompressedLeaves<K> {
     const LEAF_ALIGN: usize = 8;
     const HEAD_UNITS: usize = 0;
     const LEAF_SCALE: usize = 2;
+
+    const CODEC_ID: u32 = 1;
+
+    // Snapshot payload layout (all little-endian):
+    //   counts  num_leaves × u32
+    //   heads   num_leaves × K::BYTES
+    //   cells   num_leaves × leaf_units × K::BYTES   (full array, packed
+    //           prefixes valid; bytes past each count are don't-care)
+    fn payload_len(num_leaves: usize, leaf_units: usize) -> Option<usize> {
+        let per_leaf = K::BYTES
+            .checked_mul(leaf_units)?
+            .checked_add(4 + K::BYTES)?;
+        num_leaves.checked_mul(per_leaf)
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.overflow.iter().all(|o| o.is_none()));
+        for &c in &self.counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for &h in &self.heads {
+            out.extend_from_slice(&h.to_u64().to_le_bytes()[..K::BYTES]);
+        }
+        for &cell in &self.cells {
+            out.extend_from_slice(&cell.to_u64().to_le_bytes()[..K::BYTES]);
+        }
+    }
+
+    fn read_payload(
+        num_leaves: usize,
+        leaf_units: usize,
+        payload: &[u8],
+    ) -> Result<Self, PersistError> {
+        let expected = Self::payload_len(num_leaves, leaf_units)
+            .filter(|&n| n == payload.len())
+            .ok_or(PersistError::Truncated("pma payload"))?;
+        debug_assert_eq!(expected, payload.len());
+
+        let read_key = |bytes: &[u8]| {
+            let mut widened = [0u8; 8];
+            widened[..K::BYTES].copy_from_slice(bytes);
+            K::from_u64(u64::from_le_bytes(widened))
+        };
+        let counts: Vec<u32> = payload[..num_leaves * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let heads_at = num_leaves * 4;
+        let cells_at = heads_at + num_leaves * K::BYTES;
+        let heads: Vec<K> = payload[heads_at..cells_at]
+            .chunks_exact(K::BYTES)
+            .map(read_key)
+            .collect();
+        let cells: Vec<K> = payload[cells_at..]
+            .chunks_exact(K::BYTES)
+            .map(read_key)
+            .collect();
+
+        // Structural validation: every later read assumes these hold.
+        let mut prev_max: Option<K> = None;
+        for leaf in 0..num_leaves {
+            let count = counts[leaf] as usize;
+            if count > leaf_units {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} claims {count} elements in {leaf_units} cells"
+                )));
+            }
+            if leaf > 0 && heads[leaf] < heads[leaf - 1] {
+                return Err(PersistError::Corrupt(format!(
+                    "head array decreases at leaf {leaf}"
+                )));
+            }
+            if count == 0 {
+                continue;
+            }
+            let run = &cells[leaf * leaf_units..leaf * leaf_units + count];
+            if run.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} is not strictly ascending"
+                )));
+            }
+            if heads[leaf] != run[0] {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} head disagrees with its first element"
+                )));
+            }
+            if prev_max.is_some_and(|p| p >= run[0]) {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} overlaps its predecessor"
+                )));
+            }
+            prev_max = Some(run[count - 1]);
+        }
+
+        Ok(Self {
+            cells,
+            counts,
+            heads,
+            overflow: (0..num_leaves).map(|_| None).collect(),
+            leaf_units,
+        })
+    }
 
     fn with_geometry(num_leaves: usize, leaf_units: usize) -> Self {
         assert!(num_leaves >= 1);

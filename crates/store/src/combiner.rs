@@ -87,8 +87,13 @@
 //! assert_eq!(stats.sealed_rate_drop + stats.sealed_ops_cap + stats.sealed_wait_cap, 1);
 //! ```
 
-use cpma_api::{normalize_batch, normalize_ops, BatchOp, BatchSet, ConfigError, RangeSet, SetKey};
+use cpma_api::{
+    normalize_batch, normalize_ops, BatchOp, BatchSet, ConfigError, Persist, PersistError,
+    RangeSet, SetKey,
+};
+use cpma_persist::{recover, RecoveryReport, WalConfig, WalWriter};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
@@ -379,11 +384,29 @@ impl<K> Epoch<K> {
     }
 }
 
+/// Durability attachment of a [`Combiner`] opened via
+/// [`Combiner::open_durable`]: the epoch write-ahead log plus the
+/// checkpoint entry point.
+///
+/// The checkpoint is a plain function pointer captured where the
+/// `S: Persist` bound is in scope (`open_durable`), so the epoch path
+/// (`lead`) needs no persistence bound of its own.
+struct DurableState<S> {
+    writer: WalWriter,
+    checkpoint: fn(&S, &Path) -> Result<(), PersistError>,
+}
+
 /// Leader-exclusive state: the authoritative set, the epoch counter, and
 /// the combining statistics.
 struct Core<S> {
     set: S,
     epochs_applied: u64,
+    /// `Some` iff this combiner is durable: every epoch's net batch is
+    /// WAL-appended before it is applied, and rotation checkpoints the
+    /// set. The WAL sequence number of an epoch *is* its position in
+    /// `epochs_applied` (empty epochs are logged too, so the two never
+    /// drift).
+    wal: Option<DurableState<S>>,
     stats: CombinerStats,
     /// Warm-start seed for the next epoch's inter-arrival EWMA (adaptive
     /// policy): the previous epoch's final EWMA, halved whenever an
@@ -451,6 +474,7 @@ where
             core: Mutex::new(Core {
                 set,
                 epochs_applied: 0,
+                wal: None,
                 stats: CombinerStats::default(),
                 ewma_seed_ns: 0.0,
             }),
@@ -770,11 +794,45 @@ where
             })
             .collect();
         let net = normalize_ops(&mut net);
+        // Durability: the epoch's net batch reaches the WAL *before* the
+        // set applies it — a crash after the append replays the epoch, a
+        // crash before it loses only unacknowledged operations. Empty
+        // nets are logged too (a pure-`Contains` epoch still advances
+        // the sequence), so WAL seq stays equal to `epochs_applied`.
+        // WAL I/O failure is fail-stop: acknowledging an operation whose
+        // log write failed would break the durability contract.
+        if let Some(durable) = core.wal.as_mut() {
+            let seq = core.epochs_applied + 1;
+            let widened: Vec<BatchOp<u64>> = net
+                .iter()
+                .map(|op| match *op {
+                    BatchOp::Insert(k) => BatchOp::Insert(k.to_u64()),
+                    BatchOp::Remove(k) => BatchOp::Remove(k.to_u64()),
+                })
+                .collect();
+            if let Err(e) = durable.writer.append(seq, &widened) {
+                panic!("WAL append for epoch {seq} failed: {e}");
+            }
+        }
         if !net.is_empty() {
             core.set.apply_batch_sorted(net);
         }
         core.epochs_applied += 1;
         core.stats.record_epoch(ops.len(), seal_reason);
+        // Size-triggered checkpoint + WAL rotation, after the apply so
+        // the checkpoint image contains everything up to `epochs_applied`.
+        if let Some(durable) = core.wal.as_mut() {
+            if durable.writer.should_rotate() {
+                let seq = core.epochs_applied;
+                let path = durable.writer.checkpoint_path(seq);
+                if let Err(e) = (durable.checkpoint)(&core.set, &path) {
+                    panic!("checkpoint at epoch {seq} failed: {e}");
+                }
+                if let Err(e) = durable.writer.rotate(seq) {
+                    panic!("WAL rotation at epoch {seq} failed: {e}");
+                }
+            }
+        }
 
         // Publish before waking: an acknowledged op is snapshot-visible.
         if core.epochs_applied.is_multiple_of(self.cfg.snapshot_every) {
@@ -797,6 +855,84 @@ where
         if pending {
             next.done_cv.notify_one();
         }
+    }
+}
+
+impl<S, K> Combiner<S, K>
+where
+    K: SetKey,
+    S: BatchSet<K> + RangeSet<K> + Clone + Sync + Persist,
+{
+    /// Open a **durable** combiner backed by the WAL directory in `wal`:
+    /// recover the newest valid checkpoint, replay the WAL tail
+    /// (truncating a torn final record), and resume logging at the next
+    /// epoch. A missing or empty directory starts from `S::new_set()`.
+    ///
+    /// Every subsequent epoch appends its net batch to the WAL *before*
+    /// applying it, under `wal.fsync`; once the live segment exceeds
+    /// `wal.rotate_bytes` the leader checkpoints the set and rotates.
+    /// After a crash, `open_durable` on the same directory restores
+    /// exactly the state of the last acknowledged epoch.
+    ///
+    /// Returns the combiner and a [`RecoveryReport`] describing what was
+    /// recovered (`report.last_seq` epochs; `epochs_applied` resumes
+    /// from there).
+    pub fn open_durable(
+        cfg: CombinerConfig,
+        wal: WalConfig,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        cfg.check().map_err(PersistError::Config)?;
+        let (set, report) = recover::<K, S>(&wal.dir)?;
+        let writer = WalWriter::open(wal, report.last_seq + 1)?;
+        let combiner = Self {
+            published: Mutex::new(Arc::new(set.clone())),
+            core: Mutex::new(Core {
+                set,
+                epochs_applied: report.last_seq,
+                wal: Some(DurableState {
+                    writer,
+                    checkpoint: |set, path| set.save(path),
+                }),
+                stats: CombinerStats::default(),
+                ewma_seed_ns: 0.0,
+            }),
+            current: Mutex::new(Arc::new(Epoch::new())),
+            cfg,
+        };
+        Ok((combiner, report))
+    }
+
+    /// Force a checkpoint of the authoritative set and rotate the WAL
+    /// now (the size-triggered rotation does the same when the live
+    /// segment outgrows `rotate_bytes`). Waits for an in-flight epoch.
+    ///
+    /// Returns the epoch sequence the checkpoint covers. Errors if this
+    /// combiner was not opened with [`Combiner::open_durable`].
+    pub fn checkpoint(&self) -> Result<u64, PersistError> {
+        let mut guard = self.core.lock().unwrap();
+        let core = &mut *guard;
+        let Some(durable) = core.wal.as_mut() else {
+            return Err(PersistError::Corrupt(
+                "checkpoint() on a combiner without a WAL (use open_durable)".into(),
+            ));
+        };
+        let seq = core.epochs_applied;
+        let path = durable.writer.checkpoint_path(seq);
+        (durable.checkpoint)(&core.set, &path)?;
+        durable.writer.rotate(seq)?;
+        Ok(seq)
+    }
+
+    /// Flush WAL appends to disk regardless of the [`FsyncPolicy`]
+    /// (a planned-shutdown aid for `EveryN`/`Never` deployments).
+    /// No-op on a non-durable combiner.
+    ///
+    /// [`FsyncPolicy`]: cpma_persist::FsyncPolicy
+    pub fn wal_sync(&self) -> Result<(), PersistError> {
+        if let Some(durable) = self.core.lock().unwrap().wal.as_mut() {
+            durable.writer.sync()?;
+        }
+        Ok(())
     }
 }
 

@@ -37,11 +37,26 @@
 //! CPMA wins. The `store_throughput` benchmark binary in `cpma-bench`
 //! measures that end to end (including the bursty-arrival Fixed-vs-
 //! Adaptive sweep); `docs/TUNING.md` explains every knob.
+//!
+//! # Durability
+//!
+//! Both layers persist through `cpma-persist`. [`ShardedSet`] implements
+//! [`Persist`] as a shard-per-file checkpoint directory with a
+//! checksummed manifest, and [`Combiner::open_durable`] attaches an epoch
+//! write-ahead log: each epoch's net batch is appended (checksummed,
+//! under a configurable [`FsyncPolicy`]) *before* it is applied, and the
+//! log rotates through size-triggered checkpoints. Reopening the same
+//! directory after a crash recovers exactly the state of the last
+//! acknowledged epoch — newest valid checkpoint plus WAL tail replay,
+//! with a torn final record truncated. `docs/ARCHITECTURE.md` has the
+//! format and the recovery state machine.
 
 mod combiner;
 mod sharded;
 
 pub use combiner::{AdaptiveWindow, Combiner, CombinerConfig, CombinerStats, Op, WindowPolicy};
+pub use cpma_api::{Persist, PersistError};
+pub use cpma_persist::{FsyncPolicy, RecoveryReport, WalConfig};
 pub use sharded::{
     RebalanceStats, ShardTuning, ShardedSet, DEFAULT_TARGET_PER_SHARD, REBALANCE_MIN_PER_SHARD,
     SKEW_FACTOR,

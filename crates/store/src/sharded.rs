@@ -70,10 +70,12 @@
 
 use cpma_api::{
     range_to_inclusive, BatchOp, BatchOutcome, BatchSet, ConfigError, OrderedSet, ParallelChunks,
-    RangeSet, SetKey,
+    Persist, PersistError, RangeSet, SetKey,
 };
+use cpma_persist::snapshot::{ByteReader, ByteSink, SnapshotEnvelope};
 use rayon::prelude::*;
 use std::ops::RangeBounds;
+use std::path::Path;
 
 /// Average elements per shard below which skew rebalance is never
 /// attempted (tiny sets gain nothing from redistribution).
@@ -656,6 +658,126 @@ impl<
     /// chunks of the whole set; visit the shards in parallel too.
     fn par_chunks(&self, f: &(dyn Fn(&[K]) + Sync)) {
         self.shards.par_iter().for_each(|s| s.par_chunks(f));
+    }
+}
+
+/// Manifest codec id inside the [`SnapshotEnvelope`] (`1` and `2` are the
+/// PMA leaf codecs; never reuse or renumber).
+const MANIFEST_CODEC_ID: u32 = 100;
+
+/// File name of shard `i` inside a [`ShardedSet`] checkpoint directory.
+fn shard_file_name(i: usize) -> String {
+    format!("shard-{i:05}")
+}
+
+fn parse_shard_name(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("shard-")?;
+    (digits.len() == 5).then(|| digits.parse().ok())?
+}
+
+/// Shard-per-file checkpoints: `save` writes a *directory* holding one
+/// backend snapshot per shard (each via `S::save`, so each file is
+/// individually checksummed) plus a `MANIFEST` that records the shard
+/// count, the [`ShardTuning`], and the splitters — itself a checksummed
+/// [`SnapshotEnvelope`], written atomically and written **last**, so a
+/// fresh checkpoint directory is all-or-nothing at the manifest: until
+/// the manifest lands, `load` fails typed and recovery falls back to an
+/// older checkpoint.
+///
+/// Re-saving over an existing directory reuses it (stale `shard-*` files
+/// beyond the current count are deleted) but is not crash-atomic; the
+/// durable [`Combiner`](crate::Combiner) always checkpoints into a fresh
+/// `checkpoint-<seq>` directory.
+///
+/// `load` restores the persisted shard count, tuning, and splitters
+/// (validated: tuning via [`ShardTuning::check`], splitters ascending and
+/// exactly `count − 1`) — the const parameters `N`/`MIN`/`MAX` of the
+/// loading type are *not* consulted, so a set saved mid-autotune reloads
+/// exactly as it was. Traffic statistics restart at zero.
+impl<S: Persist, const N: usize, const MIN: usize, const MAX: usize> Persist
+    for ShardedSet<S, N, MIN, MAX>
+{
+    fn save(&self, path: &Path) -> Result<(), PersistError> {
+        std::fs::create_dir_all(path)?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.save(&path.join(shard_file_name(i)))?;
+        }
+        // Drop shard files a previous, wider save left behind.
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            if let Some(i) = entry.file_name().to_str().and_then(parse_shard_name) {
+                if i >= self.shards.len() {
+                    std::fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        let mut meta = Vec::new();
+        meta.put_u32(self.shards.len() as u32);
+        meta.put_u64(self.tuning.min_shards as u64);
+        meta.put_u64(self.tuning.max_shards as u64);
+        meta.put_u64(self.tuning.target_per_shard as u64);
+        let mut payload = Vec::with_capacity(self.splitters.len() * 8);
+        for &s in &self.splitters {
+            payload.put_u64(s);
+        }
+        let manifest = SnapshotEnvelope {
+            codec_id: MANIFEST_CODEC_ID,
+            meta,
+            payload,
+        };
+        manifest.save_file(&path.join("MANIFEST"))
+    }
+
+    fn load(path: &Path) -> Result<Self, PersistError> {
+        let manifest = SnapshotEnvelope::load_file(&path.join("MANIFEST"))?;
+        if manifest.codec_id != MANIFEST_CODEC_ID {
+            return Err(PersistError::CodecMismatch {
+                expected: MANIFEST_CODEC_ID,
+                found: manifest.codec_id,
+            });
+        }
+        let mut r = ByteReader::new(&manifest.meta);
+        let count = r.u32("shard count")? as usize;
+        let as_usize = |v: u64, what: &'static str| {
+            usize::try_from(v).map_err(|_| PersistError::Corrupt(format!("{what} {v} too large")))
+        };
+        let tuning = ShardTuning {
+            min_shards: as_usize(r.u64("min_shards")?, "min_shards")?,
+            max_shards: as_usize(r.u64("max_shards")?, "max_shards")?,
+            target_per_shard: as_usize(r.u64("target_per_shard")?, "target_per_shard")?,
+        };
+        r.expect_end("sharded manifest meta")?;
+        if count == 0 {
+            return Err(PersistError::Corrupt("manifest has zero shards".into()));
+        }
+        tuning.check().map_err(PersistError::Config)?;
+        if manifest.payload.len() != (count - 1) * 8 {
+            return Err(PersistError::Corrupt(format!(
+                "manifest has {} splitter bytes for {count} shards",
+                manifest.payload.len()
+            )));
+        }
+        let mut sp = ByteReader::new(&manifest.payload);
+        let mut splitters = Vec::with_capacity(count - 1);
+        for _ in 1..count {
+            splitters.push(sp.u64("splitter")?);
+        }
+        if splitters.windows(2).any(|w| w[0] > w[1]) {
+            return Err(PersistError::Corrupt("splitters not ascending".into()));
+        }
+        let mut shards = Vec::with_capacity(count);
+        for i in 0..count {
+            shards.push(S::load(&path.join(shard_file_name(i)))?);
+        }
+        Ok(Self {
+            shards,
+            splitters,
+            tuning,
+            stats: RebalanceStats {
+                shard_batch_ops: vec![0; count],
+                ..RebalanceStats::default()
+            },
+        })
     }
 }
 

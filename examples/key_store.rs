@@ -10,6 +10,11 @@
 //! without ever blocking the writers. A periodic expiry pass batch-removes
 //! old events through the same front-end.
 //!
+//! A final durability phase checkpoints the ingested store, streams more
+//! bursts through a WAL-backed combiner, "crashes" (drops the store with
+//! the WAL tail unapplied to any checkpoint), and recovers — verifying
+//! the recovered epoch count and contents against the pre-crash state.
+//!
 //! Run with: `cargo run --release --example key_store`
 
 use cpma::prelude::*;
@@ -138,4 +143,72 @@ fn main() {
         set.size_bytes() as f64 / set.len().max(1) as f64,
         set.shard_count()
     );
+
+    // --- durability: checkpoint → simulated crash → recover -----------
+    type Store = ShardedSet<Cpma, 8, 1, 64>;
+    println!("\n-- durability: checkpoint -> crash -> recover --");
+    let wal_dir = std::env::temp_dir().join(format!("key-store-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).unwrap();
+    // The ingested store becomes the log's base checkpoint (epoch 0) —
+    // a shard-per-file directory with a checksummed manifest.
+    let base_len = set.len();
+    set.save(&wal_dir.join(format!("checkpoint-{:020}", 0)))
+        .expect("checkpoint the ingested store");
+    let mut wal = WalConfig::new(&wal_dir);
+    wal.fsync = FsyncPolicy::EveryN(8);
+    let (durable, report) =
+        Combiner::<Store>::open_durable(CombinerConfig::adaptive(), wal.clone())
+            .expect("open durable store");
+    assert_eq!(durable.snapshot().len(), base_len);
+    println!(
+        "opened durable store from checkpoint (epoch {}): {} events",
+        report.checkpoint_seq, base_len
+    );
+
+    // Stream more bursts: each epoch's net batch hits the WAL before it
+    // is applied. A mid-stream checkpoint rotates the log; everything
+    // after it lives only in the WAL tail when we "crash".
+    let mut rng = SplitMix64::new(0xD00D);
+    let mut burst_at = |second: u64| -> Vec<u64> {
+        (0..EVENTS_PER_THREAD_SECOND)
+            .map(|_| event_key(second, rng.next_below(1 << 20)))
+            .collect()
+    };
+    for second in SECONDS..SECONDS + 20 {
+        durable.insert_many(&burst_at(second));
+    }
+    let ckpt_epoch = durable.checkpoint().expect("mid-stream checkpoint");
+    for second in SECONDS + 20..SECONDS + 40 {
+        durable.insert_many(&burst_at(second));
+    }
+    let pre_crash_epochs = durable.epochs_applied();
+    let pre_crash = durable.snapshot();
+    let (pre_len, pre_sum) = (pre_crash.len(), pre_crash.range_sum(..));
+    println!(
+        "pre-crash: {pre_crash_epochs} epochs, {pre_len} events \
+         (checkpoint at epoch {ckpt_epoch}, {} epochs only in the WAL tail)",
+        pre_crash_epochs - ckpt_epoch
+    );
+    drop(pre_crash);
+    drop(durable); // simulated crash: no shutdown checkpoint
+
+    let (recovered, report) = Combiner::<Store>::open_durable(CombinerConfig::adaptive(), wal)
+        .expect("recover after crash");
+    println!(
+        "recovered {} epochs: checkpoint at epoch {}, {} replayed from the WAL tail",
+        report.last_seq, report.checkpoint_seq, report.replayed_records
+    );
+    assert_eq!(report.last_seq, pre_crash_epochs, "every acked epoch back");
+    let snap = recovered.snapshot();
+    assert_eq!(snap.len(), pre_len, "recovered contents match pre-crash");
+    assert_eq!(snap.range_sum(..), pre_sum);
+    println!(
+        "recovered store matches pre-crash state: {} events, checksum {:#018x}",
+        snap.len(),
+        snap.range_sum(..)
+    );
+    drop(snap);
+    drop(recovered);
+    std::fs::remove_dir_all(&wal_dir).expect("clean up WAL dir");
 }

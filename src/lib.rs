@@ -62,12 +62,19 @@
 //!   turn live multi-threaded traffic into the batch-parallel updates the
 //!   paper's structures are built for — `docs/ARCHITECTURE.md` maps the
 //!   whole stack and `docs/TUNING.md` explains every knob;
+//! * [`persist`] — the durability layer: checksummed zero-copy snapshots
+//!   ([`api::Persist`] `save`/`load` on `Pma`, `Cpma`, and
+//!   `ShardedSet`), the epoch write-ahead log behind
+//!   [`store::Combiner::open_durable`], and crash recovery
+//!   ([`fn@persist::recover`]: newest valid checkpoint + WAL tail
+//!   replay);
 //! * [`workloads`] — deterministic generators for every input distribution
 //!   in the paper's evaluation.
 
 pub use cpma_api as api;
 pub use cpma_baselines as baselines;
 pub use cpma_fgraph as fgraph;
+pub use cpma_persist as persist;
 pub use cpma_pma as pma;
 pub use cpma_store as store;
 pub use cpma_workloads as workloads;
@@ -80,7 +87,9 @@ pub mod prelude {
         normalize_batch, normalize_ops, BatchOp, BatchOutcome, BatchSet, ConfigError, OrderedSet,
         ParallelChunks, RangeSet, SetKey,
     };
+    pub use crate::api::{Persist, PersistError};
     pub use crate::baselines::{CPac, CTreeSet, PTree, UPac};
+    pub use crate::persist::{FsyncPolicy, RecoveryReport, WalConfig};
     pub use crate::pma::{Cpma, Pma, PmaConfig};
     pub use crate::store::{
         AdaptiveWindow, Combiner, CombinerConfig, CombinerStats, RebalanceStats, ShardTuning,

@@ -267,3 +267,151 @@ fn normalize_ops_deterministic_across_thread_counts() {
         assert_eq!(got, oracle, "normalize_ops @ {threads} threads");
     }
 }
+
+/// All files of a checkpoint/WAL directory as `(name, bytes)`, sorted —
+/// the unit of byte-identity for directory-shaped persistence.
+fn dir_image(path: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(path)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_str().unwrap().to_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// A seeded batch history for the snapshot-determinism tests: both batch
+/// directions plus a mixed pass, all above the point-update cutoff.
+fn build_history<S: BatchSet<u64>>(seed: u64) -> S {
+    let mut rng = Rng::new(seed);
+    let mut s = S::new_set();
+    for _ in 0..4 {
+        let mut ins = rng.keys(4000, 24);
+        s.insert_batch(&mut ins, false);
+        let mut del = rng.keys(1500, 24);
+        s.remove_batch(&mut del, false);
+        let mut ops: Vec<BatchOp<u64>> = rng
+            .keys(2000, 24)
+            .into_iter()
+            .map(|k| {
+                if k % 2 == 0 {
+                    BatchOp::Insert(k)
+                } else {
+                    BatchOp::Remove(k ^ 1)
+                }
+            })
+            .collect();
+        s.apply_batch(&mut ops, false);
+    }
+    s
+}
+
+#[test]
+fn snapshot_images_bit_identical_across_thread_counts() {
+    // A snapshot is the raw byte view of the PMA's backing arrays —
+    // including the slack past each leaf's used prefix — so byte
+    // identity here proves every array write of the batch pipeline is
+    // deterministic, a strictly stronger claim than equal contents.
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for seed in [0x5EED_0001u64, 0xD15C_0C0A] {
+        let pma = with_threads(1, || build_history::<Pma<u64>>(seed).to_snapshot_bytes());
+        let cpma = with_threads(1, || build_history::<Cpma>(seed).to_snapshot_bytes());
+        for threads in [2usize, 8] {
+            let p = with_threads(threads, || {
+                build_history::<Pma<u64>>(seed).to_snapshot_bytes()
+            });
+            assert_eq!(p, pma, "Pma image @ {threads} threads (seed {seed:#x})");
+            let c = with_threads(threads, || build_history::<Cpma>(seed).to_snapshot_bytes());
+            assert_eq!(c, cpma, "Cpma image @ {threads} threads (seed {seed:#x})");
+        }
+        // Load → re-save is the identity on bytes (canonical images).
+        let back = cpma::pma::Cpma::from_snapshot_bytes(&cpma).unwrap();
+        assert_eq!(back.to_snapshot_bytes(), cpma);
+    }
+}
+
+#[test]
+fn sharded_checkpoint_dirs_bit_identical_across_thread_counts() {
+    // Shard-per-file checkpoints add the parallel per-shard batch
+    // application and the autotuner to the byte-identity claim.
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let base = std::env::temp_dir().join(format!("cpma-det-sharded-{}", std::process::id()));
+    let save_image = |threads: usize, seed: u64| {
+        let dir = base.join(format!("t{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let set = with_threads(threads, || {
+            build_history::<ShardedSet<Cpma, 4, 1, 16>>(seed)
+        });
+        set.save(&dir).unwrap();
+        dir_image(&dir)
+    };
+    for seed in [0x5EED_0001u64, 0xD15C_0C0A] {
+        let oracle = save_image(1, seed);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                save_image(threads, seed),
+                oracle,
+                "sharded checkpoint @ {threads} threads (seed {seed:#x})"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn durable_combiner_wal_and_recovery_bit_identical_across_thread_counts() {
+    // The full save/log/replay round: one seeded op stream through a
+    // durable combiner must leave byte-identical WAL segments at every
+    // internal thread budget, and replaying them must rebuild identical
+    // contents.
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let base = std::env::temp_dir().join(format!("cpma-det-wal-{}", std::process::id()));
+    let run = |threads: usize, seed: u64| {
+        let dir = base.join(format!("t{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = WalConfig::new(&dir);
+        wal.fsync = FsyncPolicy::Never;
+        wal.rotate_bytes = u64::MAX;
+        with_threads(threads, || {
+            let (c, report) =
+                Combiner::<ShardedSet<Cpma, 4>>::open_durable(CombinerConfig::default(), wal)
+                    .unwrap();
+            assert_eq!(report.last_seq, 0);
+            let mut rng = Rng::new(seed);
+            for _ in 0..12 {
+                let burst: Vec<cpma::store::Op<u64>> = (0..rng.below(300) + 8)
+                    .map(|_| {
+                        let k = rng.bits(12);
+                        if rng.chance(1, 3) {
+                            cpma::store::Op::Remove(k)
+                        } else {
+                            cpma::store::Op::Insert(k)
+                        }
+                    })
+                    .collect();
+                c.submit_many(&burst);
+            }
+            drop(c);
+            let (set, report) = cpma::persist::recover::<u64, ShardedSet<Cpma, 4>>(&dir).unwrap();
+            assert_eq!(report.last_seq, 12);
+            assert!(!report.truncated_tail);
+            (dir_image(&dir), set.to_vec())
+        })
+    };
+    for seed in [0xD04A_0001u64, 0xD04A_0002] {
+        let oracle = run(1, seed);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                run(threads, seed),
+                oracle,
+                "durable combiner @ {threads} threads (seed {seed:#x})"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
