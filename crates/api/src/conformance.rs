@@ -93,8 +93,17 @@ where
             "{name} round {round}: max"
         );
 
-        for _ in 0..25 {
-            let k = rng.bits(bits);
+        // Point probes and their batched forms must agree with the oracle
+        // AND each other; the probe vector deliberately mixes random keys
+        // with duplicates, 0 (below any stored minimum most rounds), and
+        // `u64::MAX` in arbitrary (unsorted) order.
+        let mut probes: Vec<u64> = (0..25).map(|_| rng.bits(bits)).collect();
+        probes.push(0);
+        probes.push(u64::MAX);
+        probes.push(probes[3]); // duplicate probe, out of sorted position
+        let got_contains = s.contains_batch(&probes);
+        let got_succ = s.successor_batch(&probes);
+        for (i, &k) in probes.iter().enumerate() {
             assert_eq!(
                 s.contains(k),
                 model.contains(&k),
@@ -105,7 +114,22 @@ where
                 model.range(k..).next().copied(),
                 "{name} round {round}: successor({k})"
             );
+            assert_eq!(
+                got_contains[i],
+                model.contains(&k),
+                "{name} round {round}: contains_batch[{i}] ({k})"
+            );
+            assert_eq!(
+                got_succ[i],
+                model.range(k..).next().copied(),
+                "{name} round {round}: successor_batch[{i}] ({k})"
+            );
         }
+        assert_eq!(
+            s.contains_batch(&[]),
+            Vec::<bool>::new(),
+            "{name} round {round}: contains_batch([])"
+        );
 
         // Range queries on random windows, all five range shapes.
         let a = rng.bits(bits);
@@ -179,6 +203,57 @@ where
     assert_eq!(
         got, want_suffix,
         "{name}: scan_from({probe}) early-exit prefix"
+    );
+
+    // Sparse structure: a handful of far-apart keys leaves almost every
+    // internal region empty, so `successor`/`scan_from` resumption must
+    // hop whole empty runs (an occupancy-aware skip, not a region-at-a-
+    // time walk) and still agree with the oracle — including probes that
+    // land inside an empty run, on a stored key, just past one, below the
+    // minimum, and at `u64::MAX`.
+    let sparse: Vec<u64> = (0..48u64).map(|i| (i << 40) | 3).collect();
+    let sp = S::build_sorted(&sparse);
+    let sparse_probes = [
+        0u64,
+        1,
+        5 << 40,
+        (5 << 40) | 3,
+        (5 << 40) | 4,
+        (47 << 40) | 3,
+        (47 << 40) | 4,
+        u64::MAX,
+    ];
+    for probe in sparse_probes {
+        let want = sparse.iter().copied().find(|&k| k >= probe);
+        assert_eq!(
+            sp.successor(probe),
+            want,
+            "{name}: sparse successor({probe})"
+        );
+        let mut got = Vec::new();
+        sp.scan_from(probe, &mut |k| {
+            got.push(k);
+            got.len() < 3
+        });
+        let want_prefix: Vec<u64> = sparse
+            .iter()
+            .copied()
+            .filter(|&k| k >= probe)
+            .take(3)
+            .collect();
+        assert_eq!(got, want_prefix, "{name}: sparse scan_from({probe})");
+    }
+    let want_contains: Vec<bool> = sparse_probes.iter().map(|k| sp.contains(*k)).collect();
+    let want_succ: Vec<Option<u64>> = sparse_probes.iter().map(|k| sp.successor(*k)).collect();
+    assert_eq!(
+        sp.contains_batch(&sparse_probes),
+        want_contains,
+        "{name}: sparse contains_batch"
+    );
+    assert_eq!(
+        sp.successor_batch(&sparse_probes),
+        want_succ,
+        "{name}: sparse successor_batch"
     );
 
     // --- unsorted wrappers route through normalize_batch ---------------

@@ -120,6 +120,25 @@ pub trait OrderedSet<K: SetKey> {
     /// Smallest stored element ≥ `key` (the paper's `search`).
     fn successor(&self, key: K) -> Option<K>;
 
+    /// Batched membership: `out[i] == self.contains(keys[i])`.
+    ///
+    /// Probes may arrive in any order and may repeat. The default is the
+    /// per-key loop; structures that can amortize search work across
+    /// probes (sorting them, sharing leaf decodes, prefetching) override
+    /// this with a cache-conscious pass.
+    fn contains_batch(&self, keys: &[K]) -> Vec<bool> {
+        keys.iter().map(|&k| self.contains(k)).collect()
+    }
+
+    /// Batched successor: `out[i] == self.successor(keys[i])`.
+    ///
+    /// Same contract and default as [`contains_batch`]
+    /// (`OrderedSet::contains_batch`): any order, duplicates allowed,
+    /// positional results.
+    fn successor_batch(&self, keys: &[K]) -> Vec<Option<K>> {
+        keys.iter().map(|&k| self.successor(k)).collect()
+    }
+
     /// Bytes of backing memory (the paper's space metric, `get_size()`).
     fn size_bytes(&self) -> usize;
 }

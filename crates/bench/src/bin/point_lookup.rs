@@ -1,0 +1,153 @@
+//! Read-heavy leg: uniform point-lookup throughput (lookups/s) across the
+//! head-layout menu, per-key vs batched.
+//!
+//! The flat baseline is `Pma`/`Cpma` with in-place heads — a classic
+//! binary search over the head array, one unpredictable branch per level.
+//! The menu rows replace that search with a cache-conscious auxiliary
+//! layout (linear / Eytzinger / B-ary), and the batched columns add
+//! sorted-probe routing with software prefetch and shared leaf decodes.
+//! Expected shape: Eytzinger or B-ary batched lookups clear 2× the flat
+//! per-key baseline once the head array outgrows the caches.
+//!
+//! Emits `BENCH_point.json` (one entry per layout × codec × mode);
+//! `--quick` shrinks everything to CI-smoke scale.
+
+use cpma_api::OrderedSet;
+use cpma_bench::ubench::{black_box, Bencher};
+use cpma_bench::{sci, time, Args};
+use cpma_pma::{
+    Cpma, CpmaBNary, CpmaEytzinger, CpmaLinear, Pma, PmaBNary, PmaEytzinger, PmaLinear,
+};
+use cpma_workloads::{dedup_sorted, uniform_keys};
+
+/// Probe mix: half cold uniform keys (mostly misses at 40-bit density),
+/// half sampled from the stored set (hits), shuffled together.
+fn probe_mix(base: &[u64], probes: usize, bits: u32, seed: u64) -> Vec<u64> {
+    let mut v = uniform_keys(probes, bits, seed ^ 0xF00D);
+    let stride = (base.len() / (probes / 2).max(1)).max(1);
+    for (slot, hit) in v.iter_mut().step_by(2).zip(base.iter().step_by(stride)) {
+        *slot = *hit;
+    }
+    v
+}
+
+/// Lookups/s for the per-key loop and for chunked `contains_batch`
+/// (the better of two passes each; the first pass doubles as warmup).
+fn measure<S: OrderedSet<u64>>(s: &S, probes: &[u64], chunk: usize) -> (f64, f64) {
+    let mut point = 0f64;
+    let mut batched = 0f64;
+    for _ in 0..2 {
+        let (_, secs) = time(|| {
+            let mut acc = 0usize;
+            for &p in probes {
+                acc += usize::from(s.contains(p));
+            }
+            black_box(acc)
+        });
+        point = point.max(probes.len() as f64 / secs);
+        let (_, secs) = time(|| {
+            let mut acc = 0usize;
+            for c in probes.chunks(chunk) {
+                acc += s.contains_batch(c).iter().filter(|&&h| h).count();
+            }
+            black_box(acc)
+        });
+        batched = batched.max(probes.len() as f64 / secs);
+    }
+    (point, batched)
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let n: usize = args.get_or("n", if quick { 200_000 } else { 10_000_000 });
+    let probes: usize = args.get_or("probes", if quick { 60_000 } else { 1_000_000 });
+    let bits: u32 = args.get_or("bits", 40);
+    // Default: the whole probe set as one batch — sorted routing then
+    // visits leaves in address order, which is where batching pays.
+    // `--chunk` bounds the batch size to model incremental callers.
+    let chunk: usize = match args.get_or("chunk", 0) {
+        0 => probes,
+        c => c,
+    };
+    let seed: u64 = args.get_or("seed", 42);
+
+    let base = dedup_sorted(uniform_keys(n, bits, seed));
+    let mix = probe_mix(&base, probes, bits, seed);
+
+    let b = Bencher::new();
+    println!(
+        "# point_lookup — uniform point lookups, {} stored keys, {probes} probes, batch chunk {chunk}",
+        base.len()
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>7}",
+        "codec", "layout", "per-key/s", "batched/s", "vs flat"
+    );
+
+    // Flat per-key binary search is the baseline every row is scored
+    // against (per codec).
+    let mut flat_point = [0f64; 2];
+    let mut best_batched = [0f64; 2];
+    let mut row = |codec: usize, layout: &str, point: f64, batched: f64| {
+        let codec_name = ["pma", "cpma"][codec];
+        if layout == "inplace" {
+            flat_point[codec] = point;
+        }
+        best_batched[codec] = best_batched[codec].max(batched);
+        let speedup = batched / flat_point[codec].max(1e-12);
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>6.2}x",
+            codec_name,
+            layout,
+            sci(point),
+            sci(batched),
+            speedup
+        );
+        println!("csv,point,{codec_name},{layout},{point},{batched}");
+        for (mode, tput) in [("point", point), ("batched", batched)] {
+            b.record(
+                &format!("point/{codec_name}/{layout}/{mode}"),
+                &[("n", base.len().to_string()), ("chunk", chunk.to_string())],
+                if tput > 0.0 { 1.0 / tput } else { 0.0 },
+            );
+        }
+    };
+
+    {
+        let s = Pma::<u64>::from_sorted(&base);
+        let (p, ba) = measure(&s, &mix, chunk);
+        row(0, "inplace", p, ba);
+        let s = PmaLinear::<u64>::from_sorted(&base);
+        let (p, ba) = measure(&s, &mix, chunk);
+        row(0, "linear", p, ba);
+        let s = PmaEytzinger::<u64>::from_sorted(&base);
+        let (p, ba) = measure(&s, &mix, chunk);
+        row(0, "eytzinger", p, ba);
+        let s = PmaBNary::<u64>::from_sorted(&base);
+        let (p, ba) = measure(&s, &mix, chunk);
+        row(0, "bnary", p, ba);
+    }
+    {
+        let s = Cpma::from_sorted(&base);
+        let (p, ba) = measure(&s, &mix, chunk);
+        row(1, "inplace", p, ba);
+        let s = CpmaLinear::from_sorted(&base);
+        let (p, ba) = measure(&s, &mix, chunk);
+        row(1, "linear", p, ba);
+        let s = CpmaEytzinger::from_sorted(&base);
+        let (p, ba) = measure(&s, &mix, chunk);
+        row(1, "eytzinger", p, ba);
+        let s = CpmaBNary::from_sorted(&base);
+        let (p, ba) = measure(&s, &mix, chunk);
+        row(1, "bnary", p, ba);
+    }
+
+    println!(
+        "# best batched vs flat per-key: PMA {:.2}x, CPMA {:.2}x",
+        best_batched[0] / flat_point[0].max(1e-12),
+        best_batched[1] / flat_point[1].max(1e-12)
+    );
+
+    b.write_json("point").expect("write BENCH_point.json");
+}

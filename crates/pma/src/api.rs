@@ -10,7 +10,7 @@ use crate::{LeafStorage, PmaKey};
 use cpma_api::{BatchOp, BatchOutcome, BatchSet, OrderedSet, ParallelChunks, RangeSet};
 use rayon::prelude::*;
 
-impl<K: PmaKey, L: LeafStorage<K>> OrderedSet<K> for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> OrderedSet<K> for PmaCore<K, L, FORM> {
     const NAME: &'static str = L::NAME;
 
     fn contains(&self, key: K) -> bool {
@@ -33,12 +33,24 @@ impl<K: PmaKey, L: LeafStorage<K>> OrderedSet<K> for PmaCore<K, L> {
         PmaCore::successor(self, key)
     }
 
+    /// Sorted-probe batched lookup with shared leaf decodes (the inherent
+    /// [`PmaCore::contains_batch`]) instead of the default per-key loop.
+    fn contains_batch(&self, keys: &[K]) -> Vec<bool> {
+        PmaCore::contains_batch(self, keys)
+    }
+
+    /// Sorted-probe batched successor with shared leaf decodes (the
+    /// inherent [`PmaCore::successor_batch`]).
+    fn successor_batch(&self, keys: &[K]) -> Vec<Option<K>> {
+        PmaCore::successor_batch(self, keys)
+    }
+
     fn size_bytes(&self) -> usize {
         PmaCore::size_bytes(self)
     }
 }
 
-impl<K: PmaKey, L: LeafStorage<K>> BatchSet<K> for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> BatchSet<K> for PmaCore<K, L, FORM> {
     fn new_set() -> Self {
         Self::new()
     }
@@ -62,7 +74,7 @@ impl<K: PmaKey, L: LeafStorage<K>> BatchSet<K> for PmaCore<K, L> {
     }
 }
 
-impl<K: PmaKey, L: LeafStorage<K>> RangeSet<K> for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> RangeSet<K> for PmaCore<K, L, FORM> {
     fn scan_from(&self, start: K, f: &mut dyn FnMut(K) -> bool) {
         self.for_each_from(start, f)
     }
@@ -76,7 +88,7 @@ impl<K: PmaKey, L: LeafStorage<K>> RangeSet<K> for PmaCore<K, L> {
     }
 }
 
-impl<K: PmaKey, L: LeafStorage<K>> ParallelChunks<K> for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> ParallelChunks<K> for PmaCore<K, L, FORM> {
     /// One chunk per non-empty leaf, decoded leaf-parallel.
     fn par_chunks(&self, f: &(dyn Fn(&[K]) + Sync)) {
         let storage = self.storage();

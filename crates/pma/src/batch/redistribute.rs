@@ -33,11 +33,14 @@ struct RangeJob<K> {
 }
 
 /// Redistribute the given disjoint nodes (sorted by start).
-pub(crate) fn redistribute_ranges<K: PmaKey, L: LeafStorage<K>>(
-    core: &mut PmaCore<K, L>,
+pub(crate) fn redistribute_ranges<K: PmaKey, L: LeafStorage<K>, const FORM: u8>(
+    core: &mut PmaCore<K, L, FORM>,
     ranges: &[Node],
 ) {
     if ranges.is_empty() {
+        // Even with nothing to redistribute, the preceding merge phase may
+        // have filled or emptied leaves; the read index must still refresh.
+        core.rebuild_read_index();
         return;
     }
     debug_assert!(ranges.windows(2).all(|w| w[0].end <= w[1].start));
@@ -118,6 +121,11 @@ pub(crate) fn redistribute_ranges<K: PmaKey, L: LeafStorage<K>>(
     for node in ranges {
         core.fix_inherited_heads_after(node.end);
     }
+
+    // Redistribution moves elements between leaves wholesale, so refresh the
+    // occupancy bitset and the auxiliary head index in one pass here rather
+    // than in every caller.
+    core.rebuild_read_index();
 }
 
 #[cfg(test)]

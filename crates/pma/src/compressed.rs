@@ -8,7 +8,9 @@
 //! central structural claim, and it is what lets this type plug into the
 //! same `PmaCore` as the uncompressed storage.
 
-use crate::codec::{decode_run, encode_run, encoded_run_len, for_each_in_run, varint_len};
+use crate::codec::{
+    decode_run, decode_varint, encode_run, encoded_run_len, for_each_in_run, varint_len,
+};
 use crate::leaf::{
     apply_ops_into, set_difference_into, set_union_into, MergeOutcome, OpsOutcome, SharedLeaves,
 };
@@ -252,7 +254,42 @@ impl LeafStorage<u64> for CompressedLeaves {
     }
 
     fn leaf_contains(&self, leaf: usize, key: u64) -> bool {
-        self.leaf_successor(leaf, key) == Some(key)
+        // Membership needs no successor value: decode deltas only until the
+        // running value reaches `key`, and account only the bytes consumed
+        // (the full-run `leaf_successor` path charges the whole leaf).
+        let cnt = self.counts[leaf] as usize;
+        if cnt == 0 {
+            return false;
+        }
+        let buf = self.leaf_bytes(leaf);
+        let mut cur = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        if key <= cur {
+            stats::record_read(8);
+            return key == cur;
+        }
+        let mut pos = 8usize;
+        for _ in 1..cnt {
+            let (delta, used) = decode_varint(&buf[pos..]);
+            pos += used;
+            cur += delta;
+            if cur >= key {
+                stats::record_read(pos);
+                return cur == key;
+            }
+        }
+        stats::record_read(pos);
+        false
+    }
+
+    #[inline]
+    fn prefetch_leaf(&self, leaf: usize) {
+        // The delta decode walks the run front to back, so pull the first
+        // two lines: the head plus the first stretch of varints.
+        let at = leaf * self.leaf_units;
+        crate::search::prefetch_read(&self.bytes[at]);
+        if self.leaf_units > 64 {
+            crate::search::prefetch_read(&self.bytes[at + 64]);
+        }
     }
 
     fn leaf_max(&self, leaf: usize) -> Option<u64> {

@@ -17,20 +17,90 @@
 //!    `[previous head, next non-empty head]`.
 //!
 //! Any inherited value in that interval keeps routing correct: a query
-//! binary-searches for the rightmost head ≤ key and then walks left over
-//! empty leaves. Inserts never decrease a non-empty leaf's head via routing
-//! (elements below the global minimum route to the first non-empty leaf),
-//! and deletes that empty a leaf keep its old head — both preserve (1)-(3)
-//! without cross-leaf coordination, which is what makes the batch phases
-//! race-free.
+//! searches for the rightmost head ≤ key and then routes to the nearest
+//! occupied leaf at or before it (an occupancy bitset answers that skip in
+//! O(num_leaves / 64) words instead of a leaf-at-a-time walk). Inserts
+//! never decrease a non-empty leaf's head via routing (elements below the
+//! global minimum route to the first non-empty leaf), and deletes that
+//! empty a leaf keep its old head — both preserve (1)-(3) without
+//! cross-leaf coordination, which is what makes the batch phases race-free.
+//!
+//! # Head layouts
+//!
+//! *How* the rightmost head ≤ key is found is a compile-time choice: the
+//! `FORM` const parameter selects a [`HeadForm`] — the flat in-place
+//! binary search (the default), a separate flat array searched
+//! branch-free, or the cache-conscious Eytzinger / B-ary tree layouts,
+//! whose auxiliary arrays are rebuilt after every mutation (see
+//! `docs/ARCHITECTURE.md` for the layouts and `docs/TUNING.md` for when
+//! each wins).
 
 use crate::density::DensityBounds;
 use crate::leaf::SharedLeaves;
+use crate::search;
 use crate::tree::{ImplicitTree, Node};
 use crate::{stats, CompressedLeaves, LeafStorage, PmaKey, UncompressedLeaves};
 use cpma_api::ConfigError;
 use rayon::prelude::*;
 use std::marker::PhantomData;
+
+/// The head-layout menu (the artifact's `HeadForm`): how `dest_leaf`
+/// answers "rightmost head ≤ key". Selected at compile time through the
+/// `FORM` const parameter of [`PmaCore`]; values are the `u8` the const
+/// parameter takes (`PmaCore<K, L, { HeadForm::Eytzinger as u8 }>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum HeadForm {
+    /// Binary search directly over the heads stored in the leaf layout —
+    /// no auxiliary array, no rebuild cost (the historical default).
+    InPlace = 0,
+    /// A packed copy of the head array searched with a branchless binary
+    /// search. One extra array, trivially rebuilt.
+    Linear = 1,
+    /// Heads in BFS (Eytzinger) order: the first few levels of the
+    /// implicit tree share cache lines and deeper levels are prefetched
+    /// four levels ahead.
+    Eytzinger = 2,
+    /// A static B-ary search tree with 8 keys (one cache line) per node,
+    /// searched with a branchless per-node rank.
+    BNary = 3,
+}
+
+impl HeadForm {
+    /// The form a `FORM` const parameter denotes (panics on out-of-range
+    /// values at monomorphization time, since callers only reach this
+    /// through `PmaCore::HEAD_FORM`).
+    pub const fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Self::InPlace,
+            1 => Self::Linear,
+            2 => Self::Eytzinger,
+            3 => Self::BNary,
+            _ => panic!("HeadForm const parameter must be 0..=3"),
+        }
+    }
+
+    /// Short lowercase name (used by benches and snapshots' error text).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::InPlace => "inplace",
+            Self::Linear => "linear",
+            Self::Eytzinger => "eytzinger",
+            Self::BNary => "bnary",
+        }
+    }
+}
+
+/// The auxiliary search structure backing a non-`InPlace` [`HeadForm`].
+/// Rebuilt whenever heads may have changed (redistributes, rebuilds, the
+/// tail of every point update and batch).
+#[derive(Clone)]
+pub(crate) enum HeadIndex<K> {
+    None,
+    Linear(Vec<K>),
+    Eytzinger(search::Eytzinger<K>),
+    BNary(search::BNary<K>),
+}
 
 /// Tuning knobs. Defaults follow the paper (§6 and Appendix B/C).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -164,12 +234,31 @@ pub type Pma<K = u64> = PmaCore<K, UncompressedLeaves<K>>;
 /// The batch-parallel Compressed PMA (delta + byte codes; §5).
 pub type Cpma = PmaCore<u64, CompressedLeaves>;
 
-/// Engine over generic leaf storage. See module docs.
+/// Uncompressed PMA with the branchless flat head copy.
+pub type PmaLinear<K = u64> = PmaCore<K, UncompressedLeaves<K>, { HeadForm::Linear as u8 }>;
+
+/// Uncompressed PMA with Eytzinger-ordered heads.
+pub type PmaEytzinger<K = u64> = PmaCore<K, UncompressedLeaves<K>, { HeadForm::Eytzinger as u8 }>;
+
+/// Uncompressed PMA with the B-ary head tree.
+pub type PmaBNary<K = u64> = PmaCore<K, UncompressedLeaves<K>, { HeadForm::BNary as u8 }>;
+
+/// CPMA with the branchless flat head copy.
+pub type CpmaLinear = PmaCore<u64, CompressedLeaves, { HeadForm::Linear as u8 }>;
+
+/// CPMA with Eytzinger-ordered heads.
+pub type CpmaEytzinger = PmaCore<u64, CompressedLeaves, { HeadForm::Eytzinger as u8 }>;
+
+/// CPMA with the B-ary head tree.
+pub type CpmaBNary = PmaCore<u64, CompressedLeaves, { HeadForm::BNary as u8 }>;
+
+/// Engine over generic leaf storage. See module docs; `FORM` is a
+/// [`HeadForm`] discriminant selecting the head layout.
 ///
 /// `Clone` (for `Clone` leaf storages) is what snapshot publishers like
 /// `cpma-store`'s combiner build on.
 #[derive(Clone)]
-pub struct PmaCore<K: PmaKey, L: LeafStorage<K>> {
+pub struct PmaCore<K: PmaKey, L: LeafStorage<K>, const FORM: u8 = 0> {
     pub(crate) storage: L,
     pub(crate) cfg: PmaConfig,
     /// Number of stored elements.
@@ -178,16 +267,23 @@ pub struct PmaCore<K: PmaKey, L: LeafStorage<K>> {
     pub(crate) units: usize,
     /// Batch-pipeline counters (see [`stats::PmaStats`]).
     pub(crate) batch_stats: stats::PmaStats,
+    /// One bit per leaf: is it non-empty? Lets routing skip empty runs a
+    /// word (64 leaves) at a time instead of leaf-by-leaf.
+    pub(crate) occ: Vec<u64>,
+    /// Auxiliary head array for non-`InPlace` forms.
+    pub(crate) aux: HeadIndex<K>,
     pub(crate) _marker: PhantomData<K>,
 }
 
-impl<K: PmaKey, L: LeafStorage<K>> Default for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> Default for PmaCore<K, L, FORM> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
+    /// The head layout this instantiation uses.
+    pub const HEAD_FORM: HeadForm = HeadForm::from_u8(FORM);
     /// Empty structure with default configuration.
     pub fn new() -> Self {
         Self::with_config(PmaConfig::default())
@@ -197,14 +293,18 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     pub fn with_config(cfg: PmaConfig) -> Self {
         cfg.assert_valid();
         let leaf_units = Self::leaf_units_for_cap(cfg.min_leaves * L::MIN_LEAF_UNITS);
-        Self {
+        let mut this = Self {
             storage: L::with_geometry(cfg.min_leaves, leaf_units),
             cfg,
             len: 0,
             units: 0,
             batch_stats: stats::PmaStats::default(),
+            occ: Vec::new(),
+            aux: HeadIndex::None,
             _marker: PhantomData,
-        }
+        };
+        this.rebuild_read_index();
+        this
     }
 
     /// Build from a sorted, deduplicated slice (the artifact's
@@ -291,6 +391,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         self.units = units;
         self.len = elems.len();
         self.batch_stats.full_rebuilds += 1;
+        self.rebuild_read_index();
     }
 
     /// Grow capacity by the growing factor (repeatedly if needed) and
@@ -330,54 +431,186 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     }
 
     // ------------------------------------------------------------------
+    // Occupancy bitset + auxiliary head index
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn occ_get(&self, leaf: usize) -> bool {
+        self.occ[leaf / 64] >> (leaf % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn occ_set(&mut self, leaf: usize) {
+        self.occ[leaf / 64] |= 1u64 << (leaf % 64);
+    }
+
+    #[inline]
+    fn occ_clear(&mut self, leaf: usize) {
+        self.occ[leaf / 64] &= !(1u64 << (leaf % 64));
+    }
+
+    /// First occupied leaf at or after `from`, if any.
+    fn occ_next_from(&self, from: usize) -> Option<usize> {
+        let n = self.storage.num_leaves();
+        if from >= n {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut word = self.occ[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                let leaf = w * 64 + word.trailing_zeros() as usize;
+                return (leaf < n).then_some(leaf);
+            }
+            w += 1;
+            if w >= self.occ.len() {
+                return None;
+            }
+            word = self.occ[w];
+        }
+    }
+
+    /// Last occupied leaf at or before `from`, if any.
+    fn occ_prev_from(&self, from: usize) -> Option<usize> {
+        let from = from.min(self.storage.num_leaves().saturating_sub(1));
+        let mut w = from / 64;
+        let mut word = self.occ[w] & (!0u64 >> (63 - from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + 63 - word.leading_zeros() as usize);
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            word = self.occ[w];
+        }
+    }
+
+    /// Recompute occupancy bits for leaves in `[start, end)` from counts
+    /// (redistributes only disturb their own range).
+    fn rebuild_occ_range(&mut self, start: usize, end: usize) {
+        for leaf in start..end {
+            if self.storage.count(leaf) > 0 {
+                self.occ_set(leaf);
+            } else {
+                self.occ_clear(leaf);
+            }
+        }
+    }
+
+    /// Rebuild the auxiliary head array from the current heads (a no-op
+    /// for `InPlace`). Must run after anything that may move a head.
+    pub(crate) fn rebuild_head_index(&mut self) {
+        if matches!(Self::HEAD_FORM, HeadForm::InPlace) {
+            self.aux = HeadIndex::None;
+            return;
+        }
+        let n = self.storage.num_leaves();
+        debug_assert!(n < u32::MAX as usize, "head index ranks are u32");
+        let mut heads = Vec::with_capacity(n);
+        for l in 0..n {
+            heads.push(self.storage.head(l));
+        }
+        self.aux = match Self::HEAD_FORM {
+            HeadForm::InPlace => unreachable!(),
+            HeadForm::Linear => HeadIndex::Linear(heads),
+            HeadForm::Eytzinger => HeadIndex::Eytzinger(search::Eytzinger::build(&heads, K::MAX)),
+            HeadForm::BNary => HeadIndex::BNary(search::BNary::build(&heads, K::MAX)),
+        };
+    }
+
+    /// Recompute everything `dest_leaf` routes through — the occupancy
+    /// bitset and the auxiliary head array. Called by rebuilds, snapshot
+    /// loads, and the tail of every batch pipeline.
+    pub(crate) fn rebuild_read_index(&mut self) {
+        let n = self.storage.num_leaves();
+        self.occ = vec![0u64; n.div_ceil(64).max(1)];
+        for leaf in 0..n {
+            if self.storage.count(leaf) > 0 {
+                self.occ_set(leaf);
+            }
+        }
+        self.rebuild_head_index();
+    }
+
+    /// Bytes held by the read index (occupancy words + auxiliary heads).
+    fn read_index_bytes(&self) -> usize {
+        let aux = match &self.aux {
+            HeadIndex::None => 0,
+            HeadIndex::Linear(h) => std::mem::size_of_val(h.as_slice()),
+            HeadIndex::Eytzinger(e) => {
+                std::mem::size_of_val(e.keys.as_slice()) + std::mem::size_of_val(e.rank.as_slice())
+            }
+            HeadIndex::BNary(b) => {
+                std::mem::size_of_val(b.keys.as_slice())
+                    + std::mem::size_of_val(b.rank.as_slice())
+                    + b.fill.len()
+            }
+        };
+        std::mem::size_of_val(self.occ.as_slice()) + aux
+    }
+
+    // ------------------------------------------------------------------
     // Search
     // ------------------------------------------------------------------
+
+    /// Count of heads ≤ `key` (the partition point the routing walk needs),
+    /// answered through the layout `FORM` selects.
+    #[inline]
+    pub(crate) fn head_partition(&self, key: K) -> usize {
+        let n = self.storage.num_leaves();
+        stats::record_read(((usize::BITS - n.leading_zeros()) as usize) * K::BYTES);
+        match &self.aux {
+            HeadIndex::Linear(heads) => search::upper_bound(heads, key),
+            HeadIndex::Eytzinger(e) => e.partition(key),
+            HeadIndex::BNary(b) => b.partition(key, n),
+            HeadIndex::None => {
+                // In-place binary search over the heads in leaf storage.
+                let (mut lo, mut hi) = (0usize, n);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if self.storage.head(mid) <= key {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+        }
+    }
 
     /// First leaf with a nonzero count, if any.
     pub(crate) fn first_nonempty_leaf(&self) -> Option<usize> {
         if self.len == 0 {
             return None;
         }
-        (0..self.storage.num_leaves()).find(|&l| self.storage.count(l) > 0)
+        self.occ_next_from(0)
     }
 
     /// The leaf where `key` lives / would be inserted. `None` iff empty.
     ///
-    /// Binary search for the rightmost head ≤ key, walk left over empty
-    /// leaves; keys below the global minimum route to the first non-empty
-    /// leaf (see module docs).
+    /// Search for the rightmost head ≤ key, then skip to the nearest
+    /// occupied leaf at or before it via the occupancy bitset (inherited
+    /// heads make every leaf of the skipped empty run route equivalently);
+    /// keys below the global minimum route to the first non-empty leaf
+    /// (see module docs).
     pub(crate) fn dest_leaf(&self, key: K) -> Option<usize> {
         if self.len == 0 {
             return None;
         }
-        let n = self.storage.num_leaves();
-        // partition point: first index with head > key.
-        let (mut lo, mut hi) = (0usize, n);
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if self.storage.head(mid) <= key {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        stats::record_read(((usize::BITS - n.leading_zeros()) as usize) * K::BYTES);
+        let lo = self.head_partition(key);
         if lo == 0 {
             return self.first_nonempty_leaf();
         }
-        let mut leaf = lo - 1;
-        while self.storage.count(leaf) == 0 {
-            if leaf == 0 {
-                return self.first_nonempty_leaf();
-            }
-            leaf -= 1;
-        }
-        Some(leaf)
+        self.occ_prev_from(lo - 1)
+            .or_else(|| self.first_nonempty_leaf())
     }
 
     /// Next non-empty leaf strictly after `leaf`, if any.
     pub(crate) fn next_nonempty_leaf(&self, leaf: usize) -> Option<usize> {
-        ((leaf + 1)..self.storage.num_leaves()).find(|&l| self.storage.count(l) > 0)
+        self.occ_next_from(leaf + 1)
     }
 
     /// Membership test (the artifact's `has`).
@@ -399,6 +632,171 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     }
 
     // ------------------------------------------------------------------
+    // Batched point lookups
+    // ------------------------------------------------------------------
+
+    /// Probe indices sorted by key (ties by position, so the plan is
+    /// deterministic under duplicate probes).
+    fn probe_order(keys: &[K]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by_key(|&i| (keys[i], i));
+        order
+    }
+
+    /// The head of `leaf`, answered from the auxiliary array when one
+    /// holds plain heads — routing then never touches leaf storage.
+    #[inline]
+    fn head_at(&self, leaf: usize) -> K {
+        match &self.aux {
+            HeadIndex::Linear(heads) => heads[leaf],
+            _ => self.storage.head(leaf),
+        }
+    }
+
+    /// How many probe groups ahead the probe phase prefetches leaf data:
+    /// deep enough to keep ~a dozen independent line fills in flight,
+    /// which is what the leaf-miss-bound probe loop needs to hide DRAM
+    /// latency.
+    const PROBE_PREFETCH_AHEAD: usize = 12;
+
+    /// Route sorted probes group-by-group: each call of `visit` receives
+    /// the destination leaf, the slice of probe slots landing in it, and
+    /// the head of the next occupied leaf (= every group member's
+    /// out-of-leaf successor).
+    ///
+    /// Two passes. The routing pass walks only the head index (plus the
+    /// occupancy bitset) and records one `(leaf, range, limit)` group per
+    /// destination. The probe pass then visits the groups with leaf-data
+    /// prefetch issued [`Self::PROBE_PREFETCH_AHEAD`] groups early, so the
+    /// cache misses of consecutive groups — almost always distinct leaves
+    /// — overlap instead of serializing.
+    fn for_probe_groups(
+        &self,
+        keys: &[K],
+        order: &[usize],
+        mut visit: impl FnMut(usize, &[usize], Option<K>),
+    ) {
+        // Routing pass: the first group pays one full head search; every
+        // later group starts at the previous group's limit leaf (its key
+        // is ≥ that head by the group boundary), so routing usually
+        // advances with a short occupancy-bitset walk. Long skips — a
+        // probe far past the cursor — fall back to the head search after
+        // a few steps rather than crawling leaf by leaf.
+        let mut plan: Vec<(usize, usize, usize)> = Vec::new();
+        let mut limits: Vec<Option<K>> = Vec::new();
+        let mut i = 0usize;
+        let mut cursor: Option<usize> = None;
+        while i < order.len() {
+            let key = keys[order[i]];
+            let leaf = match cursor {
+                Some(start) => {
+                    let mut cur = start;
+                    let mut steps = 0usize;
+                    loop {
+                        match self.next_nonempty_leaf(cur) {
+                            Some(nl) if self.head_at(nl) <= key => {
+                                cur = nl;
+                                steps += 1;
+                                if steps >= 8 {
+                                    // Far skip: one log-time search beats
+                                    // an unbounded forward crawl.
+                                    cur = self.dest_leaf(key).unwrap();
+                                    break;
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                    cur
+                }
+                None => self
+                    .dest_leaf(key)
+                    .expect("probe routing requires a non-empty structure"),
+            };
+            // Everything below the next occupied head routes to `leaf`
+            // (dest_leaf is monotone and skips inherited-head runs).
+            let next = self.next_nonempty_leaf(leaf);
+            let limit = next.map(|nl| self.head_at(nl));
+            let mut j = i + 1;
+            while j < order.len() && limit.is_none_or(|lim| keys[order[j]] < lim) {
+                j += 1;
+            }
+            plan.push((leaf, i, j));
+            limits.push(limit);
+            // The next group's key (if any) is ≥ `limit`, so its
+            // destination is `next` or later.
+            cursor = next;
+            i = j;
+        }
+        // Probe pass, software-pipelined against the prefetcher.
+        for &(leaf, _, _) in plan.iter().take(Self::PROBE_PREFETCH_AHEAD) {
+            self.storage.prefetch_leaf(leaf);
+        }
+        for (g, &(leaf, lo, hi)) in plan.iter().enumerate() {
+            if let Some(&(ahead, _, _)) = plan.get(g + Self::PROBE_PREFETCH_AHEAD) {
+                self.storage.prefetch_leaf(ahead);
+            }
+            visit(leaf, &order[lo..hi], limits[g]);
+        }
+    }
+
+    /// Membership for every probe: `out[i]` answers `keys[i]`. Probes are
+    /// visited in sorted order, the destination leaf of the next group is
+    /// prefetched, and probes landing in the same leaf share one decode.
+    pub fn contains_batch(&self, keys: &[K]) -> Vec<bool> {
+        let mut out = vec![false; keys.len()];
+        if self.len == 0 || keys.is_empty() {
+            return out;
+        }
+        let order = Self::probe_order(keys);
+        let mut buf: Vec<K> = Vec::new();
+        self.for_probe_groups(keys, &order, |leaf, slots, _limit| {
+            if slots.len() > 1 {
+                buf.clear();
+                self.storage.collect_leaf(leaf, &mut buf);
+                for &slot in slots {
+                    let k = keys[slot];
+                    let pos = search::lower_bound(&buf, k);
+                    out[slot] = pos < buf.len() && buf[pos] == k;
+                }
+            } else {
+                out[slots[0]] = self.storage.leaf_contains(leaf, keys[slots[0]]);
+            }
+        });
+        out
+    }
+
+    /// Successor (smallest stored element ≥ probe) for every probe:
+    /// `out[i]` answers `keys[i]`. Same routing plan as
+    /// [`contains_batch`](Self::contains_batch); the shared group limit
+    /// doubles as the out-of-leaf successor.
+    pub fn successor_batch(&self, keys: &[K]) -> Vec<Option<K>> {
+        let mut out = vec![None; keys.len()];
+        if self.len == 0 || keys.is_empty() {
+            return out;
+        }
+        let order = Self::probe_order(keys);
+        let mut buf: Vec<K> = Vec::new();
+        self.for_probe_groups(keys, &order, |leaf, slots, limit| {
+            if slots.len() > 1 {
+                buf.clear();
+                self.storage.collect_leaf(leaf, &mut buf);
+                for &slot in slots {
+                    let pos = search::lower_bound(&buf, keys[slot]);
+                    out[slot] = if pos < buf.len() {
+                        Some(buf[pos])
+                    } else {
+                        limit
+                    };
+                }
+            } else {
+                out[slots[0]] = self.storage.leaf_successor(leaf, keys[slots[0]]).or(limit);
+            }
+        });
+        out
+    }
+
+    // ------------------------------------------------------------------
     // Point updates (§3: search, place, count, redistribute)
     // ------------------------------------------------------------------
 
@@ -415,12 +813,16 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         }
         self.len += 1;
         self.units = self.units.checked_add_signed(out.delta_units).unwrap();
+        self.occ_set(leaf);
         if dest.is_none() {
             // First element of an empty structure: leaf 0's head may have
             // jumped; refresh the inherited heads of the empty run after it.
             self.fix_inherited_heads_after(1);
         }
         self.rebalance_after_insert(leaf);
+        // The merge may have lowered the leaf's head (key below its old
+        // minimum), so non-InPlace forms refresh the auxiliary array.
+        self.rebuild_head_index();
         true
     }
 
@@ -438,7 +840,13 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         }
         self.len -= 1;
         self.units = self.units.checked_add_signed(out.delta_units).unwrap();
+        if self.storage.count(leaf) == 0 {
+            self.occ_clear(leaf);
+        }
         self.rebalance_after_remove(leaf);
+        // Removing a leaf's minimum moves its head up; refresh the
+        // auxiliary array for non-InPlace forms.
+        self.rebuild_head_index();
         true
     }
 
@@ -551,6 +959,8 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         }
         self.units = self.units.checked_add_signed(units_delta).unwrap();
         self.fix_inherited_heads_after(node.end);
+        self.rebuild_occ_range(node.start, node.end);
+        self.rebuild_head_index();
     }
 
     /// Repair inherited heads of the empty-leaf run starting at `from`
@@ -592,9 +1002,10 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         self.len == 0
     }
 
-    /// Bytes of backing memory (the artifact's `get_size()`).
+    /// Bytes of backing memory (the artifact's `get_size()`), including
+    /// the read index (occupancy bitset + auxiliary head array).
     pub fn size_bytes(&self) -> usize {
-        self.storage.size_bytes() + std::mem::size_of::<Self>()
+        self.storage.size_bytes() + std::mem::size_of::<Self>() + self.read_index_bytes()
     }
 
     /// Smallest stored element.
@@ -608,9 +1019,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         if self.len == 0 {
             return None;
         }
-        let leaf = (0..self.storage.num_leaves())
-            .rev()
-            .find(|&l| self.storage.count(l) > 0)?;
+        let leaf = self.occ_prev_from(self.storage.num_leaves() - 1)?;
         self.storage.leaf_max(leaf)
     }
 
@@ -812,7 +1221,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     }
 
     /// Iterate all elements in order.
-    pub fn iter(&self) -> Iter<'_, K, L> {
+    pub fn iter(&self) -> Iter<'_, K, L, FORM> {
         Iter {
             core: self,
             leaf: 0,
@@ -822,7 +1231,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
     }
 
     /// Iterate, in order, the elements ≥ `start`.
-    pub fn iter_from(&self, start: K) -> Iter<'_, K, L> {
+    pub fn iter_from(&self, start: K) -> Iter<'_, K, L, FORM> {
         let Some(leaf) = self.dest_leaf(start) else {
             return Iter {
                 core: self,
@@ -907,6 +1316,11 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
             }
             prev_head = Some(h);
             let cnt = self.storage.count(leaf);
+            assert_eq!(
+                self.occ_get(leaf),
+                cnt > 0,
+                "occupancy bit of leaf {leaf} out of sync"
+            );
             total_len += cnt;
             total_units += self.storage.units_used(leaf);
             if cnt > 0 {
@@ -949,6 +1363,29 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
                 "leaf {leaf} exceeds physical capacity"
             );
         }
+        // The auxiliary head index must answer exactly like the in-place
+        // binary search (same partition point for every head and
+        // neighbors thereof).
+        if !matches!(self.aux, HeadIndex::None) {
+            for leaf in 0..n {
+                let h = self.storage.head(leaf).to_u64();
+                let probes = [
+                    h.saturating_sub(1),
+                    h,
+                    h.saturating_add(1).min(K::MAX.to_u64()),
+                ];
+                for probe in probes.map(K::from_u64) {
+                    let flat = (0..n)
+                        .take_while(|&l| self.storage.head(l) <= probe)
+                        .count();
+                    assert_eq!(
+                        self.head_partition(probe),
+                        flat,
+                        "head index disagrees with flat search at probe {probe}"
+                    );
+                }
+            }
+        }
         let _ = (tree, max_depth);
     }
 }
@@ -958,13 +1395,13 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
 /// (capacity, leaf geometry, which leaf holds which key) is
 /// intentionally ignored — it varies with insertion history while the
 /// abstract set does not.
-impl<K: PmaKey, L: LeafStorage<K>> PartialEq for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PartialEq for PmaCore<K, L, FORM> {
     fn eq(&self, other: &Self) -> bool {
         self.len == other.len && self.cfg == other.cfg && self.iter().eq(other.iter())
     }
 }
 
-impl<K: PmaKey, L: LeafStorage<K>> std::fmt::Debug for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> std::fmt::Debug for PmaCore<K, L, FORM> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PmaCore")
             .field("len", &self.len)
@@ -976,14 +1413,14 @@ impl<K: PmaKey, L: LeafStorage<K>> std::fmt::Debug for PmaCore<K, L> {
 }
 
 /// In-order iterator over a PMA; decodes one leaf at a time.
-pub struct Iter<'a, K: PmaKey, L: LeafStorage<K>> {
-    core: &'a PmaCore<K, L>,
+pub struct Iter<'a, K: PmaKey, L: LeafStorage<K>, const FORM: u8 = 0> {
+    core: &'a PmaCore<K, L, FORM>,
     leaf: usize,
     buf: Vec<K>,
     pos: usize,
 }
 
-impl<K: PmaKey, L: LeafStorage<K>> Iterator for Iter<'_, K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> Iterator for Iter<'_, K, L, FORM> {
     type Item = K;
 
     fn next(&mut self) -> Option<K> {
@@ -1004,9 +1441,9 @@ impl<K: PmaKey, L: LeafStorage<K>> Iterator for Iter<'_, K, L> {
     }
 }
 
-impl<'a, K: PmaKey, L: LeafStorage<K>> IntoIterator for &'a PmaCore<K, L> {
+impl<'a, K: PmaKey, L: LeafStorage<K>, const FORM: u8> IntoIterator for &'a PmaCore<K, L, FORM> {
     type Item = K;
-    type IntoIter = Iter<'a, K, L>;
+    type IntoIter = Iter<'a, K, L, FORM>;
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
     }
@@ -1014,7 +1451,7 @@ impl<'a, K: PmaKey, L: LeafStorage<K>> IntoIterator for &'a PmaCore<K, L> {
 
 /// Owned iteration drains into a sorted buffer (the backing array is a
 /// packed layout, not a `Vec` of elements).
-impl<K: PmaKey, L: LeafStorage<K>> IntoIterator for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> IntoIterator for PmaCore<K, L, FORM> {
     type Item = K;
     type IntoIter = std::vec::IntoIter<K>;
     fn into_iter(self) -> Self::IntoIter {
@@ -1023,7 +1460,7 @@ impl<K: PmaKey, L: LeafStorage<K>> IntoIterator for PmaCore<K, L> {
 }
 
 /// Collect arbitrary (unsorted, possibly duplicated) keys into a PMA.
-impl<K: PmaKey, L: LeafStorage<K>> FromIterator<K> for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> FromIterator<K> for PmaCore<K, L, FORM> {
     fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
         let mut keys: Vec<K> = iter.into_iter().collect();
         let keys = cpma_api::normalize_batch(&mut keys);
@@ -1032,7 +1469,7 @@ impl<K: PmaKey, L: LeafStorage<K>> FromIterator<K> for PmaCore<K, L> {
 }
 
 /// Batch-insert arbitrary keys (buffers, then runs one batch update).
-impl<K: PmaKey, L: LeafStorage<K>> Extend<K> for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> Extend<K> for PmaCore<K, L, FORM> {
     fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
         let mut keys: Vec<K> = iter.into_iter().collect();
         self.insert_batch(&mut keys, false);

@@ -127,6 +127,11 @@ pub trait LeafStorage<K: PmaKey>: Send + Sync + Sized {
     /// Bytes of backing memory (the paper's `get_size()`).
     fn size_bytes(&self) -> usize;
 
+    /// Hint that `leaf`'s backing bytes are about to be read (batched
+    /// lookups prefetch the next probe group's leaf while searching the
+    /// current one). Default: no-op.
+    fn prefetch_leaf(&self, _leaf: usize) {}
+
     /// Smallest element ≥ `key` within `leaf`, if any.
     fn leaf_successor(&self, leaf: usize, key: K) -> Option<K>;
     /// Membership test within `leaf`.

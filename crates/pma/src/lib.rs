@@ -33,10 +33,14 @@ mod api;
 mod batch;
 mod compressed;
 mod leaf;
+mod search;
 mod uncompressed;
 
 pub use crate::compressed::CompressedLeaves;
-pub use crate::core::{Cpma, Pma, PmaConfig, PmaConfigBuilder, PmaCore};
+pub use crate::core::{
+    Cpma, CpmaBNary, CpmaEytzinger, CpmaLinear, HeadForm, Pma, PmaBNary, PmaConfig,
+    PmaConfigBuilder, PmaCore, PmaEytzinger, PmaLinear,
+};
 pub use crate::density::DensityBounds;
 pub use crate::leaf::{LeafStorage, MergeOutcome, OpsOutcome};
 pub use crate::stats::PmaStats;

@@ -6,7 +6,9 @@
 //! arrays: the meta section records the [`PmaConfig`] and the geometry,
 //! the payload is the raw leaf storage (see each codec's
 //! `read_payload`/`write_payload`). Saving does no structure walk;
-//! loading does one validation pass and no rebuild.
+//! loading does one validation pass plus an O(num_leaves) read-index
+//! rebuild (the occupancy bitset and auxiliary head array are derived
+//! state and are never serialized).
 //!
 //! Loads verify, in order: envelope magic/version/checksums (in
 //! `cpma-persist`), codec id and key width, configuration validity
@@ -20,15 +22,16 @@ use std::path::Path;
 use cpma_api::{Persist, PersistError};
 use cpma_persist::snapshot::{ByteReader, ByteSink, SnapshotEnvelope};
 
-use crate::core::PmaCore;
+use crate::core::{HeadForm, PmaCore};
 use crate::density::DensityBounds;
 use crate::{LeafStorage, PmaConfig, PmaKey};
 
 /// Meta section: key width (u32), eight config scalars, four geometry /
-/// count fields (u64 each). Floats travel as IEEE-754 bit patterns.
-const META_LEN: usize = 4 + 8 * 8 + 4 * 8;
+/// count fields (u64 each), and the head-layout tag (u64). Floats travel
+/// as IEEE-754 bit patterns.
+const META_LEN: usize = 4 + 8 * 8 + 4 * 8 + 8;
 
-impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
     /// Serialize to the snapshot byte format without touching disk.
     /// The image is deterministic: equal histories yield equal bytes at
     /// any thread budget (checked by `tests/determinism.rs`).
@@ -59,6 +62,7 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         meta.put_u64(self.len as u64);
         meta.put_u64(self.storage.num_leaves() as u64);
         meta.put_u64(self.storage.leaf_units() as u64);
+        meta.put_u64(FORM as u64);
         debug_assert_eq!(meta.len(), META_LEN);
         let mut payload = Vec::with_capacity(
             L::payload_len(self.storage.num_leaves(), self.storage.leaf_units())
@@ -104,7 +108,19 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
         let len = as_usize(r.u64("len")?, "len")?;
         let num_leaves = as_usize(r.u64("num_leaves")?, "num_leaves")?;
         let leaf_units = as_usize(r.u64("leaf_units")?, "leaf_units")?;
+        let layout = r.u64("head layout")?;
         r.expect_end("snapshot meta")?;
+        if layout != FORM as u64 {
+            let found = match layout {
+                0..=3 => HeadForm::from_u8(layout as u8).name(),
+                _ => "unknown",
+            };
+            return Err(PersistError::Corrupt(format!(
+                "snapshot uses head layout `{found}` ({layout}), but this \
+                 type is fixed to `{}` ({FORM})",
+                Self::HEAD_FORM.name()
+            )));
+        }
         if num_leaves == 0 {
             return Err(PersistError::Corrupt("snapshot has zero leaves".into()));
         }
@@ -125,14 +141,18 @@ impl<K: PmaKey, L: LeafStorage<K>> PmaCore<K, L> {
                 "header says {len} elements, leaves hold {total_len}"
             )));
         }
-        Ok(Self {
+        let mut this = Self {
             storage,
             cfg,
             len,
             units: total_units,
             batch_stats: Default::default(),
+            occ: Vec::new(),
+            aux: crate::core::HeadIndex::None,
             _marker: std::marker::PhantomData,
-        })
+        };
+        this.rebuild_read_index();
+        Ok(this)
     }
 }
 
@@ -140,7 +160,7 @@ fn as_usize(v: u64, what: &'static str) -> Result<usize, PersistError> {
     usize::try_from(v).map_err(|_| PersistError::Corrupt(format!("{what} {v} exceeds usize")))
 }
 
-impl<K: PmaKey, L: LeafStorage<K>> Persist for PmaCore<K, L> {
+impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> Persist for PmaCore<K, L, FORM> {
     fn save(&self, path: &Path) -> Result<(), PersistError> {
         self.to_envelope().save_file(path)
     }

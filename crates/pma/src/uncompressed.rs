@@ -203,17 +203,29 @@ impl<K: PmaKey> LeafStorage<K> for UncompressedLeaves<K> {
             + self.overflow.len() * std::mem::size_of::<Option<Box<[K]>>>()
     }
 
+    #[inline]
+    fn prefetch_leaf(&self, leaf: usize) {
+        // The in-leaf binary search touches the middle of the run first,
+        // so pull the leaf's first and middle lines.
+        let at = leaf * self.leaf_units;
+        crate::search::prefetch_read(&self.cells[at]);
+        crate::search::prefetch_read(&self.cells[at + self.leaf_units / 2]);
+    }
+
     fn leaf_successor(&self, leaf: usize, key: K) -> Option<K> {
         let slice = self.leaf_slice(leaf);
         stats::record_read(slice.len() * K::BYTES);
-        let idx = slice.partition_point(|&e| e < key);
+        let idx = crate::search::lower_bound(slice, key);
         slice.get(idx).copied()
     }
 
     fn leaf_contains(&self, leaf: usize, key: K) -> bool {
         let slice = self.leaf_slice(leaf);
         stats::record_read(slice.len() * K::BYTES);
-        slice.binary_search(&key).is_ok()
+        // Branch-free lower bound: one unpredictable exit branch instead
+        // of log(len) data-dependent ones.
+        let idx = crate::search::lower_bound(slice, key);
+        slice.get(idx) == Some(&key)
     }
 
     fn leaf_max(&self, leaf: usize) -> Option<K> {

@@ -1,0 +1,56 @@
+//! Byte-traffic regression for the compressed codec's membership probe
+//! (needs `--features stats`; the counters are process-global, so this
+//! file holds exactly one test).
+//!
+//! `leaf_contains` must decode only until the running value reaches the
+//! probe and account only the bytes it consumed. The previous definition
+//! delegated to `leaf_successor`, which decodes — and charges — the whole
+//! run, so probing a leaf's head read `units_used(leaf)` bytes instead
+//! of 8: that is what the exact equalities below would report.
+#![cfg(feature = "stats")]
+
+use cpma_pma::{stats, Cpma, LeafStorage};
+
+#[test]
+fn compressed_membership_probe_stops_early() {
+    let elems: Vec<u64> = (0..200_000u64).map(|i| i * 7 + 3).collect();
+    let c = Cpma::from_sorted(&elems);
+    let storage = c.storage();
+
+    // Pick the fullest leaf so the early-exit saving is unambiguous.
+    let leaf = (0..storage.num_leaves())
+        .max_by_key(|&l| storage.count(l))
+        .unwrap();
+    let mut run = Vec::new();
+    storage.collect_leaf(leaf, &mut run);
+    assert!(
+        run.len() >= 8,
+        "fullest leaf unexpectedly small: {}",
+        run.len()
+    );
+    let used = storage.units_used(leaf) as u64;
+
+    // Probing the head must touch only the 8-byte head itself.
+    let (hit, t) = stats::measure(|| storage.leaf_contains(leaf, run[0]));
+    assert!(hit);
+    assert_eq!(t.bytes_read, 8, "head probe decoded past the head");
+
+    // A probe below the head answers from the head alone too.
+    let (hit, t) = stats::measure(|| storage.leaf_contains(leaf, run[0].wrapping_sub(1)));
+    assert!(!hit);
+    assert_eq!(t.bytes_read, 8, "below-head probe decoded past the head");
+
+    // An early element must not cost a full-run decode.
+    let (hit, t) = stats::measure(|| storage.leaf_contains(leaf, run[2]));
+    assert!(hit);
+    assert!(
+        t.bytes_read < used,
+        "early-element probe read the whole run ({} of {used} bytes)",
+        t.bytes_read
+    );
+
+    // The last element legitimately needs the whole run — upper bound.
+    let (hit, t) = stats::measure(|| storage.leaf_contains(leaf, *run.last().unwrap()));
+    assert!(hit);
+    assert!(t.bytes_read <= used);
+}

@@ -110,6 +110,50 @@ fn codec_mismatch_is_typed() {
 }
 
 #[test]
+fn head_layout_tag_roundtrips_and_mismatch_is_typed() {
+    use cpma_pma::{CpmaBNary, PmaEytzinger, PmaLinear};
+
+    // Same-layout roundtrip: whole-structure equality, still usable.
+    let set: PmaEytzinger = build(&sample_keys(20_000));
+    let bytes = set.to_snapshot_bytes();
+    let back = PmaEytzinger::<u64>::from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(set, back);
+    back.check_invariants();
+
+    // Opening under any *other* head layout is a typed corruption error
+    // that names both layouts — the aux array is rebuilt from the tag's
+    // layout, so a silent cross-load would misroute every lookup.
+    let err = Pma::<u64>::from_snapshot_bytes(&bytes).unwrap_err();
+    match err {
+        PersistError::Corrupt(msg) => {
+            assert!(
+                msg.contains("eytzinger"),
+                "message names found layout: {msg}"
+            );
+            assert!(
+                msg.contains("inplace"),
+                "message names expected layout: {msg}"
+            );
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    assert!(matches!(
+        PmaLinear::<u64>::from_snapshot_bytes(&bytes),
+        Err(PersistError::Corrupt(_))
+    ));
+
+    // Compressed codec carries the tag too.
+    let cset: CpmaBNary = build(&sample_keys(10_000));
+    let cbytes = cset.to_snapshot_bytes();
+    let cback = CpmaBNary::from_snapshot_bytes(&cbytes).unwrap();
+    assert_eq!(cset, cback);
+    assert!(matches!(
+        Cpma::from_snapshot_bytes(&cbytes),
+        Err(PersistError::Corrupt(_))
+    ));
+}
+
+#[test]
 fn non_default_config_survives_roundtrip() {
     let cfg = PmaConfig::builder()
         .growing_factor(1.5)

@@ -743,15 +743,14 @@ where
         // Open a fresh epoch for subsequent submitters.
         *self.current.lock().unwrap() = Arc::new(Epoch::new());
 
-        // Prefetch the base presence of every distinct key with parallel
-        // point lookups — the replay's dominant cost on large backends.
+        // Prefetch the base presence of every distinct key in one batched
+        // lookup — the replay's dominant cost on large backends. `uniq` is
+        // already sorted and deduplicated, exactly the shape the backend's
+        // `contains_batch` fast path wants (a sharded backend further fans
+        // the probe run out shard-parallel).
         let mut uniq: Vec<K> = ops.iter().map(|op| op.key()).collect();
         let uniq = normalize_batch(&mut uniq);
-        let presence: Vec<bool> = {
-            use rayon::prelude::*;
-            let set = &core.set;
-            uniq.par_iter().map(|&k| set.contains(k)).collect()
-        };
+        let presence: Vec<bool> = core.set.contains_batch(uniq);
         // Replay in submission order against the presence overlay: each
         // operation observes the set as of all operations before it.
         let mut overlay: HashMap<u64, (bool, bool)> = uniq

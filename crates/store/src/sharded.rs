@@ -468,7 +468,7 @@ impl<S, const N: usize, const MIN: usize, const MAX: usize> ShardedSet<S, N, MIN
     /// count — every input is schedule-independent.
     fn maybe_rebalance<K: SetKey>(&mut self)
     where
-        S: BatchSet<K> + RangeSet<K> + Send,
+        S: BatchSet<K> + RangeSet<K> + Send + Sync,
     {
         let cur = self.shards.len();
         let lens: Vec<usize> = self.shards.iter().map(|s| s.len()).collect();
@@ -496,7 +496,7 @@ impl<S, const N: usize, const MIN: usize, const MAX: usize> ShardedSet<S, N, MIN
     /// records the post-rebalance imbalance.
     fn rebuild<K: SetKey>(&mut self, count: usize)
     where
-        S: BatchSet<K> + RangeSet<K> + Send,
+        S: BatchSet<K> + RangeSet<K> + Send + Sync,
     {
         let all = RangeSet::to_vec(self);
         self.splitters = learned_splitters(count, &all);
@@ -516,8 +516,8 @@ impl<S, const N: usize, const MIN: usize, const MAX: usize> ShardedSet<S, N, MIN
     }
 }
 
-impl<K: SetKey, S: OrderedSet<K>, const N: usize, const MIN: usize, const MAX: usize> OrderedSet<K>
-    for ShardedSet<S, N, MIN, MAX>
+impl<K: SetKey, S: OrderedSet<K> + Sync, const N: usize, const MIN: usize, const MAX: usize>
+    OrderedSet<K> for ShardedSet<S, N, MIN, MAX>
 {
     const NAME: &'static str = "Sharded";
 
@@ -546,6 +546,67 @@ impl<K: SetKey, S: OrderedSet<K>, const N: usize, const MIN: usize, const MAX: u
             .or_else(|| self.shards[first + 1..].iter().find_map(|s| s.min()))
     }
 
+    /// Batched membership, shard-parallel: sort the probes once, split the
+    /// sorted run at the splitters (exactly like a batch update), hand each
+    /// shard its contiguous sub-run through the *backend's* `contains_batch`
+    /// (so a PMA shard gets its cache-conscious pass), and scatter the
+    /// per-shard answers back to probe positions.
+    fn contains_batch(&self, keys: &[K]) -> Vec<bool> {
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by_key(|&i| (keys[i].to_u64(), i));
+        let sorted: Vec<K> = order.iter().map(|&i| keys[i]).collect();
+        let bounds = split_bounds(&self.splitters, &sorted);
+        let bounds = &bounds;
+        let per_shard: Vec<Vec<bool>> = self
+            .shards
+            .par_iter()
+            .enumerate()
+            .map(|(i, shard)| shard.contains_batch(&sorted[bounds[i]..bounds[i + 1]]))
+            .collect();
+        let mut out = vec![false; keys.len()];
+        for (rank, hit) in per_shard.into_iter().flatten().enumerate() {
+            out[order[rank]] = hit;
+        }
+        out
+    }
+
+    /// Batched successor with the same sort–split–scatter shape as
+    /// [`contains_batch`](OrderedSet::contains_batch). A probe whose own
+    /// shard has no successor falls forward to the min of the next
+    /// non-empty shard (precomputed once, right to left).
+    fn successor_batch(&self, keys: &[K]) -> Vec<Option<K>> {
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by_key(|&i| (keys[i].to_u64(), i));
+        let sorted: Vec<K> = order.iter().map(|&i| keys[i]).collect();
+        let bounds = split_bounds(&self.splitters, &sorted);
+        let bounds = &bounds;
+        // next_min[i] = smallest element stored in any shard after i.
+        let mut next_min: Vec<Option<K>> = vec![None; self.shards.len()];
+        let mut running = None;
+        for i in (0..self.shards.len()).rev() {
+            next_min[i] = running;
+            running = self.shards[i].min().or(running);
+        }
+        let next_min = &next_min;
+        let per_shard: Vec<Vec<Option<K>>> = self
+            .shards
+            .par_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let mut sub = shard.successor_batch(&sorted[bounds[i]..bounds[i + 1]]);
+                for s in &mut sub {
+                    *s = s.or(next_min[i]);
+                }
+                sub
+            })
+            .collect();
+        let mut out = vec![None; keys.len()];
+        for (rank, succ) in per_shard.into_iter().flatten().enumerate() {
+            out[order[rank]] = succ;
+        }
+        out
+    }
+
     fn size_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.size_bytes()).sum::<usize>()
             + self.splitters.len() * std::mem::size_of::<u64>()
@@ -554,7 +615,7 @@ impl<K: SetKey, S: OrderedSet<K>, const N: usize, const MIN: usize, const MAX: u
 
 impl<
         K: SetKey,
-        S: BatchSet<K> + RangeSet<K> + Send,
+        S: BatchSet<K> + RangeSet<K> + Send + Sync,
         const N: usize,
         const MIN: usize,
         const MAX: usize,
@@ -612,8 +673,8 @@ impl<
     }
 }
 
-impl<K: SetKey, S: RangeSet<K>, const N: usize, const MIN: usize, const MAX: usize> RangeSet<K>
-    for ShardedSet<S, N, MIN, MAX>
+impl<K: SetKey, S: RangeSet<K> + Sync, const N: usize, const MIN: usize, const MAX: usize>
+    RangeSet<K> for ShardedSet<S, N, MIN, MAX>
 {
     fn scan_from(&self, start: K, f: &mut dyn FnMut(K) -> bool) {
         let first = self.shard_of(start.to_u64());

@@ -35,6 +35,8 @@ struct Observations {
     counts: Vec<usize>,
     sums: Vec<u64>,
     sizes: Vec<usize>,
+    hits: Vec<bool>,
+    succs: Vec<Option<u64>>,
 }
 
 /// A seeded mixed batch workload: large unsorted insert and remove batches
@@ -51,6 +53,8 @@ fn run_workload<S: BatchSet<u64> + RangeSet<u64>>(seed: u64) -> Observations {
         counts: Vec::new(),
         sums: Vec::new(),
         sizes: Vec::new(),
+        hits: Vec::new(),
+        succs: Vec::new(),
     };
     for round in 0..6 {
         let mut ins = rng.keys(4000, 24);
@@ -76,6 +80,15 @@ fn run_workload<S: BatchSet<u64> + RangeSet<u64>>(seed: u64) -> Observations {
         obs.sums.push(s.range_sum(a.min(b)..=a.max(b)));
         obs.sums.push(s.range_sum(..));
         obs.sizes.push(s.len());
+        // Batched point reads: sharded backends answer these with a
+        // parallel per-shard fan-out, so the result order (original probe
+        // order, duplicates preserved) must survive any schedule.
+        let mut probes = rng.keys(600, 24);
+        probes.push(0);
+        probes.push(u64::MAX);
+        probes.push(probes[0]);
+        obs.hits.extend(s.contains_batch(&probes));
+        obs.succs.extend(s.successor_batch(&probes));
         if round == 5 {
             obs.contents = s.to_vec();
         }
