@@ -132,9 +132,8 @@ pub trait OrderedSet<K: SetKey> {
 
     /// Batched successor: `out[i] == self.successor(keys[i])`.
     ///
-    /// Same contract and default as [`contains_batch`]
-    /// (`OrderedSet::contains_batch`): any order, duplicates allowed,
-    /// positional results.
+    /// Same contract and default as [`OrderedSet::contains_batch`]: any
+    /// order, duplicates allowed, positional results.
     fn successor_batch(&self, keys: &[K]) -> Vec<Option<K>> {
         keys.iter().map(|&k| self.successor(k)).collect()
     }

@@ -148,5 +148,48 @@ fn main() {
         probe.stats().summary()
     );
 
+    // Observability overhead sweep on the headline pipeline-regime
+    // configuration: timing (spans + latency histograms) on vs off. The
+    // deterministic counters stay on in both arms — they are the always-on
+    // cost — so this isolates the clock reads and histogram records the
+    // timing side adds. Acceptance: < 5% overhead.
+    let mut arms = [0.0f64; 2];
+    for (i, on) in [false, true].into_iter().enumerate() {
+        cpma_obs::set_timing_enabled(on);
+        // Median of a few runs: single runs of this harness are noisy.
+        let runs = if quick { 3 } else { 5 };
+        let mut samples: Vec<f64> = (0..runs)
+            .map(|_| mixed_apply_throughput::<Cpma>(&base, &stream, batch))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        arms[i] = median;
+        let label = if on { "on" } else { "off" };
+        println!("csv,mixed_obs,{label},{median}");
+        b.record(
+            "mixed/CPMA/obs_sweep",
+            &[
+                ("obs", label.to_string()),
+                ("dist", "zipf".to_string()),
+                ("insert_pct", "50".to_string()),
+                ("batch", batch.to_string()),
+            ],
+            if median > 0.0 { 1.0 / median } else { 0.0 },
+        );
+    }
+    cpma_obs::set_timing_enabled(true);
+    let overhead_pct = if arms[1] > 0.0 {
+        (arms[0] / arms[1] - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "# obs overhead (timing on vs off, zipf 50:50, batch {batch}): \
+         off {} ops/s, on {} ops/s, overhead {overhead_pct:.2}%",
+        sci(arms[0]),
+        sci(arms[1]),
+    );
+
     b.write_json("mixed").expect("write BENCH_mixed.json");
+    cpma_bench::ubench::write_metrics_json().expect("write METRICS.json");
 }

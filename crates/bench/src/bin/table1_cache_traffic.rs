@@ -15,7 +15,9 @@ use cpma_workloads::{dedup_sorted, uniform_keys};
 
 fn measure<S: BatchSet<u64>>(base: &[u64], stream: &[u64], batch: usize) -> stats::Traffic {
     let mut s = S::build_sorted(base);
-    stats::reset();
+    // Scoped delta-capture: counts only this measurement's traffic without
+    // resetting the process-global counters under anyone else's feet.
+    let scope = stats::TrafficScope::begin();
     let mut scratch = Vec::new();
     for chunk in stream.chunks(batch) {
         scratch.clear();
@@ -23,7 +25,7 @@ fn measure<S: BatchSet<u64>>(base: &[u64], stream: &[u64], batch: usize) -> stat
         let b = normalize_batch(&mut scratch);
         s.insert_batch_sorted(b);
     }
-    stats::snapshot()
+    scope.traffic()
 }
 
 fn main() {

@@ -143,6 +143,9 @@ impl Bencher {
     /// the harnessed measurements. `secs_per_op` is the median (or only)
     /// per-operation cost in seconds.
     pub fn record(&self, name: &str, params: &[(&str, String)], secs_per_op: f64) {
+        cpma_obs::global()
+            .shared_counter("bench.measurements", cpma_obs::Unit::Count)
+            .inc();
         self.entries.borrow_mut().push(JsonEntry {
             name: name.to_string(),
             params: params
@@ -195,6 +198,17 @@ impl Bencher {
         println!("wrote {}", path.display());
         Ok(path)
     }
+}
+
+/// Dump the process-wide observability registry to `METRICS.json` in the
+/// current directory (next to the `BENCH_<tag>.json` artifacts) and return
+/// the path. Harness binaries call this once at exit so the per-layer
+/// counters and latency quantiles behind a run travel with its numbers.
+pub fn write_metrics_json() -> std::io::Result<PathBuf> {
+    let path = PathBuf::from("METRICS.json");
+    cpma_obs::global().snapshot().write_json(&path)?;
+    println!("wrote {}", path.display());
+    Ok(path)
 }
 
 /// A JSON string literal (the names and params here are ASCII identifiers,

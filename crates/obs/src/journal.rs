@@ -1,0 +1,163 @@
+//! Bounded ring-buffer event journal.
+//!
+//! Every completed [`span()`](crate::span) (and any explicit
+//! [`Journal::push`]) lands here as an [`Event`]. The ring keeps the most
+//! recent `capacity` events; [`crate::install_panic_hook`] dumps it to
+//! stderr when the process panics, so the last thing a crashed run prints
+//! is what the system was doing.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// One recorded span/event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic sequence number (total events ever pushed, 1-based).
+    pub seq: u64,
+    /// Nanoseconds since the journal first woke up, at event *completion*.
+    pub at_ns: u64,
+    /// Static span name, e.g. `"combiner.epoch"`.
+    pub name: &'static str,
+    /// Span duration in nanoseconds (0 for instantaneous events).
+    pub dur_ns: u64,
+    /// Free-form item count (ops applied, leaves touched, worker index).
+    pub items: u64,
+}
+
+struct Inner {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    seq: u64,
+}
+
+/// The process-wide event journal (see [`journal`]).
+pub struct Journal {
+    inner: Mutex<Inner>,
+    epoch: Instant,
+}
+
+/// The process-wide journal.
+pub fn journal() -> &'static Journal {
+    static J: OnceLock<Journal> = OnceLock::new();
+    J.get_or_init(|| Journal::with_capacity(DEFAULT_CAPACITY))
+}
+
+impl Journal {
+    /// A standalone journal (the usual entry point is the process-wide
+    /// [`journal`]; standalone instances are for tests and tools).
+    pub fn with_capacity(capacity: usize) -> Journal {
+        Journal {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(capacity.max(1)),
+                capacity: capacity.max(1),
+                seq: 0,
+            }),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn push(&self, name: &'static str, dur_ns: u64, items: u64) {
+        let at_ns = self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let mut inner = self.inner.lock().unwrap();
+        inner.seq += 1;
+        let seq = inner.seq;
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(Event {
+            seq,
+            at_ns,
+            name,
+            dur_ns,
+            items,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// Total events ever pushed (including evicted ones).
+    pub fn total_events(&self) -> u64 {
+        self.inner.lock().unwrap().seq
+    }
+
+    /// Resize the ring (keeps the newest events on shrink).
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        while inner.ring.len() > capacity {
+            inner.ring.pop_front();
+        }
+        inner.capacity = capacity;
+    }
+
+    /// Drop all retained events (the sequence counter keeps counting).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().ring.clear();
+    }
+
+    /// Human-readable dump, oldest first: one line per event.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "journal: {} retained of {} total events\n",
+            inner.ring.len(),
+            inner.seq
+        ));
+        for e in &inner.ring {
+            out.push_str(&format!(
+                "  #{:<6} +{:>12}ns  {:<28} dur={:>10}ns items={}\n",
+                e.seq, e.at_ns, e.name, e.dur_ns, e.items
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let j = Journal::with_capacity(4);
+        for i in 0..10 {
+            j.push("test.ring", i, i);
+        }
+        let ev = j.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[0].dur_ns, 6, "oldest evicted, order kept");
+        assert_eq!(ev[3].dur_ns, 9);
+        assert!(ev.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(j.total_events(), 10);
+    }
+
+    #[test]
+    fn shrinking_capacity_keeps_newest() {
+        let j = Journal::with_capacity(8);
+        for i in 0..8 {
+            j.push("test.shrink", i, 0);
+        }
+        j.set_capacity(2);
+        let ev = j.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[1].dur_ns, 7);
+    }
+
+    #[test]
+    fn render_mentions_names() {
+        let j = Journal::with_capacity(16);
+        j.push("test.render", 123, 7);
+        let s = j.render();
+        assert!(s.contains("test.render"));
+        assert!(s.contains("items=7"));
+    }
+}

@@ -1,0 +1,488 @@
+//! Metric primitives: striped atomic counters, gauges, and log-linear
+//! latency histograms.
+//!
+//! Every handle ([`Counter`], [`Gauge`], [`Histogram`]) is a cheap
+//! `Arc`-backed clone around a *cell* owned by the structure that records
+//! into it. The [`Registry`](crate::Registry) holds `Weak` references to
+//! live cells plus a *retired* sink per metric name: when a cell is
+//! dropped (its owning structure goes away), its totals are folded into
+//! the retired sink so registry snapshots stay monotonic across structure
+//! lifetimes.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of cache-line-padded stripes per counter cell. Threads hash to a
+/// stripe so concurrent `add`s don't bounce one line between cores.
+pub(crate) const STRIPES: usize = 8;
+
+#[repr(align(64))]
+#[derive(Default)]
+pub(crate) struct Stripe(pub(crate) AtomicU64);
+
+/// Stable per-thread stripe index (assigned round-robin on first use).
+fn stripe_index() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    IDX.with(|c| {
+        let mut i = c.get();
+        if i == usize::MAX {
+            i = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+            c.set(i);
+        }
+        i
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+pub(crate) struct CounterCell {
+    stripes: [Stripe; STRIPES],
+    retired: Arc<AtomicU64>,
+}
+
+impl CounterCell {
+    pub(crate) fn new(retired: Arc<AtomicU64>) -> Self {
+        Self {
+            stripes: Default::default(),
+            retired,
+        }
+    }
+
+    pub(crate) fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Drop for CounterCell {
+    fn drop(&mut self) {
+        // Fold this cell's total into the per-name retired sink so the
+        // registry's view of the metric never goes backwards.
+        self.retired.fetch_add(self.value(), Ordering::Relaxed);
+    }
+}
+
+/// Monotonic event counter. `add` is a single relaxed `fetch_add` on a
+/// thread-striped cache line — safe on any hot path.
+#[derive(Clone)]
+pub struct Counter(pub(crate) Arc<CounterCell>);
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total recorded through *this cell* (not the global sum —
+    /// use [`Registry::snapshot`](crate::Registry::snapshot) for that).
+    pub fn value(&self) -> u64 {
+        self.0.value()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+pub(crate) struct GaugeCell {
+    value: AtomicI64,
+}
+
+/// Instantaneous level (queue depth, shard count, live workers). Unlike
+/// counters, a gauge's contribution vanishes when its cell is dropped.
+#[derive(Clone)]
+pub struct Gauge(pub(crate) Arc<GaugeCell>);
+
+impl Gauge {
+    pub(crate) fn new_cell() -> Self {
+        Gauge(Arc::new(GaugeCell {
+            value: AtomicI64::new(0),
+        }))
+    }
+
+    /// Set the gauge to an absolute level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by a delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level of this cell.
+    pub fn value(&self) -> i64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Subbucket resolution: 2^5 = 32 subbuckets per octave, i.e. worst-case
+/// relative quantile error of 1/32 (~3%).
+pub(crate) const SUB_BITS: u32 = 5;
+pub(crate) const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count: 32 exact buckets for values `< 32`, then 32
+/// subbuckets per octave for octaves 5..=63.
+pub const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index for a recorded value (HdrHistogram-style log-linear).
+/// Values below 32 are exact; above, each octave is split into 32 linear
+/// subbuckets. Buckets never span an octave boundary, which is what makes
+/// [`HistSnapshot::octave_counts`] an exact log2 view.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = (v >> (octave - SUB_BITS)) as usize & (SUB - 1);
+        ((octave - SUB_BITS + 1) as usize) * SUB + sub
+    }
+}
+
+/// `(low, high)` inclusive value bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    debug_assert!(i < NUM_BUCKETS);
+    if i < SUB {
+        (i as u64, i as u64)
+    } else {
+        let octave = (i / SUB - 1) as u32 + SUB_BITS;
+        let sub = (i % SUB) as u64;
+        let width = 1u64 << (octave - SUB_BITS);
+        let lo = (SUB as u64 + sub) << (octave - SUB_BITS);
+        (lo, lo + (width - 1))
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct RetiredHist {
+    pub(crate) buckets: Vec<u64>, // empty (all-zero) or NUM_BUCKETS long
+    pub(crate) sum: u64,
+}
+
+impl RetiredHist {
+    pub(crate) fn fold_into(&self, snap: &mut HistSnapshot) {
+        snap.sum = snap.sum.wrapping_add(self.sum);
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                snap.buckets[i] += c;
+                snap.count += c;
+            }
+        }
+    }
+}
+
+pub(crate) struct HistCell {
+    buckets: Box<[AtomicU64]>, // NUM_BUCKETS long
+    sum: AtomicU64,
+    retired: Arc<Mutex<RetiredHist>>,
+}
+
+impl HistCell {
+    pub(crate) fn new(retired: Arc<Mutex<RetiredHist>>) -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            sum: AtomicU64::new(0),
+            retired,
+        }
+    }
+
+    pub(crate) fn fold_into(&self, snap: &mut HistSnapshot) {
+        snap.sum = snap.sum.wrapping_add(self.sum.load(Ordering::Relaxed));
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c != 0 {
+                snap.buckets[i] += c;
+                snap.count += c;
+            }
+        }
+    }
+}
+
+impl Drop for HistCell {
+    fn drop(&mut self) {
+        let mut retired = self.retired.lock().unwrap();
+        if retired.buckets.is_empty() {
+            retired.buckets = vec![0; NUM_BUCKETS];
+        }
+        retired.sum = retired.sum.wrapping_add(self.sum.load(Ordering::Relaxed));
+        for (i, b) in self.buckets.iter().enumerate() {
+            retired.buckets[i] += b.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// Fixed-bucket log-linear latency/size histogram (1920 buckets covering
+/// the full `u64` range; values `< 32` exact, then 32 subbuckets per
+/// octave). `record` is two relaxed `fetch_add`s.
+#[derive(Clone)]
+pub struct Histogram(pub(crate) Arc<HistCell>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Time `f` and record the elapsed nanoseconds — unless timing is
+    /// globally disabled via [`set_timing_enabled`](crate::set_timing_enabled),
+    /// in which case `f` runs untouched (zero clock reads).
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        if !crate::timing_enabled() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.record_duration(start.elapsed());
+        out
+    }
+
+    /// Snapshot of *this cell* (not the merged per-name view — use
+    /// [`Registry::snapshot`](crate::Registry::snapshot) for that).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut snap = HistSnapshot::new();
+        self.0.fold_into(&mut snap);
+        snap
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("p50", &s.quantile(0.5))
+            .finish()
+    }
+}
+
+/// Immutable merged view of a histogram: bucket counts plus total
+/// count/sum. Merging snapshots is bucket-wise addition and therefore
+/// exactly associative and commutative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub(crate) buckets: Vec<u64>,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record into a snapshot directly (useful for tests and offline
+    /// aggregation; the concurrent path is [`Histogram::record`]).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.count += 1;
+    }
+
+    /// Bucket-wise merge of `other` into `self`.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Quantile estimate: the inclusive upper bound of the bucket holding
+    /// the rank-`ceil(q·count)` observation (ranks clamp to `[1, count]`).
+    /// Exact for values `< 32`; relative error `<= 1/32` above. Returns 0
+    /// on an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(NUM_BUCKETS - 1).1
+    }
+
+    /// Mean of recorded values (0.0 on an empty snapshot).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact per-octave counts: slot `k` holds the number of observations
+    /// `v` with `ilog2(max(v, 1)) == k`, and the last slot collects every
+    /// larger octave. Exact because buckets never span octave boundaries.
+    pub fn octave_counts<const NB: usize>(&self) -> [u64; NB] {
+        let mut out = [0u64; NB];
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (lo, _) = bucket_bounds(i);
+            let octave = if lo <= 1 { 0 } else { lo.ilog2() as usize };
+            out[octave.min(NB - 1)] += c;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_roundtrips_bounds() {
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_never_span_octaves() {
+        let mut prev_hi = None;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "gap before bucket {i}");
+            }
+            if lo >= 2 {
+                assert_eq!(lo.ilog2(), hi.ilog2(), "bucket {i} spans an octave");
+            }
+            prev_hi = Some(hi);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = HistSnapshot::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+        }
+        for v in 0..SUB as u64 {
+            assert_eq!(h.buckets[v as usize], 1);
+        }
+    }
+
+    #[test]
+    fn octave_counts_match_ilog2() {
+        let mut h = HistSnapshot::new();
+        let values = [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            7,
+            8,
+            100,
+            1000,
+            1 << 14,
+            (1 << 15) + 9,
+            1 << 40,
+        ];
+        for &v in &values {
+            h.record(v);
+        }
+        let got = h.octave_counts::<16>();
+        let mut want = [0u64; 16];
+        for &v in &values {
+            let oct = if v <= 1 { 0 } else { v.ilog2() as usize };
+            want[oct.min(15)] += 1;
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn counter_stripes_sum() {
+        let retired = Arc::new(AtomicU64::new(0));
+        let c = Counter(Arc::new(CounterCell::new(retired.clone())));
+        c.add(5);
+        c.inc();
+        assert_eq!(c.value(), 6);
+        drop(c);
+        assert_eq!(
+            retired.load(Ordering::Relaxed),
+            6,
+            "drop folds into retired"
+        );
+    }
+
+    #[test]
+    fn gauge_set_add() {
+        let g = Gauge::new_cell();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.value(), 7);
+    }
+}

@@ -1,0 +1,421 @@
+//! The metric [`Registry`]: named counters/gauges/histograms with interned
+//! keys, per-instance cells, and merged snapshots.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, Weak};
+
+use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell, HistCell, Histogram, RetiredHist};
+use crate::snapshot::{Metric, MetricValue, Snapshot};
+
+/// Dimension of a metric. [`Unit::Nanos`] marks a metric as
+/// *timing-derived*: its values depend on the machine and the schedule and
+/// must never feed back into algorithmic decisions. [`Unit::Count`] and
+/// [`Unit::Bytes`] metrics are deterministic for a deterministic workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Plain event/item count (deterministic).
+    Count,
+    /// Byte volume (deterministic).
+    Bytes,
+    /// Nanoseconds (timing-derived; gated by [`crate::set_timing_enabled`]).
+    Nanos,
+}
+
+impl Unit {
+    /// Short lowercase label used in the JSON exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::Count => "count",
+            Unit::Bytes => "bytes",
+            Unit::Nanos => "ns",
+        }
+    }
+}
+
+/// Prune dead weak refs once a cell list grows past this length.
+const PRUNE_AT: usize = 64;
+
+enum Slot {
+    Counter {
+        cells: Vec<Weak<CounterCell>>,
+        retired: Arc<AtomicU64>,
+        shared: Option<Counter>,
+    },
+    Gauge {
+        cells: Vec<Weak<GaugeCell>>,
+        shared: Option<Gauge>,
+    },
+    Hist {
+        cells: Vec<Weak<HistCell>>,
+        retired: Arc<Mutex<RetiredHist>>,
+        shared: Option<Histogram>,
+    },
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter { .. } => "counter",
+            Slot::Gauge { .. } => "gauge",
+            Slot::Hist { .. } => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    unit: Unit,
+    slot: Slot,
+}
+
+/// A registry of named metrics.
+///
+/// Each name maps to one *metric* backed by any number of *cells*: every
+/// structure instance registers its own cell (so its private `stats()`
+/// view stays schedule-independent), and `snapshot()` merges live cells
+/// with the retired totals of dropped ones. Recording never takes the
+/// registry lock — only registration and snapshots do.
+///
+/// Most code uses the process-wide [`crate::global`] registry; tests can
+/// make isolated ones with [`Registry::new`].
+pub struct Registry {
+    inner: Mutex<HashMap<String, Entry>>,
+    span_hists: Mutex<HashMap<&'static str, Histogram>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+            span_hists: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn with_entry<R>(
+        &self,
+        name: &str,
+        unit: Unit,
+        mk: fn(Unit) -> Slot,
+        f: impl FnOnce(&mut Entry) -> R,
+    ) -> R {
+        let mut map = self.inner.lock().unwrap();
+        if !map.contains_key(name) {
+            map.insert(
+                name.to_string(),
+                Entry {
+                    unit,
+                    slot: mk(unit),
+                },
+            );
+        }
+        let entry = map.get_mut(name).unwrap();
+        let want = mk(unit).kind();
+        assert_eq!(
+            entry.slot.kind(),
+            want,
+            "metric `{name}` is a {}, requested as a {want}",
+            entry.slot.kind()
+        );
+        assert_eq!(
+            entry.unit, unit,
+            "metric `{name}` registered with unit {:?}, requested {unit:?}",
+            entry.unit
+        );
+        f(entry)
+    }
+
+    /// Register a fresh counter cell under `name`. Each call returns an
+    /// independent cell; the snapshot for `name` is the sum of all cells
+    /// ever registered (live plus retired).
+    pub fn counter(&self, name: &str, unit: Unit) -> Counter {
+        self.with_entry(name, unit, new_counter_slot, |entry| {
+            let Slot::Counter { cells, retired, .. } = &mut entry.slot else {
+                unreachable!()
+            };
+            let cell = Arc::new(CounterCell::new(retired.clone()));
+            push_pruned(cells, Arc::downgrade(&cell));
+            Counter(cell)
+        })
+    }
+
+    /// Get-or-create the single process-shared counter cell under `name`.
+    /// Use for metrics with no owning structure (a global thread pool, the
+    /// WAL layer); repeated calls return handles to the same cell.
+    pub fn shared_counter(&self, name: &str, unit: Unit) -> Counter {
+        self.with_entry(name, unit, new_counter_slot, |entry| {
+            let Slot::Counter {
+                cells,
+                retired,
+                shared,
+            } = &mut entry.slot
+            else {
+                unreachable!()
+            };
+            shared
+                .get_or_insert_with(|| {
+                    let cell = Arc::new(CounterCell::new(retired.clone()));
+                    push_pruned(cells, Arc::downgrade(&cell));
+                    Counter(cell)
+                })
+                .clone()
+        })
+    }
+
+    /// Register a fresh gauge cell under `name`; the snapshot is the sum
+    /// of live cells (a dropped gauge's level vanishes with it).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.with_entry(name, Unit::Count, new_gauge_slot, |entry| {
+            let Slot::Gauge { cells, .. } = &mut entry.slot else {
+                unreachable!()
+            };
+            let g = Gauge::new_cell();
+            push_pruned(cells, Arc::downgrade(&g.0));
+            g
+        })
+    }
+
+    /// Get-or-create the single process-shared gauge cell under `name`.
+    pub fn shared_gauge(&self, name: &str) -> Gauge {
+        self.with_entry(name, Unit::Count, new_gauge_slot, |entry| {
+            let Slot::Gauge { cells, shared } = &mut entry.slot else {
+                unreachable!()
+            };
+            shared
+                .get_or_insert_with(|| {
+                    let g = Gauge::new_cell();
+                    push_pruned(cells, Arc::downgrade(&g.0));
+                    g
+                })
+                .clone()
+        })
+    }
+
+    /// Register a fresh histogram cell under `name`; the snapshot merges
+    /// all cells bucket-wise (live plus retired).
+    pub fn histogram(&self, name: &str, unit: Unit) -> Histogram {
+        self.with_entry(name, unit, new_hist_slot, |entry| {
+            let Slot::Hist { cells, retired, .. } = &mut entry.slot else {
+                unreachable!()
+            };
+            let cell = Arc::new(HistCell::new(retired.clone()));
+            push_pruned(cells, Arc::downgrade(&cell));
+            Histogram(cell)
+        })
+    }
+
+    /// Get-or-create the single process-shared histogram cell under `name`.
+    pub fn shared_histogram(&self, name: &str, unit: Unit) -> Histogram {
+        self.with_entry(name, unit, new_hist_slot, |entry| {
+            let Slot::Hist {
+                cells,
+                retired,
+                shared,
+            } = &mut entry.slot
+            else {
+                unreachable!()
+            };
+            shared
+                .get_or_insert_with(|| {
+                    let cell = Arc::new(HistCell::new(retired.clone()));
+                    push_pruned(cells, Arc::downgrade(&cell));
+                    Histogram(cell)
+                })
+                .clone()
+        })
+    }
+
+    /// Shared nanosecond histogram for a span name: `"<name>.ns"`. Cached
+    /// by the `&'static str` key so span entry does not allocate.
+    pub(crate) fn span_histogram(&self, name: &'static str) -> Histogram {
+        if let Some(h) = self.span_hists.lock().unwrap().get(name) {
+            return h.clone();
+        }
+        let h = self.shared_histogram(&format!("{name}.ns"), Unit::Nanos);
+        self.span_hists.lock().unwrap().insert(name, h.clone());
+        h
+    }
+
+    /// Merged point-in-time view of every metric, sorted by name: counter
+    /// values are `retired + Σ live cells`, gauges are `Σ live cells`,
+    /// histograms are the bucket-wise merge of every cell.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().unwrap();
+        let mut metrics: Vec<Metric> = map
+            .iter()
+            .map(|(name, entry)| {
+                let value = match &entry.slot {
+                    Slot::Counter { cells, retired, .. } => {
+                        let mut total = retired.load(std::sync::atomic::Ordering::Relaxed);
+                        for w in cells {
+                            if let Some(cell) = w.upgrade() {
+                                total += cell.value();
+                            }
+                        }
+                        MetricValue::Counter(total)
+                    }
+                    Slot::Gauge { cells, .. } => {
+                        let mut total = 0i64;
+                        for w in cells {
+                            if let Some(cell) = w.upgrade() {
+                                total += Gauge(cell).value();
+                            }
+                        }
+                        MetricValue::Gauge(total)
+                    }
+                    Slot::Hist { cells, retired, .. } => {
+                        let mut snap = crate::HistSnapshot::new();
+                        retired.lock().unwrap().fold_into(&mut snap);
+                        for w in cells {
+                            if let Some(cell) = w.upgrade() {
+                                cell.fold_into(&mut snap);
+                            }
+                        }
+                        MetricValue::Histogram(snap)
+                    }
+                };
+                Metric {
+                    name: name.clone(),
+                    unit: entry.unit,
+                    value,
+                }
+            })
+            .collect();
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { metrics }
+    }
+}
+
+fn new_counter_slot(_unit: Unit) -> Slot {
+    Slot::Counter {
+        cells: Vec::new(),
+        retired: Arc::new(AtomicU64::new(0)),
+        shared: None,
+    }
+}
+
+fn new_gauge_slot(_unit: Unit) -> Slot {
+    Slot::Gauge {
+        cells: Vec::new(),
+        shared: None,
+    }
+}
+
+fn new_hist_slot(_unit: Unit) -> Slot {
+    Slot::Hist {
+        cells: Vec::new(),
+        retired: Arc::new(Mutex::new(RetiredHist::default())),
+        shared: None,
+    }
+}
+
+fn push_pruned<T>(cells: &mut Vec<Weak<T>>, w: Weak<T>) {
+    if cells.len() >= PRUNE_AT {
+        cells.retain(|c| c.strong_count() > 0);
+    }
+    cells.push(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_cells_sum_and_retire() {
+        let r = Registry::new();
+        let a = r.counter("x.events", Unit::Count);
+        let b = r.counter("x.events", Unit::Count);
+        a.add(3);
+        b.add(4);
+        assert_eq!(r.snapshot().counter("x.events"), Some(7));
+        drop(a);
+        assert_eq!(
+            r.snapshot().counter("x.events"),
+            Some(7),
+            "retired total kept"
+        );
+        b.inc();
+        assert_eq!(r.snapshot().counter("x.events"), Some(8));
+    }
+
+    #[test]
+    fn shared_counter_is_one_cell() {
+        let r = Registry::new();
+        let a = r.shared_counter("pool.jobs", Unit::Count);
+        let b = r.shared_counter("pool.jobs", Unit::Count);
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5, "both handles hit the same cell");
+        assert_eq!(r.snapshot().counter("pool.jobs"), Some(5));
+    }
+
+    #[test]
+    fn gauge_contribution_vanishes_on_drop() {
+        let r = Registry::new();
+        let a = r.gauge("q.depth");
+        let b = r.gauge("q.depth");
+        a.set(10);
+        b.set(5);
+        assert_eq!(r.snapshot().gauge("q.depth"), Some(15));
+        drop(a);
+        assert_eq!(r.snapshot().gauge("q.depth"), Some(5));
+    }
+
+    #[test]
+    fn histogram_cells_merge_and_retire() {
+        let r = Registry::new();
+        let a = r.histogram("lat.ns", Unit::Nanos);
+        let b = r.histogram("lat.ns", Unit::Nanos);
+        a.record(10);
+        b.record(1000);
+        let snap = r.snapshot();
+        let h = snap.histogram("lat.ns").unwrap();
+        assert_eq!(h.count, 2);
+        drop(a);
+        let snap = r.snapshot();
+        let h = snap.histogram("lat.ns").unwrap();
+        assert_eq!(h.count, 2, "retired buckets kept");
+        assert_eq!(h.quantile(0.0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested as a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _c = r.counter("dup", Unit::Count);
+        let _g = r.gauge("dup");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered with unit")]
+    fn unit_mismatch_panics() {
+        let r = Registry::new();
+        let _a = r.counter("dup2", Unit::Count);
+        let _b = r.counter("dup2", Unit::Bytes);
+    }
+
+    #[test]
+    fn dead_cells_are_pruned() {
+        let r = Registry::new();
+        for _ in 0..500 {
+            let c = r.counter("churn", Unit::Count);
+            c.inc();
+        }
+        let map = r.inner.lock().unwrap();
+        let Slot::Counter { cells, retired, .. } = &map["churn"].slot else {
+            panic!()
+        };
+        assert!(
+            cells.len() <= PRUNE_AT + 1,
+            "weak list bounded, got {}",
+            cells.len()
+        );
+        assert_eq!(retired.load(std::sync::atomic::Ordering::Relaxed), 500);
+    }
+}

@@ -219,6 +219,33 @@ pub(crate) struct Pool {
     work_cv: Condvar,
 }
 
+/// Process-wide pool metrics, registered once in the global observability
+/// registry. Counters are deterministic only in the trivial sense (spawn
+/// counts depend on fork timing), so nothing here feeds `stats()` views.
+struct PoolMetrics {
+    /// Jobs popped and executed by detached workers.
+    jobs: cpma_obs::Counter,
+    /// Jobs executed by a blocked joiner in `help_until` (helping steals).
+    helped: cpma_obs::Counter,
+    /// Worker threads spawned over the process lifetime.
+    workers_spawned: cpma_obs::Counter,
+    /// Current worker-thread count (monotone under the lazy-spawn design).
+    workers: cpma_obs::Gauge,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = cpma_obs::global();
+        PoolMetrics {
+            jobs: r.shared_counter("pool.jobs", cpma_obs::Unit::Count),
+            helped: r.shared_counter("pool.helped", cpma_obs::Unit::Count),
+            workers_spawned: r.shared_counter("pool.workers_spawned", cpma_obs::Unit::Count),
+            workers: r.shared_gauge("pool.workers"),
+        }
+    })
+}
+
 fn global() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| Pool {
@@ -243,6 +270,10 @@ impl Pool {
                 break; // fewer workers; reclaim keeps us deadlock-free
             }
             st.workers += 1;
+            let m = metrics();
+            m.workers_spawned.inc();
+            m.workers.set(st.workers as i64);
+            cpma_obs::journal().push("pool.spawn", 0, st.workers as u64);
         }
         st.queue.push_back(job);
         drop(st);
@@ -264,6 +295,7 @@ impl Pool {
                     st = self.work_cv.wait(st).unwrap();
                 }
             };
+            metrics().jobs.inc();
             job.run(); // panics are caught inside the task
         }
     }
@@ -277,7 +309,10 @@ impl Pool {
                 return;
             }
             match self.try_pop() {
-                Some(job) => job.run(),
+                Some(job) => {
+                    metrics().helped.inc();
+                    job.run();
+                }
                 None => probe.park_brief(),
             }
         }

@@ -142,8 +142,36 @@ impl SnapshotEnvelope {
     }
 }
 
+/// Process-shared checkpoint metrics (`persist.checkpoint.*`): every
+/// atomic snapshot write in the process (whole-structure checkpoints,
+/// per-shard files, manifests) funnels through [`write_atomic`], so these
+/// cells see all checkpoint traffic. Counts/bytes are deterministic; the
+/// `.ns` histogram is timing-derived.
+struct CheckpointMetrics {
+    writes: cpma_obs::Counter,
+    bytes: cpma_obs::Counter,
+    write_ns: cpma_obs::Histogram,
+}
+
+fn metrics() -> &'static CheckpointMetrics {
+    static M: std::sync::OnceLock<CheckpointMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let r = cpma_obs::global();
+        CheckpointMetrics {
+            writes: r.shared_counter("persist.checkpoint.writes", cpma_obs::Unit::Count),
+            bytes: r.shared_counter("persist.checkpoint.bytes", cpma_obs::Unit::Bytes),
+            write_ns: r.shared_histogram("persist.checkpoint.write.ns", cpma_obs::Unit::Nanos),
+        }
+    })
+}
+
 /// Write `bytes` to `path` via a fsynced `.tmp` sibling and rename.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let m = metrics();
+    let mut span = cpma_obs::span_with(&m.write_ns, "persist.checkpoint.write");
+    span.set_items(bytes.len() as u64);
+    m.writes.inc();
+    m.bytes.add(bytes.len() as u64);
     let tmp = tmp_sibling(path);
     {
         let mut f = fs::File::create(&tmp)?;

@@ -33,8 +33,36 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use cpma_api::{BatchOp, ConfigError, PersistError};
+use cpma_obs::{Counter, Histogram, Unit};
 
 use crate::checksum::fnv1a64;
+
+/// Process-shared WAL metrics (`persist.wal.*`): every [`WalWriter`] in
+/// the process feeds the same cells, so the registry shows total WAL
+/// traffic without threading handles through the writer's `Debug`-derived
+/// struct. Byte/append counts are deterministic; the `.ns` histograms are
+/// timing-derived.
+struct WalMetrics {
+    appends: Counter,
+    appended_bytes: Counter,
+    fsyncs: Counter,
+    append_ns: Histogram,
+    fsync_ns: Histogram,
+}
+
+fn metrics() -> &'static WalMetrics {
+    static M: std::sync::OnceLock<WalMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let r = cpma_obs::global();
+        WalMetrics {
+            appends: r.shared_counter("persist.wal.appends", Unit::Count),
+            appended_bytes: r.shared_counter("persist.wal.appended_bytes", Unit::Bytes),
+            fsyncs: r.shared_counter("persist.wal.fsyncs", Unit::Count),
+            append_ns: r.shared_histogram("persist.wal.append.ns", Unit::Nanos),
+            fsync_ns: r.shared_histogram("persist.wal.fsync.ns", Unit::Nanos),
+        }
+    })
+}
 
 /// Magic bytes opening every WAL segment.
 pub const WAL_MAGIC: [u8; 8] = *b"CPMAWAL0";
@@ -325,23 +353,36 @@ impl WalWriter {
     /// Append the record for epoch `seq` and apply the fsync policy.
     /// Must be called with consecutive sequence numbers.
     pub fn append(&mut self, seq: u64, ops: &[BatchOp<u64>]) -> Result<(), PersistError> {
+        let m = metrics();
+        let mut span = cpma_obs::span_with(&m.append_ns, "persist.wal.append");
         let rec = encode_record(seq, ops);
+        span.set_items(ops.len() as u64);
+        m.appends.inc();
+        m.appended_bytes.add(rec.len() as u64);
         self.file.write_all(&rec)?;
         self.segment_bytes += rec.len() as u64;
         self.appends_since_sync += 1;
         match self.cfg.fsync {
             FsyncPolicy::Always => {
-                self.file.sync_data()?;
-                self.appends_since_sync = 0;
+                self.fsync_data()?;
             }
             FsyncPolicy::EveryN(n) => {
                 if self.appends_since_sync >= n {
-                    self.file.sync_data()?;
-                    self.appends_since_sync = 0;
+                    self.fsync_data()?;
                 }
             }
             FsyncPolicy::Never => {}
         }
+        Ok(())
+    }
+
+    /// `sync_data` with fsync accounting (`persist.wal.fsyncs`,
+    /// `persist.wal.fsync.ns`).
+    fn fsync_data(&mut self) -> Result<(), PersistError> {
+        let m = metrics();
+        m.fsyncs.inc();
+        m.fsync_ns.time(|| self.file.sync_data())?;
+        self.appends_since_sync = 0;
         Ok(())
     }
 
@@ -398,9 +439,7 @@ impl WalWriter {
 
     /// Flush buffered records to stable storage regardless of policy.
     pub fn sync(&mut self) -> Result<(), PersistError> {
-        self.file.sync_data()?;
-        self.appends_since_sync = 0;
-        Ok(())
+        self.fsync_data()
     }
 }
 

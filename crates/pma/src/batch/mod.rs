@@ -96,7 +96,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
         }
         // Tiny batch: point updates win.
         if batch.len() < self.cfg.point_update_cutoff {
-            self.batch_stats.point_fallbacks += 1;
+            self.batch_stats.point_fallbacks.inc();
             return batch.iter().filter(|&&k| self.insert(k)).count();
         }
         // Huge batch: parallel linear two-finger merge + rebuild.
@@ -111,10 +111,20 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
         // Phase 1: batch merge (route, then parallel disjoint leaf merges).
         // Small assignment sets run serially: fork-join overhead would
         // otherwise dominate (work-efficiency, §4).
-        self.batch_stats.pipeline_batches += 1;
-        let assignments = route::route_batch(self, batch);
-        self.batch_stats.routed_runs += assignments.len() as u64;
-        self.batch_stats.leaves_touched += assignments.len() as u64;
+        self.batch_stats.pipeline_batches.inc();
+        let spans = crate::stats::phase_spans();
+        let assignments = {
+            let mut s = cpma_obs::span_with(&spans.route, "pma.route");
+            let a = route::route_batch(self, batch);
+            s.set_items(a.len() as u64);
+            a
+        };
+        self.batch_stats.routed_runs.add(assignments.len() as u64);
+        self.batch_stats
+            .leaves_touched
+            .add(assignments.len() as u64);
+        let mut merge_span = cpma_obs::span_with(&spans.merge, "pma.merge");
+        merge_span.set_items(assignments.len() as u64);
         let shared = self.storage.shared();
         let (added, units_delta) = if assignments.len() <= serial_merge_cutoff() {
             let mut scratch = Vec::new();
@@ -138,6 +148,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
                 })
                 .reduce(|| (0usize, 0isize), |x, y| (x.0 + y.0, x.1 + y.1))
         };
+        drop(merge_span);
         self.len += added;
         self.units = self.units.checked_add_signed(units_delta).unwrap();
         if added == 0 {
@@ -146,7 +157,11 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
 
         // Phase 2: counting.
         let touched: Vec<usize> = assignments.iter().map(|a| a.leaf).collect();
-        let outcome = count_phase(self, &touched, BoundKind::Upper);
+        let outcome = {
+            let mut s = cpma_obs::span_with(&spans.count, "pma.count");
+            s.set_items(touched.len() as u64);
+            count_phase(self, &touched, BoundKind::Upper)
+        };
 
         // Phase 3: redistribute (or grow on root violation).
         if outcome.resize_root.is_some() {
@@ -165,7 +180,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
             return 0;
         }
         if batch.len() < self.cfg.point_update_cutoff {
-            self.batch_stats.point_fallbacks += 1;
+            self.batch_stats.point_fallbacks.inc();
             return batch.iter().filter(|&&k| self.remove(k)).count();
         }
         if batch.len() >= self.len / self.cfg.full_rebuild_divisor {
@@ -179,10 +194,20 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
             return removed;
         }
 
-        self.batch_stats.pipeline_batches += 1;
-        let assignments = route::route_batch(self, batch);
-        self.batch_stats.routed_runs += assignments.len() as u64;
-        self.batch_stats.leaves_touched += assignments.len() as u64;
+        self.batch_stats.pipeline_batches.inc();
+        let spans = crate::stats::phase_spans();
+        let assignments = {
+            let mut s = cpma_obs::span_with(&spans.route, "pma.route");
+            let a = route::route_batch(self, batch);
+            s.set_items(a.len() as u64);
+            a
+        };
+        self.batch_stats.routed_runs.add(assignments.len() as u64);
+        self.batch_stats
+            .leaves_touched
+            .add(assignments.len() as u64);
+        let mut merge_span = cpma_obs::span_with(&spans.merge, "pma.merge");
+        merge_span.set_items(assignments.len() as u64);
         let shared = self.storage.shared();
         let (removed, units_delta) = if assignments.len() <= serial_merge_cutoff() {
             let mut scratch = Vec::new();
@@ -207,6 +232,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
                 })
                 .reduce(|| (0usize, 0isize), |x, y| (x.0 + y.0, x.1 + y.1))
         };
+        drop(merge_span);
         self.len -= removed;
         self.units = self.units.checked_add_signed(units_delta).unwrap();
         if removed == 0 {
@@ -214,7 +240,11 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
         }
 
         let touched: Vec<usize> = assignments.iter().map(|a| a.leaf).collect();
-        let outcome = count_phase(self, &touched, BoundKind::Lower);
+        let outcome = {
+            let mut s = cpma_obs::span_with(&spans.count, "pma.count");
+            s.set_items(touched.len() as u64);
+            count_phase(self, &touched, BoundKind::Lower)
+        };
         if outcome.resize_root.is_some() {
             self.resize_root_shrink();
         } else {
@@ -254,7 +284,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
         }
         // Tiny batch: point updates win.
         if ops.len() < self.cfg.point_update_cutoff {
-            self.batch_stats.point_fallbacks += 1;
+            self.batch_stats.point_fallbacks.inc();
             let mut out = BatchOutcome::default();
             for op in ops {
                 match *op {
@@ -281,12 +311,22 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
         }
 
         // Phase 1: route op runs to leaves (ops route exactly like keys).
-        self.batch_stats.pipeline_batches += 1;
-        let assignments = route::route_batch(self, ops);
-        self.batch_stats.routed_runs += assignments.len() as u64;
-        self.batch_stats.leaves_touched += assignments.len() as u64;
+        self.batch_stats.pipeline_batches.inc();
+        let spans = crate::stats::phase_spans();
+        let assignments = {
+            let mut s = cpma_obs::span_with(&spans.route, "pma.route");
+            let a = route::route_batch(self, ops);
+            s.set_items(a.len() as u64);
+            a
+        };
+        self.batch_stats.routed_runs.add(assignments.len() as u64);
+        self.batch_stats
+            .leaves_touched
+            .add(assignments.len() as u64);
         // Phase 1b: one rewrite per touched leaf threads that leaf's
         // inserts and removes together.
+        let mut merge_span = cpma_obs::span_with(&spans.merge, "pma.merge");
+        merge_span.set_items(assignments.len() as u64);
         let shared = self.storage.shared();
         let (added, removed, units_delta) = if assignments.len() <= serial_merge_cutoff() {
             let mut scratch = Vec::new();
@@ -316,6 +356,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
                     |x, y| (x.0 + y.0, x.1 + y.1, x.2 + y.2),
                 )
         };
+        drop(merge_span);
         self.len = self.len + added - removed;
         self.units = self.units.checked_add_signed(units_delta).unwrap();
         let outcome = BatchOutcome { added, removed };
@@ -325,7 +366,11 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
 
         // Phase 2: one counting pass checks upper *and* lower bounds.
         let touched: Vec<usize> = assignments.iter().map(|a| a.leaf).collect();
-        let count = count_phase(self, &touched, BoundKind::Both);
+        let count = {
+            let mut s = cpma_obs::span_with(&spans.count, "pma.count");
+            s.set_items(touched.len() as u64);
+            count_phase(self, &touched, BoundKind::Both)
+        };
 
         // Phase 3: redistribute, or resize in whichever direction the
         // root violated.
@@ -359,8 +404,16 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
 
     /// Redistribute `ranges` and account them in the batch stats.
     fn redistribute_with_stats(&mut self, ranges: &[Node]) {
-        self.batch_stats.redistribute_ranges += ranges.len() as u64;
-        self.batch_stats.leaves_touched += ranges.iter().map(|n| n.len() as u64).sum::<u64>();
+        let leaves: u64 = ranges.iter().map(|n| n.len() as u64).sum();
+        self.batch_stats
+            .redistribute_ranges
+            .add(ranges.len() as u64);
+        self.batch_stats.leaves_touched.add(leaves);
+        let mut s = cpma_obs::span_with(
+            &crate::stats::phase_spans().redistribute,
+            "pma.redistribute",
+        );
+        s.set_items(leaves);
         redistribute_ranges(self, ranges);
     }
 

@@ -265,8 +265,9 @@ pub struct PmaCore<K: PmaKey, L: LeafStorage<K>, const FORM: u8 = 0> {
     pub(crate) len: usize,
     /// Total occupied units across leaves.
     pub(crate) units: usize,
-    /// Batch-pipeline counters (see [`stats::PmaStats`]).
-    pub(crate) batch_stats: stats::PmaStats,
+    /// Batch-pipeline counter cells (see [`stats::PmaCounters`]); each
+    /// instance registers its own, and `stats()` views them.
+    pub(crate) batch_stats: stats::PmaCounters,
     /// One bit per leaf: is it non-empty? Lets routing skip empty runs a
     /// word (64 leaves) at a time instead of leaf-by-leaf.
     pub(crate) occ: Vec<u64>,
@@ -298,7 +299,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
             cfg,
             len: 0,
             units: 0,
-            batch_stats: stats::PmaStats::default(),
+            batch_stats: stats::PmaCounters::new(),
             occ: Vec::new(),
             aux: HeadIndex::None,
             _marker: PhantomData,
@@ -390,7 +391,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
         self.storage = storage;
         self.units = units;
         self.len = elems.len();
-        self.batch_stats.full_rebuilds += 1;
+        self.batch_stats.full_rebuilds.inc();
         self.rebuild_read_index();
     }
 
@@ -1270,12 +1271,12 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
     /// Batch-pipeline counters accumulated by this instance (routed runs,
     /// touched leaves, redistribution ranges, full rebuilds).
     pub fn stats(&self) -> stats::PmaStats {
-        self.batch_stats
+        self.batch_stats.view()
     }
 
     /// Zero the batch-pipeline counters (e.g. between measured phases).
     pub fn reset_stats(&mut self) {
-        self.batch_stats = stats::PmaStats::default();
+        self.batch_stats = stats::PmaCounters::new();
     }
 
     /// Adjust the unit counter (batch phases account deltas in bulk).

@@ -13,6 +13,8 @@
 #[cfg(feature = "stats")]
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use cpma_obs::{Counter, Unit};
+
 /// Cache-line size used to convert bytes to estimated line transfers.
 pub const CACHE_LINE: u64 = 64;
 
@@ -85,6 +87,90 @@ impl PmaStats {
     }
 }
 
+/// The live counter cells behind [`PmaStats`]: each `PmaCore` instance
+/// owns one set, registered under the global `cpma-obs` registry (names
+/// `pma.*`), and `Pma::stats()` is a point-in-time [`PmaCounters::view`]
+/// over them. The registry snapshot additionally sums across every
+/// instance in the process.
+///
+/// `Clone` (and `Default`) register *fresh zeroed cells* — cloning a
+/// `Pma` yields a structure whose stats start at zero, exactly like the
+/// old value-struct behaved for a freshly built structure, and snapshot
+/// clones published by the combiner never double-count.
+#[derive(Debug)]
+pub struct PmaCounters {
+    pub(crate) point_fallbacks: Counter,
+    pub(crate) pipeline_batches: Counter,
+    pub(crate) routed_runs: Counter,
+    pub(crate) leaves_touched: Counter,
+    pub(crate) redistribute_ranges: Counter,
+    pub(crate) full_rebuilds: Counter,
+}
+
+impl PmaCounters {
+    /// Register a fresh set of cells on the global registry.
+    pub fn new() -> Self {
+        let r = cpma_obs::global();
+        Self {
+            point_fallbacks: r.counter("pma.point_fallbacks", Unit::Count),
+            pipeline_batches: r.counter("pma.pipeline_batches", Unit::Count),
+            routed_runs: r.counter("pma.routed_runs", Unit::Count),
+            leaves_touched: r.counter("pma.leaves_touched", Unit::Count),
+            redistribute_ranges: r.counter("pma.redistribute_ranges", Unit::Count),
+            full_rebuilds: r.counter("pma.full_rebuilds", Unit::Count),
+        }
+    }
+
+    /// The classic value-struct view of this instance's counters.
+    pub fn view(&self) -> PmaStats {
+        PmaStats {
+            point_fallbacks: self.point_fallbacks.value(),
+            pipeline_batches: self.pipeline_batches.value(),
+            routed_runs: self.routed_runs.value(),
+            leaves_touched: self.leaves_touched.value(),
+            redistribute_ranges: self.redistribute_ranges.value(),
+            full_rebuilds: self.full_rebuilds.value(),
+        }
+    }
+}
+
+impl Default for PmaCounters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Process-shared latency histograms for the four batch-pipeline phases
+/// (timing-derived; inert when `cpma_obs::set_timing_enabled(false)`).
+/// Shared rather than per-instance: phase durations are a property of the
+/// machine, not of one structure, and a single cell keeps the per-batch
+/// cost to pointer loads.
+pub(crate) struct PhaseSpans {
+    pub route: cpma_obs::Histogram,
+    pub merge: cpma_obs::Histogram,
+    pub count: cpma_obs::Histogram,
+    pub redistribute: cpma_obs::Histogram,
+}
+
+pub(crate) fn phase_spans() -> &'static PhaseSpans {
+    static SPANS: std::sync::OnceLock<PhaseSpans> = std::sync::OnceLock::new();
+    SPANS.get_or_init(|| {
+        let r = cpma_obs::global();
+        PhaseSpans {
+            route: r.shared_histogram("pma.route.ns", Unit::Nanos),
+            merge: r.shared_histogram("pma.merge.ns", Unit::Nanos),
+            count: r.shared_histogram("pma.count.ns", Unit::Nanos),
+            redistribute: r.shared_histogram("pma.redistribute.ns", Unit::Nanos),
+        }
+    })
+}
+
+impl Clone for PmaCounters {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
 /// Snapshot of traffic counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Traffic {
@@ -98,6 +184,49 @@ impl Traffic {
     /// Estimated cache-line transfers (reads + writes, 64 B lines).
     pub fn est_line_transfers(&self) -> u64 {
         (self.bytes_read + self.bytes_written).div_ceil(CACHE_LINE)
+    }
+
+    /// Component-wise saturating difference (`self - earlier`).
+    pub fn since(&self, earlier: Traffic) -> Traffic {
+        Traffic {
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+}
+
+/// Scoped view over the process-global byte-traffic counters.
+///
+/// The raw `BYTES_READ`/`BYTES_WRITTEN` statics are process-global, so
+/// measuring two structures back-to-back used to require a global
+/// [`reset`] between them — and one forgotten reset polluted the next
+/// Table-1 number. A `TrafficScope` captures the totals at construction
+/// and reports deltas, so any number of sequential (or nested)
+/// measurements stay independent without ever resetting the globals.
+///
+/// Like everything in this module it measures whatever runs in the
+/// process during the scope; keep concurrent structure work out of a
+/// measured region, as Table 1 always required.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficScope {
+    base: Traffic,
+}
+
+impl TrafficScope {
+    /// Open a scope at the current counter totals.
+    pub fn begin() -> Self {
+        Self { base: snapshot() }
+    }
+
+    /// Bytes recorded since [`TrafficScope::begin`].
+    pub fn traffic(&self) -> Traffic {
+        snapshot().since(self.base)
+    }
+}
+
+impl Default for TrafficScope {
+    fn default() -> Self {
+        Self::begin()
     }
 }
 
@@ -123,11 +252,13 @@ pub fn reset() {
     }
 }
 
-/// Run `f` with freshly-reset counters and return `(result, traffic)`.
+/// Run `f` in a [`TrafficScope`] and return `(result, traffic delta)`.
+/// Does not reset the globals, so sequential `measure` calls are
+/// independent of each other and of any surrounding scope.
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Traffic) {
-    reset();
+    let scope = TrafficScope::begin();
     let out = f();
-    (out, snapshot())
+    (out, scope.traffic())
 }
 
 #[cfg(test)]
@@ -151,6 +282,31 @@ mod tests {
             bytes_written: 0,
         };
         assert_eq!(t.est_line_transfers(), 2);
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn scopes_are_independent() {
+        // Two sequential scopes must each see only their own traffic even
+        // though the underlying counters are process-global and never
+        // reset. (Other tests may add traffic concurrently, so assert
+        // lower bounds only.)
+        let a = TrafficScope::begin();
+        record_read(128);
+        let ta = a.traffic();
+        let b = TrafficScope::begin();
+        record_write(64);
+        let tb = b.traffic();
+        assert!(ta.bytes_read >= 128);
+        assert!(tb.bytes_written >= 64);
+        // b opened after a's reads: they don't leak into b's read count
+        // unless a concurrent test recorded reads in the window.
+        let (v, tr) = measure(|| {
+            record_read(64);
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(tr.bytes_read >= 64);
     }
 
     #[cfg(feature = "stats")]

@@ -91,6 +91,7 @@ use cpma_api::{
     normalize_batch, normalize_ops, BatchOp, BatchSet, ConfigError, Persist, PersistError,
     RangeSet, SetKey,
 };
+use cpma_obs::{Counter, Gauge, Histogram, Unit};
 use cpma_persist::{recover, RecoveryReport, WalConfig, WalWriter};
 use std::collections::HashMap;
 use std::path::Path;
@@ -241,22 +242,6 @@ pub struct CombinerStats {
 }
 
 impl CombinerStats {
-    fn record_epoch(&mut self, ops: usize, reason: SealReason) {
-        self.epochs += 1;
-        self.ops += ops as u64;
-        let bucket = if ops <= 1 {
-            0
-        } else {
-            (ops.ilog2() as usize).min(15)
-        };
-        self.ops_per_epoch_log2[bucket] += 1;
-        match reason {
-            SealReason::OpsCap => self.sealed_ops_cap += 1,
-            SealReason::WaitCap => self.sealed_wait_cap += 1,
-            SealReason::RateDrop => self.sealed_rate_drop += 1,
-        }
-    }
-
     /// Mean operations per epoch so far.
     pub fn mean_ops_per_epoch(&self) -> f64 {
         if self.epochs == 0 {
@@ -277,6 +262,65 @@ impl CombinerStats {
             self.sealed_wait_cap,
             self.sealed_rate_drop
         )
+    }
+}
+
+/// The registry-backed cells behind [`CombinerStats`]: each combiner
+/// registers its own under `combiner.*` names, and [`Combiner::stats`]
+/// is a point-in-time [`CombinerCounters::view`] over them.
+///
+/// The epoch-size distribution lives in a full `cpma-obs` histogram
+/// (`combiner.ops_per_epoch`); the public `ops_per_epoch_log2` array is
+/// reconstructed exactly from its per-octave counts, because obs buckets
+/// never span an octave boundary. This replaces the hand-rolled ilog2
+/// bucketing that used to live here.
+struct CombinerCounters {
+    epochs: Counter,
+    ops: Counter,
+    sealed_ops_cap: Counter,
+    sealed_wait_cap: Counter,
+    sealed_rate_drop: Counter,
+    /// Deterministic epoch-size distribution (unit: ops).
+    ops_per_epoch: Histogram,
+    /// Timing-derived seal→publish latency (unit: ns); see the span in
+    /// `lead`.
+    epoch_ns: Histogram,
+}
+
+impl CombinerCounters {
+    fn new() -> Self {
+        let r = cpma_obs::global();
+        Self {
+            epochs: r.counter("combiner.epochs", Unit::Count),
+            ops: r.counter("combiner.ops", Unit::Count),
+            sealed_ops_cap: r.counter("combiner.sealed.ops_cap", Unit::Count),
+            sealed_wait_cap: r.counter("combiner.sealed.wait_cap", Unit::Count),
+            sealed_rate_drop: r.counter("combiner.sealed.rate_drop", Unit::Count),
+            ops_per_epoch: r.histogram("combiner.ops_per_epoch", Unit::Count),
+            epoch_ns: r.histogram("combiner.epoch.ns", Unit::Nanos),
+        }
+    }
+
+    fn record_epoch(&self, ops: usize, reason: SealReason) {
+        self.epochs.inc();
+        self.ops.add(ops as u64);
+        self.ops_per_epoch.record(ops as u64);
+        match reason {
+            SealReason::OpsCap => self.sealed_ops_cap.inc(),
+            SealReason::WaitCap => self.sealed_wait_cap.inc(),
+            SealReason::RateDrop => self.sealed_rate_drop.inc(),
+        }
+    }
+
+    fn view(&self) -> CombinerStats {
+        CombinerStats {
+            epochs: self.epochs.value(),
+            ops: self.ops.value(),
+            ops_per_epoch_log2: self.ops_per_epoch.snapshot().octave_counts::<16>(),
+            sealed_ops_cap: self.sealed_ops_cap.value(),
+            sealed_wait_cap: self.sealed_wait_cap.value(),
+            sealed_rate_drop: self.sealed_rate_drop.value(),
+        }
     }
 }
 
@@ -407,7 +451,7 @@ struct Core<S> {
     /// `epochs_applied` (empty epochs are logged too, so the two never
     /// drift).
     wal: Option<DurableState<S>>,
-    stats: CombinerStats,
+    stats: CombinerCounters,
     /// Warm-start seed for the next epoch's inter-arrival EWMA (adaptive
     /// policy): the previous epoch's final EWMA, halved whenever an
     /// epoch closes without seeing any arrival beyond its opening
@@ -448,6 +492,10 @@ pub struct Combiner<S, K: SetKey = u64> {
     current: Mutex<Arc<Epoch<K>>>,
     published: Mutex<Arc<S>>,
     cfg: CombinerConfig,
+    /// Open-epoch occupancy (`combiner.queue_depth`): set by every
+    /// enqueue, zeroed when the leader seals. Lives outside `Core` so the
+    /// submit path never touches the leader lock for it.
+    queue_depth: Gauge,
 }
 
 impl<S, K> Combiner<S, K>
@@ -475,11 +523,12 @@ where
                 set,
                 epochs_applied: 0,
                 wal: None,
-                stats: CombinerStats::default(),
+                stats: CombinerCounters::new(),
                 ewma_seed_ns: 0.0,
             }),
             current: Mutex::new(Arc::new(Epoch::new())),
             cfg,
+            queue_depth: cpma_obs::global().gauge("combiner.queue_depth"),
         }
     }
 
@@ -514,12 +563,12 @@ where
     /// A copy of the combining statistics so far. Taken under the leader
     /// lock, so it may briefly wait for an in-flight epoch to finish.
     pub fn stats(&self) -> CombinerStats {
-        self.core.lock().unwrap().stats
+        self.core.lock().unwrap().stats.view()
     }
 
     /// Zero the combining statistics (e.g. between measured phases).
     pub fn reset_stats(&self) {
-        self.core.lock().unwrap().stats = CombinerStats::default();
+        self.core.lock().unwrap().stats = CombinerCounters::new();
     }
 
     /// Unwrap the authoritative set (consumes the combiner, so every
@@ -567,6 +616,7 @@ where
             if !st.sealed {
                 let idx = st.ops.len();
                 st.ops.extend_from_slice(ops);
+                self.queue_depth.set(st.ops.len() as i64);
                 drop(st);
                 break (cur, idx);
             }
@@ -742,6 +792,12 @@ where
         };
         // Open a fresh epoch for subsequent submitters.
         *self.current.lock().unwrap() = Arc::new(Epoch::new());
+        self.queue_depth.set(0);
+
+        // Timing span over the epoch's seal-to-publish work (replay,
+        // WAL append, batch apply, checkpoint, publication).
+        let mut epoch_span = cpma_obs::span_with(&core.stats.epoch_ns, "combiner.epoch");
+        epoch_span.set_items(ops.len() as u64);
 
         // Prefetch the base presence of every distinct key in one batched
         // lookup — the replay's dominant cost on large backends. `uniq` is
@@ -838,6 +894,7 @@ where
             let snap = Arc::new(core.set.clone());
             *self.published.lock().unwrap() = snap;
         }
+        drop(epoch_span);
 
         let mut st = epoch.state.lock().unwrap();
         st.results = results;
@@ -892,11 +949,12 @@ where
                     writer,
                     checkpoint: |set, path| set.save(path),
                 }),
-                stats: CombinerStats::default(),
+                stats: CombinerCounters::new(),
                 ewma_seed_ns: 0.0,
             }),
             current: Mutex::new(Arc::new(Epoch::new())),
             cfg,
+            queue_depth: cpma_obs::global().gauge("combiner.queue_depth"),
         };
         Ok((combiner, report))
     }

@@ -72,6 +72,7 @@ use cpma_api::{
     range_to_inclusive, BatchOp, BatchOutcome, BatchSet, ConfigError, OrderedSet, ParallelChunks,
     Persist, PersistError, RangeSet, SetKey,
 };
+use cpma_obs::{Counter, Gauge, Histogram, Unit};
 use cpma_persist::snapshot::{ByteReader, ByteSink, SnapshotEnvelope};
 use rayon::prelude::*;
 use std::ops::RangeBounds;
@@ -252,6 +253,50 @@ impl RebalanceStats {
 /// assert!(auto.shard_count() > 4);
 /// assert_eq!(RangeSet::to_vec(&auto), big);
 /// ```
+/// Registry mirror of [`RebalanceStats`] (names `store.*`): the scalar
+/// counters stream into `cpma-obs` cells as they happen, per-shard
+/// sub-batch sizes feed a `store.shard_batch_ops` histogram (the traffic
+/// skew view), `store.shards` gauges the live shard count, and rebuilds
+/// are timed under `store.rebalance.ns`. The autotuner itself keeps
+/// reading the plain [`RebalanceStats`] struct — determinism needs the
+/// schedule-independent window, not the process-wide aggregate.
+///
+/// `Clone` registers fresh zeroed cells (gauge included), so snapshot
+/// clones published by a combiner neither double-count traffic nor
+/// inflate the shard gauge.
+struct StoreCounters {
+    batches: Counter,
+    batch_ops: Counter,
+    shard_batch_ops: Histogram,
+    skew_rebalances: Counter,
+    grows: Counter,
+    shrinks: Counter,
+    shards: Gauge,
+    rebalance_ns: Histogram,
+}
+
+impl StoreCounters {
+    fn new() -> Self {
+        let r = cpma_obs::global();
+        Self {
+            batches: r.counter("store.batches", Unit::Count),
+            batch_ops: r.counter("store.batch_ops", Unit::Count),
+            shard_batch_ops: r.histogram("store.shard_batch_ops", Unit::Count),
+            skew_rebalances: r.counter("store.rebalances.skew", Unit::Count),
+            grows: r.counter("store.rebalances.grow", Unit::Count),
+            shrinks: r.counter("store.rebalances.shrink", Unit::Count),
+            shards: r.gauge("store.shards"),
+            rebalance_ns: r.histogram("store.rebalance.ns", Unit::Nanos),
+        }
+    }
+}
+
+impl Clone for StoreCounters {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
 #[derive(Clone)]
 pub struct ShardedSet<S, const N: usize = 8, const MIN: usize = 0, const MAX: usize = 0> {
     /// The backends, in key order; `shards.len()` is the live shard count.
@@ -263,6 +308,8 @@ pub struct ShardedSet<S, const N: usize = 8, const MIN: usize = 0, const MAX: us
     tuning: ShardTuning,
     /// Always-on rebalance/traffic counters.
     stats: RebalanceStats,
+    /// Registry mirror of `stats` (see [`StoreCounters`]).
+    counters: StoreCounters,
 }
 
 /// Sub-batch boundaries: `bounds[i]..bounds[i + 1]` is shard `i`'s slice
@@ -321,11 +368,14 @@ impl<S, const N: usize, const MIN: usize, const MAX: usize> ShardedSet<S, N, MIN
             shard_batch_ops: vec![0; shards.len()],
             ..RebalanceStats::default()
         };
+        let counters = StoreCounters::new();
+        counters.shards.set(shards.len() as i64);
         Self {
             shards,
             splitters,
             tuning,
             stats,
+            counters,
         }
     }
 
@@ -389,8 +439,12 @@ impl<S, const N: usize, const MIN: usize, const MAX: usize> ShardedSet<S, N, MIN
     fn record_batch(&mut self, len: usize, bounds: &[usize]) {
         self.stats.batches += 1;
         self.stats.batch_ops += len as u64;
+        self.counters.batches.inc();
+        self.counters.batch_ops.add(len as u64);
         for (i, ops) in self.stats.shard_batch_ops.iter_mut().enumerate() {
-            *ops += (bounds[i + 1] - bounds[i]) as u64;
+            let routed = (bounds[i + 1] - bounds[i]) as u64;
+            *ops += routed;
+            self.counters.shard_batch_ops.record(routed);
         }
     }
 
@@ -482,11 +536,14 @@ impl<S, const N: usize, const MIN: usize, const MAX: usize> ShardedSet<S, N, MIN
         }
         if skewed {
             self.stats.skew_rebalances += 1;
+            self.counters.skew_rebalances.inc();
         }
         if desired > cur {
             self.stats.grows += 1;
+            self.counters.grows.inc();
         } else if desired < cur {
             self.stats.shrinks += 1;
+            self.counters.shrinks.inc();
         }
         self.rebuild(desired);
     }
@@ -498,7 +555,9 @@ impl<S, const N: usize, const MIN: usize, const MAX: usize> ShardedSet<S, N, MIN
     where
         S: BatchSet<K> + RangeSet<K> + Send + Sync,
     {
+        let mut span = cpma_obs::span_with(&self.counters.rebalance_ns, "store.rebalance");
         let all = RangeSet::to_vec(self);
+        span.set_items(all.len() as u64);
         self.splitters = learned_splitters(count, &all);
         let bounds = split_bounds(&self.splitters, &all);
         let bounds = &bounds;
@@ -507,6 +566,7 @@ impl<S, const N: usize, const MIN: usize, const MAX: usize> ShardedSet<S, N, MIN
             .map(|i| S::build_sorted(&all[bounds[i]..bounds[i + 1]]))
             .collect();
         self.stats.shard_batch_ops = vec![0; count];
+        self.counters.shards.set(count as i64);
         let max = self.shards.iter().map(|s| s.len()).max().unwrap_or(0);
         self.stats.post_rebalance_imbalance_permille = if all.is_empty() {
             0
@@ -830,6 +890,8 @@ impl<S: Persist, const N: usize, const MIN: usize, const MAX: usize> Persist
         for i in 0..count {
             shards.push(S::load(&path.join(shard_file_name(i)))?);
         }
+        let counters = StoreCounters::new();
+        counters.shards.set(shards.len() as i64);
         Ok(Self {
             shards,
             splitters,
@@ -838,6 +900,7 @@ impl<S: Persist, const N: usize, const MIN: usize, const MAX: usize> Persist
                 shard_batch_ops: vec![0; count],
                 ..RebalanceStats::default()
             },
+            counters,
         })
     }
 }

@@ -34,6 +34,10 @@ const SECONDS: u64 = 120;
 const EVENTS_PER_THREAD_SECOND: usize = 2_500;
 
 fn main() {
+    // Dump the span journal to stderr if anything below panics — the last
+    // ~1024 phase spans are usually enough to see what the store was doing.
+    cpma::obs::install_panic_hook();
+
     // Self-tuning store: the adaptive window seals each combining epoch
     // when the burst wave ends (no arrival-rate knob to guess), the
     // shard count autotunes between 1 and 64 as the store fills, and
@@ -46,51 +50,55 @@ fn main() {
     let done = AtomicBool::new(false);
 
     let start = Instant::now();
-    std::thread::scope(|scope| {
-        // --- ingest: each thread streams one burst per simulated second.
-        for t in 0..INGEST_THREADS {
-            let store = &store;
-            let ingested = &ingested;
-            let finished_writers = &finished_writers;
-            scope.spawn(move || {
-                let mut rng = SplitMix64::new(2024 + t);
-                for second in 0..SECONDS {
-                    let burst: Vec<u64> = (0..EVENTS_PER_THREAD_SECOND)
-                        .map(|_| event_key(second, rng.next_below(1 << 20)))
-                        .collect();
-                    ingested.fetch_add(store.insert_many(&burst), Ordering::Relaxed);
-                }
-                finished_writers.fetch_add(1, Ordering::Release);
-            });
-        }
-
-        // --- expiry: batch-remove events older than 40 "seconds", read
-        // from a snapshot, removed through the combiner like any writer.
-        scope.spawn(|| {
-            let mut expired_total = 0usize;
-            while !done.load(Ordering::Acquire) {
-                let snap = store.snapshot();
-                if let Some(newest) = snap.max() {
-                    let horizon = (newest >> 20).saturating_sub(40);
-                    let victims: Vec<u64> = snap.range_iter(..event_key(horizon, 0)).collect();
-                    let ops: Vec<_> = victims
-                        .iter()
-                        .map(|&k| cpma::store::Op::Remove(k))
-                        .collect();
-                    expired_total += store
-                        .submit_many(&ops)
-                        .into_iter()
-                        .filter(|&removed| removed)
-                        .count();
-                }
-                std::thread::sleep(std::time::Duration::from_millis(5));
+    // Pin the batch-update fan-out to 4 workers: demo runs are then
+    // shaped the same on any machine (including single-core CI, where the
+    // default budget would be 1 and the pool would never spawn).
+    cpma_bench::with_threads(4, || {
+        std::thread::scope(|scope| {
+            // --- ingest: each thread streams one burst per simulated second.
+            for t in 0..INGEST_THREADS {
+                let store = &store;
+                let ingested = &ingested;
+                let finished_writers = &finished_writers;
+                scope.spawn(move || {
+                    let mut rng = SplitMix64::new(2024 + t);
+                    for second in 0..SECONDS {
+                        let burst: Vec<u64> = (0..EVENTS_PER_THREAD_SECOND)
+                            .map(|_| event_key(second, rng.next_below(1 << 20)))
+                            .collect();
+                        ingested.fetch_add(store.insert_many(&burst), Ordering::Relaxed);
+                    }
+                    finished_writers.fetch_add(1, Ordering::Release);
+                });
             }
-            println!("expiry: removed {expired_total} old events");
-        });
 
-        // --- analytics: trailing-window scans on snapshots; never blocks
-        // the ingest path.
-        let reports = scope.spawn(|| {
+            // --- expiry: batch-remove events older than 40 "seconds", read
+            // from a snapshot, removed through the combiner like any writer.
+            scope.spawn(|| {
+                let mut expired_total = 0usize;
+                while !done.load(Ordering::Acquire) {
+                    let snap = store.snapshot();
+                    if let Some(newest) = snap.max() {
+                        let horizon = (newest >> 20).saturating_sub(40);
+                        let victims: Vec<u64> = snap.range_iter(..event_key(horizon, 0)).collect();
+                        let ops: Vec<_> = victims
+                            .iter()
+                            .map(|&k| cpma::store::Op::Remove(k))
+                            .collect();
+                        expired_total += store
+                            .submit_many(&ops)
+                            .into_iter()
+                            .filter(|&removed| removed)
+                            .count();
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                println!("expiry: removed {expired_total} old events");
+            });
+
+            // --- analytics: trailing-window scans on snapshots; never blocks
+            // the ingest path.
+            let reports = scope.spawn(|| {
             let mut reports = 0u32;
             while !done.load(Ordering::Acquire) {
                 let snap = store.snapshot();
@@ -111,15 +119,16 @@ fn main() {
             reports
         });
 
-        // The reader loops run until every ingest thread has finished
-        // (joining the scope directly would deadlock their `while !done`
-        // loops, so signal them instead).
-        while finished_writers.load(Ordering::Acquire) < INGEST_THREADS as usize {
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
-        done.store(true, Ordering::Release);
-        let reports = reports.join().unwrap();
-        println!("analytics: {reports} snapshot reports while ingesting");
+            // The reader loops run until every ingest thread has finished
+            // (joining the scope directly would deadlock their `while !done`
+            // loops, so signal them instead).
+            while finished_writers.load(Ordering::Acquire) < INGEST_THREADS as usize {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            done.store(true, Ordering::Release);
+            let reports = reports.join().unwrap();
+            println!("analytics: {reports} snapshot reports while ingesting");
+        });
     });
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -211,4 +220,35 @@ fn main() {
     drop(snap);
     drop(recovered);
     std::fs::remove_dir_all(&wal_dir).expect("clean up WAL dir");
+
+    // --- observability: one snapshot, every layer ---------------------
+    // Route the headline throughput through the bench harness too, so the
+    // bench layer's own counter shows up in the registry dump below.
+    let bench = cpma_bench::ubench::Bencher::new();
+    bench.record(
+        "key_store/acked_insert",
+        &[("threads", INGEST_THREADS.to_string())],
+        if total > 0 {
+            elapsed / total as f64
+        } else {
+            0.0
+        },
+    );
+
+    let snap = cpma::obs::global().snapshot();
+    if let Some(h) = snap.histogram("combiner.epoch.ns") {
+        println!(
+            "\ncombiner epoch latency: p50 {:.1}µs  p99 {:.1}µs  p999 {:.1}µs  \
+             (mean {:.1}µs over {} epochs)",
+            h.quantile(0.5) as f64 / 1e3,
+            h.quantile(0.99) as f64 / 1e3,
+            h.quantile(0.999) as f64 / 1e3,
+            h.mean() / 1e3,
+            h.count,
+        );
+    }
+    println!("\n-- registry snapshot (Prometheus text exposition) --");
+    print!("{}", snap.to_prometheus());
+    println!("\n-- event journal tail (most recent phase spans) --");
+    print!("{}", cpma::obs::journal().render());
 }

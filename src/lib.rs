@@ -69,11 +69,17 @@
 //!   ([`fn@persist::recover`]: newest valid checkpoint + WAL tail
 //!   replay);
 //! * [`workloads`] — deterministic generators for every input distribution
-//!   in the paper's evaluation.
+//!   in the paper's evaluation;
+//! * [`obs`] — the observability layer every crate above reports into: a
+//!   process-global [`obs::Registry`] of counters/gauges/latency
+//!   histograms, RAII phase spans feeding a bounded event journal, and
+//!   Prometheus-text / JSON exposition — `docs/OBSERVABILITY.md` catalogs
+//!   every metric.
 
 pub use cpma_api as api;
 pub use cpma_baselines as baselines;
 pub use cpma_fgraph as fgraph;
+pub use cpma_obs as obs;
 pub use cpma_persist as persist;
 pub use cpma_pma as pma;
 pub use cpma_store as store;
