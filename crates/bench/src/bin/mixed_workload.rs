@@ -3,7 +3,8 @@
 //! legacy remove-batch + insert-batch split on interleaved traffic.
 //!
 //! Sweeps insert:remove ratio × batch size × key distribution
-//! (zipf/uniform) on the PMA, the CPMA, and the sharded CPMA. Removes
+//! (zipf/uniform/clustered) on the PMA, the CPMA, and the sharded CPMA.
+//! Removes
 //! target keys drawn from the base set (so they do real work); inserts
 //! draw fresh keys from the distribution. Batch sizes sit in the
 //! pipeline regime (well above the point cutoff, under the full-rebuild
@@ -14,13 +15,37 @@
 //! emits `BENCH_mixed.json` (one `single` and one `split` entry per
 //! configuration, so the perf-trajectory diff shows the ratio).
 //!
+//! The clustered distribution doubles as the hybrid-leaf-codec
+//! benchmark: a final section builds the clustered base under
+//! `ForceCodec::Auto` (hybrid) and `ForceCodec::Delta` and records
+//! bytes/element plus dense-region `range_sum` and scan throughput for
+//! both, so the JSON shows the codec win (and the uniform rows guard
+//! against regressions on the paper's main workload).
+//!
 //! `--quick` shrinks everything to CI-smoke scale.
 
 use cpma_bench::ubench::Bencher;
-use cpma_bench::{mixed_apply_throughput, mixed_split_throughput, sci, Args, BatchOp};
-use cpma_pma::{Cpma, Pma};
+use cpma_bench::{mixed_apply_throughput, mixed_split_throughput, sci, Args, BatchOp, RangeSet};
+use cpma_pma::{Cpma, ForceCodec, Pma, PmaConfig};
 use cpma_store::ShardedSet;
-use cpma_workloads::{dedup_sorted, uniform_keys, SplitMix64, ZipfGenerator};
+use cpma_workloads::{dedup_sorted, uniform_keys, ClusteredKeys, SplitMix64, ZipfGenerator};
+
+/// Mean run length for the clustered distribution. Long enough that whole
+/// leaves sit inside a run (a 256-byte leaf holds ~240 delta-coded elements
+/// but ~1980 bitmap positions), so the hybrid codec's bitmap regime is
+/// actually exercised.
+const RUN_LEN: u64 = 1024;
+/// Mean inter-run gap for the clustered distribution (keeps boundary
+/// leaves sparse/delta-coded).
+const MEAN_GAP: u64 = 1 << 22;
+
+/// The base set for a distribution, sorted and distinct.
+fn base_for(dist: &str, n: usize, seed: u64) -> Vec<u64> {
+    match dist {
+        "clustered" => ClusteredKeys::new(RUN_LEN, MEAN_GAP, seed ^ 0xBA5E).sorted(n),
+        _ => dedup_sorted(uniform_keys(n, 34, seed ^ 0xBA5E)),
+    }
+}
 
 /// An interleaved op stream: `insert_pct`% fresh-key inserts, the rest
 /// removes of (uniformly drawn) base keys.
@@ -33,6 +58,11 @@ fn mixed_stream(
 ) -> Vec<BatchOp<u64>> {
     let fresh = match dist {
         "zipf" => ZipfGenerator::paper_config(seed ^ 0xF5E5).keys(ops),
+        // Fresh clustered runs land beyond the base space so inserts keep
+        // creating new dense regions instead of only backfilling old ones.
+        "clustered" => ClusteredKeys::new(RUN_LEN, MEAN_GAP, seed ^ 0xF5E5)
+            .starting_at(1 << 45)
+            .shuffled(ops),
         _ => uniform_keys(ops, 34, seed ^ 0xF5E5),
     };
     let mut rng = SplitMix64::new(seed);
@@ -80,7 +110,6 @@ fn main() {
     let ops: usize = args.get_or("ops", if quick { 20_000 } else { 400_000 });
     let seed: u64 = args.get_or("seed", 42);
 
-    let base = dedup_sorted(uniform_keys(base_n, 34, seed ^ 0xBA5E));
     let batch_sweep: &[usize] = if quick {
         &[1_024, 4_096]
     } else {
@@ -91,14 +120,14 @@ fn main() {
     let b = Bencher::new();
     println!(
         "# mixed_workload — interleaved insert/remove batches, single-pass vs split \
-         ({} base elements, {ops} ops)",
-        base.len()
+         (~{base_n} base elements, {ops} ops)"
     );
     println!(
-        "{:>8} {:>8} {:>10} {:>8} {:>12} {:>12} {:>7}",
+        "{:>8} {:>10} {:>10} {:>8} {:>12} {:>12} {:>7}",
         "struct", "dist", "ins:rem", "batch", "single", "split", "ratio"
     );
-    for dist in ["zipf", "uniform"] {
+    for dist in ["zipf", "uniform", "clustered"] {
+        let base = base_for(dist, base_n, seed);
         for &insert_pct in &ratio_sweep {
             let stream = mixed_stream(dist, &base, ops, insert_pct, seed);
             for &batch in batch_sweep {
@@ -106,7 +135,7 @@ fn main() {
                     report(&b, structure, "single", dist, insert_pct, batch, single);
                     report(&b, structure, "split", dist, insert_pct, batch, split);
                     println!(
-                        "{:>8} {:>8} {:>7}:{:<2} {:>8} {:>12} {:>12} {:>6.2}x",
+                        "{:>8} {:>10} {:>7}:{:<2} {:>8} {:>12} {:>12} {:>6.2}x",
                         structure,
                         dist,
                         insert_pct,
@@ -132,6 +161,7 @@ fn main() {
 
     // Pipeline counters for the headline configuration (CPMA, zipf,
     // 50:50, middle batch size): what the single pass actually touched.
+    let base = base_for("zipf", base_n, seed);
     let stream = mixed_stream("zipf", &base, ops, 50, seed);
     let batch = batch_sweep[batch_sweep.len() / 2];
     let mut probe = Cpma::from_sorted(&base);
@@ -190,6 +220,99 @@ fn main() {
         sci(arms[1]),
     );
 
+    // Hybrid leaf codec vs pure delta on the clustered base: the space and
+    // dense-region read claims behind the bitmap leaves. `range_sum`
+    // queries and scans are anchored at existing keys, so they land inside
+    // dense runs — the regime the popcount kernels are built for. Each
+    // codec also reports bytes/element (recorded with `secs_per_op` set so
+    // the value lands in `median_ns_per_op` verbatim).
+    let cl_base = base_for("clustered", base_n, seed);
+    let queries = if quick { 2_000 } else { 20_000 };
+    println!(
+        "# hybrid codec on clustered base ({} elements, run_len {RUN_LEN}): \
+         bytes/elem + dense range_sum/scan",
+        cl_base.len()
+    );
+    for force in [ForceCodec::Auto, ForceCodec::Delta] {
+        let codec = match force {
+            ForceCodec::Auto => "hybrid",
+            _ => "delta",
+        };
+        let cfg = PmaConfig::builder().force_codec(force).build().unwrap();
+        let mut s = Cpma::with_config(cfg);
+        let mut batch = cl_base.clone();
+        s.insert_batch(&mut batch, true);
+        let bpe = s.size_bytes() as f64 / s.len() as f64;
+        let sum_tp = dense_range_sum_throughput(&s, &cl_base, queries, 8 * RUN_LEN, seed);
+        let scan_tp = dense_scan_throughput(&s, &cl_base, queries / 4, 4 * RUN_LEN, seed);
+        let (d, m) = s.storage().codec_census();
+        println!("csv,mixed_codec,{codec},{bpe:.3},{sum_tp},{scan_tp},{d},{m}");
+        println!(
+            "#   {codec:>6}: {bpe:.3} B/elem, range_sum {} q/s, scan {} elem/s \
+             ({d} delta / {m} bitmap leaves)",
+            sci(sum_tp),
+            sci(scan_tp),
+        );
+        let params = [
+            ("dist", "clustered".to_string()),
+            ("codec", codec.to_string()),
+        ];
+        b.record("mixed/CPMA/codec_bytes_per_elem", &params, bpe * 1e-9);
+        b.record(
+            "mixed/CPMA/codec_range_sum",
+            &params,
+            if sum_tp > 0.0 { 1.0 / sum_tp } else { 0.0 },
+        );
+        b.record(
+            "mixed/CPMA/codec_scan",
+            &params,
+            if scan_tp > 0.0 { 1.0 / scan_tp } else { 0.0 },
+        );
+    }
+
     b.write_json("mixed").expect("write BENCH_mixed.json");
     cpma_bench::ubench::write_metrics_json().expect("write METRICS.json");
+}
+
+/// `range_sum` throughput (queries/sec) over windows anchored at existing
+/// base keys — every query starts inside a dense run.
+fn dense_range_sum_throughput(
+    s: &Cpma,
+    base: &[u64],
+    queries: usize,
+    width: u64,
+    seed: u64,
+) -> f64 {
+    let mut rng = SplitMix64::new(seed ^ 0xD105);
+    let starts: Vec<u64> = (0..queries)
+        .map(|_| base[rng.next_below(base.len() as u64) as usize])
+        .collect();
+    let mut sink = 0u64;
+    let (_, secs) = cpma_bench::time(|| {
+        for &lo in &starts {
+            sink = sink.wrapping_add(s.range_sum(lo..lo.saturating_add(width)));
+        }
+    });
+    std::hint::black_box(sink);
+    queries as f64 / secs
+}
+
+/// Scan (`for_range` visit) throughput in elements/sec over dense windows.
+fn dense_scan_throughput(s: &Cpma, base: &[u64], queries: usize, width: u64, seed: u64) -> f64 {
+    let mut rng = SplitMix64::new(seed ^ 0x5CA9);
+    let starts: Vec<u64> = (0..queries)
+        .map(|_| base[rng.next_below(base.len() as u64) as usize])
+        .collect();
+    let mut visited = 0u64;
+    let mut sink = 0u64;
+    let (_, secs) = cpma_bench::time(|| {
+        for &lo in &starts {
+            s.for_range(lo..lo.saturating_add(width), |k| {
+                visited += 1;
+                sink ^= k;
+            });
+        }
+    });
+    std::hint::black_box(sink);
+    visited as f64 / secs
 }

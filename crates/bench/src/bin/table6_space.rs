@@ -5,9 +5,19 @@
 //! uncompressed PMA ≈ 10–12 B/elt (element cells at ~55% density + heads);
 //! C-PaC and CPMA converge to a few bytes/elt, improving with scale as
 //! 40-bit deltas shrink.
+//!
+//! Beyond the paper's uniform keys, a **clustered** distribution column
+//! (runs of ~1024 consecutive keys separated by multi-million-key gaps)
+//! shows the hybrid leaf codec's regime: bitmap leaves store dense runs at
+//! ~1 bit/element, so the CPMA drops well under 1 B/elt while every other
+//! structure stays put. Emits `BENCH_table6_space.json` (one
+//! `space/{structure}` entry per distribution × size; bytes/element is
+//! carried in `median_ns_per_op` verbatim). `--quick` shrinks the sweep to
+//! CI-smoke scale.
 
+use cpma_bench::ubench::Bencher;
 use cpma_bench::{Args, BatchSet};
-use cpma_workloads::{dedup_sorted, uniform_keys};
+use cpma_workloads::{dedup_sorted, uniform_keys, ClusteredKeys};
 
 fn bytes_per_elem<S: BatchSet<u64>>(elems: &[u64]) -> f64 {
     let s = S::build_sorted(elems);
@@ -16,34 +26,64 @@ fn bytes_per_elem<S: BatchSet<u64>>(elems: &[u64]) -> f64 {
 
 fn main() {
     let args = Args::parse();
-    let max_exp: u32 = args.get_or("max-exp", 6);
+    let quick = args.flag("quick");
+    let max_exp: u32 = args.get_or("max-exp", if quick { 5 } else { 6 });
+    let min_exp: u32 = if quick { 4 } else { 5 };
     let bits: u32 = args.get_or("bits", 40);
     let seed: u64 = args.get_or("seed", 42);
 
-    println!("# Table 6 — bytes per element ({}-bit uniform keys)", bits);
-    println!(
-        "{:>10} {:>8} {:>8} {:>9} {:>8} {:>8} {:>10} {:>9}",
-        "elements", "P-tree", "U-PaC", "PMA", "C-PaC", "CPMA", "CPMA/C-PaC", "CPMA/PMA"
-    );
-    for exp in 5..=max_exp {
-        let n = 10usize.pow(exp);
-        let elems = dedup_sorted(uniform_keys(n, bits, seed + exp as u64));
-        let pt = bytes_per_elem::<cpma_baselines::PTree>(&elems);
-        let up = bytes_per_elem::<cpma_baselines::UPac>(&elems);
-        let pm = bytes_per_elem::<cpma_pma::Pma<u64>>(&elems);
-        let cp = bytes_per_elem::<cpma_baselines::CPac>(&elems);
-        let cm = bytes_per_elem::<cpma_pma::Cpma>(&elems);
+    let b = Bencher::new();
+    for dist in ["uniform", "clustered"] {
         println!(
-            "{:>10} {:>8.2} {:>8.2} {:>9.2} {:>8.2} {:>8.2} {:>10.2} {:>9.2}",
-            n,
-            pt,
-            up,
-            pm,
-            cp,
-            cm,
-            cm / cp,
-            cm / pm
+            "# Table 6 — bytes per element ({})",
+            if dist == "uniform" {
+                format!("{bits}-bit uniform keys")
+            } else {
+                "clustered keys, runs of ~1024".to_string()
+            }
         );
-        println!("csv,table6,{n},{pt},{up},{pm},{cp},{cm}");
+        println!(
+            "{:>10} {:>8} {:>8} {:>9} {:>8} {:>8} {:>10} {:>9}",
+            "elements", "P-tree", "U-PaC", "PMA", "C-PaC", "CPMA", "CPMA/C-PaC", "CPMA/PMA"
+        );
+        for exp in min_exp..=max_exp {
+            let n = 10usize.pow(exp);
+            let elems = match dist {
+                "clustered" => ClusteredKeys::new(1024, 1 << 22, seed + exp as u64).sorted(n),
+                _ => dedup_sorted(uniform_keys(n, bits, seed + exp as u64)),
+            };
+            let pt = bytes_per_elem::<cpma_baselines::PTree>(&elems);
+            let up = bytes_per_elem::<cpma_baselines::UPac>(&elems);
+            let pm = bytes_per_elem::<cpma_pma::Pma<u64>>(&elems);
+            let cp = bytes_per_elem::<cpma_baselines::CPac>(&elems);
+            let cm = bytes_per_elem::<cpma_pma::Cpma>(&elems);
+            println!(
+                "{:>10} {:>8.2} {:>8.2} {:>9.2} {:>8.2} {:>8.2} {:>10.2} {:>9.2}",
+                n,
+                pt,
+                up,
+                pm,
+                cp,
+                cm,
+                cm / cp,
+                cm / pm
+            );
+            println!("csv,table6,{dist},{n},{pt},{up},{pm},{cp},{cm}");
+            for (structure, bpe) in [
+                ("PTree", pt),
+                ("UPac", up),
+                ("PMA", pm),
+                ("CPac", cp),
+                ("CPMA", cm),
+            ] {
+                b.record(
+                    &format!("space/{structure}"),
+                    &[("dist", dist.to_string()), ("n", n.to_string())],
+                    bpe * 1e-9,
+                );
+            }
+        }
     }
+    b.write_json("table6_space")
+        .expect("write BENCH_table6_space.json");
 }

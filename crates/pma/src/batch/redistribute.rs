@@ -76,6 +76,25 @@ pub(crate) fn redistribute_ranges<K: PmaKey, L: LeafStorage<K>, const FORM: u8>(
         ranges.par_iter().map(|&n| collect_one(n)).collect()
     };
 
+    // Phase 1.5: plan each range's split. Must happen before the shared
+    // accessor pins a mutable borrow — the planner reads the storage's
+    // codec policy (hybrid vs delta-only costs).
+    let plans: Vec<Vec<usize>> = if serial {
+        jobs.iter()
+            .map(|job| {
+                core.storage()
+                    .plan_split_with(&job.elems, job.node.len(), leaf_units)
+            })
+            .collect()
+    } else {
+        jobs.par_iter()
+            .map(|job| {
+                core.storage()
+                    .plan_split_with(&job.elems, job.node.len(), leaf_units)
+            })
+            .collect()
+    };
+
     // Phase 2: write (disjoint leaves).
     let shared = core.storage_mut().shared();
     let write_leaf_j = |job: &RangeJob<K>, offsets: &[usize], j: usize| -> isize {
@@ -95,22 +114,19 @@ pub(crate) fn redistribute_ranges<K: PmaKey, L: LeafStorage<K>, const FORM: u8>(
     };
     let units_delta: isize = if serial {
         let mut acc = 0isize;
-        for job in &jobs {
-            let k = job.node.len();
-            let offsets = L::plan_split(&job.elems, k, leaf_units);
-            for j in 0..k {
-                acc += write_leaf_j(job, &offsets, j);
+        for (job, offsets) in jobs.iter().zip(&plans) {
+            for j in 0..job.node.len() {
+                acc += write_leaf_j(job, offsets, j);
             }
         }
         acc
     } else {
         jobs.par_iter()
-            .map(|job| {
-                let k = job.node.len();
-                let offsets = L::plan_split(&job.elems, k, leaf_units);
-                (0..k)
+            .zip(plans.par_iter())
+            .map(|(job, offsets)| {
+                (0..job.node.len())
                     .into_par_iter()
-                    .map(|j| write_leaf_j(job, &offsets, j))
+                    .map(|j| write_leaf_j(job, offsets, j))
                     .sum::<isize>()
             })
             .sum()
@@ -126,6 +142,18 @@ pub(crate) fn redistribute_ranges<K: PmaKey, L: LeafStorage<K>, const FORM: u8>(
     // occupancy bitset and the auxiliary head index in one pass here rather
     // than in every caller.
     core.rebuild_read_index();
+
+    // Hybrid split plans are estimate-driven and may leave a tail leaf
+    // unfit; escalate to a capacity grow, which re-spreads everything and
+    // cannot itself overflow (`rebuild_into` retries until all leaves
+    // fit). Exact planners (delta-only, uncompressed) never take this.
+    let unfit = ranges
+        .iter()
+        .any(|n| (n.start..n.end).any(|l| core.storage().is_overflowed(l)));
+    if unfit {
+        let all = core.collect_all_par();
+        core.grow_and_rebuild(&all);
+    }
 }
 
 #[cfg(test)]

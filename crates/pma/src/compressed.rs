@@ -1,4 +1,5 @@
-//! Compressed leaf storage: raw head + delta byte codes (§5 of the paper).
+//! Hybrid compressed leaf storage: delta byte codes (§5 of the paper) or
+//! a fixed-span bitmap, chosen **per leaf** at rewrite time.
 //!
 //! "A CPMA leaf stores its head, or its first element, uncompressed, and
 //! stores subsequent elements compressed with delta encoding and byte codes.
@@ -7,10 +8,22 @@
 //! algorithm, and search on leaf heads are untouched — that is the paper's
 //! central structural claim, and it is what lets this type plug into the
 //! same `PmaCore` as the uncompressed storage.
+//!
+//! The paper compresses every leaf the same way, which is optimal for
+//! sparse runs but charges ≥ 1 byte per element no matter how dense the
+//! keys are. This module extends the representation with the
+//! [`crate::bitmap`] encoding: each leaf carries a one-byte tag, every
+//! rewrite ([`CompressedShared::store`]) re-decides the cheaper encoding
+//! under the configured [`ForceCodec`] policy, and the read paths dispatch
+//! on the tag. Dense leaves get wordwise popcount range kernels and a
+//! wordwise OR/ANDNOT merge path that never round-trips through a full
+//! delta decode.
 
+use crate::bitmap;
 use crate::codec::{
     decode_run, decode_varint, encode_run, encoded_run_len, for_each_in_run, varint_len,
 };
+use crate::core::ForceCodec;
 use crate::leaf::{
     apply_ops_into, set_difference_into, set_union_into, MergeOutcome, OpsOutcome, SharedLeaves,
 };
@@ -18,7 +31,266 @@ use crate::{stats, LeafStorage};
 use cpma_api::{BatchOp, PersistError};
 use std::marker::PhantomData;
 
-/// Delta-compressed leaves over `u64` keys. See module docs.
+/// Per-leaf tag: LEB128 delta run (the paper's encoding).
+const TAG_DELTA: u8 = 0;
+/// Per-leaf tag: fixed-span bitmap ([`crate::bitmap`]).
+const TAG_BITMAP: u8 = 1;
+
+/// The instance-level codec decision knobs (mirrors the two `PmaConfig`
+/// fields; stored here so the shared accessor can decide without reaching
+/// back into the core).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CodecPolicy {
+    force: ForceCodec,
+    threshold: f64,
+}
+
+impl Default for CodecPolicy {
+    fn default() -> Self {
+        Self {
+            force: ForceCodec::Auto,
+            threshold: 1.0,
+        }
+    }
+}
+
+/// Hysteresis band: a leaf already in bitmap form stays there up to
+/// `threshold · 17/16`, one in delta form flips only below
+/// `threshold · 15/16`, so leaves hovering at the boundary do not flip
+/// encodings on every redistribute.
+#[inline]
+fn effective_threshold(threshold: f64, was_bitmap: bool) -> f64 {
+    if was_bitmap {
+        threshold * (17.0 / 16.0)
+    } else {
+        threshold * (15.0 / 16.0)
+    }
+}
+
+/// Pick the encoding for a non-empty run given both exact costs. Returns
+/// `(tag, units)`; `units > cap` means neither fitting choice exists and
+/// the caller spills (always with delta-based unit accounting, keeping
+/// density math monotone in the element count).
+fn choose_codec(
+    policy: CodecPolicy,
+    was_bitmap: bool,
+    delta_units: usize,
+    bitmap_units: usize,
+    cap: usize,
+) -> (u8, usize) {
+    match policy.force {
+        ForceCodec::Delta => (TAG_DELTA, delta_units),
+        ForceCodec::Bitmap => {
+            if bitmap_units <= cap {
+                (TAG_BITMAP, bitmap_units)
+            } else {
+                (TAG_DELTA, delta_units)
+            }
+        }
+        ForceCodec::Auto => {
+            let t = effective_threshold(policy.threshold, was_bitmap);
+            if bitmap_units <= cap && (bitmap_units as f64) <= t * (delta_units as f64) {
+                (TAG_BITMAP, bitmap_units)
+            } else if delta_units <= cap || bitmap_units > cap {
+                (TAG_DELTA, delta_units)
+            } else {
+                // The threshold prefers delta but only the bitmap fits:
+                // fitting beats preference (no needless overflow).
+                (TAG_BITMAP, bitmap_units)
+            }
+        }
+    }
+}
+
+/// `prefix[i]` = summed `cost(gap)` of the first `i` elements (the head
+/// element is free): `prefix[0] = prefix[1] = 0`,
+/// `prefix[i+1] = prefix[i] + cost(e[i] − e[i−1])`. Computed with a
+/// two-pass parallel scan for large runs (whole-array rebuilds are
+/// O(n)-dominated by this).
+fn cost_prefix(elems: &[u64], cost: impl Fn(u64) -> u64 + Sync) -> Vec<u64> {
+    let n = elems.len();
+    let mut prefix = vec![0u64; n + 1];
+    const SCAN_CHUNK: usize = 1 << 15;
+    if n <= SCAN_CHUNK {
+        for i in 1..n {
+            prefix[i + 1] = prefix[i] + cost(elems[i] - elems[i - 1]);
+        }
+    } else {
+        use rayon::prelude::*;
+        // Pass 1: local costs + per-chunk sums. prefix[i+1] holds the
+        // cost of element i, chunk-local-accumulated.
+        let nchunks = n.div_ceil(SCAN_CHUNK);
+        let mut chunk_sums = vec![0u64; nchunks + 1];
+        let sums: Vec<u64> = prefix[1..=n]
+            .par_chunks_mut(SCAN_CHUNK)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let base = c * SCAN_CHUNK;
+                let mut acc = 0u64;
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let i = base + j; // element index whose cost this is
+                    if i > 0 {
+                        acc += cost(elems[i] - elems[i - 1]);
+                    }
+                    *slot = acc;
+                }
+                acc
+            })
+            .collect();
+        for (c, s) in sums.into_iter().enumerate() {
+            chunk_sums[c + 1] = chunk_sums[c] + s;
+        }
+        // Pass 2: add chunk offsets.
+        prefix[1..=n]
+            .par_chunks_mut(SCAN_CHUNK)
+            .enumerate()
+            .for_each(|(c, chunk)| {
+                let off = chunk_sums[c];
+                if off != 0 {
+                    for slot in chunk.iter_mut() {
+                        *slot += off;
+                    }
+                }
+            });
+    }
+    prefix
+}
+
+/// Cost estimate of a run under the hybrid codec: each element charges the
+/// cheaper of its delta byte code (in bits) and its bitmap span growth
+/// (`gap` bits), plus the 8-byte head. A lower bound on the true per-leaf
+/// minimum — capacity planning divides it by the rebuild target, and the
+/// rebuild retry loop absorbs the (rare) underestimate.
+fn hybrid_units_estimate(elems: &[u64]) -> usize {
+    if elems.is_empty() {
+        return 0;
+    }
+    let mut bits = 0u64;
+    for w in elems.windows(2) {
+        let gap = w[1] - w[0];
+        bits += (varint_len(gap) as u64 * 8).min(gap);
+    }
+    8 + bits.div_ceil(8) as usize
+}
+
+/// The paper's delta-only split plan (exact; the density contract proof in
+/// the trait docs applies to this path).
+fn delta_plan_split(elems: &[u64], k: usize, leaf_units: usize) -> Vec<usize> {
+    let n = elems.len();
+    let mut offsets = vec![0usize; k + 1];
+    offsets[k] = n;
+    if n == 0 || k == 1 {
+        return offsets;
+    }
+    let prefix = cost_prefix(elems, |gap| varint_len(gap) as u64);
+    let total = prefix[n];
+    // Exact encoded size of slice [a, b): 0 if empty, else raw head +
+    // interior deltas.
+    let bytes_of = |a: usize, b: usize| -> usize {
+        if a == b {
+            0
+        } else {
+            8 + (prefix[b] - prefix[a + 1]) as usize
+        }
+    };
+    for j in 1..k {
+        // prefix[i] is the stream cost of the first i elements, so the
+        // partition point is directly the boundary element index.
+        let ideal = total * j as u64 / k as u64;
+        let o = prefix.partition_point(|&p| p < ideal).min(n);
+        offsets[j] = o.max(offsets[j - 1]);
+    }
+    // Left-to-right fix-up: shrink any oversized slice by pulling its
+    // right boundary left (pushing elements to the next leaf).
+    for j in 0..k - 1 {
+        let a = offsets[j];
+        while bytes_of(a, offsets[j + 1]) > leaf_units {
+            offsets[j + 1] -= 1;
+        }
+        if offsets[j + 1] < a {
+            offsets[j + 1] = a;
+        }
+    }
+    debug_assert!(
+        bytes_of(offsets[k - 1], n) <= leaf_units,
+        "last leaf overflows: caller violated the density contract"
+    );
+    offsets
+}
+
+/// Split plan under the hybrid codec: balance on the per-element
+/// min-marginal cost, then fix up against the *exact* per-slice cost
+/// `min(delta bytes, bitmap span bytes)` — O(1) per evaluation and
+/// monotone in the right boundary. If balancing cannot fit the tail (the
+/// min-marginal estimate is a lower bound, not exact), fall back to greedy
+/// maximal prefixes, which fit whenever any k-way split fits; a still-
+/// overflowing last leaf is reported by `write_leaf` and resolved by the
+/// caller's capacity grow.
+fn hybrid_plan_split(elems: &[u64], k: usize, leaf_units: usize) -> Vec<usize> {
+    let n = elems.len();
+    let mut offsets = vec![0usize; k + 1];
+    offsets[k] = n;
+    if n == 0 || k == 1 {
+        return offsets;
+    }
+    let dpre = cost_prefix(elems, |gap| varint_len(gap) as u64);
+    let mpre = cost_prefix(elems, |gap| (varint_len(gap) as u64 * 8).min(gap));
+    let exact = |a: usize, b: usize| -> usize {
+        if a == b {
+            0
+        } else {
+            let delta = 8 + (dpre[b] - dpre[a + 1]) as usize;
+            delta.min(bitmap::encoded_len(elems[a], elems[b - 1]))
+        }
+    };
+    let total = mpre[n];
+    for j in 1..k {
+        let ideal = total * j as u64 / k as u64;
+        let o = mpre.partition_point(|&p| p < ideal).min(n);
+        offsets[j] = o.max(offsets[j - 1]);
+    }
+    for j in 0..k - 1 {
+        let a = offsets[j];
+        while offsets[j + 1] > a && exact(a, offsets[j + 1]) > leaf_units {
+            offsets[j + 1] -= 1;
+        }
+    }
+    if exact(offsets[k - 1], n) > leaf_units {
+        // Greedy maximal prefixes (binary search per leaf on the monotone
+        // exact cost).
+        let mut a = 0usize;
+        for off in offsets.iter_mut().take(k).skip(1) {
+            let (mut lo, mut hi) = (a, n);
+            while lo < hi {
+                let mid = lo + (hi - lo).div_ceil(2);
+                if exact(a, mid) <= leaf_units {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            *off = lo;
+            a = lo;
+        }
+    }
+    offsets
+}
+
+/// Append the elements a word array represents (relative to `base`) to
+/// `out` (cleared first), ascending.
+fn words_into_elems(base: u64, words: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        let first = base + (wi as u64) * 64;
+        while w != 0 {
+            out.push(first + w.trailing_zeros() as u64);
+            w &= w - 1;
+        }
+    }
+}
+
+/// Hybrid compressed leaves over `u64` keys. See module docs.
 #[derive(Clone)]
 pub struct CompressedLeaves {
     /// `num_leaves * leaf_units` bytes; leaf `i` owns
@@ -31,9 +303,13 @@ pub struct CompressedLeaves {
     /// Leaf heads, duplicated out of the leaves for cache-friendly search
     /// (inherited values for empty leaves); non-decreasing.
     heads: Vec<u64>,
+    /// Per-leaf codec tag ([`TAG_DELTA`] / [`TAG_BITMAP`]); empty leaves
+    /// are canonically [`TAG_DELTA`].
+    tags: Vec<u8>,
     /// Out-of-place buffers for overflowed leaves (batch merge only).
     overflow: Vec<Option<Box<[u64]>>>,
     leaf_units: usize,
+    policy: CodecPolicy,
 }
 
 impl CompressedLeaves {
@@ -42,6 +318,29 @@ impl CompressedLeaves {
         debug_assert!(self.overflow[leaf].is_none(), "query on overflowed leaf");
         let start = leaf * self.leaf_units;
         &self.bytes[start..start + self.used[leaf] as usize]
+    }
+
+    #[inline]
+    fn is_bitmap(&self, leaf: usize) -> bool {
+        self.tags[leaf] == TAG_BITMAP
+    }
+
+    /// `(delta, bitmap)` leaf counts over the non-empty leaves — the
+    /// codec population the obs counters track incrementally, recomputed
+    /// exactly (bench exposition and white-box tests).
+    pub fn codec_census(&self) -> (usize, usize) {
+        let mut delta = 0usize;
+        let mut bm = 0usize;
+        for leaf in 0..self.counts.len() {
+            if self.counts[leaf] > 0 {
+                if self.tags[leaf] == TAG_BITMAP {
+                    bm += 1;
+                } else {
+                    delta += 1;
+                }
+            }
+        }
+        (delta, bm)
     }
 }
 
@@ -61,21 +360,24 @@ impl LeafStorage<u64> for CompressedLeaves {
     const HEAD_UNITS: usize = 8;
     const LEAF_SCALE: usize = 8;
 
-    const CODEC_ID: u32 = 2;
+    // 2 was the delta-only layout (no per-leaf tag section). Never reuse.
+    const CODEC_ID: u32 = 3;
 
     // Snapshot payload layout (all little-endian):
+    //   tags    num_leaves × u8
     //   used    num_leaves × u32
     //   counts  num_leaves × u32
     //   heads   num_leaves × u64
     //   bytes   num_leaves × leaf_units  (full array; the first `used[i]`
     //           bytes of each leaf are its encoded run, the rest don't-care)
     fn payload_len(num_leaves: usize, leaf_units: usize) -> Option<usize> {
-        let per_leaf = leaf_units.checked_add(4 + 4 + 8)?;
+        let per_leaf = leaf_units.checked_add(1 + 4 + 4 + 8)?;
         num_leaves.checked_mul(per_leaf)
     }
 
     fn write_payload(&self, out: &mut Vec<u8>) {
         debug_assert!(self.overflow.iter().all(|o| o.is_none()));
+        out.extend_from_slice(&self.tags);
         for &u in &self.used {
             out.extend_from_slice(&u.to_le_bytes());
         }
@@ -98,13 +400,15 @@ impl LeafStorage<u64> for CompressedLeaves {
             .ok_or(PersistError::Truncated("cpma payload"))?;
         debug_assert_eq!(expected, payload.len());
 
-        let used: Vec<u32> = payload[..num_leaves * 4]
+        let tags: Vec<u8> = payload[..num_leaves].to_vec();
+        let used_at = num_leaves;
+        let counts_at = used_at + num_leaves * 4;
+        let heads_at = counts_at + num_leaves * 4;
+        let bytes_at = heads_at + num_leaves * 8;
+        let used: Vec<u32> = payload[used_at..counts_at]
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        let counts_at = num_leaves * 4;
-        let heads_at = counts_at + num_leaves * 4;
-        let bytes_at = heads_at + num_leaves * 8;
         let counts: Vec<u32> = payload[counts_at..heads_at]
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
@@ -115,12 +419,18 @@ impl LeafStorage<u64> for CompressedLeaves {
             .collect();
         let bytes = payload[bytes_at..].to_vec();
 
-        // Walk every leaf's encoded run byte by byte: the search and scan
-        // paths decode without bounds checks, so nothing invalid may pass.
+        // Walk every leaf's encoded run: the search and scan paths decode
+        // without bounds checks, so nothing invalid may pass.
         let mut prev_max: Option<u64> = None;
         for leaf in 0..num_leaves {
             let nbytes = used[leaf] as usize;
             let count = counts[leaf] as usize;
+            if tags[leaf] > TAG_BITMAP {
+                return Err(PersistError::Corrupt(format!(
+                    "leaf {leaf} has unknown codec tag {}",
+                    tags[leaf]
+                )));
+            }
             if nbytes > leaf_units {
                 return Err(PersistError::Corrupt(format!(
                     "leaf {leaf} claims {nbytes} used bytes in {leaf_units}"
@@ -132,9 +442,9 @@ impl LeafStorage<u64> for CompressedLeaves {
                 )));
             }
             if count == 0 {
-                if nbytes != 0 {
+                if nbytes != 0 || tags[leaf] != TAG_DELTA {
                     return Err(PersistError::Corrupt(format!(
-                        "empty leaf {leaf} claims {nbytes} used bytes"
+                        "empty leaf {leaf} is not in canonical form"
                     )));
                 }
                 continue;
@@ -156,25 +466,58 @@ impl LeafStorage<u64> for CompressedLeaves {
                     "leaf {leaf} overlaps its predecessor"
                 )));
             }
-            let mut cur = head;
-            let mut pos = 8usize;
-            for _ in 1..count {
-                let delta = checked_varint(run, &mut pos).ok_or_else(|| {
-                    PersistError::Corrupt(format!("leaf {leaf} has a malformed byte code"))
-                })?;
-                cur = cur
-                    .checked_add(delta)
-                    .filter(|_| delta > 0)
-                    .ok_or_else(|| {
-                        PersistError::Corrupt(format!("leaf {leaf} deltas are not ascending"))
+            if tags[leaf] == TAG_BITMAP {
+                // Canonical bitmap: whole words after the base, bit 0 of
+                // word 0 set (base is the minimum), non-zero last word
+                // (span ends at the maximum), popcount = count.
+                if nbytes < 16 || !(nbytes - 8).is_multiple_of(8) {
+                    return Err(PersistError::Corrupt(format!(
+                        "bitmap leaf {leaf} has a ragged word array"
+                    )));
+                }
+                let nwords = bitmap::word_count(nbytes);
+                if bitmap::get_word(run, 0) & 1 == 0 {
+                    return Err(PersistError::Corrupt(format!(
+                        "bitmap leaf {leaf} base is not its minimum"
+                    )));
+                }
+                if bitmap::get_word(run, nwords - 1) == 0 {
+                    return Err(PersistError::Corrupt(format!(
+                        "bitmap leaf {leaf} has a trailing zero word"
+                    )));
+                }
+                if bitmap::count(run, nbytes) != count {
+                    return Err(PersistError::Corrupt(format!(
+                        "bitmap leaf {leaf} popcount disagrees with its element count"
+                    )));
+                }
+                if head.checked_add((nwords as u64 - 1) * 64 + 63).is_none() {
+                    return Err(PersistError::Corrupt(format!(
+                        "bitmap leaf {leaf} span wraps around the key space"
+                    )));
+                }
+                prev_max = Some(bitmap::max_elem(run, nbytes));
+            } else {
+                let mut cur = head;
+                let mut pos = 8usize;
+                for _ in 1..count {
+                    let delta = checked_varint(run, &mut pos).ok_or_else(|| {
+                        PersistError::Corrupt(format!("leaf {leaf} has a malformed byte code"))
                     })?;
+                    cur = cur
+                        .checked_add(delta)
+                        .filter(|_| delta > 0)
+                        .ok_or_else(|| {
+                            PersistError::Corrupt(format!("leaf {leaf} deltas are not ascending"))
+                        })?;
+                }
+                if pos != nbytes {
+                    return Err(PersistError::Corrupt(format!(
+                        "leaf {leaf} run length disagrees with its element count"
+                    )));
+                }
+                prev_max = Some(cur);
             }
-            if pos != nbytes {
-                return Err(PersistError::Corrupt(format!(
-                    "leaf {leaf} run length disagrees with its element count"
-                )));
-            }
-            prev_max = Some(cur);
         }
 
         Ok(Self {
@@ -182,8 +525,10 @@ impl LeafStorage<u64> for CompressedLeaves {
             used,
             counts,
             heads,
+            tags,
             overflow: (0..num_leaves).map(|_| None).collect(),
             leaf_units,
+            policy: CodecPolicy::default(),
         })
     }
 
@@ -195,8 +540,10 @@ impl LeafStorage<u64> for CompressedLeaves {
             used: vec![0; num_leaves],
             counts: vec![0; num_leaves],
             heads: vec![0; num_leaves],
+            tags: vec![TAG_DELTA; num_leaves],
             overflow: (0..num_leaves).map(|_| None).collect(),
             leaf_units,
+            policy: CodecPolicy::default(),
         }
     }
 
@@ -235,11 +582,16 @@ impl LeafStorage<u64> for CompressedLeaves {
             + self.used.len() * 4
             + self.counts.len() * 4
             + self.heads.len() * 8
+            + self.tags.len()
             + self.overflow.len() * std::mem::size_of::<Option<Box<[u64]>>>()
     }
 
     fn leaf_successor(&self, leaf: usize, key: u64) -> Option<u64> {
         let buf = self.leaf_bytes(leaf);
+        if self.is_bitmap(leaf) {
+            stats::record_read(buf.len());
+            return bitmap::successor_inclusive(buf, buf.len(), key);
+        }
         stats::record_read(buf.len());
         let mut found = None;
         for_each_in_run(buf, self.counts[leaf] as usize, |e| {
@@ -254,14 +606,19 @@ impl LeafStorage<u64> for CompressedLeaves {
     }
 
     fn leaf_contains(&self, leaf: usize, key: u64) -> bool {
-        // Membership needs no successor value: decode deltas only until the
-        // running value reaches `key`, and account only the bytes consumed
-        // (the full-run `leaf_successor` path charges the whole leaf).
         let cnt = self.counts[leaf] as usize;
         if cnt == 0 {
             return false;
         }
         let buf = self.leaf_bytes(leaf);
+        if self.is_bitmap(leaf) {
+            // One base load + one word load.
+            stats::record_read(16);
+            return bitmap::contains(buf, buf.len(), key);
+        }
+        // Membership needs no successor value: decode deltas only until the
+        // running value reaches `key`, and account only the bytes consumed
+        // (the full-run `leaf_successor` path charges the whole leaf).
         let mut cur = u64::from_le_bytes(buf[..8].try_into().unwrap());
         if key <= cur {
             stats::record_read(8);
@@ -283,8 +640,8 @@ impl LeafStorage<u64> for CompressedLeaves {
 
     #[inline]
     fn prefetch_leaf(&self, leaf: usize) {
-        // The delta decode walks the run front to back, so pull the first
-        // two lines: the head plus the first stretch of varints.
+        // Both codecs walk the run front to back, so pull the first two
+        // lines: the head/base plus the first stretch of codes or words.
         let at = leaf * self.leaf_units;
         crate::search::prefetch_read(&self.bytes[at]);
         if self.leaf_units > 64 {
@@ -302,8 +659,12 @@ impl LeafStorage<u64> for CompressedLeaves {
         if cnt == 0 {
             return None;
         }
+        let buf = self.leaf_bytes(leaf);
+        if self.is_bitmap(leaf) {
+            return Some(bitmap::max_elem(buf, buf.len()));
+        }
         let mut last = 0;
-        for_each_in_run(self.leaf_bytes(leaf), cnt, |e| {
+        for_each_in_run(buf, cnt, |e| {
             last = e;
             true
         });
@@ -313,7 +674,30 @@ impl LeafStorage<u64> for CompressedLeaves {
     fn for_each_in_leaf(&self, leaf: usize, f: &mut dyn FnMut(u64) -> bool) -> bool {
         let buf = self.leaf_bytes(leaf);
         stats::record_read(buf.len());
+        if self.is_bitmap(leaf) {
+            return bitmap::for_each(buf, buf.len(), &mut *f);
+        }
         for_each_in_run(buf, self.counts[leaf] as usize, f)
+    }
+
+    fn for_each_in_leaf_from(
+        &self,
+        leaf: usize,
+        start: u64,
+        f: &mut dyn FnMut(u64) -> bool,
+    ) -> bool {
+        let buf = self.leaf_bytes(leaf);
+        stats::record_read(buf.len());
+        if self.is_bitmap(leaf) {
+            return bitmap::for_each_from(buf, buf.len(), start, &mut *f);
+        }
+        for_each_in_run(buf, self.counts[leaf] as usize, |e| {
+            if e < start {
+                true
+            } else {
+                f(e)
+            }
+        })
     }
 
     fn collect_leaf(&self, leaf: usize, out: &mut Vec<u64>) {
@@ -321,12 +705,20 @@ impl LeafStorage<u64> for CompressedLeaves {
             out.extend_from_slice(buf);
             return;
         }
-        decode_run(self.leaf_bytes(leaf), self.counts[leaf] as usize, out);
+        let buf = self.leaf_bytes(leaf);
+        if self.is_bitmap(leaf) {
+            bitmap::decode_into(buf, buf.len(), out);
+            return;
+        }
+        decode_run(buf, self.counts[leaf] as usize, out);
     }
 
     fn leaf_sum(&self, leaf: usize) -> u64 {
         let buf = self.leaf_bytes(leaf);
         stats::record_read(buf.len());
+        if self.is_bitmap(leaf) {
+            return bitmap::sum(buf, buf.len());
+        }
         let mut sum = 0u64;
         for_each_in_run(buf, self.counts[leaf] as usize, |e| {
             sum = sum.wrapping_add(e);
@@ -335,99 +727,54 @@ impl LeafStorage<u64> for CompressedLeaves {
         sum
     }
 
+    fn leaf_range_sum(&self, leaf: usize, start: u64, end: u64) -> u64 {
+        if self.counts[leaf] == 0 || start >= end {
+            return 0;
+        }
+        let buf = self.leaf_bytes(leaf);
+        stats::record_read(buf.len());
+        if self.is_bitmap(leaf) {
+            // Wordwise: masked boundary words, popcount kernels inside.
+            return bitmap::range_sum(buf, buf.len(), start, end);
+        }
+        let mut acc = 0u64;
+        for_each_in_run(buf, self.counts[leaf] as usize, |e| {
+            if e >= end {
+                return false;
+            }
+            if e >= start {
+                acc = acc.wrapping_add(e);
+            }
+            true
+        });
+        acc
+    }
+
     #[inline]
     fn units_for(elems: &[u64]) -> usize {
-        encoded_run_len(elems, 8)
+        hybrid_units_estimate(elems)
     }
 
     fn plan_split(elems: &[u64], k: usize, leaf_units: usize) -> Vec<usize> {
-        let n = elems.len();
-        let mut offsets = vec![0usize; k + 1];
-        offsets[k] = n;
-        if n == 0 || k == 1 {
-            return offsets;
+        hybrid_plan_split(elems, k, leaf_units)
+    }
+
+    fn set_codec_policy(&mut self, force: ForceCodec, threshold: f64) {
+        self.policy = CodecPolicy { force, threshold };
+    }
+
+    fn units_for_with(&self, elems: &[u64]) -> usize {
+        match self.policy.force {
+            ForceCodec::Delta => encoded_run_len(elems, 8),
+            _ => hybrid_units_estimate(elems),
         }
-        // prefix[i] = stream cost of deltas up to element i (head cost
-        // excluded): prefix[0] = prefix[1] = 0, prefix[i+1] = prefix[i] +
-        // varint_len(e[i] − e[i−1]). Computed with a two-pass parallel scan
-        // for large runs (whole-array rebuilds are O(n)-dominated by this).
-        let mut prefix = vec![0u64; n + 1];
-        const SCAN_CHUNK: usize = 1 << 15;
-        if n <= SCAN_CHUNK {
-            for i in 1..n {
-                prefix[i + 1] = prefix[i] + varint_len(elems[i] - elems[i - 1]) as u64;
-            }
-        } else {
-            use rayon::prelude::*;
-            // Pass 1: local costs + per-chunk sums. prefix[i+1] holds the
-            // cost of element i, chunk-local-accumulated.
-            let nchunks = n.div_ceil(SCAN_CHUNK);
-            let mut chunk_sums = vec![0u64; nchunks + 1];
-            let sums: Vec<u64> = prefix[1..=n]
-                .par_chunks_mut(SCAN_CHUNK)
-                .enumerate()
-                .map(|(c, chunk)| {
-                    let base = c * SCAN_CHUNK;
-                    let mut acc = 0u64;
-                    for (j, slot) in chunk.iter_mut().enumerate() {
-                        let i = base + j; // element index whose cost this is
-                        if i > 0 {
-                            acc += varint_len(elems[i] - elems[i - 1]) as u64;
-                        }
-                        *slot = acc;
-                    }
-                    acc
-                })
-                .collect();
-            for (c, s) in sums.into_iter().enumerate() {
-                chunk_sums[c + 1] = chunk_sums[c] + s;
-            }
-            // Pass 2: add chunk offsets.
-            prefix[1..=n]
-                .par_chunks_mut(SCAN_CHUNK)
-                .enumerate()
-                .for_each(|(c, chunk)| {
-                    let off = chunk_sums[c];
-                    if off != 0 {
-                        for slot in chunk.iter_mut() {
-                            *slot += off;
-                        }
-                    }
-                });
+    }
+
+    fn plan_split_with(&self, elems: &[u64], k: usize, leaf_units: usize) -> Vec<usize> {
+        match self.policy.force {
+            ForceCodec::Delta => delta_plan_split(elems, k, leaf_units),
+            _ => hybrid_plan_split(elems, k, leaf_units),
         }
-        let total = prefix[n];
-        // Exact encoded size of slice [a, b): 0 if empty, else raw head +
-        // interior deltas.
-        let bytes_of = |a: usize, b: usize| -> usize {
-            if a == b {
-                0
-            } else {
-                8 + (prefix[b] - prefix[a + 1]) as usize
-            }
-        };
-        for j in 1..k {
-            // prefix[i] is the stream cost of the first i elements, so the
-            // partition point is directly the boundary element index.
-            let ideal = total * j as u64 / k as u64;
-            let o = prefix.partition_point(|&p| p < ideal).min(n);
-            offsets[j] = o.max(offsets[j - 1]);
-        }
-        // Left-to-right fix-up: shrink any oversized slice by pulling its
-        // right boundary left (pushing elements to the next leaf).
-        for j in 0..k - 1 {
-            let a = offsets[j];
-            while bytes_of(a, offsets[j + 1]) > leaf_units {
-                offsets[j + 1] -= 1;
-            }
-            if offsets[j + 1] < a {
-                offsets[j + 1] = a;
-            }
-        }
-        debug_assert!(
-            bytes_of(offsets[k - 1], n) <= leaf_units,
-            "last leaf overflows: caller violated the density contract"
-        );
-        offsets
     }
 
     fn shared(&mut self) -> CompressedShared<'_> {
@@ -436,9 +783,11 @@ impl LeafStorage<u64> for CompressedLeaves {
             used: self.used.as_mut_ptr(),
             counts: self.counts.as_mut_ptr(),
             heads: self.heads.as_mut_ptr(),
+            tags: self.tags.as_mut_ptr(),
             overflow: self.overflow.as_mut_ptr(),
             leaf_units: self.leaf_units,
             num_leaves: self.counts.len(),
+            policy: self.policy,
             _marker: PhantomData,
         }
     }
@@ -451,9 +800,11 @@ pub struct CompressedShared<'a> {
     used: *mut u32,
     counts: *mut u32,
     heads: *mut u64,
+    tags: *mut u8,
     overflow: *mut Option<Box<[u64]>>,
     leaf_units: usize,
     num_leaves: usize,
+    policy: CodecPolicy,
     _marker: PhantomData<&'a mut CompressedLeaves>,
 }
 
@@ -478,6 +829,12 @@ impl CompressedShared<'_> {
     }
 
     #[inline]
+    unsafe fn leaf_buf_read(&self, leaf: usize, len: usize) -> &[u8] {
+        debug_assert!(leaf < self.num_leaves && len <= self.leaf_units);
+        std::slice::from_raw_parts(self.bytes.add(leaf * self.leaf_units), len)
+    }
+
+    #[inline]
     unsafe fn current(&self, leaf: usize, out: &mut Vec<u64>) -> usize {
         let cnt = *self.counts.add(leaf) as usize;
         let units = *self.used.add(leaf) as usize;
@@ -485,39 +842,335 @@ impl CompressedShared<'_> {
         if let Some(buf) = (*self.overflow.add(leaf)).as_deref() {
             out.extend_from_slice(buf);
         } else if cnt > 0 {
-            let start = leaf * self.leaf_units;
-            decode_run(
-                std::slice::from_raw_parts(self.bytes.add(start), units),
-                cnt,
-                out,
-            );
+            let buf = self.leaf_buf_read(leaf, units);
+            if *self.tags.add(leaf) == TAG_BITMAP {
+                bitmap::decode_into(buf, units, out);
+            } else {
+                decode_run(buf, cnt, out);
+            }
         }
         units
     }
 
+    /// Overwrite `leaf` with `elems`, re-deciding the codec under the
+    /// instance policy (with hysteresis against the leaf's current tag).
+    /// Spills with delta-based accounting when neither encoding fits.
     #[inline]
     unsafe fn store(&self, leaf: usize, elems: &[u64], inherited_head: u64) -> (usize, bool) {
-        let units = encoded_run_len(elems, 8);
-        stats::record_write(units);
+        let was_bitmap = *self.tags.add(leaf) == TAG_BITMAP;
+        let had_elems = *self.counts.add(leaf) > 0;
+        if elems.is_empty() {
+            *self.overflow.add(leaf) = None;
+            *self.counts.add(leaf) = 0;
+            *self.used.add(leaf) = 0;
+            *self.tags.add(leaf) = TAG_DELTA;
+            *self.heads.add(leaf) = inherited_head;
+            return (0, false);
+        }
+        let delta_units = encoded_run_len(elems, 8);
+        let bitmap_units = bitmap::encoded_len(elems[0], *elems.last().unwrap());
+        let (tag, units) = choose_codec(
+            self.policy,
+            was_bitmap,
+            delta_units,
+            bitmap_units,
+            self.leaf_units,
+        );
         if units <= self.leaf_units {
-            if !elems.is_empty() {
+            stats::record_write(units);
+            if tag == TAG_BITMAP {
+                bitmap::encode_from_sorted(elems, self.leaf_buf(leaf, units));
+            } else {
                 encode_run(elems, self.leaf_buf(leaf, units));
             }
             *self.overflow.add(leaf) = None;
             *self.counts.add(leaf) = elems.len() as u32;
             *self.used.add(leaf) = units as u32;
-            *self.heads.add(leaf) = if elems.is_empty() {
-                inherited_head
+            *self.heads.add(leaf) = elems[0];
+            *self.tags.add(leaf) = tag;
+            let c = stats::codec_counters();
+            if tag == TAG_BITMAP {
+                c.bitmap_writes.inc();
             } else {
-                elems[0]
-            };
+                c.delta_writes.inc();
+            }
+            if had_elems && was_bitmap != (tag == TAG_BITMAP) {
+                c.flips.inc();
+            }
             (units, false)
         } else {
+            stats::record_write(delta_units);
             *self.overflow.add(leaf) = Some(elems.to_vec().into_boxed_slice());
             *self.counts.add(leaf) = elems.len() as u32;
-            *self.used.add(leaf) = units as u32;
+            *self.used.add(leaf) = delta_units as u32;
+            *self.tags.add(leaf) = TAG_DELTA;
             *self.heads.add(leaf) = elems[0];
-            (units, true)
+            (delta_units, true)
+        }
+    }
+
+    /// May the wordwise path commit a bitmap of `cand_units` bytes holding
+    /// `count` elements without consulting the exact delta cost?
+    /// `8 + count − 1` lower-bounds any delta run of `count` elements, so
+    /// a yes here implies [`Self::store`] would pick the bitmap too — both
+    /// paths stay byte-identical.
+    #[inline]
+    fn commit_wordwise(&self, cand_units: usize, count: usize) -> bool {
+        match self.policy.force {
+            ForceCodec::Bitmap => true,
+            ForceCodec::Delta => false,
+            ForceCodec::Auto => {
+                let lb = (8 + count - 1) as f64;
+                cand_units as f64 <= effective_threshold(self.policy.threshold, true) * lb
+            }
+        }
+    }
+
+    /// Commit a normalized word array wordwise: raw write, no re-encode.
+    unsafe fn write_bitmap(&self, leaf: usize, base: u64, words: &[u64], count: usize) -> usize {
+        let used = bitmap::BASE_BYTES + words.len() * 8;
+        debug_assert!(used <= self.leaf_units);
+        bitmap::write_words(base, words, self.leaf_buf(leaf, used));
+        stats::record_write(used);
+        *self.overflow.add(leaf) = None;
+        *self.counts.add(leaf) = count as u32;
+        *self.used.add(leaf) = used as u32;
+        *self.heads.add(leaf) = base;
+        *self.tags.add(leaf) = TAG_BITMAP;
+        stats::codec_counters().bitmap_writes.inc();
+        used
+    }
+
+    /// Mirror of `store(leaf, &[], head)` for the wordwise paths: an
+    /// emptied leaf keeps its old head as the inherited value.
+    unsafe fn clear_leaf(&self, leaf: usize) {
+        *self.overflow.add(leaf) = None;
+        *self.counts.add(leaf) = 0;
+        *self.used.add(leaf) = 0;
+        *self.tags.add(leaf) = TAG_DELTA;
+    }
+
+    /// Wordwise union into a bitmap leaf: OR the existing words (rebased if
+    /// the batch extends the span downward) and set one bit per new key —
+    /// no delta decode, no re-encode. Falls back to the scalar path when
+    /// the merged span outgrows the leaf or the bitmap may no longer be
+    /// the cheaper codec.
+    unsafe fn merge_into_bitmap(
+        &self,
+        leaf: usize,
+        add: &[u64],
+        scratch: &mut Vec<u64>,
+    ) -> MergeOutcome {
+        let old_units = *self.used.add(leaf) as usize;
+        let old_count = *self.counts.add(leaf) as usize;
+        stats::record_read(old_units);
+        let buf = self.leaf_buf_read(leaf, old_units);
+        let old_base = bitmap::base_of(buf);
+        let old_max = bitmap::max_elem(buf, old_units);
+        let new_base = old_base.min(add[0]);
+        let new_max = old_max.max(*add.last().unwrap());
+        let cand_units = bitmap::encoded_len(new_base, new_max);
+        if cand_units > self.leaf_units {
+            // Span outgrew the leaf: decode and take the scalar path.
+            let mut cur = Vec::new();
+            bitmap::decode_into(buf, old_units, &mut cur);
+            let added = set_union_into(&cur, add, scratch);
+            let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+            return MergeOutcome {
+                delta_count: added,
+                delta_units: new_units as isize - old_units as isize,
+                overflowed,
+            };
+        }
+        let mut old_words = Vec::new();
+        bitmap::read_words(buf, old_units, &mut old_words);
+        let mut words = vec![0u64; bitmap::span_words(new_base, new_max)];
+        bitmap::or_shifted(&old_words, old_base - new_base, &mut words);
+        let mut added = 0usize;
+        for &k in add {
+            if bitmap::set_bit(&mut words, k - new_base) {
+                added += 1;
+            }
+        }
+        let count = old_count + added;
+        if self.commit_wordwise(cand_units, count) {
+            let used = self.write_bitmap(leaf, new_base, &words, count);
+            return MergeOutcome {
+                delta_count: added,
+                delta_units: used as isize - old_units as isize,
+                overflowed: false,
+            };
+        }
+        // Uncertain winner: materialize and let `store` decide exactly.
+        words_into_elems(new_base, &words, scratch);
+        let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+        MergeOutcome {
+            delta_count: added,
+            delta_units: new_units as isize - old_units as isize,
+            overflowed,
+        }
+    }
+
+    /// Wordwise difference on a bitmap leaf: clear one bit per present key
+    /// and re-normalize.
+    unsafe fn remove_from_bitmap(
+        &self,
+        leaf: usize,
+        rem: &[u64],
+        scratch: &mut Vec<u64>,
+    ) -> MergeOutcome {
+        let old_units = *self.used.add(leaf) as usize;
+        let old_count = *self.counts.add(leaf) as usize;
+        stats::record_read(old_units);
+        let buf = self.leaf_buf_read(leaf, old_units);
+        let base = bitmap::base_of(buf);
+        let span_bits = (bitmap::word_count(old_units) as u64) * 64;
+        let mut words = Vec::new();
+        bitmap::read_words(buf, old_units, &mut words);
+        let mut removed = 0usize;
+        for &k in rem {
+            if k >= base && k - base < span_bits && bitmap::clear_bit(&mut words, k - base) {
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            return MergeOutcome::default();
+        }
+        let count = old_count - removed;
+        if count == 0 {
+            self.clear_leaf(leaf);
+            return MergeOutcome {
+                delta_count: removed,
+                delta_units: -(old_units as isize),
+                overflowed: false,
+            };
+        }
+        let shift = bitmap::normalize(&mut words);
+        let new_base = base + shift;
+        let cand_units = bitmap::BASE_BYTES + words.len() * 8;
+        if self.commit_wordwise(cand_units, count) {
+            let used = self.write_bitmap(leaf, new_base, &words, count);
+            return MergeOutcome {
+                delta_count: removed,
+                delta_units: used as isize - old_units as isize,
+                overflowed: false,
+            };
+        }
+        words_into_elems(new_base, &words, scratch);
+        let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+        debug_assert!(!overflowed);
+        MergeOutcome {
+            delta_count: removed,
+            delta_units: new_units as isize - old_units as isize,
+            overflowed: false,
+        }
+    }
+
+    /// Wordwise mixed run on a bitmap leaf: one pass of set-bit (insert)
+    /// and clear-bit (remove) — the OR/ANDNOT three-finger analogue.
+    unsafe fn merge_ops_into_bitmap(
+        &self,
+        leaf: usize,
+        ops: &[BatchOp<u64>],
+        scratch: &mut Vec<u64>,
+    ) -> OpsOutcome {
+        let old_units = *self.used.add(leaf) as usize;
+        let old_count = *self.counts.add(leaf) as usize;
+        stats::record_read(old_units);
+        let buf = self.leaf_buf_read(leaf, old_units);
+        let old_base = bitmap::base_of(buf);
+        let old_max = bitmap::max_elem(buf, old_units);
+        let (mut ins_min, mut ins_max, mut any_ins) = (u64::MAX, 0u64, false);
+        for op in ops {
+            if let BatchOp::Insert(k) = *op {
+                if !any_ins {
+                    ins_min = k;
+                    any_ins = true;
+                }
+                ins_max = k; // ops are ascending
+            }
+        }
+        let new_base = if any_ins {
+            old_base.min(ins_min)
+        } else {
+            old_base
+        };
+        let new_max = if any_ins {
+            old_max.max(ins_max)
+        } else {
+            old_max
+        };
+        let cand_units = bitmap::encoded_len(new_base, new_max);
+        if cand_units > self.leaf_units {
+            let mut cur = Vec::new();
+            bitmap::decode_into(buf, old_units, &mut cur);
+            let (added, removed) = apply_ops_into(&cur, ops, scratch);
+            if added == 0 && removed == 0 {
+                return OpsOutcome::default();
+            }
+            let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+            return OpsOutcome {
+                added,
+                removed,
+                delta_units: new_units as isize - old_units as isize,
+                overflowed,
+            };
+        }
+        let mut old_words = Vec::new();
+        bitmap::read_words(buf, old_units, &mut old_words);
+        let mut words = vec![0u64; bitmap::span_words(new_base, new_max)];
+        bitmap::or_shifted(&old_words, old_base - new_base, &mut words);
+        let span_bits = (words.len() as u64) * 64;
+        let (mut added, mut removed) = (0usize, 0usize);
+        for op in ops {
+            match *op {
+                BatchOp::Insert(k) => {
+                    if bitmap::set_bit(&mut words, k - new_base) {
+                        added += 1;
+                    }
+                }
+                BatchOp::Remove(k) => {
+                    if k >= new_base
+                        && k - new_base < span_bits
+                        && bitmap::clear_bit(&mut words, k - new_base)
+                    {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        if added == 0 && removed == 0 {
+            return OpsOutcome::default();
+        }
+        let count = old_count + added - removed;
+        if count == 0 {
+            self.clear_leaf(leaf);
+            return OpsOutcome {
+                added,
+                removed,
+                delta_units: -(old_units as isize),
+                overflowed: false,
+            };
+        }
+        let shift = bitmap::normalize(&mut words);
+        let base = new_base + shift;
+        let cand2 = bitmap::BASE_BYTES + words.len() * 8;
+        if self.commit_wordwise(cand2, count) {
+            let used = self.write_bitmap(leaf, base, &words, count);
+            return OpsOutcome {
+                added,
+                removed,
+                delta_units: used as isize - old_units as isize,
+                overflowed: false,
+            };
+        }
+        words_into_elems(base, &words, scratch);
+        let (new_units, overflowed) = self.store(leaf, scratch, *self.heads.add(leaf));
+        OpsOutcome {
+            added,
+            removed,
+            delta_units: new_units as isize - old_units as isize,
+            overflowed,
         }
     }
 }
@@ -529,6 +1182,12 @@ impl SharedLeaves<u64> for CompressedShared<'_> {
         add: &[u64],
         scratch: &mut Vec<u64>,
     ) -> MergeOutcome {
+        if !add.is_empty()
+            && *self.tags.add(leaf) == TAG_BITMAP
+            && (*self.overflow.add(leaf)).is_none()
+        {
+            return self.merge_into_bitmap(leaf, add, scratch);
+        }
         let mut cur = Vec::new();
         let old_units = self.current(leaf, &mut cur);
         stats::record_read(old_units);
@@ -547,6 +1206,12 @@ impl SharedLeaves<u64> for CompressedShared<'_> {
         rem: &[u64],
         scratch: &mut Vec<u64>,
     ) -> MergeOutcome {
+        if !rem.is_empty()
+            && *self.tags.add(leaf) == TAG_BITMAP
+            && (*self.overflow.add(leaf)).is_none()
+        {
+            return self.remove_from_bitmap(leaf, rem, scratch);
+        }
         let mut cur = Vec::new();
         let old_units = self.current(leaf, &mut cur);
         stats::record_read(old_units);
@@ -569,6 +1234,12 @@ impl SharedLeaves<u64> for CompressedShared<'_> {
         ops: &[BatchOp<u64>],
         scratch: &mut Vec<u64>,
     ) -> OpsOutcome {
+        if !ops.is_empty()
+            && *self.tags.add(leaf) == TAG_BITMAP
+            && (*self.overflow.add(leaf)).is_none()
+        {
+            return self.merge_ops_into_bitmap(leaf, ops, scratch);
+        }
         let mut cur = Vec::new();
         let old_units = self.current(leaf, &mut cur);
         stats::record_read(old_units);
@@ -586,8 +1257,9 @@ impl SharedLeaves<u64> for CompressedShared<'_> {
     }
 
     unsafe fn write_leaf(&self, leaf: usize, elems: &[u64], inherited_head: u64) -> usize {
-        let (units, overflowed) = self.store(leaf, elems, inherited_head);
-        debug_assert!(!overflowed, "write_leaf must fit");
+        // May overflow when a hybrid split plan had to leave an oversized
+        // tail; the caller detects it and grows the capacity.
+        let (units, _overflowed) = self.store(leaf, elems, inherited_head);
         units
     }
 
@@ -650,6 +1322,20 @@ mod tests {
         CompressedLeaves::with_geometry(leaves, 256)
     }
 
+    fn delta_store(leaves: usize) -> CompressedLeaves {
+        let mut s = store(leaves);
+        s.set_codec_policy(ForceCodec::Delta, 1.0);
+        s
+    }
+
+    /// Exact hybrid cost of a slice as one leaf (what `store` would use).
+    fn hybrid_cost(elems: &[u64]) -> usize {
+        if elems.is_empty() {
+            return 0;
+        }
+        encoded_run_len(elems, 8).min(bitmap::encoded_len(elems[0], *elems.last().unwrap()))
+    }
+
     #[test]
     fn merge_roundtrip() {
         let mut s = store(2);
@@ -688,7 +1374,9 @@ mod tests {
 
     #[test]
     fn overflow_on_oversized_merge() {
-        let mut s = store(1);
+        // Forced-delta policy: the dense run must spill instead of
+        // flipping to the (much cheaper) bitmap encoding.
+        let mut s = delta_store(1);
         let mut scratch = Vec::new();
         // 300 consecutive values: 8 + 299 bytes > 256.
         let big: Vec<u64> = (0..300).collect();
@@ -702,52 +1390,173 @@ mod tests {
     }
 
     #[test]
-    fn remove_and_empty_keeps_head() {
-        let mut s = store(1);
+    fn auto_picks_bitmap_for_dense_and_delta_for_sparse() {
+        let mut s = store(2);
         let mut scratch = Vec::new();
+        let dense: Vec<u64> = (5000..5300).collect(); // delta 307 B, bitmap 48 B
+        let sparse: Vec<u64> = (0..20).map(|i| 1 << (20 + i)).collect();
         unsafe {
             let sh = s.shared();
-            sh.merge_into_leaf(0, &[3, 9], &mut scratch);
-            sh.remove_from_leaf(0, &[3, 9], &mut scratch);
+            let out = sh.merge_into_leaf(0, &dense, &mut scratch);
+            assert!(!out.overflowed);
+            assert_eq!(out.delta_units, bitmap::encoded_len(5000, 5299) as isize);
+            sh.merge_into_leaf(1, &sparse, &mut scratch);
+        }
+        assert!(s.is_bitmap(0));
+        assert!(!s.is_bitmap(1));
+        assert_eq!(s.codec_census(), (1, 1));
+        assert_eq!(s.units_used(0), bitmap::encoded_len(5000, 5299));
+        // Read paths agree with the element set.
+        let mut v = Vec::new();
+        s.collect_leaf(0, &mut v);
+        assert_eq!(v, dense);
+        assert!(s.leaf_contains(0, 5123));
+        assert!(!s.leaf_contains(0, 4999));
+        assert_eq!(s.leaf_successor(0, 5299), Some(5299));
+        assert_eq!(s.leaf_successor(0, 5300), None);
+        assert_eq!(s.leaf_max(0), Some(5299));
+        let naive: u64 = dense.iter().sum();
+        assert_eq!(s.leaf_sum(0), naive);
+        let naive_rng: u64 = dense.iter().filter(|&&e| (5100..5200).contains(&e)).sum();
+        assert_eq!(s.leaf_range_sum(0, 5100, 5200), naive_rng);
+    }
+
+    #[test]
+    fn forced_bitmap_falls_back_to_delta_on_wide_spans() {
+        let mut s = store(1);
+        s.set_codec_policy(ForceCodec::Bitmap, 1.0);
+        let mut scratch = Vec::new();
+        let sparse: Vec<u64> = (0..10).map(|i| i << 40).collect();
+        let out = unsafe { s.shared().merge_into_leaf(0, &sparse, &mut scratch) };
+        assert!(!out.overflowed);
+        assert!(!s.is_bitmap(0)); // bitmap would be astronomically large
+        let mut v = Vec::new();
+        s.collect_leaf(0, &mut v);
+        assert_eq!(v, sparse);
+    }
+
+    #[test]
+    fn wordwise_merge_matches_scalar_union() {
+        // Same batch through a bitmap leaf (wordwise path) and a forced-
+        // delta leaf (scalar path) must produce identical element sets and
+        // consistent MergeOutcome accounting.
+        let mut hybrid = store(1);
+        let mut delta = delta_store(1);
+        let mut scratch = Vec::new();
+        let seed: Vec<u64> = (1000..1150).collect();
+        let add: Vec<u64> = (900..1100).step_by(3).collect(); // extends base downward
+        unsafe {
+            hybrid.shared().merge_into_leaf(0, &seed, &mut scratch);
+            assert!(hybrid.is_bitmap(0));
+            let hw = hybrid.shared().merge_into_leaf(0, &add, &mut scratch);
+            delta.shared().merge_into_leaf(0, &seed, &mut scratch);
+            let dw = delta.shared().merge_into_leaf(0, &add, &mut scratch);
+            assert_eq!(hw.delta_count, dw.delta_count);
+            assert!(!hw.overflowed);
+        }
+        let (mut hv, mut dv) = (Vec::new(), Vec::new());
+        hybrid.collect_leaf(0, &mut hv);
+        delta.collect_leaf(0, &mut dv);
+        assert_eq!(hv, dv);
+        assert_eq!(hybrid.count(0), hv.len());
+        // Unit accounting must match the stored encoding exactly.
+        assert_eq!(hybrid.units_used(0), hybrid_cost(&hv));
+    }
+
+    #[test]
+    fn wordwise_remove_renormalizes_base() {
+        let mut s = store(1);
+        let mut scratch = Vec::new();
+        let seed: Vec<u64> = (640..940).collect();
+        unsafe {
+            s.shared().merge_into_leaf(0, &seed, &mut scratch);
+            assert!(s.is_bitmap(0));
+            // Remove the low block: base must slide up to 768 and the word
+            // array must shrink.
+            let rem: Vec<u64> = (600..768).collect();
+            let out = s.shared().remove_from_leaf(0, &rem, &mut scratch);
+            assert_eq!(out.delta_count, 128);
+            assert!(!out.overflowed);
+        }
+        assert_eq!(s.head(0), 768);
+        assert_eq!(s.count(0), 172);
+        let mut v = Vec::new();
+        s.collect_leaf(0, &mut v);
+        assert_eq!(v, (768..940).collect::<Vec<u64>>());
+        assert_eq!(s.units_used(0), bitmap::encoded_len(768, 939));
+        // Removing everything keeps the head (inherited value).
+        unsafe {
+            let all: Vec<u64> = (0..1000).collect();
+            s.shared().remove_from_leaf(0, &all, &mut scratch);
         }
         assert_eq!(s.count(0), 0);
         assert_eq!(s.units_used(0), 0);
-        assert_eq!(s.head(0), 3);
+        assert_eq!(s.head(0), 768);
     }
 
     #[test]
-    fn merge_ops_single_rewrite_compressed() {
+    fn wordwise_ops_accounting() {
         use cpma_api::BatchOp::{Insert, Remove};
         let mut s = store(1);
         let mut scratch = Vec::new();
+        let seed: Vec<u64> = (2000..2200).collect();
         unsafe {
-            let sh = s.shared();
-            sh.merge_into_leaf(0, &[100, 200, 1 << 30], &mut scratch);
-            let out = sh.merge_ops_into_leaf(
-                0,
-                &[Insert(50), Insert(100), Remove(200), Remove(777)],
-                &mut scratch,
-            );
-            assert_eq!((out.added, out.removed), (1, 1));
+            s.shared().merge_into_leaf(0, &seed, &mut scratch);
+            assert!(s.is_bitmap(0));
+            let ops = [
+                Insert(1990), // extends span downward
+                Remove(2000),
+                Insert(2100), // already present: no-op
+                Remove(2199),
+                Remove(5000), // absent: no-op
+            ];
+            let out = s.shared().merge_ops_into_leaf(0, &ops, &mut scratch);
+            assert_eq!((out.added, out.removed), (1, 2));
             assert!(!out.overflowed);
+            // Pure-no-op run: no rewrite, no unit change.
+            let before = s.units_used(0);
+            let out =
+                s.shared()
+                    .merge_ops_into_leaf(0, &[Insert(2100), Remove(7777)], &mut scratch);
+            assert_eq!(out, OpsOutcome::default());
+            assert_eq!(s.units_used(0), before);
         }
+        assert_eq!(s.head(0), 1990);
+        assert_eq!(s.count(0), 199);
         let mut v = Vec::new();
         s.collect_leaf(0, &mut v);
-        assert_eq!(v, vec![50, 100, 1 << 30]);
-        assert_eq!(s.head(0), 50);
-        assert_eq!(s.units_used(0), encoded_run_len(&v, 8));
-        // No-op run: no rewrite, no unit change.
-        let before = s.units_used(0);
-        let out = unsafe {
-            s.shared()
-                .merge_ops_into_leaf(0, &[Remove(3), Insert(100)], &mut scratch)
-        };
-        assert_eq!(out, OpsOutcome::default());
-        assert_eq!(s.units_used(0), before);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert!(v.contains(&1990) && !v.contains(&2000) && !v.contains(&2199));
+        assert_eq!(s.units_used(0), hybrid_cost(&v));
     }
 
     #[test]
-    fn plan_split_balances_bytes() {
+    fn hysteresis_damps_codec_flips() {
+        // A run whose bitmap/delta cost ratio sits inside the hysteresis
+        // band must keep its current encoding in both directions.
+        // 101 elements with gap 8: delta = 8 + 100 = 108 B; bitmap spans
+        // 801 bits → 8 + 13·8 = 112 B. Ratio ≈ 1.037: inside (15/16, 17/16).
+        let run: Vec<u64> = (0..101u64).map(|i| 1000 + i * 8).collect();
+        let mut scratch = Vec::new();
+        // Fresh leaf (delta-tagged): threshold·15/16 < ratio → stays delta.
+        let mut s = store(1);
+        unsafe { s.shared().merge_into_leaf(0, &run, &mut scratch) };
+        assert!(!s.is_bitmap(0));
+        // Same run written over a bitmap-tagged leaf: threshold·17/16 >
+        // ratio → stays bitmap.
+        let mut s = store(1);
+        let dense: Vec<u64> = (1000..1200).collect();
+        unsafe {
+            s.shared().merge_into_leaf(0, &dense, &mut scratch);
+            assert!(s.is_bitmap(0));
+            // Overwrite with the borderline run (redistribute path).
+            s.shared().write_leaf(0, &run, 0);
+        }
+        assert!(s.is_bitmap(0));
+    }
+
+    #[test]
+    fn plan_split_balances_hybrid_cost() {
         // Mixed deltas: a dense region then a sparse one.
         let mut elems: Vec<u64> = (0..500u64).collect();
         elems.extend((0..100u64).map(|i| 1_000_000 + i * 1_000_000_000));
@@ -756,6 +1565,20 @@ mod tests {
         assert_eq!(plan[0], 0);
         assert_eq!(plan[k], elems.len());
         assert!(plan.windows(2).all(|w| w[0] <= w[1]));
+        for j in 0..k {
+            let slice = &elems[plan[j]..plan[j + 1]];
+            assert!(hybrid_cost(slice) <= 256, "leaf {j} overflows");
+        }
+    }
+
+    #[test]
+    fn delta_plan_split_balances_bytes() {
+        let mut elems: Vec<u64> = (0..200u64).map(|i| i * 3).collect();
+        elems.extend((0..100u64).map(|i| 1_000_000 + i * 1_000_000_000));
+        let k = 8;
+        let plan = delta_plan_split(&elems, k, 256);
+        assert_eq!(plan[0], 0);
+        assert_eq!(plan[k], elems.len());
         for j in 0..k {
             let slice = &elems[plan[j]..plan[j + 1]];
             assert!(encoded_run_len(slice, 8) <= 256, "leaf {j} overflows");
@@ -770,8 +1593,20 @@ mod tests {
         assert_eq!(plan[4], 2);
         for j in 0..4 {
             let slice = &elems[plan[j]..plan[j + 1]];
-            assert!(encoded_run_len(slice, 8) <= 256);
+            assert!(hybrid_cost(slice) <= 256);
         }
+    }
+
+    #[test]
+    fn hybrid_plan_greedy_fallback_fits_dense_runs() {
+        // 2048 consecutive keys across 2 leaves of 256 B: delta needs
+        // 8 + 2047 bytes, far over; bitmaps fit 1984 keys per 256-B leaf.
+        let elems: Vec<u64> = (0..2048u64).collect();
+        let plan = hybrid_plan_split(&elems, 2, 256);
+        assert_eq!(plan[0], 0);
+        assert_eq!(plan[2], 2048);
+        assert!(hybrid_cost(&elems[plan[0]..plan[1]]) <= 256);
+        assert!(hybrid_cost(&elems[plan[1]..plan[2]]) <= 256);
     }
 
     #[test]

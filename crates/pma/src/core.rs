@@ -102,6 +102,23 @@ pub(crate) enum HeadIndex<K> {
     BNary(search::BNary<K>),
 }
 
+/// Per-leaf codec selection policy for hybrid leaf storages
+/// ([`crate::CompressedLeaves`]). Leaf storages without alternative
+/// encodings ignore it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ForceCodec {
+    /// Pick per leaf at rewrite time: bitmap when its word cost is at most
+    /// `bitmap_leaf_threshold ×` the delta-byte cost (with a small
+    /// hysteresis band around the threshold to damp flip-flopping).
+    #[default]
+    Auto,
+    /// Always delta byte codes (the paper's pure §5 CPMA).
+    Delta,
+    /// Always the bitmap encoding where it fits the leaf capacity
+    /// (falls back to delta codes for spans too wide to fit).
+    Bitmap,
+}
+
 /// Tuning knobs. Defaults follow the paper (§6 and Appendix B/C).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PmaConfig {
@@ -121,6 +138,14 @@ pub struct PmaConfig {
     /// Batches of at least `len / full_rebuild_divisor` elements rebuild
     /// the whole structure with a linear merge (paper: "e.g., k ≥ n/10").
     pub full_rebuild_divisor: usize,
+    /// Codec override for hybrid leaf storages (default [`ForceCodec::Auto`]).
+    pub force_codec: ForceCodec,
+    /// Under [`ForceCodec::Auto`], a leaf flips to the bitmap encoding when
+    /// its bitmap cost is at most `threshold ×` its delta-byte cost.
+    /// `1.0` (the default) means "whichever is strictly smaller"; values
+    /// above 1 bias toward bitmaps (buying wordwise range kernels at some
+    /// space), below 1 toward delta codes.
+    pub bitmap_leaf_threshold: f64,
 }
 
 impl Default for PmaConfig {
@@ -131,6 +156,8 @@ impl Default for PmaConfig {
             min_leaves: 4,
             point_update_cutoff: 128,
             full_rebuild_divisor: 10,
+            force_codec: ForceCodec::Auto,
+            bitmap_leaf_threshold: 1.0,
         }
     }
 }
@@ -161,6 +188,15 @@ impl PmaConfig {
             return Err(ConfigError::new(
                 "full_rebuild_divisor",
                 "must be at least 1",
+            ));
+        }
+        if !self.bitmap_leaf_threshold.is_finite() {
+            return Err(ConfigError::new("bitmap_leaf_threshold", "must be finite"));
+        }
+        if self.bitmap_leaf_threshold <= 0.0 {
+            return Err(ConfigError::new(
+                "bitmap_leaf_threshold",
+                "must be positive",
             ));
         }
         Ok(())
@@ -218,6 +254,19 @@ impl PmaConfigBuilder {
     /// `len / divisor` elements rebuild the whole structure.
     pub fn full_rebuild_divisor(mut self, n: usize) -> Self {
         self.cfg.full_rebuild_divisor = n;
+        self
+    }
+
+    /// Codec override for hybrid leaf storages (see [`ForceCodec`]).
+    pub fn force_codec(mut self, f: ForceCodec) -> Self {
+        self.cfg.force_codec = f;
+        self
+    }
+
+    /// Bitmap-vs-delta cost ratio at which a leaf flips to the bitmap
+    /// encoding under [`ForceCodec::Auto`] (must be finite and positive).
+    pub fn bitmap_leaf_threshold(mut self, t: f64) -> Self {
+        self.cfg.bitmap_leaf_threshold = t;
         self
     }
 
@@ -294,8 +343,10 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
     pub fn with_config(cfg: PmaConfig) -> Self {
         cfg.assert_valid();
         let leaf_units = Self::leaf_units_for_cap(cfg.min_leaves * L::MIN_LEAF_UNITS);
+        let mut storage = L::with_geometry(cfg.min_leaves, leaf_units);
+        storage.set_codec_policy(cfg.force_codec, cfg.bitmap_leaf_threshold);
         let mut this = Self {
-            storage: L::with_geometry(cfg.min_leaves, leaf_units),
+            storage,
             cfg,
             len: 0,
             units: 0,
@@ -356,7 +407,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
 
     /// Units capacity needed to host `elems` at the rebuild target density.
     pub(crate) fn capacity_for_target(&self, elems: &[K]) -> usize {
-        let stream = L::units_for(elems);
+        let stream = self.storage.units_for_with(elems);
         let target = self.cfg.bounds.rebuild_target;
         let mut cap = ((stream as f64) / target).ceil() as usize;
         // One refinement round: heads overhead depends on the leaf count.
@@ -369,36 +420,53 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
 
     /// Replace storage with a fresh layout of at least `cap_units` capacity
     /// holding exactly `elems` (sorted unique), spread evenly.
-    pub(crate) fn rebuild_into(&mut self, elems: &[K], cap_units: usize) {
-        let leaf_units = Self::leaf_units_for_cap(cap_units);
-        let k = cap_units.div_ceil(leaf_units).max(self.cfg.min_leaves);
-        let mut storage = L::with_geometry(k, leaf_units);
-        let offsets = L::plan_split(elems, k, leaf_units);
-        let shared = storage.shared();
-        let units: usize = (0..k)
-            .into_par_iter()
-            .map(|j| {
-                let slice = &elems[offsets[j]..offsets[j + 1]];
-                let inherited = if offsets[j] > 0 {
-                    elems[offsets[j] - 1]
-                } else {
-                    K::MIN
-                };
-                // SAFETY: each iteration owns a distinct leaf.
-                unsafe { shared.write_leaf(j, slice, inherited) }
-            })
-            .sum();
-        self.storage = storage;
-        self.units = units;
-        self.len = elems.len();
-        self.batch_stats.full_rebuilds.inc();
-        self.rebuild_read_index();
+    ///
+    /// The hybrid codec's `units_for_with` is an estimate (a lower bound),
+    /// so a split plan can fail to fit its tail; the loop retries with a
+    /// capacity sized from the *actual* units of the failed attempt, which
+    /// converges in O(1) rounds. Delta-only and uncompressed storages
+    /// never retry (their planners are exact).
+    pub(crate) fn rebuild_into(&mut self, elems: &[K], mut cap_units: usize) {
+        loop {
+            let leaf_units = Self::leaf_units_for_cap(cap_units);
+            let k = cap_units.div_ceil(leaf_units).max(self.cfg.min_leaves);
+            let mut storage = L::with_geometry(k, leaf_units);
+            storage.set_codec_policy(self.cfg.force_codec, self.cfg.bitmap_leaf_threshold);
+            let offsets = self.storage.plan_split_with(elems, k, leaf_units);
+            let shared = storage.shared();
+            let units: usize = (0..k)
+                .into_par_iter()
+                .map(|j| {
+                    let slice = &elems[offsets[j]..offsets[j + 1]];
+                    let inherited = if offsets[j] > 0 {
+                        elems[offsets[j] - 1]
+                    } else {
+                        K::MIN
+                    };
+                    // SAFETY: each iteration owns a distinct leaf.
+                    unsafe { shared.write_leaf(j, slice, inherited) }
+                })
+                .sum();
+            if (0..k).any(|j| storage.is_overflowed(j)) {
+                let target = self.cfg.bounds.rebuild_target;
+                let exact = ((units as f64) / target).ceil() as usize;
+                let grown = ((cap_units as f64) * self.cfg.growing_factor).ceil() as usize;
+                cap_units = exact.max(grown);
+                continue;
+            }
+            self.storage = storage;
+            self.units = units;
+            self.len = elems.len();
+            self.batch_stats.full_rebuilds.inc();
+            self.rebuild_read_index();
+            return;
+        }
     }
 
     /// Grow capacity by the growing factor (repeatedly if needed) and
     /// re-spread `elems`.
     pub(crate) fn grow_and_rebuild(&mut self, elems: &[K]) {
-        let stream = L::units_for(elems);
+        let stream = self.storage.units_for_with(elems);
         let f = self.cfg.growing_factor;
         let mut cap = ((self.capacity_units() as f64) * f).ceil() as usize;
         loop {
@@ -416,7 +484,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
     /// Shrink capacity by the growing factor while the root is under its
     /// lower bound, then re-spread `elems`.
     pub(crate) fn shrink_and_rebuild(&mut self, elems: &[K]) {
-        let stream = L::units_for(elems);
+        let stream = self.storage.units_for_with(elems);
         let f = self.cfg.growing_factor;
         let floor = self.cfg.min_leaves * L::MIN_LEAF_UNITS;
         let mut cap = self.capacity_units();
@@ -940,7 +1008,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
         };
         let k = node.len();
         let leaf_units = self.storage.leaf_units();
-        let offsets = L::plan_split(&elems, k, leaf_units);
+        let offsets = self.storage.plan_split_with(&elems, k, leaf_units);
         let shared = self.storage.shared();
         let mut units_delta: isize = 0;
         for j in 0..k {
@@ -962,6 +1030,13 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
         self.fix_inherited_heads_after(node.end);
         self.rebuild_occ_range(node.start, node.end);
         self.rebuild_head_index();
+        // Hybrid plans are estimate-driven and may leave an unfit tail
+        // leaf; a capacity grow re-spreads everything and cannot overflow
+        // (rebuild_into retries until every leaf fits).
+        if (node.start..node.end).any(|l| self.storage.is_overflowed(l)) {
+            let all = self.collect_all();
+            self.grow_and_rebuild(&all);
+        }
     }
 
     /// Repair inherited heads of the empty-leaf run starting at `from`
@@ -1062,12 +1137,7 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
             if self.storage.count(leaf) == 0 {
                 continue;
             }
-            let stopped = !self.storage.for_each_in_leaf(leaf, &mut |e| {
-                if e < start {
-                    return true;
-                }
-                f(e)
-            });
+            let stopped = !self.storage.for_each_in_leaf_from(leaf, start, f);
             if stopped {
                 return;
             }
@@ -1090,11 +1160,9 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
             if self.storage.count(leaf) == 0 {
                 continue;
             }
-            let done = !self.storage.for_each_in_leaf(leaf, &mut |e| {
-                if e >= start {
-                    f(e);
-                    visited += 1;
-                }
+            let done = !self.storage.for_each_in_leaf_from(leaf, start, &mut |e| {
+                f(e);
+                visited += 1;
                 visited < length
             });
             if done {
@@ -1132,18 +1200,11 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
                 sum = sum.wrapping_add(self.storage.leaf_sum(leaf));
                 continue;
             }
-            let done = !self.storage.for_each_in_leaf(leaf, &mut |e| {
-                if e >= end {
-                    return false;
-                }
-                if e >= start {
-                    sum = sum.wrapping_add(e.to_u64());
-                }
-                true
-            });
-            if done {
-                break;
-            }
+            // Boundary leaf: codec-aware partial sum (bitmap leaves use
+            // masked popcount kernels instead of an element walk). A leaf
+            // reaching past `end` makes every later head ≥ end, so the
+            // loop-top check terminates the scan.
+            sum = sum.wrapping_add(self.storage.leaf_range_sum(leaf, start, end));
         }
         sum
     }

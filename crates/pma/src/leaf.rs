@@ -19,6 +19,7 @@
 //! calls may target the same leaf". Implementations use raw pointers derived
 //! from `&mut self`, never materializing overlapping `&mut` references.
 
+use crate::core::ForceCodec;
 use crate::PmaKey;
 use cpma_api::{BatchOp, PersistError};
 
@@ -141,10 +142,35 @@ pub trait LeafStorage<K: PmaKey>: Send + Sync + Sized {
     /// In-order traversal of `leaf`; stop early when `f` returns false.
     /// Returns false iff stopped early.
     fn for_each_in_leaf(&self, leaf: usize, f: &mut dyn FnMut(K) -> bool) -> bool;
+    /// In-order traversal of `leaf` restricted to elements ≥ `start`.
+    /// Default: filter [`Self::for_each_in_leaf`]; codecs with positional
+    /// access (bitmap leaves) override to skip the prefix wholesale
+    /// instead of paying one closure call per skipped element.
+    fn for_each_in_leaf_from(&self, leaf: usize, start: K, f: &mut dyn FnMut(K) -> bool) -> bool {
+        self.for_each_in_leaf(leaf, &mut |e| if e < start { true } else { f(e) })
+    }
     /// Append `leaf`'s elements, in order, to `out`.
     fn collect_leaf(&self, leaf: usize, out: &mut Vec<K>);
     /// Sum of `leaf`'s elements (widened to u64, wrapping).
     fn leaf_sum(&self, leaf: usize) -> u64;
+
+    /// Sum of `leaf`'s elements in the half-open key range `[start, end)`
+    /// (widened to u64, wrapping). Default: early-exit in-order walk;
+    /// hybrid storages override with wordwise popcount kernels on dense
+    /// leaves.
+    fn leaf_range_sum(&self, leaf: usize, start: K, end: K) -> u64 {
+        let mut acc = 0u64;
+        self.for_each_in_leaf(leaf, &mut |e| {
+            if e >= end {
+                return false;
+            }
+            if e >= start {
+                acc = acc.wrapping_add(e.to_u64());
+            }
+            true
+        });
+        acc
+    }
 
     /// Units a strictly-increasing run would occupy written as one leaf.
     fn units_for(elems: &[K]) -> usize;
@@ -157,6 +183,25 @@ pub trait LeafStorage<K: PmaKey>: Send + Sync + Sized {
     /// `0.9 · k · leaf_units` (the tightest upper density bound), which makes
     /// a fitting plan always exist for `leaf_units ≥ MIN_LEAF_UNITS`.
     fn plan_split(elems: &[K], k: usize, leaf_units: usize) -> Vec<usize>;
+
+    /// Install the per-leaf codec policy (hybrid storages only; the
+    /// default ignores it). Called at construction and when loading a
+    /// snapshot, before any leaf is written.
+    fn set_codec_policy(&mut self, _force: ForceCodec, _threshold: f64) {}
+
+    /// Policy-aware [`Self::units_for`]: what *this instance's* codec
+    /// policy would charge for the run. Capacity planning must use this
+    /// so a hybrid storage's cheaper encodings translate into a smaller
+    /// footprint. Default: the static cost.
+    fn units_for_with(&self, elems: &[K]) -> usize {
+        Self::units_for(elems)
+    }
+
+    /// Policy-aware [`Self::plan_split`] (same contract). Default: the
+    /// static plan.
+    fn plan_split_with(&self, elems: &[K], k: usize, leaf_units: usize) -> Vec<usize> {
+        Self::plan_split(elems, k, leaf_units)
+    }
 
     /// Obtain the shared-disjoint accessor. Borrows `self` mutably for the
     /// accessor's lifetime, so no safe references can alias the raw access.

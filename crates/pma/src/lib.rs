@@ -22,6 +22,7 @@
 //! `FromIterator`, `Extend`, and `IntoIterator` for std-collection
 //! ergonomics.
 
+pub mod bitmap;
 pub mod codec;
 pub mod core;
 pub mod density;
@@ -38,7 +39,7 @@ mod uncompressed;
 
 pub use crate::compressed::CompressedLeaves;
 pub use crate::core::{
-    Cpma, CpmaBNary, CpmaEytzinger, CpmaLinear, HeadForm, Pma, PmaBNary, PmaConfig,
+    Cpma, CpmaBNary, CpmaEytzinger, CpmaLinear, ForceCodec, HeadForm, Pma, PmaBNary, PmaConfig,
     PmaConfigBuilder, PmaCore, PmaEytzinger, PmaLinear,
 };
 pub use crate::density::DensityBounds;

@@ -26,10 +26,11 @@ use crate::core::{HeadForm, PmaCore};
 use crate::density::DensityBounds;
 use crate::{LeafStorage, PmaConfig, PmaKey};
 
-/// Meta section: key width (u32), eight config scalars, four geometry /
-/// count fields (u64 each), and the head-layout tag (u64). Floats travel
-/// as IEEE-754 bit patterns.
-const META_LEN: usize = 4 + 8 * 8 + 4 * 8 + 8;
+/// Meta section: key width (u32), eleven config scalars (seven f64, four
+/// u64 — the last being the [`crate::ForceCodec`] discriminant), three
+/// geometry / count fields (u64 each), and the head-layout tag (u64).
+/// Floats travel as IEEE-754 bit patterns.
+const META_LEN: usize = 4 + 7 * 8 + 4 * 8 + 3 * 8 + 8;
 
 impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
     /// Serialize to the snapshot byte format without touching disk.
@@ -56,9 +57,11 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
         meta.put_f64(cfg.bounds.lower_root);
         meta.put_f64(cfg.bounds.rebuild_target);
         meta.put_f64(cfg.growing_factor);
+        meta.put_f64(cfg.bitmap_leaf_threshold);
         meta.put_u64(cfg.min_leaves as u64);
         meta.put_u64(cfg.point_update_cutoff as u64);
         meta.put_u64(cfg.full_rebuild_divisor as u64);
+        meta.put_u64(force_codec_tag(cfg.force_codec));
         meta.put_u64(self.len as u64);
         meta.put_u64(self.storage.num_leaves() as u64);
         meta.put_u64(self.storage.leaf_units() as u64);
@@ -100,9 +103,11 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
                 rebuild_target: r.f64("rebuild_target")?,
             },
             growing_factor: r.f64("growing_factor")?,
+            bitmap_leaf_threshold: r.f64("bitmap_leaf_threshold")?,
             min_leaves: as_usize(r.u64("min_leaves")?, "min_leaves")?,
             point_update_cutoff: as_usize(r.u64("point_update_cutoff")?, "point_update_cutoff")?,
             full_rebuild_divisor: as_usize(r.u64("full_rebuild_divisor")?, "full_rebuild_divisor")?,
+            force_codec: force_codec_from_tag(r.u64("force_codec")?)?,
         };
         cfg.check()?;
         let len = as_usize(r.u64("len")?, "len")?;
@@ -130,7 +135,8 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
                 L::MIN_LEAF_UNITS
             )));
         }
-        let storage = L::read_payload(num_leaves, leaf_units, &env.payload)?;
+        let mut storage = L::read_payload(num_leaves, leaf_units, &env.payload)?;
+        storage.set_codec_policy(cfg.force_codec, cfg.bitmap_leaf_threshold);
         let (mut total_len, mut total_units) = (0usize, 0usize);
         for leaf in 0..num_leaves {
             total_len += storage.count(leaf);
@@ -158,6 +164,26 @@ impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> PmaCore<K, L, FORM> {
 
 fn as_usize(v: u64, what: &'static str) -> Result<usize, PersistError> {
     usize::try_from(v).map_err(|_| PersistError::Corrupt(format!("{what} {v} exceeds usize")))
+}
+
+/// Stable on-disk discriminant of a [`crate::ForceCodec`]. Never renumber.
+fn force_codec_tag(f: crate::ForceCodec) -> u64 {
+    match f {
+        crate::ForceCodec::Auto => 0,
+        crate::ForceCodec::Delta => 1,
+        crate::ForceCodec::Bitmap => 2,
+    }
+}
+
+fn force_codec_from_tag(v: u64) -> Result<crate::ForceCodec, PersistError> {
+    match v {
+        0 => Ok(crate::ForceCodec::Auto),
+        1 => Ok(crate::ForceCodec::Delta),
+        2 => Ok(crate::ForceCodec::Bitmap),
+        _ => Err(PersistError::Corrupt(format!(
+            "unknown force_codec discriminant {v}"
+        ))),
+    }
 }
 
 impl<K: PmaKey, L: LeafStorage<K>, const FORM: u8> Persist for PmaCore<K, L, FORM> {

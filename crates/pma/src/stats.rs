@@ -165,6 +165,30 @@ pub(crate) fn phase_spans() -> &'static PhaseSpans {
     })
 }
 
+/// Process-shared counters for the hybrid leaf codec: how often each
+/// encoding is written and how often a non-empty leaf *flips* encodings at
+/// a rewrite (the quantity the redistribute-time hysteresis damps).
+/// Shared like [`PhaseSpans`]: codec population is a whole-process
+/// property the bench exposition sums anyway, and one cell per event
+/// keeps the per-leaf-rewrite cost to one relaxed add.
+pub(crate) struct CodecCounters {
+    pub bitmap_writes: Counter,
+    pub delta_writes: Counter,
+    pub flips: Counter,
+}
+
+pub(crate) fn codec_counters() -> &'static CodecCounters {
+    static CELLS: std::sync::OnceLock<CodecCounters> = std::sync::OnceLock::new();
+    CELLS.get_or_init(|| {
+        let r = cpma_obs::global();
+        CodecCounters {
+            bitmap_writes: r.counter("cpma.codec.bitmap_writes", Unit::Count),
+            delta_writes: r.counter("cpma.codec.delta_writes", Unit::Count),
+            flips: r.counter("cpma.codec.flips", Unit::Count),
+        }
+    })
+}
+
 impl Clone for PmaCounters {
     fn clone(&self) -> Self {
         Self::new()

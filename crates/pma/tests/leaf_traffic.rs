@@ -9,12 +9,21 @@
 //! of 8: that is what the exact equalities below would report.
 #![cfg(feature = "stats")]
 
-use cpma_pma::{stats, Cpma, LeafStorage};
+use cpma_api::BatchSet;
+use cpma_pma::{stats, Cpma, ForceCodec, LeafStorage, PmaConfig};
 
 #[test]
 fn compressed_membership_probe_stops_early() {
-    let elems: Vec<u64> = (0..200_000u64).map(|i| i * 7 + 3).collect();
-    let c = Cpma::from_sorted(&elems);
+    // Gap-7 keys are dense enough that the hybrid policy would pick the
+    // bitmap encoding; pin the delta codec — this test is specifically
+    // about the delta probe's early exit.
+    let cfg = PmaConfig::builder()
+        .force_codec(ForceCodec::Delta)
+        .build()
+        .unwrap();
+    let mut c = Cpma::with_config(cfg);
+    let mut elems: Vec<u64> = (0..200_000u64).map(|i| i * 7 + 3).collect();
+    c.insert_batch(&mut elems, false);
     let storage = c.storage();
 
     // Pick the fullest leaf so the early-exit saving is unambiguous.
@@ -53,4 +62,20 @@ fn compressed_membership_probe_stops_early() {
     let (hit, t) = stats::measure(|| storage.leaf_contains(leaf, *run.last().unwrap()));
     assert!(hit);
     assert!(t.bytes_read <= used);
+
+    // Bitmap leaves answer any membership probe from the base plus one
+    // word: a flat 16 bytes no matter where the key sits in the leaf.
+    let mut dense = Cpma::new();
+    let mut keys: Vec<u64> = (0..200_000u64).collect();
+    dense.insert_batch(&mut keys, false);
+    let storage = dense.storage();
+    let leaf = (0..storage.num_leaves())
+        .max_by_key(|&l| storage.count(l))
+        .unwrap();
+    let mut run = Vec::new();
+    storage.collect_leaf(leaf, &mut run);
+    assert!(storage.units_used(leaf) as u64 > 16);
+    let (hit, t) = stats::measure(|| storage.leaf_contains(leaf, *run.last().unwrap()));
+    assert!(hit);
+    assert_eq!(t.bytes_read, 16, "bitmap probe is O(1) bytes");
 }

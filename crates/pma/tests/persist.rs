@@ -269,7 +269,7 @@ fn forged_payloads_with_valid_checksums_are_rejected() {
     // Element-count inflation in the meta section must be caught by the
     // recount, not trusted.
     let mut inflated = env.clone();
-    let len_at = 4 + 6 * 8 + 3 * 8; // key width + six f64 + three u64
+    let len_at = 4 + 7 * 8 + 4 * 8; // key width + seven f64 + four u64
     let huge = (u32::MAX as u64).to_le_bytes();
     inflated.meta[len_at..len_at + 8].copy_from_slice(&huge);
     assert!(matches!(

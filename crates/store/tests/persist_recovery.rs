@@ -345,7 +345,7 @@ fn sharded_manifest_roundtrip_and_corruption() {
         ShardedSet::<Cpma, 4>::load(&path),
         Err(PersistError::CodecMismatch {
             expected: 100,
-            found: 2
+            found: 3
         })
     ));
     std::fs::remove_dir_all(&dir).unwrap();

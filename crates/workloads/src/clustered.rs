@@ -1,0 +1,164 @@
+//! Clustered (run-structured) key workloads.
+//!
+//! Real key spaces are rarely uniform: auto-incremented identifiers,
+//! timestamps, and packed graph edges arrive as *runs* of consecutive (or
+//! near-consecutive) values separated by larger jumps. Such inputs are the
+//! natural habitat of the hybrid leaf codec — runs of consecutive keys cost
+//! one **bit** per element in a bitmap leaf versus one **byte** per element
+//! as delta codes, while the inter-run gaps keep sparse leaves on the delta
+//! side. This generator produces exactly that shape, seed-deterministically.
+//!
+//! The model: the key space is a sequence of runs. Run `r` starts at a
+//! cursor, covers `len_r` consecutive keys with stride 1, and the cursor
+//! then jumps ahead by a gap drawn from a geometric-like distribution with
+//! the configured mean. Run lengths are uniform in
+//! `[run_len / 2, 3 · run_len / 2]`, so the density inside a run is 1.0 and
+//! the global density is about `run_len / (run_len + mean_gap)`.
+
+use crate::keys::shuffle;
+use crate::rng::SplitMix64;
+
+/// Configuration of a clustered key stream. Construct with
+/// [`ClusteredKeys::new`] and refine with the builder-style setters.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusteredKeys {
+    /// Mean run length (consecutive keys per cluster).
+    run_len: u64,
+    /// Mean gap between the end of one run and the start of the next.
+    mean_gap: u64,
+    /// First key of the first run.
+    start: u64,
+    seed: u64,
+}
+
+impl ClusteredKeys {
+    /// A clustered stream with the given mean run length and mean
+    /// inter-run gap. `run_len` must be ≥ 1; `mean_gap` ≥ 1.
+    pub fn new(run_len: u64, mean_gap: u64, seed: u64) -> Self {
+        assert!(run_len >= 1, "run_len must be >= 1");
+        assert!(mean_gap >= 1, "mean_gap must be >= 1");
+        Self {
+            run_len,
+            mean_gap,
+            start: 0,
+            seed,
+        }
+    }
+
+    /// Offset the whole key space (first run starts here).
+    pub fn starting_at(mut self, start: u64) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Generate `n` keys, sorted ascending and distinct.
+    ///
+    /// Deterministic in `(self, n)` — thread count and platform never
+    /// change the output.
+    pub fn sorted(&self, n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        let mut rng = SplitMix64::new(self.seed);
+        let mut cursor = self.start;
+        while out.len() < n {
+            // Uniform in [run_len/2, 3·run_len/2] (mean = run_len).
+            let lo = (self.run_len / 2).max(1);
+            let span = self.run_len + 1 - lo; // hi = run_len + run_len/2
+            let len = (lo + rng.next_below(span + self.run_len / 2)).min((n - out.len()) as u64);
+            for k in 0..len {
+                out.push(cursor + k);
+            }
+            // Geometric-ish gap with the configured mean: 1 + floor of an
+            // exponential-shaped draw built from two uniform halves (cheap,
+            // deterministic, heavy enough tail to scatter clusters).
+            let u = rng.next_below(self.mean_gap.max(1) * 2) + 1;
+            let gap = 1 + u / 2 + rng.next_below(u);
+            cursor = cursor
+                .checked_add(len + gap)
+                .expect("clustered key space exceeded u64");
+        }
+        out
+    }
+
+    /// Generate `n` keys in a shuffled (insertion) order — what a batch
+    /// insert benchmark feeds the structure.
+    pub fn shuffled(&self, n: usize) -> Vec<u64> {
+        let mut keys = self.sorted(n);
+        shuffle(&mut keys, self.seed ^ 0x5EED_C1D5);
+        keys
+    }
+}
+
+/// Convenience: `n` clustered keys with the given run length and gap,
+/// shuffled, seed-deterministic (the common benchmark call).
+pub fn clustered_keys(n: usize, run_len: u64, mean_gap: u64, seed: u64) -> Vec<u64> {
+    ClusteredKeys::new(run_len, mean_gap, seed).shuffled(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_is_sorted_distinct_and_sized() {
+        let keys = ClusteredKeys::new(64, 1 << 20, 42).sorted(50_000);
+        assert_eq!(keys.len(), 50_000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn runs_have_the_requested_shape() {
+        let run_len = 100u64;
+        let keys = ClusteredKeys::new(run_len, 1 << 24, 7).sorted(100_000);
+        // Count maximal runs of consecutive keys; their mean length must
+        // sit near run_len (uniform in [50, 150]).
+        let mut runs = Vec::new();
+        let mut cur = 1usize;
+        for w in keys.windows(2) {
+            if w[1] == w[0] + 1 {
+                cur += 1;
+            } else {
+                runs.push(cur);
+                cur = 1;
+            }
+        }
+        runs.push(cur);
+        let mean = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(
+            (run_len as f64 * 0.8..=run_len as f64 * 1.2).contains(&mean),
+            "mean run length {mean} far from {run_len}"
+        );
+        // Gaps must dominate the key space (clusters, not a dense block).
+        let span = keys.last().unwrap() - keys[0];
+        assert!(span > 10 * keys.len() as u64);
+    }
+
+    #[test]
+    fn deterministic_across_calls_and_shuffled_is_permutation() {
+        let g = ClusteredKeys::new(32, 1000, 9);
+        assert_eq!(g.sorted(10_000), g.sorted(10_000));
+        assert_eq!(g.shuffled(10_000), g.shuffled(10_000));
+        let mut s = g.shuffled(10_000);
+        s.sort_unstable();
+        assert_eq!(s, g.sorted(10_000));
+        // Different seeds give different streams.
+        assert_ne!(
+            g.sorted(10_000),
+            ClusteredKeys::new(32, 1000, 10).sorted(10_000)
+        );
+    }
+
+    #[test]
+    fn starting_at_offsets_the_space() {
+        let keys = ClusteredKeys::new(16, 100, 3)
+            .starting_at(1 << 40)
+            .sorted(1000);
+        assert!(keys.iter().all(|&k| k >= 1 << 40));
+    }
+
+    #[test]
+    fn short_and_single_runs_work() {
+        let keys = ClusteredKeys::new(1, 10, 5).sorted(100);
+        assert_eq!(keys.len(), 100);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -9,17 +9,22 @@
 //! * **zipfian 34-bit keys** with skew `α = 0.99` (the YCSB parameter);
 //! * **RMAT edges** with `a = 0.5, b = c = 0.1, d = 0.3` (the PaC-tree paper's
 //!   update-stream distribution, used for the graph insert benchmark);
-//! * **Erdős–Rényi** `G(n, p)` graphs (the synthetic graph in Table 7).
+//! * **Erdős–Rényi** `G(n, p)` graphs (the synthetic graph in Table 7);
+//! * **clustered runs** — bursts of consecutive keys separated by large
+//!   gaps (auto-increment ids, timestamps, packed edges); the workload the
+//!   hybrid bitmap/delta leaf codec is designed for.
 //!
 //! Everything here is seeded and reproducible: the same seed always yields
 //! the same byte-for-byte workload, independent of thread count.
 
+pub mod clustered;
 pub mod er;
 pub mod keys;
 pub mod rmat;
 pub mod rng;
 pub mod zipf;
 
+pub use clustered::{clustered_keys, ClusteredKeys};
 pub use er::erdos_renyi_edges;
 pub use keys::{batches_of, dedup_sorted, uniform_keys, uniform_keys_in, unique_uniform_keys};
 pub use rmat::RmatGenerator;

@@ -349,6 +349,56 @@ fn snapshot_images_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn hybrid_codec_images_bit_identical_on_clustered_keys() {
+    // Clustered runs push the CPMA through its hybrid machinery: dense
+    // leaves adopt the bitmap encoding, removals flip them back, and the
+    // wordwise merge paths run alongside the scalar ones. The per-leaf
+    // codec choice is part of the snapshot image, so it must be exactly as
+    // schedule-independent as the element contents.
+    fn build(seed: u64) -> cpma::pma::Cpma {
+        let keys = cpma::workloads::clustered_keys(40_000, 96, 1 << 22, seed);
+        let mut s = cpma::pma::Cpma::new();
+        for chunk in keys.chunks(5_000) {
+            let mut batch = chunk.to_vec();
+            s.insert_batch(&mut batch, false);
+        }
+        // Thin out some runs so leaves cross the codec threshold in both
+        // directions across redistributes.
+        let mut rng = Rng::new(seed ^ 0xF11);
+        let mut del: Vec<u64> = keys.iter().copied().filter(|_| rng.chance(1, 3)).collect();
+        s.remove_batch(&mut del, false);
+        let mut ops: Vec<BatchOp<u64>> = keys
+            .iter()
+            .take(8_000)
+            .map(|&k| {
+                if k % 2 == 0 {
+                    BatchOp::Insert(k)
+                } else {
+                    BatchOp::Remove(k)
+                }
+            })
+            .collect();
+        s.apply_batch(&mut ops, false);
+        s
+    }
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for seed in [0xC1D5_0001u64, 0xC1D5_0002] {
+        let oracle = with_threads(1, || build(seed).to_snapshot_bytes());
+        for threads in [2usize, 8] {
+            let got = with_threads(threads, || build(seed).to_snapshot_bytes());
+            assert_eq!(
+                got, oracle,
+                "hybrid Cpma image @ {threads} threads (seed {seed:#x})"
+            );
+        }
+        // Canonical image: load → re-save is the identity here too.
+        let back = cpma::pma::Cpma::from_snapshot_bytes(&oracle).unwrap();
+        assert_eq!(back.to_snapshot_bytes(), oracle);
+        back.check_invariants();
+    }
+}
+
+#[test]
 fn sharded_checkpoint_dirs_bit_identical_across_thread_counts() {
     // Shard-per-file checkpoints add the parallel per-shard batch
     // application and the autotuner to the byte-identity claim.
