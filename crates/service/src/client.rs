@@ -1,0 +1,238 @@
+//! Blocking loopback client for the service protocol.
+//!
+//! [`Client`] assigns per-connection sequence ids, frames requests, and
+//! verifies that every reply echoes the id of the request it answers. The
+//! burst methods ([`Client::pipeline`], [`Client::mutate_burst`]) write all
+//! frames in one `write_all` and then read all replies — the pipelining
+//! that lets the server-side combiner see the whole burst as one epoch.
+
+use crate::proto::{self, ProtoError, RecvError, Reply, Request, DEFAULT_MAX_FRAME_BYTES};
+use cpma_api::BatchOp;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport broke (connect, read, write, or a server hangup).
+    Io(io::Error),
+    /// The server's bytes did not parse.
+    Proto(ProtoError),
+    /// The server sent a typed [`Reply::Error`] (and closed).
+    Server { seq: u64, code: u8 },
+    /// A reply echoed the wrong sequence id.
+    SeqMismatch { want: u64, got: u64 },
+    /// The reply kind did not match the request (e.g. `Sum` for `Insert`).
+    UnexpectedReply { seq: u64 },
+    /// The server closed mid-conversation (fewer replies than requests).
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { seq, code } => {
+                write!(f, "server error code {code} for seq {seq}")
+            }
+            ClientError::SeqMismatch { want, got } => {
+                write!(f, "reply seq {got}, expected {want}")
+            }
+            ClientError::UnexpectedReply { seq } => {
+                write!(f, "unexpected reply kind for seq {seq}")
+            }
+            ClientError::ConnectionClosed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Io(e) => ClientError::Io(e),
+            RecvError::Proto(e) => ClientError::Proto(e),
+        }
+    }
+}
+
+/// One blocking connection to a [`crate::Service`].
+pub struct Client {
+    stream: TcpStream,
+    next_seq: u64,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connect to `addr` (typically [`crate::Service::local_addr`]).
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_seq: 1,
+            max_frame: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Set a read timeout for replies (`None` waits forever).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Insert `key`; `true` iff newly added.
+    pub fn insert(&mut self, key: u64) -> Result<bool, ClientError> {
+        let seq = self.take_seq();
+        self.call_bool(Request::Insert { seq, key })
+    }
+
+    /// Remove `key`; `true` iff it was present.
+    pub fn remove(&mut self, key: u64) -> Result<bool, ClientError> {
+        let seq = self.take_seq();
+        self.call_bool(Request::Remove { seq, key })
+    }
+
+    /// Linearized membership test.
+    pub fn contains(&mut self, key: u64) -> Result<bool, ClientError> {
+        let seq = self.take_seq();
+        self.call_bool(Request::Contains { seq, key })
+    }
+
+    /// Snapshot membership for a batch of keys, positional.
+    pub fn contains_batch(&mut self, keys: &[u64]) -> Result<Vec<bool>, ClientError> {
+        let seq = self.take_seq();
+        let reply = self.call(Request::ContainsBatch {
+            seq,
+            keys: keys.to_vec(),
+        })?;
+        match reply {
+            Reply::Bools { values, .. } => Ok(values),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Snapshot sum of keys in `lo..=hi`.
+    pub fn range_sum(&mut self, lo: u64, hi: u64) -> Result<u64, ClientError> {
+        let seq = self.take_seq();
+        let reply = self.call(Request::RangeSum { seq, lo, hi })?;
+        match reply {
+            Reply::Sum { value, .. } => Ok(value),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Snapshot scan: up to `max` keys from `lo` upward (the server may
+    /// clamp `max` to its configured scan limit).
+    pub fn scan(&mut self, lo: u64, max: u32) -> Result<Vec<u64>, ClientError> {
+        let seq = self.take_seq();
+        let reply = self.call(Request::Scan { seq, lo, max })?;
+        match reply {
+            Reply::Keys { keys, .. } => Ok(keys),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Pipeline a burst of mutations as one write: the whole burst reaches
+    /// the server together, so it combines into (at most) one epoch.
+    /// Per-op acks in submission order.
+    pub fn mutate_burst(&mut self, ops: &[BatchOp<u64>]) -> Result<Vec<bool>, ClientError> {
+        let requests: Vec<Request> = ops
+            .iter()
+            .map(|op| match *op {
+                BatchOp::Insert(key) => Request::Insert { seq: 0, key },
+                BatchOp::Remove(key) => Request::Remove { seq: 0, key },
+            })
+            .collect();
+        let replies = self.pipeline(requests)?;
+        replies
+            .into_iter()
+            .map(|r| match r {
+                Reply::Bool { value, .. } => Ok(value),
+                other => Err(unexpected(other)),
+            })
+            .collect()
+    }
+
+    /// Pipeline arbitrary requests: fresh sequence ids are assigned in
+    /// order, all frames go out in one write, then all replies are read
+    /// and their sequence echoes verified positionally.
+    pub fn pipeline(&mut self, mut requests: Vec<Request>) -> Result<Vec<Reply>, ClientError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut wire = Vec::new();
+        let mut body = Vec::new();
+        for req in &mut requests {
+            let seq = self.take_seq();
+            req.set_seq(seq);
+            body.clear();
+            req.encode_body(&mut body);
+            proto::encode_frame(&body, &mut wire);
+        }
+        self.stream.write_all(&wire)?;
+
+        let mut replies = Vec::with_capacity(requests.len());
+        for req in &requests {
+            let reply = self.read_reply()?;
+            if let Reply::Error { seq, code } = reply {
+                return Err(ClientError::Server { seq, code });
+            }
+            if reply.seq() != req.seq() {
+                return Err(ClientError::SeqMismatch {
+                    want: req.seq(),
+                    got: reply.seq(),
+                });
+            }
+            replies.push(reply);
+        }
+        Ok(replies)
+    }
+
+    fn take_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn call(&mut self, req: Request) -> Result<Reply, ClientError> {
+        self.stream.write_all(&proto::request_frame(&req))?;
+        let reply = self.read_reply()?;
+        if let Reply::Error { seq, code } = reply {
+            return Err(ClientError::Server { seq, code });
+        }
+        if reply.seq() != req.seq() {
+            return Err(ClientError::SeqMismatch {
+                want: req.seq(),
+                got: reply.seq(),
+            });
+        }
+        Ok(reply)
+    }
+
+    fn call_bool(&mut self, req: Request) -> Result<bool, ClientError> {
+        match self.call(req)? {
+            Reply::Bool { value, .. } => Ok(value),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        match proto::read_frame(&mut self.stream, self.max_frame)? {
+            Some(body) => Ok(Reply::decode_body(&body).map_err(ClientError::Proto)?),
+            None => Err(ClientError::ConnectionClosed),
+        }
+    }
+}
+
+fn unexpected(reply: Reply) -> ClientError {
+    ClientError::UnexpectedReply { seq: reply.seq() }
+}

@@ -68,6 +68,12 @@
 //!   [`store::Combiner::open_durable`], and crash recovery
 //!   ([`fn@persist::recover`]: newest valid checkpoint + WAL tail
 //!   replay);
+//! * [`service`] — the network front door: a std-only blocking TCP server
+//!   ([`service::Service`]) speaking a length-prefixed checksummed binary
+//!   protocol, funneling per-connection op pipelines through
+//!   [`store::Combiner::submit_many`] (optionally WAL-backed via
+//!   [`service::Service::serve_durable`]) and serving reads from published
+//!   snapshots, plus the blocking loopback [`service::Client`];
 //! * [`workloads`] — deterministic generators for every input distribution
 //!   in the paper's evaluation;
 //! * [`obs`] — the observability layer every crate above reports into: a
@@ -82,6 +88,7 @@ pub use cpma_fgraph as fgraph;
 pub use cpma_obs as obs;
 pub use cpma_persist as persist;
 pub use cpma_pma as pma;
+pub use cpma_service as service;
 pub use cpma_store as store;
 pub use cpma_workloads as workloads;
 
@@ -97,6 +104,7 @@ pub mod prelude {
     pub use crate::baselines::{CPac, CTreeSet, PTree, UPac};
     pub use crate::persist::{FsyncPolicy, RecoveryReport, WalConfig};
     pub use crate::pma::{Cpma, Pma, PmaConfig};
+    pub use crate::service::{Client, Service, ServiceConfig};
     pub use crate::store::{
         AdaptiveWindow, Combiner, CombinerConfig, CombinerStats, RebalanceStats, ShardTuning,
         ShardedSet, WindowPolicy,

@@ -211,6 +211,70 @@ fn combiner_adaptive_policy_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn service_round_trip_deterministic_across_thread_counts() {
+    // A scripted single-connection op trace through the real TCP front
+    // door. Reply bytes and final contents are a pure function of the op
+    // stream: per-op acks replay against the epoch overlay, snapshot
+    // reads are served only after the connection's earlier writes were
+    // acked, and set contents are history-independent — so neither the
+    // internal batch-application budget nor how TCP delivery splits the
+    // pipeline into combining epochs may show through.
+    fn run(seed: u64) -> (Vec<Vec<u8>>, Vec<u64>) {
+        use cpma::service::{Client, Request, Service, ServiceConfig};
+        let (mut service, combiner) =
+            Service::serve(Cpma::new(), ServiceConfig::default()).unwrap();
+        let mut client = Client::connect(service.local_addr()).unwrap();
+        let mut rng = Rng::new(seed);
+        let mut reply_bytes: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..12 {
+            let burst: Vec<Request> = (0..rng.below(150) + 1)
+                .map(|_| {
+                    let k = rng.bits(10);
+                    match rng.below(6) {
+                        0 => Request::Remove { seq: 0, key: k },
+                        1 => Request::Contains { seq: 0, key: k },
+                        2 => Request::RangeSum {
+                            seq: 0,
+                            lo: k,
+                            hi: k + 64,
+                        },
+                        3 => Request::Scan {
+                            seq: 0,
+                            lo: k,
+                            max: 16,
+                        },
+                        4 => Request::ContainsBatch {
+                            seq: 0,
+                            keys: rng.keys(4, 10),
+                        },
+                        _ => Request::Insert { seq: 0, key: k },
+                    }
+                })
+                .collect();
+            for reply in client.pipeline(burst).unwrap() {
+                let mut body = Vec::new();
+                reply.encode_body(&mut body);
+                reply_bytes.push(body);
+            }
+        }
+        let contents = combiner.snapshot().to_vec();
+        service.shutdown();
+        (reply_bytes, contents)
+    }
+    let _guard = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for seed in [0x5E2C_0001u64, 0x5E2C_0002] {
+        let oracle = with_threads(1, || run(seed));
+        for threads in [2usize, 8] {
+            let got = with_threads(threads, || run(seed));
+            assert_eq!(
+                got, oracle,
+                "service round trip diverged between 1 and {threads} threads (seed {seed:#x})"
+            );
+        }
+    }
+}
+
+#[test]
 fn workload_generators_deterministic_across_thread_counts() {
     // The paper's input generators are chunk-parallel with per-chunk seed
     // streams; their output must not depend on the thread count either.
